@@ -1,0 +1,54 @@
+//! Criterion bench: the three inference modes' cost per generated token
+//! on the real (tiny) models — incremental vs sequence-speculative vs
+//! tree-speculative engine loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specinfer_model::{DecodeMode, ModelConfig, Transformer};
+use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+use specinfer_tokentree::ExpansionConfig;
+
+fn engine_config(mode: InferenceMode) -> EngineConfig {
+    EngineConfig {
+        decode: DecodeMode::Greedy,
+        verifier: StochasticVerifier::MultiStep,
+        mode,
+        max_new_tokens: 16,
+        eos_token: None,
+    }
+}
+
+fn bench_engine_modes(c: &mut Criterion) {
+    let llm = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
+    let ssm = Transformer::from_seed(ModelConfig::tiny_ssm(), 2);
+    let prompt: Vec<u32> = (2..10).collect();
+
+    let mut group = c.benchmark_group("engine_generate_16_tokens");
+    group.sample_size(10);
+
+    group.bench_function("incremental", |b| {
+        let engine = SpecEngine::new(&llm, vec![], engine_config(InferenceMode::Incremental));
+        b.iter(|| std::hint::black_box(engine.generate(&prompt, 3)));
+    });
+    group.bench_function("sequence_depth8", |b| {
+        let engine = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            engine_config(InferenceMode::SequenceSpeculative { depth: 8 }),
+        );
+        b.iter(|| std::hint::black_box(engine.generate(&prompt, 3)));
+    });
+    group.bench_function("tree_paper_default", |b| {
+        let engine = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            engine_config(InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::paper_default(),
+            }),
+        );
+        b.iter(|| std::hint::black_box(engine.generate(&prompt, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_modes);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: substrate micro-benchmarks — matmul, tree attention
+//! masks, KV-cache retention — the pieces whose costs the DESIGN.md cost
+//! model reasons about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specinfer_model::{ModelConfig, Transformer};
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
+use specinfer_tokentree::{LinearizedTree, TokenTree};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 96, 256] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn wide_tree(n_branches: usize, depth: usize) -> TokenTree {
+    let mut tree = TokenTree::new(0);
+    for b in 0..n_branches {
+        let mut cur = TokenTree::ROOT;
+        for d in 0..depth {
+            cur = tree.add_child(cur, (1 + b * depth + d) as u32, 0, 0.5);
+        }
+    }
+    tree
+}
+
+fn bench_linearize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokentree");
+    for branches in [4usize, 16, 64] {
+        let tree = wide_tree(branches, 8);
+        group.bench_with_input(
+            BenchmarkId::new("linearize_and_mask", branches),
+            &branches,
+            |b, _| {
+                b.iter(|| std::hint::black_box(LinearizedTree::new(&tree)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kv_retention(c: &mut Criterion) {
+    let model = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
+    let prompt: Vec<u32> = (2..130).collect();
+    let mut cache = model.new_cache();
+    let _ = model.prefill(&prompt, &mut cache);
+    let tree = wide_tree(4, 8);
+    let lin = LinearizedTree::new(&tree);
+    let mut full = cache.clone();
+    let _ = model.decode_tree(&lin, &mut full);
+    c.bench_function("kvcache_retain_accepted_path", |b| {
+        b.iter(|| {
+            let mut c2 = full.clone();
+            c2.retain_rows(prompt.len(), &[0, 1, 2, 3]);
+            std::hint::black_box(c2.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_linearize, bench_kv_retention);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: tree-based parallel decoding vs sequence-based
+//! decoding of the same token tree — the *measured-wall-clock* companion
+//! to Figure 11. Tree-based decoding computes each shared prefix once in
+//! one fused pass; sequence-based decoding re-runs every branch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specinfer_model::{ModelConfig, Transformer};
+use specinfer_tokentree::{LinearizedTree, TokenTree};
+
+/// Builds a ⟨1,1,k,1,1,1,1,1⟩-shaped tree of arbitrary tokens.
+fn build_tree(width: usize) -> TokenTree {
+    let mut tree = TokenTree::new(1);
+    let a = tree.add_child(TokenTree::ROOT, 2, 0, 0.5);
+    let b = tree.add_child(a, 3, 0, 0.5);
+    for w in 0..width {
+        let mut cur = tree.add_child(b, 4 + w as u32, 0, 0.5);
+        for d in 0..5 {
+            cur = tree.add_child(cur, 10 + (w * 5 + d) as u32, 0, 0.5);
+        }
+    }
+    tree
+}
+
+fn bench_tree_vs_sequence(c: &mut Criterion) {
+    let model = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
+    let prompt: Vec<u32> = (2..14).collect();
+    let mut group = c.benchmark_group("tree_decode");
+    group.sample_size(20);
+
+    for width in [1usize, 3, 5] {
+        let tree = build_tree(width);
+        let lin = LinearizedTree::new(&tree);
+        let mut base = model.new_cache();
+        let _ = model.prefill(&prompt, &mut base);
+
+        group.bench_with_input(BenchmarkId::new("tree_fused", width), &width, |b, _| {
+            b.iter(|| {
+                let mut cache = base.clone();
+                std::hint::black_box(model.decode_tree(&lin, &mut cache))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequence_per_branch", width), &width, |b, _| {
+            b.iter(|| std::hint::black_box(model.decode_sequences(&tree, &base)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_vs_sequence);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p specinfer-bench --bin repro -- all
+//! cargo run --release -p specinfer-bench --bin repro -- table1 fig7
+//! cargo run --release -p specinfer-bench --bin repro -- --smoke all
+//! ```
+//!
+//! Results print to stdout and append to `results/results.jsonl`.
+
+use std::path::PathBuf;
+
+use specinfer_bench::{figures, tables, Scale, Suite, TableData};
+
+const USAGE: &str = "usage: repro [--smoke] [--out DIR] \
+    {table1|table2|table3|fig7|fig8|fig9|fig10|fig11|\
+ablation-expansion|ablation-merge|ablation-dynamic|overheads|all}…\n\
+Trained models are cached under .suite-cache/ keyed by the training recipe.";
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "ablation-expansion", "ablation-merge", "ablation-dynamic", "ablation-compress",
+            "overheads",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let start = std::time::Instant::now();
+    let suite = Suite::prepare(scale);
+    let params = tables::ExpParams::for_scale(scale);
+    eprintln!("[repro] suite prepared in {:.1}s", start.elapsed().as_secs_f64());
+
+    for exp in &experiments {
+        let t0 = std::time::Instant::now();
+        let table: TableData = match exp.as_str() {
+            "table1" => tables::table1(&suite, &params),
+            "table2" => tables::table2(&suite, &params),
+            "table3" => tables::table3(&suite, &params),
+            "fig7" => figures::fig7(&suite, &params),
+            "fig8" => figures::fig8(&suite, &params),
+            "fig9" => figures::fig9(&suite, &params),
+            "fig10" => figures::fig10(&suite, &params),
+            "fig11" => figures::fig11(&suite, &params),
+            "ablation-expansion" => figures::ablation_expansion(&suite, &params),
+            "ablation-merge" => figures::ablation_merge(&suite, &params),
+            "ablation-dynamic" => figures::ablation_dynamic(&suite, &params),
+            "ablation-compress" => figures::ablation_compress(&suite, &params),
+            "overheads" => figures::overheads_table(&suite, &params),
+            other => {
+                eprintln!("unknown experiment {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        table.print();
+        if let Err(e) = table.write_json(&out_dir) {
+            eprintln!("[repro] warning: could not write {}: {e}", out_dir.display());
+        }
+        eprintln!("[repro] {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("[repro] total {:.1}s", start.elapsed().as_secs_f64());
+}

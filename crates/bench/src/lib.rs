@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the
+//! SpecInfer paper (ASPLOS '24).
+//!
+//! The `repro` binary dispatches to one function per experiment:
+//!
+//! | Command | Paper artifact |
+//! |---|---|
+//! | `repro table1` | Table 1 — top-k verification success rate |
+//! | `repro table2` | Table 2 — tokens/step vs tree width |
+//! | `repro table3` | Table 3 — MSS vs naive sampling |
+//! | `repro fig7` | Figure 7 — distributed-serving per-token latency |
+//! | `repro fig8` | Figure 8 — offloading per-token latency |
+//! | `repro fig9` | Figure 9 — CDF of tokens/step |
+//! | `repro fig10` | Figure 10 — latency vs tree width |
+//! | `repro fig11` | Figure 11 — tree vs sequence parallel decoding |
+//! | `repro ablation-expansion` | §6.4 expansion-schedule ablation |
+//! | `repro ablation-merge` | §3 merge-based multi-SSM ablation |
+//! | `repro all` | everything above |
+//!
+//! Models are trained once per process ([`Suite::prepare`]) and shared by
+//! all experiments; everything is seeded, so two runs print identical
+//! numbers.
+
+pub mod figures;
+pub mod models;
+pub mod report;
+pub mod tables;
+
+pub use models::{Scale, Suite};
+pub use report::TableData;

@@ -1,0 +1,212 @@
+//! Experiment model preparation: train the LLM on the synthetic grammar,
+//! distill the primary SSM, boost-tune the SSM pool.
+
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+
+use specinfer_model::train::{distill_step, train_step};
+use specinfer_model::{checkpoint, ModelConfig, Transformer};
+use specinfer_spec::{boost_tune_pool, BoostConfig};
+use specinfer_tensor::optim::Adam;
+use specinfer_tensor::rng::SeededRng;
+use specinfer_workloads::Grammar;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal models and training, for unit tests of the harness.
+    Smoke,
+    /// The full (laptop-scale) configuration used by the `repro` binary.
+    Full,
+}
+
+/// Everything the experiments need: the synthetic language, a trained
+/// LLM, a distilled primary SSM, and a boost-tuned SSM pool.
+#[derive(Debug)]
+pub struct Suite {
+    /// The synthetic Markov language.
+    pub grammar: Grammar,
+    /// The "large" model (trained on the grammar corpus).
+    pub llm: Transformer,
+    /// The primary SSM, distilled from the LLM.
+    pub ssm: Transformer,
+    /// Boost-tuned SSM pool for merge-based speculation.
+    pub boost_pool: Vec<Transformer>,
+    /// The scale the suite was prepared at.
+    pub scale: Scale,
+}
+
+const GRAMMAR_SEED: u64 = 20_240_427; // ASPLOS '24 opening day
+
+impl Suite {
+    /// Trains and distills the experiment models. At [`Scale::Full`] this
+    /// takes a few minutes of CPU time; progress is logged to stderr.
+    pub fn prepare(scale: Scale) -> Suite {
+        match scale {
+            Scale::Smoke => Self::prepare_smoke(),
+            Scale::Full => Self::prepare_full(),
+        }
+    }
+
+    fn prepare_smoke() -> Suite {
+        let grammar = Grammar::synthetic(256, GRAMMAR_SEED);
+        let llm_cfg = ModelConfig { vocab_size: 256, d_model: 32, n_layers: 2, n_heads: 2, d_ff: 64, max_seq_len: 512 };
+        let ssm_cfg = ModelConfig { vocab_size: 256, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_seq_len: 512 };
+        let mut llm = Transformer::from_seed(llm_cfg, 1);
+        let corpus = grammar.training_corpus(32, 24, 11);
+        let mut opt = Adam::new(3e-3);
+        for chunk in corpus.chunks(8).take(8) {
+            let _ = train_step(&mut llm, &mut opt, chunk);
+        }
+        let mut ssm = Transformer::from_seed(ssm_cfg.clone(), 2);
+        let mut sopt = Adam::new(3e-3);
+        for chunk in corpus.chunks(8).take(4) {
+            let _ = distill_step(&mut ssm, &mut sopt, &llm, chunk);
+        }
+        let pool = vec![ssm.clone(), Transformer::from_seed(ssm_cfg, 3)];
+        Suite { grammar, llm, ssm, boost_pool: pool, scale: Scale::Smoke }
+    }
+
+    fn prepare_full() -> Suite {
+        let grammar = Grammar::synthetic(256, GRAMMAR_SEED);
+        if let Some(suite) = Self::load_cached(&grammar) {
+            eprintln!("[suite] loaded trained models from {}", cache_dir(&grammar).display());
+            suite.report_quality();
+            return suite;
+        }
+        eprintln!("[suite] training LLM ({} params)…", ModelConfig::tiny_llm().param_count());
+        let llm = train_llm(&grammar);
+        eprintln!("[suite] distilling primary SSM ({} params)…", ModelConfig::tiny_ssm().param_count());
+        let ssm = distill_ssm(&llm, &grammar);
+        eprintln!("[suite] boost-tuning SSM pool…");
+        let boost_pool = boost_pool(&llm, &grammar);
+        eprintln!("[suite] ready.");
+        let suite = Suite { grammar, llm, ssm, boost_pool, scale: Scale::Full };
+        suite.save_cache();
+        suite.report_quality();
+        suite
+    }
+
+    /// Logs held-out NLL of the LLM and primary SSM — the provenance
+    /// numbers EXPERIMENTS.md readers need to judge model quality.
+    fn report_quality(&self) {
+        let held_out = self.grammar.training_corpus(24, 48, 0xE7A1);
+        let llm_nll = specinfer_model::train::evaluate_nll(&self.llm, &held_out);
+        let ssm_nll = specinfer_model::train::evaluate_nll(&self.ssm, &held_out);
+        eprintln!("[suite] held-out NLL: LLM {llm_nll:.3} nats, SSM {ssm_nll:.3} nats");
+    }
+
+    fn load_cached(grammar: &Grammar) -> Option<Suite> {
+        let dir = cache_dir(grammar);
+        let llm = checkpoint::load(&dir.join("llm.ckpt")).ok()?;
+        let ssm = checkpoint::load(&dir.join("ssm.ckpt")).ok()?;
+        let mut boost_pool = Vec::new();
+        for i in 0..3 {
+            boost_pool.push(checkpoint::load(&dir.join(format!("boost{i}.ckpt"))).ok()?);
+        }
+        Some(Suite { grammar: grammar.clone(), llm, ssm, boost_pool, scale: Scale::Full })
+    }
+
+    fn save_cache(&self) {
+        let dir = cache_dir(&self.grammar);
+        let save = |name: &str, model: &Transformer| {
+            if let Err(e) = checkpoint::save(model, &dir.join(name)) {
+                eprintln!("[suite] warning: could not cache {name}: {e}");
+            }
+        };
+        save("llm.ckpt", &self.llm);
+        save("ssm.ckpt", &self.ssm);
+        for (i, m) in self.boost_pool.iter().enumerate() {
+            save(&format!("boost{i}.ckpt"), m);
+        }
+    }
+}
+
+/// Bump when any training hyperparameter in this file changes, so stale
+/// caches are never reused.
+const TRAINING_RECIPE_VERSION: u64 = 6;
+
+fn cache_dir(grammar: &Grammar) -> PathBuf {
+    // Key the cache on the grammar's actual content plus the recipe
+    // version: any calibration change invalidates old checkpoints.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    TRAINING_RECIPE_VERSION.hash(&mut h);
+    serde_json::to_string(grammar).unwrap_or_default().hash(&mut h);
+    PathBuf::from(".suite-cache").join(format!("{:016x}", h.finish()))
+}
+
+fn train_llm(grammar: &Grammar) -> Transformer {
+    let mut llm = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
+    let corpus = grammar.training_corpus(480, 48, 11);
+    let mut opt = Adam::new(3e-3);
+    let mut rng = SeededRng::new(13);
+    let epochs = 6;
+    for epoch in 0..epochs {
+        let order = rng.permutation(corpus.len());
+        let mut last = 0.0;
+        for chunk in order.chunks(8) {
+            let batch: Vec<Vec<u32>> = chunk.iter().map(|&i| corpus[i].clone()).collect();
+            last = train_step(&mut llm, &mut opt, &batch);
+        }
+        eprintln!("[suite]   LLM epoch {}/{} loss {:.3}", epoch + 1, epochs, last);
+    }
+    llm
+}
+
+fn distill_ssm(llm: &Transformer, grammar: &Grammar) -> Transformer {
+    let mut ssm = Transformer::from_seed(ModelConfig::tiny_ssm(), 2);
+    let corpus = grammar.training_corpus(320, 48, 17);
+    let mut opt = Adam::new(3e-3);
+    let mut rng = SeededRng::new(19);
+    let epochs = 7;
+    for epoch in 0..epochs {
+        let order = rng.permutation(corpus.len());
+        let mut last = 0.0;
+        for chunk in order.chunks(8) {
+            let batch: Vec<Vec<u32>> = chunk.iter().map(|&i| corpus[i].clone()).collect();
+            last = distill_step(&mut ssm, &mut opt, llm, &batch);
+        }
+        eprintln!("[suite]   SSM epoch {}/{} loss {:.3}", epoch + 1, epochs, last);
+    }
+    ssm
+}
+
+fn boost_pool(llm: &Transformer, grammar: &Grammar) -> Vec<Transformer> {
+    let mut rng = SeededRng::new(23);
+    let prompts: Vec<Vec<u32>> = (0..192)
+        .map(|i| {
+            let mut p = grammar.sample_sequence(Some(i % 5), 8, &mut rng);
+            p.truncate(9);
+            p
+        })
+        .collect();
+    let cfg = BoostConfig {
+        n_ssms: 3,
+        ssm_config: ModelConfig::tiny_ssm(),
+        epochs: 5,
+        batch_size: 8,
+        lr: 3e-3,
+        gen_len: 24,
+        match_horizon: 3,
+        seed: 29,
+    };
+    let result = boost_tune_pool(llm, &prompts, &cfg);
+    eprintln!(
+        "[suite]   boost rounds coverage {:?}, union {:.2}",
+        result.round_coverage, result.union_coverage
+    );
+    result.ssms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_prepares_quickly() {
+        let suite = Suite::prepare(Scale::Smoke);
+        assert_eq!(suite.boost_pool.len(), 2);
+        assert_eq!(suite.llm.config().vocab_size, suite.ssm.config().vocab_size);
+        assert!(suite.llm.weights().param_count() > suite.ssm.weights().param_count());
+    }
+}

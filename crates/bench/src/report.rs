@@ -1,0 +1,134 @@
+//! Table formatting and JSON result output.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rendered experiment result: one titled table of named rows.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TableData {
+    /// The experiment id (e.g. "table2", "fig7").
+    pub id: String,
+    /// Human title, matching the paper artifact.
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// What the paper reports for this artifact (for EXPERIMENTS.md).
+    pub paper_reference: String,
+}
+
+impl TableData {
+    /// Renders the table to stdout with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let col_w = self.columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
+        print!("{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            print!("  {c:>w$}");
+        }
+        println!();
+        for (label, values) in &self.rows {
+            print!("{label:label_w$}");
+            for (v, w) in values.iter().zip(&col_w) {
+                if v.abs() >= 1000.0 {
+                    print!("  {v:>w$.0}");
+                } else {
+                    print!("  {v:>w$.3}");
+                }
+            }
+            println!();
+        }
+        println!("   (paper: {})", self.paper_reference);
+    }
+
+    /// Appends the table as one JSON line to `dir/results.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("results.jsonl"))?;
+        let line = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        writeln!(f, "{line}")
+    }
+
+    /// Looks up a row's value by labels.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        self.rows.iter().find(|(l, _)| l == row).and_then(|(_, vs)| vs.get(ci).copied())
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `q`-quantile (0..=1) of a sample, by sorting.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TableData {
+        TableData {
+            id: "t".into(),
+            title: "test".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![("r1".into(), vec![1.0, 2.0]), ("r2".into(), vec![3.0, 4.0])],
+            paper_reference: "none".into(),
+        }
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = table();
+        assert_eq!(t.value("r2", "b"), Some(4.0));
+        assert_eq!(t.value("r2", "c"), None);
+        assert_eq!(t.value("r9", "a"), None);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let dir = std::env::temp_dir().join("specinfer_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        table().write_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("results.jsonl")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(content.lines().next().unwrap()).unwrap();
+        assert_eq!(v["id"], "t");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.0), 1.0);
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 1.0), 3.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Reproductions of the paper's Tables 1–3.
+
+use specinfer_model::{DecodeMode, Transformer};
+use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+use specinfer_tensor::ops::topk;
+use specinfer_tokentree::{ExpansionConfig, TokenId};
+use specinfer_workloads::{Dataset, EOS_TOKEN};
+
+use crate::models::{Scale, Suite};
+use crate::report::{mean, TableData};
+
+/// Workload sizing shared by the experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpParams {
+    /// Prompts per dataset.
+    pub n_prompts: usize,
+    /// Prompt length (tokens after BOS).
+    pub prompt_len: usize,
+    /// Generation budget per prompt.
+    pub gen_tokens: usize,
+    /// Independent sampling repetitions per prompt for *stochastic*
+    /// experiments (variance reduction; greedy runs are deterministic).
+    pub stochastic_reps: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExpParams {
+    /// Sizing for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => ExpParams {
+                n_prompts: 3,
+                prompt_len: 5,
+                gen_tokens: 10,
+                stochastic_reps: 1,
+                seed: 77,
+            },
+            Scale::Full => ExpParams {
+                n_prompts: 16,
+                prompt_len: 10,
+                gen_tokens: 48,
+                stochastic_reps: 3,
+                seed: 77,
+            },
+        }
+    }
+}
+
+/// Generates a continuation with the LLM under `decode`, stopping at EOS.
+fn llm_continuation(
+    llm: &Transformer,
+    prompt: &[TokenId],
+    params: &ExpParams,
+    decode: DecodeMode,
+    seed: u64,
+) -> Vec<TokenId> {
+    let engine = SpecEngine::new(
+        llm,
+        vec![],
+        EngineConfig {
+            decode,
+            verifier: StochasticVerifier::MultiStep,
+            mode: InferenceMode::Incremental,
+            max_new_tokens: params.gen_tokens,
+            eos_token: Some(EOS_TOKEN),
+        },
+    );
+    engine.generate(prompt, seed).generated().to_vec()
+}
+
+/// Table 1: success rate of verifying a token using the SSM's top-k
+/// tokens — greedy (is the LLM's argmax in the SSM top-k?) and stochastic
+/// (is the LLM's sampled token in the SSM top-k?).
+pub fn table1(suite: &Suite, params: &ExpParams) -> TableData {
+    let ks = [1usize, 2, 3, 4, 5];
+    let mut rows = Vec::new();
+    for greedy in [true, false] {
+        let decode = if greedy { DecodeMode::Greedy } else { DecodeMode::stochastic() };
+        for dataset in Dataset::all() {
+            let prompts =
+                dataset.prompts(&suite.grammar, params.n_prompts, params.prompt_len, params.gen_tokens, params.seed);
+            let mut hits = [0usize; 5];
+            let mut total = 0usize;
+            for (pi, p) in prompts.iter().enumerate() {
+                let cont = llm_continuation(
+                    &suite.llm,
+                    &p.tokens,
+                    params,
+                    decode.clone(),
+                    params.seed + pi as u64,
+                );
+                if cont.is_empty() {
+                    continue;
+                }
+                let mut seq = p.tokens.clone();
+                seq.extend_from_slice(&cont);
+                // Teacher-forced SSM pass: row i predicts seq[i+1].
+                let ssm_logits = suite.ssm.logits_for_sequence(&seq[..seq.len() - 1]);
+                for (j, &tok) in cont.iter().enumerate() {
+                    let row = ssm_logits.row(p.tokens.len() - 1 + j);
+                    let top5 = topk(row, 5);
+                    total += 1;
+                    for (ki, &k) in ks.iter().enumerate() {
+                        if top5.iter().take(k).any(|&(t, _)| t as TokenId == tok) {
+                            hits[ki] += 1;
+                        }
+                    }
+                }
+            }
+            let mode_name = if greedy { "greedy" } else { "stochastic" };
+            let values: Vec<f64> =
+                hits.iter().map(|&h| 100.0 * h as f64 / total.max(1) as f64).collect();
+            rows.push((format!("{mode_name}/{dataset}"), values));
+        }
+    }
+    TableData {
+        id: "table1".into(),
+        title: "Top-k token verification success rate (%)".into(),
+        columns: ks.iter().map(|k| format!("k={k}")).collect(),
+        rows,
+        paper_reference: "Table 1: greedy 62→89% and stochastic 52→97% as k grows 1→5; \
+                          CIP/CP highest, WebQA/PIQA lowest"
+            .into(),
+    }
+}
+
+/// Per-width engine behaviour on one dataset — the common measurement
+/// behind Table 2, Table 3 and Figures 9–11.
+#[derive(Debug, Clone)]
+pub struct WidthBehavior {
+    /// The tree width k of ⟨1,1,k,1,1,1,1,1⟩.
+    pub width: usize,
+    /// Mean tokens/step of each prompt.
+    pub per_prompt_tps: Vec<f64>,
+    /// Mean speculated-tree size per step.
+    pub mean_tree_size: f64,
+    /// Mean sequence length during decoding (KV-resident context).
+    pub mean_context: f64,
+}
+
+impl WidthBehavior {
+    /// Mean tokens/step over prompts.
+    pub fn mean_tps(&self) -> f64 {
+        mean(&self.per_prompt_tps)
+    }
+}
+
+/// Runs the tree-speculative engine for each width in `widths` over one
+/// dataset's prompts.
+pub fn width_sweep(
+    suite: &Suite,
+    params: &ExpParams,
+    dataset: Dataset,
+    decode: DecodeMode,
+    verifier: StochasticVerifier,
+    widths: &[usize],
+) -> Vec<WidthBehavior> {
+    let prompts =
+        dataset.prompts(&suite.grammar, params.n_prompts, params.prompt_len, params.gen_tokens, params.seed);
+    widths
+        .iter()
+        .map(|&w| {
+            let engine = SpecEngine::new(
+                &suite.llm,
+                vec![&suite.ssm],
+                EngineConfig {
+                    decode: decode.clone(),
+                    verifier,
+                    mode: InferenceMode::TreeSpeculative {
+                        expansion: ExpansionConfig::width_at_third(w),
+                    },
+                    max_new_tokens: params.gen_tokens,
+                    eos_token: Some(EOS_TOKEN),
+                },
+            );
+            let reps = if decode.is_greedy() { 1 } else { params.stochastic_reps.max(1) };
+            let mut per_prompt = Vec::with_capacity(prompts.len() * reps);
+            let mut tree_sizes = Vec::new();
+            let mut contexts = Vec::new();
+            for (pi, p) in prompts.iter().enumerate() {
+                for rep in 0..reps {
+                    let seed = params.seed + 1000 + pi as u64 + 10_000 * rep as u64;
+                    let r = engine.generate(&p.tokens, seed);
+                    if r.llm_steps() == 0 {
+                        continue;
+                    }
+                    per_prompt.push(r.tokens_per_step());
+                    tree_sizes.extend(r.steps.iter().map(|s| s.tree_size as f64));
+                    contexts.push(
+                        (p.tokens.len() + (p.tokens.len() + r.generated().len())) as f64 / 2.0,
+                    );
+                }
+            }
+            WidthBehavior {
+                width: w,
+                per_prompt_tps: per_prompt,
+                mean_tree_size: mean(&tree_sizes),
+                mean_context: mean(&contexts),
+            }
+        })
+        .collect()
+}
+
+/// Table 2: average tokens verified per decoding step, for tree widths
+/// 1–5, greedy and stochastic decoding, across the five datasets.
+pub fn table2(suite: &Suite, params: &ExpParams) -> TableData {
+    let widths = [1usize, 2, 3, 4, 5];
+    let mut rows = Vec::new();
+    for greedy in [true, false] {
+        let decode = if greedy { DecodeMode::Greedy } else { DecodeMode::stochastic() };
+        for dataset in Dataset::all() {
+            let sweeps = width_sweep(
+                suite,
+                params,
+                dataset,
+                decode.clone(),
+                StochasticVerifier::MultiStep,
+                &widths,
+            );
+            let mode_name = if greedy { "greedy" } else { "stochastic" };
+            rows.push((
+                format!("{mode_name}/{dataset}"),
+                sweeps.iter().map(WidthBehavior::mean_tps).collect(),
+            ));
+        }
+    }
+    TableData {
+        id: "table2".into(),
+        title: "Average tokens verified per decoding step vs tree width".into(),
+        columns: widths.iter().map(|w| format!("w={w}")).collect(),
+        rows,
+        paper_reference: "Table 2: greedy 2.18→3.91, stochastic 1.64→2.38; \
+                          monotone in width, greedy > stochastic"
+            .into(),
+    }
+}
+
+/// Table 3: multi-step speculative sampling vs naive sampling — average
+/// tokens verified per stochastic decoding step at tree width 5.
+pub fn table3(suite: &Suite, params: &ExpParams) -> TableData {
+    let mut rows = Vec::new();
+    for dataset in Dataset::all() {
+        let mss = width_sweep(
+            suite,
+            params,
+            dataset,
+            DecodeMode::stochastic(),
+            StochasticVerifier::MultiStep,
+            &[5],
+        );
+        let ns = width_sweep(
+            suite,
+            params,
+            dataset,
+            DecodeMode::stochastic(),
+            StochasticVerifier::Naive,
+            &[5],
+        );
+        let m = mss[0].mean_tps();
+        let n = ns[0].mean_tps();
+        rows.push((dataset.name().to_string(), vec![n, m, m / n.max(1e-9)]));
+    }
+    TableData {
+        id: "table3".into(),
+        title: "Naive sampling vs multi-step speculative sampling (width 5, depth 8)".into(),
+        columns: vec!["naive".into(), "MSS".into(), "improvement".into()],
+        rows,
+        paper_reference: "Table 3: NS 1.73–1.87, MSS 2.21–2.38, improvement 1.26–1.28×".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_suite() -> Suite {
+        Suite::prepare(Scale::Smoke)
+    }
+
+    #[test]
+    fn table1_has_ten_rows_and_monotone_k() {
+        let suite = smoke_suite();
+        let params = ExpParams::for_scale(Scale::Smoke);
+        let t = table1(&suite, &params);
+        assert_eq!(t.rows.len(), 10);
+        for (label, values) in &t.rows {
+            assert_eq!(values.len(), 5);
+            for w in values.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{label}: success must be monotone in k: {values:?}");
+            }
+            assert!(values.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn table2_tokens_per_step_at_least_one() {
+        let suite = smoke_suite();
+        let params = ExpParams::for_scale(Scale::Smoke);
+        let t = table2(&suite, &params);
+        assert_eq!(t.rows.len(), 10);
+        for (_, values) in &t.rows {
+            assert!(values.iter().all(|&v| v >= 1.0), "{values:?}");
+        }
+    }
+
+    #[test]
+    fn table3_reports_improvement_ratio() {
+        let suite = smoke_suite();
+        let params = ExpParams::for_scale(Scale::Smoke);
+        let t = table3(&suite, &params);
+        assert_eq!(t.rows.len(), 5);
+        for (_, values) in &t.rows {
+            assert!((values[1] / values[0].max(1e-9) - values[2]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn width_sweep_reports_requested_widths() {
+        let suite = smoke_suite();
+        let params = ExpParams::for_scale(Scale::Smoke);
+        let sweeps = width_sweep(
+            &suite,
+            &params,
+            Dataset::Alpaca,
+            DecodeMode::Greedy,
+            StochasticVerifier::MultiStep,
+            &[1, 3],
+        );
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].width, 1);
+        assert_eq!(sweeps[1].width, 3);
+        assert!(sweeps[1].mean_tree_size > sweeps[0].mean_tree_size);
+    }
+}

@@ -1,0 +1,116 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus boolean `--flag` switches.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    values: HashMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+const SWITCHES: &[&str] = &["stochastic", "quiet", "audit"];
+
+impl Parsed {
+    /// Parses an argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a dangling flag or a positional argument.
+    pub fn new(args: &[String]) -> Result<Self, String> {
+        let mut parsed = Parsed::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            };
+            if SWITCHES.contains(&name) {
+                parsed.switches.push(name.to_string());
+                continue;
+            }
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            parsed.values.entry(name.to_string()).or_default().push(value.clone());
+        }
+        Ok(parsed)
+    }
+
+    /// The last value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of a repeatable flag (e.g. `--ssm a --ssm b`).
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.values.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
+    }
+
+    /// A required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, String> {
+        Parsed::new(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let p = parse(&["--out", "x.ckpt", "--epochs", "5", "--stochastic"]).unwrap();
+        assert_eq!(p.get("out"), Some("x.ckpt"));
+        assert_eq!(p.num::<usize>("epochs", 1).unwrap(), 5);
+        assert!(p.switch("stochastic"));
+        assert!(!p.switch("quiet"));
+    }
+
+    #[test]
+    fn repeatable_flags_accumulate() {
+        let p = parse(&["--ssm", "a", "--ssm", "b"]).unwrap();
+        assert_eq!(p.get_all("ssm"), vec!["a", "b"]);
+        assert_eq!(p.get("ssm"), Some("b"));
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(parse(&["oops"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.num::<u64>("seed", 7).unwrap(), 7);
+        assert!(p.require("out").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let p = parse(&["--epochs", "five"]).unwrap();
+        assert!(p.num::<usize>("epochs", 1).is_err());
+    }
+}

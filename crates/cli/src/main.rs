@@ -1,0 +1,9 @@
+//! The `specinfer` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = specinfer_cli::run(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

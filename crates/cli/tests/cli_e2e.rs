@@ -1,0 +1,80 @@
+//! End-to-end CLI test: train → distill → inspect → generate → serve,
+//! all through the public `run` entry point with smoke-scale models.
+
+use specinfer_cli::run;
+
+fn call(args: &[&str]) -> Result<(), String> {
+    run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = std::env::temp_dir().join(format!("specinfer_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let llm = dir.join("llm.ckpt");
+    let ssm = dir.join("ssm.ckpt");
+    let llm_s = llm.to_str().unwrap();
+    let ssm_s = ssm.to_str().unwrap();
+
+    // Train a smoke LLM (1 epoch) and distill a smoke SSM from it.
+    call(&["train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet"])
+        .expect("train");
+    assert!(llm.exists());
+    call(&[
+        "distill", "--teacher", llm_s, "--out", ssm_s, "--epochs", "1", "--arch", "smoke",
+        "--quiet",
+    ])
+    .expect("distill");
+    assert!(ssm.exists());
+
+    call(&["inspect", "--ckpt", llm_s]).expect("inspect");
+
+    // All four inference modes generate successfully — and pass the
+    // losslessness audit against incremental decoding.
+    for mode in ["incremental", "sequence", "tree", "dynamic"] {
+        let mut args =
+            vec!["generate", "--llm", llm_s, "--mode", mode, "--tokens", "6", "--audit"];
+        if mode != "incremental" {
+            args.extend(["--ssm", ssm_s]);
+        }
+        call(&args).unwrap_or_else(|e| panic!("generate --mode {mode}: {e}"));
+    }
+
+    // --audit under stochastic decoding is rejected with guidance.
+    let err = call(&[
+        "generate", "--llm", llm_s, "--ssm", ssm_s, "--mode", "tree", "--tokens", "4",
+        "--stochastic", "--audit",
+    ])
+    .unwrap_err();
+    assert!(err.contains("greedy"), "{err}");
+
+    // Live serving through the daemon.
+    call(&[
+        "serve", "--llm", llm_s, "--ssm", ssm_s, "--requests", "3", "--batch", "2", "--tokens",
+        "6",
+    ])
+    .expect("serve");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(call(&["generate", "--mode", "tree"]).is_err()); // missing --llm
+    assert!(call(&["nonsense"]).is_err());
+    assert!(call(&["train"]).is_err()); // missing --out
+    assert!(call(&["help"]).is_ok());
+}
+
+#[test]
+fn speculative_generate_requires_ssm() {
+    let dir = std::env::temp_dir().join(format!("specinfer_cli_ssm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let llm = dir.join("llm.ckpt");
+    let llm_s = llm.to_str().unwrap();
+    call(&["train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet"]).unwrap();
+    let err = call(&["generate", "--llm", llm_s, "--mode", "tree"]).unwrap_err();
+    assert!(err.contains("--ssm"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,199 @@
+//! Beam-search decoding.
+//!
+//! §7 of the paper notes that beam search, top-k and top-p sampling are
+//! decoding strategies orthogonal to tree-based speculation, and that
+//! SpecInfer supports them. Top-k/top-p live in [`crate::sampler`]; this
+//! module provides length-normalized beam search over a [`Transformer`],
+//! with one KV cache per live beam.
+
+use specinfer_tensor::ops;
+use specinfer_tokentree::TokenId;
+
+use crate::kvcache::KvCache;
+use crate::transformer::Transformer;
+
+/// A finished or in-flight beam hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// The full token sequence (prompt included).
+    pub tokens: Vec<TokenId>,
+    /// Sum of token log-probabilities of the generated part.
+    pub log_prob: f32,
+}
+
+impl Hypothesis {
+    /// Length-normalized score used for ranking (`log_prob / generated`).
+    pub fn score(&self, prompt_len: usize) -> f32 {
+        let gen = (self.tokens.len() - prompt_len).max(1);
+        self.log_prob / gen as f32
+    }
+}
+
+struct Beam {
+    tokens: Vec<TokenId>,
+    log_prob: f32,
+    cache: KvCache,
+}
+
+/// Runs beam search: keeps the `beam_width` highest-probability partial
+/// sequences, extending each by its top `beam_width` continuations per
+/// step, for `max_new_tokens` steps or until every beam hits `eos`.
+///
+/// Returns hypotheses sorted by length-normalized score, best first.
+///
+/// # Panics
+///
+/// Panics if `beam_width == 0` or the prompt is empty.
+pub fn beam_search(
+    model: &Transformer,
+    prompt: &[TokenId],
+    beam_width: usize,
+    max_new_tokens: usize,
+    eos: Option<TokenId>,
+) -> Vec<Hypothesis> {
+    assert!(beam_width > 0, "beam width must be positive");
+    assert!(!prompt.is_empty(), "prompt must hold at least one token");
+
+    let mut cache = model.new_cache();
+    let logits = model.prefill(prompt, &mut cache);
+    let first = ops::log_softmax(logits.row(prompt.len() - 1));
+
+    // Seed the beams from the prompt's top continuations.
+    let mut beams: Vec<Beam> = ops::topk(&first, beam_width)
+        .into_iter()
+        .map(|(tok, lp)| {
+            let mut tokens = prompt.to_vec();
+            tokens.push(tok as TokenId);
+            Beam { tokens, log_prob: lp, cache: cache.clone() }
+        })
+        .collect();
+    let mut finished: Vec<Hypothesis> = Vec::new();
+
+    for _ in 1..max_new_tokens {
+        if beams.is_empty() {
+            break;
+        }
+        let mut candidates: Vec<(usize, TokenId, f32)> = Vec::new();
+        let mut stepped: Vec<Beam> = Vec::new();
+        for (bi, mut beam) in beams.drain(..).enumerate() {
+            let last = *beam.tokens.last().expect("beams are non-empty");
+            let logits = model.decode_one(last, &mut beam.cache);
+            let lps = ops::log_softmax(logits.data());
+            for (tok, lp) in ops::topk(&lps, beam_width) {
+                candidates.push((bi, tok as TokenId, beam.log_prob + lp));
+            }
+            stepped.push(beam);
+        }
+        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(beam_width);
+
+        let mut next: Vec<Beam> = Vec::with_capacity(beam_width);
+        for (bi, tok, lp) in candidates {
+            let src = &stepped[bi];
+            let mut tokens = src.tokens.clone();
+            tokens.push(tok);
+            if eos == Some(tok) {
+                finished.push(Hypothesis { tokens, log_prob: lp });
+            } else {
+                next.push(Beam { tokens, log_prob: lp, cache: src.cache.clone() });
+            }
+        }
+        beams = next;
+    }
+    finished.extend(
+        beams.into_iter().map(|b| Hypothesis { tokens: b.tokens, log_prob: b.log_prob }),
+    );
+    finished.sort_by(|a, b| {
+        b.score(prompt.len())
+            .partial_cmp(&a.score(prompt.len()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    finished
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::sampler;
+
+    fn model() -> Transformer {
+        Transformer::from_seed(ModelConfig::smoke(), 17)
+    }
+
+    #[test]
+    fn beam_width_one_equals_greedy() {
+        let m = model();
+        let prompt = [1u32, 4, 2];
+        let hyps = beam_search(&m, &prompt, 1, 6, None);
+        assert_eq!(hyps.len(), 1);
+
+        // Greedy reference.
+        let mut cache = m.new_cache();
+        let logits = m.prefill(&prompt, &mut cache);
+        let mut greedy = prompt.to_vec();
+        let mut next = sampler::greedy_token(logits.row(prompt.len() - 1));
+        greedy.push(next);
+        for _ in 1..6 {
+            let l = m.decode_one(next, &mut cache);
+            next = sampler::greedy_token(l.data());
+            greedy.push(next);
+        }
+        assert_eq!(hyps[0].tokens, greedy);
+    }
+
+    #[test]
+    fn hypothesis_log_probs_match_teacher_forcing() {
+        // The reported log-probability of every hypothesis must equal the
+        // sum of per-token log-probabilities under a fresh causal pass.
+        let m = model();
+        let prompt = [3u32, 3];
+        let wide = beam_search(&m, &prompt, 4, 5, None);
+        assert_eq!(wide.len(), 4);
+        for h in &wide {
+            let logits = m.logits_for_sequence(&h.tokens[..h.tokens.len() - 1]);
+            let mut lp = 0.0;
+            for (i, &tok) in h.tokens[prompt.len()..].iter().enumerate() {
+                let row = ops::log_softmax(logits.row(prompt.len() - 1 + i));
+                lp += row[tok as usize];
+            }
+            assert!(
+                (lp - h.log_prob).abs() < 1e-3,
+                "reported {} vs teacher-forced {lp}",
+                h.log_prob
+            );
+        }
+    }
+
+    #[test]
+    fn hypotheses_are_sorted_and_full_length() {
+        let m = model();
+        let prompt = [2u32];
+        let hyps = beam_search(&m, &prompt, 3, 4, None);
+        for w in hyps.windows(2) {
+            assert!(w[0].score(1) >= w[1].score(1));
+        }
+        for h in &hyps {
+            assert_eq!(h.tokens.len(), 1 + 4);
+            assert!(h.tokens.starts_with(&prompt));
+        }
+    }
+
+    #[test]
+    fn eos_finishes_a_beam_early() {
+        let m = model();
+        let prompt = [1u32, 2, 3];
+        // Use the greedy second token as EOS so at least one beam ends.
+        let probe = beam_search(&m, &prompt, 1, 3, None);
+        let eos = probe[0].tokens[prompt.len() + 1];
+        let hyps = beam_search(&m, &prompt, 2, 6, Some(eos));
+        assert!(hyps.iter().any(|h| h.tokens.last() == Some(&eos) || h.tokens.len() == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width")]
+    fn zero_width_rejected() {
+        let m = model();
+        let _ = beam_search(&m, &[1], 0, 4, None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Binary checkpointing for model weights.
+//!
+//! A minimal, versioned, self-describing binary format (magic +
+//! config + length-prefixed f32 tensors, little-endian) so trained
+//! models can be saved and reloaded bit-exactly — the repro harness uses
+//! this to cache its trained suite between runs, and downstream users
+//! get durable artifacts without pulling in a heavyweight format.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use specinfer_tensor::Tensor;
+
+use crate::config::ModelConfig;
+use crate::transformer::Transformer;
+use crate::weights::ModelWeights;
+
+const MAGIC: &[u8; 8] = b"SPECINF1";
+
+/// Errors arising while reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a SpecInfer checkpoint or is from an
+    /// incompatible version.
+    BadMagic,
+    /// The payload is truncated or structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a SpecInfer checkpoint (bad magic)"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(t.dims().len() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut Bytes) -> Result<Tensor, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Corrupt("missing tensor rank"));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(CheckpointError::Corrupt("implausible tensor rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Corrupt("missing tensor dims"));
+        }
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let n: usize = dims.iter().product();
+    if buf.remaining() < 4 * n {
+        return Err(CheckpointError::Corrupt("truncated tensor payload"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::try_from_vec(data, &dims).map_err(|_| CheckpointError::Corrupt("dims/data mismatch"))
+}
+
+/// Serializes a model (config + weights) to bytes.
+pub fn to_bytes(model: &Transformer) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    let c = model.config();
+    for v in [c.vocab_size, c.d_model, c.n_layers, c.n_heads, c.d_ff, c.max_seq_len] {
+        buf.put_u64_le(v as u64);
+    }
+    let params = model.weights().to_params();
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        put_tensor(&mut buf, p);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a model from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on bad magic, truncation, or a weight
+/// layout that does not match the embedded configuration.
+pub fn from_bytes(mut bytes: Bytes) -> Result<Transformer, CheckpointError> {
+    if bytes.remaining() < MAGIC.len() {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.remaining() < 6 * 8 {
+        return Err(CheckpointError::Corrupt("missing config"));
+    }
+    let mut take = || bytes.get_u64_le() as usize;
+    let config = ModelConfig {
+        vocab_size: take(),
+        d_model: take(),
+        n_layers: take(),
+        n_heads: take(),
+        d_ff: take(),
+        max_seq_len: take(),
+    };
+    if bytes.remaining() < 4 {
+        return Err(CheckpointError::Corrupt("missing parameter count"));
+    }
+    let n_params = bytes.get_u32_le() as usize;
+    let expected = 1 + config.n_layers * 9 + 2;
+    if n_params != expected {
+        return Err(CheckpointError::Corrupt("parameter count does not match config"));
+    }
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(get_tensor(&mut bytes)?);
+    }
+    // Rebuild through a randomly initialized skeleton so every dims check
+    // in `assign_params` applies to the loaded tensors.
+    let mut weights = ModelWeights::init(&config, 0);
+    weights.assign_params(&params);
+    Ok(Transformer::new(config, weights))
+}
+
+/// Saves a model to `path`.
+///
+/// # Errors
+///
+/// Propagates any filesystem error.
+pub fn save(model: &Transformer, path: &Path) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a model from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and all [`CheckpointError`] parse
+/// failures.
+pub fn load(path: &Path) -> Result<Transformer, CheckpointError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Transformer {
+        Transformer::from_seed(ModelConfig::smoke(), 9)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let m = model();
+        let restored = from_bytes(to_bytes(&m)).unwrap();
+        assert_eq!(m.config(), restored.config());
+        let a = m.weights().to_params();
+        let b = restored.weights().to_params();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data());
+        }
+        // Same logits, therefore same behaviour.
+        let la = m.logits_for_sequence(&[1, 2, 3]);
+        let lb = restored.logits_for_sequence(&[1, 2, 3]);
+        assert_eq!(la.data(), lb.data());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("specinfer_ckpt_test");
+        let path = dir.join("m.ckpt");
+        let m = model();
+        save(&m, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(m.weights().to_params()[0].data(), restored.weights().to_params()[0].data());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_bytes(Bytes::from_static(b"NOTMAGIC-plus-junk")).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&model());
+        let cut = bytes.slice(0..bytes.len() / 2);
+        let err = from_bytes(cut).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_parameter_count() {
+        let m = model();
+        let mut raw = to_bytes(&m).to_vec();
+        // Patch the parameter-count field (offset: magic 8 + config 48).
+        raw[56] = raw[56].wrapping_add(1);
+        let err = from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,223 @@
+//! SSM compression: post-training quantization and magnitude pruning.
+//!
+//! The paper obtains SSMs from "existing distilled, quantized, and/or
+//! pruned variants of an LLM" (§1). Distillation lives in
+//! [`crate::train`]; this module supplies the other two variants:
+//!
+//! * [`QuantizedModel`] — symmetric per-tensor int8 post-training
+//!   quantization. Inference runs on the dequantized weights (we are
+//!   measuring the *quality* effect of quantization on speculation — the
+//!   memory ratio is computed analytically).
+//! * [`prune`] — global-per-tensor magnitude pruning to a target
+//!   sparsity.
+//!
+//! The bench harness's `ablation-compress` experiment measures how
+//! tokens-per-step degrades as the SSM is compressed.
+
+use specinfer_tensor::Tensor;
+
+use crate::config::ModelConfig;
+use crate::transformer::Transformer;
+use crate::weights::ModelWeights;
+
+/// One int8-quantized tensor: values plus a per-tensor scale.
+#[derive(Debug, Clone)]
+struct QuantizedTensor {
+    values: Vec<i8>,
+    dims: Vec<usize>,
+    scale: f32,
+}
+
+impl QuantizedTensor {
+    fn quantize(t: &Tensor) -> Self {
+        let max = t.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+        let values = t
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedTensor { values, dims: t.dims().to_vec(), scale }
+    }
+
+    fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims)
+    }
+}
+
+/// A model stored in int8.
+///
+/// # Example
+///
+/// ```
+/// use specinfer_model::{compress::QuantizedModel, ModelConfig, Transformer};
+///
+/// let model = Transformer::from_seed(ModelConfig::smoke(), 1);
+/// let q = QuantizedModel::quantize(&model);
+/// assert!(q.memory_bytes() * 3 < QuantizedModel::f32_bytes(&model));
+/// let restored = q.dequantize();
+/// assert_eq!(restored.config(), model.config());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    config: ModelConfig,
+    tensors: Vec<QuantizedTensor>,
+}
+
+impl QuantizedModel {
+    /// Quantizes every weight tensor of `model` to int8.
+    pub fn quantize(model: &Transformer) -> Self {
+        let tensors =
+            model.weights().to_params().iter().map(QuantizedTensor::quantize).collect();
+        QuantizedModel { config: model.config().clone(), tensors }
+    }
+
+    /// Bytes occupied by the quantized weights (1 byte per value + one
+    /// f32 scale per tensor).
+    pub fn memory_bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.values.len() + 4).sum()
+    }
+
+    /// Bytes the f32 weights of `model` occupy, for comparison.
+    pub fn f32_bytes(model: &Transformer) -> usize {
+        model.weights().to_params().iter().map(|t| t.len() * 4).sum()
+    }
+
+    /// Reconstructs an f32 model carrying the quantization error — the
+    /// model actually used for (simulated-)quantized inference.
+    pub fn dequantize(&self) -> Transformer {
+        let params: Vec<Tensor> = self.tensors.iter().map(QuantizedTensor::dequantize).collect();
+        let mut weights = ModelWeights::init(&self.config, 0);
+        weights.assign_params(&params);
+        Transformer::new(self.config.clone(), weights)
+    }
+}
+
+/// Returns a copy of `model` with the smallest-magnitude fraction
+/// `sparsity` of each weight matrix zeroed (norm gains are left intact —
+/// pruning them would rescale whole layers rather than remove
+/// parameters).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= sparsity < 1.0`.
+pub fn prune(model: &Transformer, sparsity: f32) -> Transformer {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    let params: Vec<Tensor> = model
+        .weights()
+        .to_params()
+        .into_iter()
+        .map(|t| {
+            if t.dims().len() < 2 {
+                return t; // norm gains
+            }
+            let mut magnitudes: Vec<f32> = t.data().iter().map(|v| v.abs()).collect();
+            magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let cut = ((magnitudes.len() as f32) * sparsity) as usize;
+            if cut == 0 {
+                return t;
+            }
+            let threshold = magnitudes[cut - 1];
+            let mut pruned = t.clone();
+            for v in pruned.data_mut() {
+                if v.abs() <= threshold {
+                    *v = 0.0;
+                }
+            }
+            pruned
+        })
+        .collect();
+    let mut weights = ModelWeights::init(model.config(), 0);
+    weights.assign_params(&params);
+    Transformer::new(model.config().clone(), weights)
+}
+
+/// Fraction of exactly-zero values among a model's matrix weights.
+pub fn measured_sparsity(model: &Transformer) -> f32 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for t in model.weights().to_params() {
+        if t.dims().len() < 2 {
+            continue;
+        }
+        zeros += t.data().iter().filter(|&&v| v == 0.0).count();
+        total += t.len();
+    }
+    zeros as f32 / total.max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Transformer {
+        Transformer::from_seed(ModelConfig::smoke(), 23)
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let m = model();
+        let q = QuantizedModel::quantize(&m);
+        let d = q.dequantize();
+        for (orig, deq) in m.weights().to_params().iter().zip(d.weights().to_params()) {
+            let max = orig.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+            let step = max / 127.0;
+            assert!(orig.max_abs_diff(&deq) <= step * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantized_memory_is_roughly_quarter() {
+        let m = model();
+        let q = QuantizedModel::quantize(&m);
+        let ratio = QuantizedModel::f32_bytes(&m) as f64 / q.memory_bytes() as f64;
+        assert!(ratio > 3.9 && ratio < 4.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn quantized_model_behaves_similarly() {
+        let m = model();
+        let d = QuantizedModel::quantize(&m).dequantize();
+        let a = m.logits_for_sequence(&[1, 2, 3, 4]);
+        let b = d.logits_for_sequence(&[1, 2, 3, 4]);
+        // Logits shift slightly but stay correlated: max diff well under
+        // the logits' dynamic range.
+        let range = a.data().iter().fold(0.0f32, |x, &v| x.max(v.abs()));
+        assert!(a.max_abs_diff(&b) < 0.25 * range.max(1.0));
+    }
+
+    #[test]
+    fn pruning_hits_the_target_sparsity() {
+        let m = model();
+        for target in [0.25f32, 0.5, 0.9] {
+            let p = prune(&m, target);
+            let got = measured_sparsity(&p);
+            assert!((got - target).abs() < 0.05, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_the_largest_weights() {
+        let m = model();
+        let p = prune(&m, 0.5);
+        let orig = &m.weights().to_params()[1]; // a matrix
+        let pruned = &p.weights().to_params()[1];
+        let max_orig = orig.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let idx = orig.data().iter().position(|&v| v.abs() == max_orig).unwrap();
+        assert_eq!(pruned.data()[idx], orig.data()[idx], "largest weight must survive");
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let m = model();
+        let p = prune(&m, 0.0);
+        assert_eq!(m.weights().to_params()[1].data(), p.weights().to_params()[1].data());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn full_sparsity_rejected() {
+        let _ = prune(&model(), 1.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The key-value cache shared by incremental, sequence-based and
+//! tree-based decoding.
+//!
+//! A cache row holds the (RoPE-rotated) key and the value of one token for
+//! one layer. Rows are append-only during a forward pass; speculative
+//! decoding then keeps only the rows of the accepted path via
+//! [`KvCache::retain_rows`] — the paper's depth-first shared-cache scheme
+//! means rotated keys stay valid because RoPE depends on a token's
+//! *logical* position, which is fixed at append time, not on its row index.
+
+use specinfer_tensor::Tensor;
+
+/// Per-layer key/value storage for one sequence.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    /// Keys, row-major `[len, d_model]` (rotated).
+    k: Vec<f32>,
+    /// Values, row-major `[len, d_model]`.
+    v: Vec<f32>,
+}
+
+/// The KV cache of one request against one model.
+///
+/// All layers always hold the same number of rows.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<LayerCache>,
+    d_model: usize,
+    len: usize,
+    max_len: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache for a model with `n_layers` layers, width
+    /// `d_model` and capacity `max_len` rows.
+    pub fn new(n_layers: usize, d_model: usize, max_len: usize) -> Self {
+        KvCache {
+            layers: (0..n_layers).map(|_| LayerCache { k: Vec::new(), v: Vec::new() }).collect(),
+            d_model,
+            len: 0,
+            max_len,
+        }
+    }
+
+    /// Number of cached rows (tokens).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The maximum number of rows the cache will admit.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Model width per row.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Appends `n` rows to layer `layer` from `[n, d_model]` key/value
+    /// tensors. Callers must append the same `n` to every layer of one
+    /// forward pass and then call [`KvCache::commit_rows`] once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dims disagree or capacity would be exceeded.
+    pub(crate) fn append_layer_rows(&mut self, layer: usize, k: &Tensor, v: &Tensor) {
+        assert_eq!(k.dims(), v.dims(), "key and value dims must agree");
+        assert_eq!(k.cols(), self.d_model, "row width must equal d_model");
+        assert!(
+            self.len + k.rows() <= self.max_len,
+            "KV cache overflow: {} + {} > {}",
+            self.len,
+            k.rows(),
+            self.max_len
+        );
+        let lc = &mut self.layers[layer];
+        lc.k.extend_from_slice(k.data());
+        lc.v.extend_from_slice(v.data());
+    }
+
+    /// Declares that `n` rows were appended to every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any layer's storage disagrees with the new
+    /// length.
+    pub(crate) fn commit_rows(&mut self, n: usize) {
+        self.len += n;
+        debug_assert!(self
+            .layers
+            .iter()
+            .all(|l| l.k.len() == self.len * self.d_model && l.v.len() == self.len * self.d_model));
+    }
+
+    /// Key row `row` of layer `layer`.
+    pub(crate) fn key_row(&self, layer: usize, row: usize) -> &[f32] {
+        let d = self.d_model;
+        &self.layers[layer].k[row * d..(row + 1) * d]
+    }
+
+    /// Value row `row` of layer `layer`.
+    pub(crate) fn value_row(&self, layer: usize, row: usize) -> &[f32] {
+        let d = self.d_model;
+        &self.layers[layer].v[row * d..(row + 1) * d]
+    }
+
+    /// Drops all rows at index `new_len` and beyond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len > self.len()`.
+    pub fn truncate(&mut self, new_len: usize) {
+        assert!(new_len <= self.len, "cannot truncate {} to {}", self.len, new_len);
+        for l in &mut self.layers {
+            l.k.truncate(new_len * self.d_model);
+            l.v.truncate(new_len * self.d_model);
+        }
+        self.len = new_len;
+    }
+
+    /// Keeps rows `[0, prefix_len)` plus, in the given order, the rows at
+    /// `prefix_len + rel` for each `rel` in `keep_rel`; drops everything
+    /// else. This is how token-tree verification compacts the cache down
+    /// to the accepted path (root + verified tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `prefix_len > self.len()`.
+    pub fn retain_rows(&mut self, prefix_len: usize, keep_rel: &[usize]) {
+        assert!(prefix_len <= self.len, "prefix exceeds cache length");
+        let d = self.d_model;
+        for rel in keep_rel {
+            assert!(prefix_len + rel < self.len, "retained row {rel} out of range");
+        }
+        for l in &mut self.layers {
+            let mut new_k = Vec::with_capacity((prefix_len + keep_rel.len()) * d);
+            let mut new_v = Vec::with_capacity((prefix_len + keep_rel.len()) * d);
+            new_k.extend_from_slice(&l.k[..prefix_len * d]);
+            new_v.extend_from_slice(&l.v[..prefix_len * d]);
+            for &rel in keep_rel {
+                let row = prefix_len + rel;
+                new_k.extend_from_slice(&l.k[row * d..(row + 1) * d]);
+                new_v.extend_from_slice(&l.v[row * d..(row + 1) * d]);
+            }
+            l.k = new_k;
+            l.v = new_v;
+        }
+        self.len = prefix_len + keep_rel.len();
+    }
+
+    /// Removes every row, keeping capacity.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_cache() -> KvCache {
+        let mut c = KvCache::new(2, 3, 16);
+        for row in 0..5 {
+            for layer in 0..2 {
+                let base = (layer * 100 + row * 10) as f32;
+                let k = Tensor::from_vec(vec![base, base + 1.0, base + 2.0], &[1, 3]);
+                let v = k.scale(-1.0);
+                c.append_layer_rows(layer, &k, &v);
+            }
+            c.commit_rows(1);
+        }
+        c
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let c = filled_cache();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.key_row(0, 3), &[30.0, 31.0, 32.0]);
+        assert_eq!(c.key_row(1, 2), &[120.0, 121.0, 122.0]);
+        assert_eq!(c.value_row(0, 3), &[-30.0, -31.0, -32.0]);
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut c = filled_cache();
+        c.truncate(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.key_row(0, 1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn retain_rows_compacts_accepted_path() {
+        let mut c = filled_cache();
+        // Prefix = 2 rows; rows 2,3,4 are speculated; keep speculated rows
+        // 0 and 2 (absolute rows 2 and 4).
+        c.retain_rows(2, &[0, 2]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.key_row(0, 2), &[20.0, 21.0, 22.0]);
+        assert_eq!(c.key_row(0, 3), &[40.0, 41.0, 42.0]);
+        assert_eq!(c.key_row(1, 3), &[140.0, 141.0, 142.0]);
+    }
+
+    #[test]
+    fn retain_rows_with_empty_keep_is_truncate() {
+        let mut c = filled_cache();
+        c.retain_rows(3, &[]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn capacity_is_enforced() {
+        let mut c = KvCache::new(1, 2, 1);
+        let k = Tensor::zeros(&[2, 2]);
+        c.append_layer_rows(0, &k, &k);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = filled_cache();
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Token sampling: greedy decoding and stochastic decoding with
+//! temperature, top-k and top-p (nucleus) filtering.
+//!
+//! The paper's verification algorithms operate on full probability
+//! distributions; [`probs_from_logits`] is the canonical place where raw
+//! logits become the distribution `P(·|u, Θ)` used by both the LLM
+//! verifier and the SSM speculator.
+
+use specinfer_tensor::ops;
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tokentree::TokenId;
+
+/// How tokens are chosen from a model's output distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeMode {
+    /// Deterministically pick the highest-probability token.
+    Greedy,
+    /// Sample from the (optionally filtered) distribution.
+    Stochastic {
+        /// Softmax temperature (> 0). 1.0 leaves logits unchanged.
+        temperature: f32,
+        /// Keep only the `k` most likely tokens before renormalizing.
+        top_k: Option<usize>,
+        /// Keep the smallest set of tokens whose cumulative probability
+        /// reaches `p` before renormalizing.
+        top_p: Option<f32>,
+    },
+}
+
+impl DecodeMode {
+    /// Plain temperature-1 sampling with no filtering.
+    pub fn stochastic() -> Self {
+        DecodeMode::Stochastic { temperature: 1.0, top_k: None, top_p: None }
+    }
+
+    /// Whether this mode is greedy.
+    pub fn is_greedy(&self) -> bool {
+        matches!(self, DecodeMode::Greedy)
+    }
+}
+
+/// Converts logits into the probability distribution the decoder samples
+/// from: temperature → softmax → top-k filter → top-p filter →
+/// renormalize.
+///
+/// For [`DecodeMode::Greedy`] the result is a one-hot distribution on the
+/// argmax token, so greedy decoding is the zero-temperature limit of the
+/// same code path.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or temperature is not positive.
+pub fn probs_from_logits(logits: &[f32], mode: &DecodeMode) -> Vec<f32> {
+    assert!(!logits.is_empty(), "cannot build a distribution from no logits");
+    match mode {
+        DecodeMode::Greedy => {
+            let mut best = 0;
+            for (i, &v) in logits.iter().enumerate() {
+                if v > logits[best] {
+                    best = i;
+                }
+            }
+            let mut probs = vec![0.0; logits.len()];
+            probs[best] = 1.0;
+            probs
+        }
+        DecodeMode::Stochastic { temperature, top_k, top_p } => {
+            assert!(*temperature > 0.0, "temperature must be positive");
+            let mut scaled: Vec<f32> = logits.iter().map(|l| l / temperature).collect();
+            ops::softmax_inplace(&mut scaled);
+            if let Some(k) = top_k {
+                apply_top_k(&mut scaled, *k);
+            }
+            if let Some(p) = top_p {
+                apply_top_p(&mut scaled, *p);
+            }
+            renormalize(&mut scaled);
+            scaled
+        }
+    }
+}
+
+fn apply_top_k(probs: &mut [f32], k: usize) {
+    if k == 0 || k >= probs.len() {
+        return;
+    }
+    let kept = ops::topk(probs, k);
+    let mut keep = vec![false; probs.len()];
+    for (i, _) in kept {
+        keep[i] = true;
+    }
+    for (i, p) in probs.iter_mut().enumerate() {
+        if !keep[i] {
+            *p = 0.0;
+        }
+    }
+}
+
+fn apply_top_p(probs: &mut [f32], p: f32) {
+    if p >= 1.0 {
+        return;
+    }
+    let order = ops::topk(probs, probs.len());
+    let mut cum = 0.0;
+    let mut keep = vec![false; probs.len()];
+    for (i, prob) in order {
+        keep[i] = true;
+        cum += prob;
+        if cum >= p {
+            break;
+        }
+    }
+    for (i, prob) in probs.iter_mut().enumerate() {
+        if !keep[i] {
+            *prob = 0.0;
+        }
+    }
+}
+
+fn renormalize(probs: &mut [f32]) {
+    let total: f32 = probs.iter().sum();
+    if total > 0.0 {
+        for p in probs.iter_mut() {
+            *p /= total;
+        }
+    }
+}
+
+/// The greedy token for a logit vector (lowest index wins ties).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn greedy_token(logits: &[f32]) -> TokenId {
+    assert!(!logits.is_empty(), "no logits to pick from");
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best as TokenId
+}
+
+/// Samples a token index from a probability distribution.
+pub fn sample_token(probs: &[f32], rng: &mut SeededRng) -> TokenId {
+    rng.sample_index(probs) as TokenId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_mode_is_one_hot() {
+        let probs = probs_from_logits(&[0.1, 3.0, -1.0], &DecodeMode::Greedy);
+        assert_eq!(probs, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn stochastic_probs_sum_to_one() {
+        let probs = probs_from_logits(&[0.5, 1.5, -0.5, 0.0], &DecodeMode::stochastic());
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn temperature_sharpens_and_flattens() {
+        let logits = [1.0, 2.0];
+        let cold = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 0.1, top_k: None, top_p: None },
+        );
+        let hot = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 10.0, top_k: None, top_p: None },
+        );
+        assert!(cold[1] > 0.99);
+        assert!((hot[1] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn top_k_zeroes_the_tail() {
+        let probs = probs_from_logits(
+            &[3.0, 2.0, 1.0, 0.0],
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(2), top_p: None },
+        );
+        assert!(probs[0] > 0.0 && probs[1] > 0.0);
+        assert_eq!(probs[2], 0.0);
+        assert_eq!(probs[3], 0.0);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_p_keeps_smallest_covering_set() {
+        // Distribution ≈ [0.64, 0.24, 0.09, 0.03]; p=0.7 keeps two tokens.
+        let probs = probs_from_logits(
+            &[3.0, 2.0, 1.0, 0.0],
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: None, top_p: Some(0.7) },
+        );
+        assert!(probs[0] > 0.0 && probs[1] > 0.0);
+        assert_eq!(probs[2], 0.0);
+    }
+
+    #[test]
+    fn greedy_token_matches_argmax() {
+        assert_eq!(greedy_token(&[0.0, 1.0, 0.5]), 1);
+        assert_eq!(greedy_token(&[2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn sampling_respects_filtered_distribution() {
+        let mut rng = SeededRng::new(3);
+        let probs = probs_from_logits(
+            &[5.0, 0.0, 0.0],
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(1), top_p: None },
+        );
+        for _ in 0..50 {
+            assert_eq!(sample_token(&probs, &mut rng), 0);
+        }
+    }
+}

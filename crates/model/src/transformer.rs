@@ -1,0 +1,470 @@
+//! The decoder-only Transformer and its three decoding modes:
+//! incremental, sequence-based (per-branch), and tree-based parallel
+//! decoding with the topology-aware causal mask (§4.2 of the paper).
+
+use specinfer_tensor::{ops, Tensor};
+use specinfer_tokentree::{LinearizedTree, NodeId, TokenId, TokenTree, TopologyMask};
+
+use crate::config::ModelConfig;
+use crate::kvcache::KvCache;
+use crate::weights::ModelWeights;
+
+/// Attention visibility policy for a batch of new rows appended on top of
+/// an existing KV cache.
+///
+/// In every mode a query row may always see itself and every mode's
+/// visibility of *future* batch rows is `false`; the policy decides
+/// visibility of cache rows and earlier batch rows.
+pub enum Visibility<'a> {
+    /// Ordinary causal decoding: row `i` sees all cache rows and batch
+    /// rows `0..=i`. Used for prefill and incremental decoding.
+    Causal,
+    /// Tree-parallel decoding: row `i` sees all cache rows (the verified
+    /// prefix) and exactly its tree ancestors among the batch rows, per
+    /// the topology-aware causal mask.
+    Tree(&'a TopologyMask),
+    /// Arbitrary policy: `f(i, j)` decides whether batch row `i` may see
+    /// absolute row `j` (cache rows and earlier batch rows alike; `j` is
+    /// an index into the cache *after* the batch is appended). Used by the
+    /// speculator, whose cache interleaves several branches.
+    Custom(&'a dyn Fn(usize, usize) -> bool),
+}
+
+impl std::fmt::Debug for Visibility<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Visibility::Causal => write!(f, "Visibility::Causal"),
+            Visibility::Tree(_) => write!(f, "Visibility::Tree"),
+            Visibility::Custom(_) => write!(f, "Visibility::Custom"),
+        }
+    }
+}
+
+/// A decoder-only Transformer (RMSNorm + RoPE + SwiGLU) with explicit KV
+/// cache management.
+///
+/// The same type serves as both the "LLM" and the "SSM" of the SpecInfer
+/// setup, at different [`ModelConfig`] scales.
+///
+/// # Example
+///
+/// ```
+/// use specinfer_model::{ModelConfig, Transformer};
+///
+/// let model = Transformer::from_seed(ModelConfig::smoke(), 1);
+/// let mut cache = model.new_cache();
+/// let logits = model.prefill(&[1, 2, 3], &mut cache);
+/// assert_eq!(logits.dims(), &[3, model.config().vocab_size]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    config: ModelConfig,
+    weights: ModelWeights,
+}
+
+impl Transformer {
+    /// Wraps existing weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent.
+    pub fn new(config: ModelConfig, weights: ModelWeights) -> Self {
+        config.validate();
+        Transformer { config, weights }
+    }
+
+    /// Creates a model with random weights derived from `seed`.
+    pub fn from_seed(config: ModelConfig, seed: u64) -> Self {
+        let weights = ModelWeights::init(&config, seed);
+        Transformer { config, weights }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The model's weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (used by training).
+    pub fn weights_mut(&mut self) -> &mut ModelWeights {
+        &mut self.weights
+    }
+
+    /// Creates an empty KV cache sized for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.config.n_layers, self.config.d_model, self.config.max_seq_len)
+    }
+
+    /// Runs a batch of `tokens` at sequence `positions` on top of `cache`,
+    /// appending their keys/values, and returns logits `[n, vocab]`.
+    ///
+    /// This is the single entry point that all decoding modes reduce to;
+    /// `visible` selects the attention pattern. The cache is extended by
+    /// `tokens.len()` rows; callers performing speculation are expected to
+    /// truncate or [`KvCache::retain_rows`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, a token is out of vocabulary, or the
+    /// cache would overflow.
+    pub fn forward_rows(
+        &self,
+        tokens: &[TokenId],
+        positions: &[usize],
+        cache: &mut KvCache,
+        visible: Visibility<'_>,
+    ) -> Tensor {
+        let n = tokens.len();
+        assert!(n > 0, "forward_rows requires at least one token");
+        assert_eq!(positions.len(), n, "one position per token required");
+        let d = self.config.d_model;
+        let n_heads = self.config.n_heads;
+        let hd = self.config.head_dim();
+        let old = cache.len();
+        let total = old + n;
+
+        // Materialize the visibility matrix once: vis[i][j] for absolute
+        // row j (cache layout after this batch is appended).
+        let mut vis = vec![false; n * total];
+        for i in 0..n {
+            for j in 0..=old + i {
+                let ok = if j == old + i {
+                    true
+                } else {
+                    match &visible {
+                        Visibility::Causal => true,
+                        Visibility::Tree(mask) => {
+                            if j < old {
+                                true
+                            } else {
+                                mask.allowed(i, j - old)
+                            }
+                        }
+                        Visibility::Custom(f) => f(i, j),
+                    }
+                };
+                vis[i * total + j] = ok;
+            }
+        }
+
+        // Embedding lookup.
+        let mut x = {
+            let mut data = Vec::with_capacity(n * d);
+            for &t in tokens {
+                assert!(
+                    (t as usize) < self.config.vocab_size,
+                    "token {t} outside vocabulary {}",
+                    self.config.vocab_size
+                );
+                data.extend_from_slice(self.weights.embed.row(t as usize));
+            }
+            Tensor::from_vec(data, &[n, d])
+        };
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            let h = ops::rmsnorm_rows(&x, &layer.attn_norm, ModelConfig::RMS_EPS);
+            let mut q = h.matmul(&layer.wq);
+            let mut k = h.matmul(&layer.wk);
+            let v = h.matmul(&layer.wv);
+            for (i, &pos) in positions.iter().enumerate() {
+                ops::rope_rotate_row(q.row_mut(i), pos, hd, ModelConfig::ROPE_BASE);
+                ops::rope_rotate_row(k.row_mut(i), pos, hd, ModelConfig::ROPE_BASE);
+            }
+            cache.append_layer_rows(layer_idx, &k, &v);
+
+            // Attention over visible rows, per query row and head.
+            let mut att = Tensor::zeros(&[n, d]);
+            let mut scores: Vec<(usize, f32)> = Vec::with_capacity(total);
+            for i in 0..n {
+                for head in 0..n_heads {
+                    let hcol = head * hd;
+                    let q_slice = &q.row(i)[hcol..hcol + hd];
+                    scores.clear();
+                    for j in 0..=old + i {
+                        if !vis[i * total + j] {
+                            continue;
+                        }
+                        let key = &cache.key_row(layer_idx, j)[hcol..hcol + hd];
+                        let dot: f32 = q_slice.iter().zip(key).map(|(a, b)| a * b).sum();
+                        scores.push((j, dot * scale));
+                    }
+                    // Stable softmax over the gathered scores.
+                    let max = scores.iter().map(|s| s.1).fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0;
+                    for s in &mut scores {
+                        s.1 = (s.1 - max).exp();
+                        denom += s.1;
+                    }
+                    let out = &mut att.row_mut(i)[hcol..hcol + hd];
+                    for &(j, w) in &scores {
+                        let val = &cache.value_row(layer_idx, j)[hcol..hcol + hd];
+                        let wn = w / denom;
+                        for (o, vv) in out.iter_mut().zip(val) {
+                            *o += wn * vv;
+                        }
+                    }
+                }
+            }
+            x = x.add(&att.matmul(&layer.wo));
+
+            let h2 = ops::rmsnorm_rows(&x, &layer.ffn_norm, ModelConfig::RMS_EPS);
+            let gate = ops::silu(&h2.matmul(&layer.w1));
+            let lin = h2.matmul(&layer.w3);
+            let ffn = gate.mul(&lin).matmul(&layer.w2);
+            x = x.add(&ffn);
+        }
+        cache.commit_rows(n);
+
+        let final_h = ops::rmsnorm_rows(&x, &self.weights.final_norm, ModelConfig::RMS_EPS);
+        final_h.matmul(&self.weights.lm_head)
+    }
+
+    /// Processes a span of tokens causally (prompt prefill or replaying
+    /// verified tokens), appending them to the cache. Positions continue
+    /// from the current cache length. Returns logits `[n, vocab]`.
+    pub fn prefill(&self, tokens: &[TokenId], cache: &mut KvCache) -> Tensor {
+        let start = cache.len();
+        let positions: Vec<usize> = (start..start + tokens.len()).collect();
+        self.forward_rows(tokens, &positions, cache, Visibility::Causal)
+    }
+
+    /// One step of ordinary incremental decoding (Algorithm 1): appends a
+    /// single token and returns its next-token logits `[vocab]`.
+    pub fn decode_one(&self, token: TokenId, cache: &mut KvCache) -> Tensor {
+        let pos = cache.len();
+        let logits = self.forward_rows(&[token], &[pos], cache, Visibility::Causal);
+        let vocab = self.config.vocab_size;
+        logits.reshape(&[vocab])
+    }
+
+    /// Tree-based parallel decoding (§4.2): runs the whole linearized
+    /// token tree — verified root plus all speculated tokens — in a single
+    /// pass with the topology-aware causal mask, returning logits
+    /// `[tree_len, vocab]` in linear (DFS) order.
+    ///
+    /// The cache gains one row per tree node; after verification the
+    /// caller keeps the accepted path with [`KvCache::retain_rows`].
+    pub fn decode_tree(&self, lin: &LinearizedTree, cache: &mut KvCache) -> Tensor {
+        let base = cache.len();
+        let positions: Vec<usize> = lin.depths().iter().map(|d| base + d).collect();
+        self.forward_rows(lin.tokens(), &positions, cache, Visibility::Tree(lin.mask()))
+    }
+
+    /// Sequence-based parallel decoding — the baseline of Figure 4: each
+    /// root-to-leaf branch of the tree is decoded independently on a
+    /// cloned cache (redundant computation for shared prefixes, one
+    /// "kernel" per branch). Returns per-node logits keyed by node id.
+    ///
+    /// The incoming cache is left untouched; this mode exists for the
+    /// equivalence tests and the Figure 11 comparison.
+    pub fn decode_sequences(&self, tree: &TokenTree, cache: &KvCache) -> Vec<(NodeId, Vec<f32>)> {
+        let base = cache.len();
+        let mut results: Vec<(NodeId, Vec<f32>)> = Vec::with_capacity(tree.len());
+        let mut seen = vec![false; tree.len()];
+        for leaf in tree.leaves() {
+            // Path root→leaf.
+            let mut path = Vec::new();
+            let mut cur = Some(leaf);
+            while let Some(u) = cur {
+                path.push(u);
+                cur = tree.parent(u);
+            }
+            path.reverse();
+            let tokens: Vec<TokenId> = path.iter().map(|&u| tree.token(u)).collect();
+            let positions: Vec<usize> = (base..base + tokens.len()).collect();
+            let mut branch_cache = cache.clone();
+            let logits =
+                self.forward_rows(&tokens, &positions, &mut branch_cache, Visibility::Causal);
+            for (row, &u) in path.iter().enumerate() {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    results.push((u, logits.row(row).to_vec()));
+                }
+            }
+        }
+        results
+    }
+
+    /// Convenience: full causal logits for a stand-alone token sequence
+    /// (fresh cache). Returns `[len, vocab]`.
+    pub fn logits_for_sequence(&self, tokens: &[TokenId]) -> Tensor {
+        let mut cache = self.new_cache();
+        self.prefill(tokens, &mut cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specinfer_tokentree::TokenTree;
+
+    fn model() -> Transformer {
+        Transformer::from_seed(ModelConfig::smoke(), 42)
+    }
+
+    fn spec_tree() -> TokenTree {
+        // root 5 → {1 → {2, 3 → 4}, 6 → 7}
+        let mut t = TokenTree::new(5);
+        let a = t.add_child(TokenTree::ROOT, 1, 0, 0.5);
+        let _ = t.add_child(a, 2, 0, 0.5);
+        let b = t.add_child(a, 3, 0, 0.5);
+        let _ = t.add_child(b, 4, 0, 0.5);
+        let c = t.add_child(TokenTree::ROOT, 6, 0, 0.5);
+        let _ = t.add_child(c, 7, 0, 0.5);
+        t
+    }
+
+    #[test]
+    fn prefill_shapes() {
+        let m = model();
+        let mut cache = m.new_cache();
+        let logits = m.prefill(&[1, 2, 3, 4], &mut cache);
+        assert_eq!(logits.dims(), &[4, m.config().vocab_size]);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn incremental_matches_prefill() {
+        let m = model();
+        let seq: Vec<TokenId> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let full = m.logits_for_sequence(&seq);
+
+        let mut cache = m.new_cache();
+        let _ = m.prefill(&seq[..3], &mut cache);
+        let mut last = Tensor::zeros(&[m.config().vocab_size]);
+        for (i, &t) in seq[3..].iter().enumerate() {
+            last = m.decode_one(t, &mut cache);
+            let want = full.row(3 + i);
+            let got = last.data();
+            let diff = want
+                .iter()
+                .zip(got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff < 1e-4, "step {i} diverged by {diff}");
+        }
+        assert_eq!(last.len(), m.config().vocab_size);
+    }
+
+    #[test]
+    fn tree_decode_matches_per_sequence_decode() {
+        let m = model();
+        let tree = spec_tree();
+        let prompt: Vec<TokenId> = vec![9, 8, 7];
+
+        // Shared setup: cache holds the prompt (root token NOT yet cached).
+        let mut cache = m.new_cache();
+        let _ = m.prefill(&prompt, &mut cache);
+
+        let lin = LinearizedTree::new(&tree);
+        let mut tree_cache = cache.clone();
+        let tree_logits = m.decode_tree(&lin, &mut tree_cache);
+        assert_eq!(tree_cache.len(), prompt.len() + lin.len());
+
+        let seq_logits = m.decode_sequences(&tree, &cache);
+        for (node, want) in &seq_logits {
+            let row = lin.index_of(*node);
+            let got = tree_logits.row(row);
+            let diff = want
+                .iter()
+                .zip(got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff < 1e-3, "node {node:?} diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn tree_decode_root_matches_incremental_step() {
+        let m = model();
+        let prompt: Vec<TokenId> = vec![2, 4, 6];
+        let tree = spec_tree();
+        let lin = LinearizedTree::new(&tree);
+
+        let mut c1 = m.new_cache();
+        let _ = m.prefill(&prompt, &mut c1);
+        let tree_logits = m.decode_tree(&lin, &mut c1);
+
+        let mut c2 = m.new_cache();
+        let _ = m.prefill(&prompt, &mut c2);
+        let inc = m.decode_one(tree.token(TokenTree::ROOT), &mut c2);
+
+        let diff = tree_logits
+            .row(0)
+            .iter()
+            .zip(inc.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "root logits diverged by {diff}");
+    }
+
+    #[test]
+    fn retained_cache_continues_like_fresh_cache() {
+        let m = model();
+        let prompt: Vec<TokenId> = vec![1, 2, 3];
+        let tree = spec_tree();
+        let lin = LinearizedTree::new(&tree);
+
+        // Speculative route: decode the tree, then keep root + the branch
+        // 5→1→3 (linear indices 0, then whatever 1 and 3 map to).
+        let mut spec_cache = m.new_cache();
+        let _ = m.prefill(&prompt, &mut spec_cache);
+        let _ = m.decode_tree(&lin, &mut spec_cache);
+        let keep: Vec<usize> = lin
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| {
+                let s = tree.sequence(u);
+                s == [5] || s == [5, 1] || s == [5, 1, 3]
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(keep.len(), 3);
+        spec_cache.retain_rows(prompt.len(), &keep);
+        let spec_next = m.decode_one(4, &mut spec_cache);
+
+        // Reference route: plain causal decoding of the accepted sequence.
+        let mut ref_cache = m.new_cache();
+        let _ = m.prefill(&[1, 2, 3, 5, 1, 3], &mut ref_cache);
+        let ref_next = m.decode_one(4, &mut ref_cache);
+
+        let diff = spec_next.max_abs_diff(&ref_next);
+        assert!(diff < 1e-3, "post-retention decoding diverged by {diff}");
+    }
+
+    #[test]
+    fn logits_are_finite() {
+        let m = model();
+        let logits = m.logits_for_sequence(&[0, 1, 2, 3, 4, 5]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_rejected() {
+        let m = model();
+        let _ = m.logits_for_sequence(&[1000]);
+    }
+
+    #[test]
+    fn custom_visibility_reproduces_causal() {
+        let m = model();
+        let tokens: Vec<TokenId> = vec![1, 2, 3, 4];
+        let positions: Vec<usize> = (0..4).collect();
+
+        let mut c1 = m.new_cache();
+        let causal = m.forward_rows(&tokens, &positions, &mut c1, Visibility::Causal);
+
+        let mut c2 = m.new_cache();
+        let allow_all = |_i: usize, _j: usize| true;
+        let custom = m.forward_rows(&tokens, &positions, &mut c2, Visibility::Custom(&allow_all));
+
+        assert!(causal.max_abs_diff(&custom) < 1e-6);
+    }
+}

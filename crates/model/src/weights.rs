@@ -1,0 +1,179 @@
+//! Model weight storage and initialization.
+
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
+
+use crate::config::ModelConfig;
+
+/// Weights of one Transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Pre-attention RMSNorm gain, `[d_model]`.
+    pub attn_norm: Tensor,
+    /// Query projection, `[d_model, d_model]`.
+    pub wq: Tensor,
+    /// Key projection, `[d_model, d_model]`.
+    pub wk: Tensor,
+    /// Value projection, `[d_model, d_model]`.
+    pub wv: Tensor,
+    /// Output projection, `[d_model, d_model]`.
+    pub wo: Tensor,
+    /// Pre-FFN RMSNorm gain, `[d_model]`.
+    pub ffn_norm: Tensor,
+    /// SwiGLU gate projection, `[d_model, d_ff]`.
+    pub w1: Tensor,
+    /// SwiGLU linear projection, `[d_model, d_ff]`.
+    pub w3: Tensor,
+    /// SwiGLU down projection, `[d_ff, d_model]`.
+    pub w2: Tensor,
+}
+
+/// All weights of a decoder-only Transformer.
+///
+/// The flat accessors [`ModelWeights::to_params`] /
+/// [`ModelWeights::assign_params`] expose the weights as an ordered list
+/// so optimizers can treat the model as a parameter vector.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding table, `[vocab, d_model]`.
+    pub embed: Tensor,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm gain, `[d_model]`.
+    pub final_norm: Tensor,
+    /// Unembedding / LM head, `[d_model, vocab]`.
+    pub lm_head: Tensor,
+}
+
+impl ModelWeights {
+    /// Randomly initializes weights for `config` from `seed`.
+    ///
+    /// Projections use a 0.02/√(2·n_layers)-scaled Gaussian on the
+    /// residual-writing matrices (`wo`, `w2`), the GPT-2 stabilization
+    /// trick; norm gains start at 1.
+    pub fn init(config: &ModelConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SeededRng::new(seed);
+        let d = config.d_model;
+        let std = 0.02_f32.max(1.0 / (d as f32).sqrt());
+        let resid_std = std / (2.0 * config.n_layers as f32).sqrt();
+        let layers = (0..config.n_layers)
+            .map(|_| LayerWeights {
+                attn_norm: Tensor::full(&[d], 1.0),
+                wq: Tensor::randn(&[d, d], std, &mut rng),
+                wk: Tensor::randn(&[d, d], std, &mut rng),
+                wv: Tensor::randn(&[d, d], std, &mut rng),
+                wo: Tensor::randn(&[d, d], resid_std, &mut rng),
+                ffn_norm: Tensor::full(&[d], 1.0),
+                w1: Tensor::randn(&[d, config.d_ff], std, &mut rng),
+                w3: Tensor::randn(&[d, config.d_ff], std, &mut rng),
+                w2: Tensor::randn(&[config.d_ff, d], resid_std, &mut rng),
+            })
+            .collect();
+        ModelWeights {
+            embed: Tensor::randn(&[config.vocab_size, d], std, &mut rng),
+            layers,
+            final_norm: Tensor::full(&[d], 1.0),
+            lm_head: Tensor::randn(&[d, config.vocab_size], std, &mut rng),
+        }
+    }
+
+    /// Flattens the weights into an ordered parameter list (clones).
+    ///
+    /// The ordering is stable and matched by
+    /// [`ModelWeights::assign_params`].
+    pub fn to_params(&self) -> Vec<Tensor> {
+        let mut params = vec![self.embed.clone()];
+        for l in &self.layers {
+            params.extend([
+                l.attn_norm.clone(),
+                l.wq.clone(),
+                l.wk.clone(),
+                l.wv.clone(),
+                l.wo.clone(),
+                l.ffn_norm.clone(),
+                l.w1.clone(),
+                l.w3.clone(),
+                l.w2.clone(),
+            ]);
+        }
+        params.push(self.final_norm.clone());
+        params.push(self.lm_head.clone());
+        params
+    }
+
+    /// Writes back a parameter list produced by [`ModelWeights::to_params`]
+    /// (after an optimizer step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list length or any dims disagree with this model.
+    pub fn assign_params(&mut self, params: &[Tensor]) {
+        let expected = 1 + self.layers.len() * 9 + 2;
+        assert_eq!(params.len(), expected, "parameter list shape changed");
+        let mut it = params.iter();
+        let mut take = |dst: &mut Tensor| {
+            let src = it.next().expect("length checked above");
+            assert_eq!(src.dims(), dst.dims(), "parameter dims changed");
+            *dst = src.clone();
+        };
+        take(&mut self.embed);
+        for l in &mut self.layers {
+            take(&mut l.attn_norm);
+            take(&mut l.wq);
+            take(&mut l.wk);
+            take(&mut l.wv);
+            take(&mut l.wo);
+            take(&mut l.ffn_norm);
+            take(&mut l.w1);
+            take(&mut l.w3);
+            take(&mut l.w2);
+        }
+        take(&mut self.final_norm);
+        take(&mut self.lm_head);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.to_params().iter().map(Tensor::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let c = ModelConfig::smoke();
+        let a = ModelWeights::init(&c, 7);
+        let b = ModelWeights::init(&c, 7);
+        assert_eq!(a.embed.data(), b.embed.data());
+        assert_eq!(a.layers[1].w2.data(), b.layers[1].w2.data());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = ModelConfig::smoke();
+        let a = ModelWeights::init(&c, 1);
+        let b = ModelWeights::init(&c, 2);
+        assert_ne!(a.embed.data(), b.embed.data());
+    }
+
+    #[test]
+    fn param_count_matches_config() {
+        let c = ModelConfig::smoke();
+        let w = ModelWeights::init(&c, 0);
+        assert_eq!(w.param_count(), c.param_count());
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let c = ModelConfig::smoke();
+        let a = ModelWeights::init(&c, 3);
+        let mut b = ModelWeights::init(&c, 4);
+        b.assign_params(&a.to_params());
+        assert_eq!(a.lm_head.data(), b.lm_head.data());
+        assert_eq!(a.layers[0].wq.data(), b.layers[0].wq.data());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of KV-cache surgery through the public model
+//! API: any sequence of decode / retain / truncate operations must leave
+//! the cache indistinguishable from a straight-line causal cache over
+//! the surviving tokens.
+
+use proptest::prelude::*;
+use specinfer_model::{ModelConfig, Transformer};
+
+fn model() -> Transformer {
+    Transformer::from_seed(ModelConfig::smoke(), 123)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Truncating generated tokens and re-decoding matches a fresh pass.
+    #[test]
+    fn truncate_then_continue_matches_fresh(
+        prompt in prop::collection::vec(0u32..32, 2..8),
+        extra in prop::collection::vec(0u32..32, 1..6),
+        keep in 1usize..6,
+        probe in 0u32..32,
+    ) {
+        let m = model();
+        let keep = keep.min(extra.len());
+
+        // Route A: prefill prompt+extra, drop the tail of `extra`, probe.
+        let mut a = m.new_cache();
+        let mut seq = prompt.clone();
+        seq.extend_from_slice(&extra);
+        let _ = m.prefill(&seq, &mut a);
+        a.truncate(prompt.len() + keep);
+        let la = m.decode_one(probe, &mut a);
+
+        // Route B: straight prefill of the surviving tokens.
+        let mut b = m.new_cache();
+        let _ = m.prefill(&seq[..prompt.len() + keep], &mut b);
+        let lb = m.decode_one(probe, &mut b);
+
+        prop_assert!(la.max_abs_diff(&lb) < 2e-3);
+    }
+
+    /// retain_rows with a contiguous prefix of the speculated rows equals
+    /// truncate — the two compaction paths agree.
+    #[test]
+    fn retain_prefix_equals_truncate(
+        prompt in prop::collection::vec(0u32..32, 2..8),
+        spec in prop::collection::vec(0u32..32, 2..6),
+        keep in 1usize..6,
+        probe in 0u32..32,
+    ) {
+        let m = model();
+        let keep = keep.min(spec.len());
+
+        let mut a = m.new_cache();
+        let _ = m.prefill(&prompt, &mut a);
+        let _ = m.prefill(&spec, &mut a);
+        let keep_rel: Vec<usize> = (0..keep).collect();
+        a.retain_rows(prompt.len(), &keep_rel);
+        let la = m.decode_one(probe, &mut a);
+
+        let mut b = m.new_cache();
+        let _ = m.prefill(&prompt, &mut b);
+        let _ = m.prefill(&spec, &mut b);
+        b.truncate(prompt.len() + keep);
+        let lb = m.decode_one(probe, &mut b);
+
+        prop_assert!(la.max_abs_diff(&lb) < 1e-5);
+    }
+
+    /// Cache length bookkeeping survives arbitrary operation sequences.
+    #[test]
+    fn lengths_are_exact(
+        prompt in prop::collection::vec(0u32..32, 1..6),
+        spec_len in 1usize..8,
+        drop_to in 0usize..6,
+    ) {
+        let m = model();
+        let mut c = m.new_cache();
+        let _ = m.prefill(&prompt, &mut c);
+        prop_assert_eq!(c.len(), prompt.len());
+        let spec: Vec<u32> = (0..spec_len as u32).collect();
+        let _ = m.prefill(&spec, &mut c);
+        prop_assert_eq!(c.len(), prompt.len() + spec_len);
+        let drop_to = drop_to.min(c.len());
+        c.truncate(drop_to);
+        prop_assert_eq!(c.len(), drop_to);
+        c.clear();
+        prop_assert!(c.is_empty());
+    }
+}

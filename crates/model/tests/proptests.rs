@@ -1,0 +1,124 @@
+//! Property-based tests for the model crate: the tree-parallel decoding
+//! path must agree with per-branch causal decoding for *arbitrary* token
+//! trees, and cache surgery must be transparent.
+
+use proptest::prelude::*;
+use specinfer_model::{ModelConfig, Transformer};
+use specinfer_tokentree::{LinearizedTree, TokenTree};
+
+fn model() -> Transformer {
+    Transformer::from_seed(ModelConfig::smoke(), 99)
+}
+
+/// Random tree over the smoke vocabulary: each edge attaches token `t`
+/// under node `p % len`.
+fn build_tree(root: u32, edges: &[(usize, u32)]) -> TokenTree {
+    let mut tree = TokenTree::new(root % 32);
+    let mut ids = vec![TokenTree::ROOT];
+    for &(p, t) in edges {
+        let parent = ids[p % ids.len()];
+        ids.push(tree.add_child(parent, t % 32, 0, 0.5));
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fused tree decoding computes, for every node, exactly the logits
+    /// that node's root-path sequence gets under ordinary causal
+    /// decoding — for arbitrary tree shapes and prompts.
+    #[test]
+    fn tree_decode_equals_branch_decode(
+        root in 0u32..32,
+        edges in prop::collection::vec((0usize..16, 0u32..32), 1..10),
+        prompt in prop::collection::vec(0u32..32, 1..6),
+    ) {
+        let m = model();
+        let tree = build_tree(root, &edges);
+        let lin = LinearizedTree::new(&tree);
+
+        let mut base = m.new_cache();
+        let _ = m.prefill(&prompt, &mut base);
+
+        let mut tree_cache = base.clone();
+        let tree_logits = m.decode_tree(&lin, &mut tree_cache);
+        let branch_logits = m.decode_sequences(&tree, &base);
+
+        for (node, want) in &branch_logits {
+            let got = tree_logits.row(lin.index_of(*node));
+            let diff = want
+                .iter()
+                .zip(got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            prop_assert!(diff < 2e-3, "node {node:?} diverged by {diff}");
+        }
+    }
+
+    /// Keeping an arbitrary root-path in the cache after a tree pass is
+    /// equivalent to having decoded that path causally from scratch.
+    #[test]
+    fn cache_retention_is_transparent(
+        edges in prop::collection::vec((0usize..16, 0u32..32), 1..8),
+        prompt in prop::collection::vec(0u32..32, 1..5),
+        next_token in 0u32..32,
+    ) {
+        let m = model();
+        let tree = build_tree(7, &edges);
+        let lin = LinearizedTree::new(&tree);
+
+        // Pick the deepest leaf's path as the "accepted" path.
+        let leaf = *tree
+            .leaves()
+            .iter()
+            .max_by_key(|&&u| tree.depth(u))
+            .expect("tree has leaves");
+        let mut path = Vec::new();
+        let mut cur = Some(leaf);
+        while let Some(u) = cur {
+            path.push(u);
+            cur = tree.parent(u);
+        }
+        path.reverse();
+
+        let mut spec_cache = m.new_cache();
+        let _ = m.prefill(&prompt, &mut spec_cache);
+        let _ = m.decode_tree(&lin, &mut spec_cache);
+        let keep: Vec<usize> = path.iter().map(|&u| lin.index_of(u)).collect();
+        spec_cache.retain_rows(prompt.len(), &keep);
+        let spec_logits = m.decode_one(next_token, &mut spec_cache);
+
+        let mut ref_cache = m.new_cache();
+        let mut full: Vec<u32> = prompt.clone();
+        full.extend(path.iter().map(|&u| tree.token(u)));
+        let _ = m.prefill(&full, &mut ref_cache);
+        let ref_logits = m.decode_one(next_token, &mut ref_cache);
+
+        let diff = spec_logits.max_abs_diff(&ref_logits);
+        prop_assert!(diff < 2e-3, "retention changed logits by {diff}");
+    }
+
+    /// Prefill in one call equals prefill split at any point.
+    #[test]
+    fn split_prefill_is_equivalent(
+        seq in prop::collection::vec(0u32..32, 2..10),
+        split_at in 1usize..9,
+    ) {
+        let m = model();
+        let split = split_at.min(seq.len() - 1);
+
+        let mut one = m.new_cache();
+        let full = m.prefill(&seq, &mut one);
+
+        let mut two = m.new_cache();
+        let _ = m.prefill(&seq[..split], &mut two);
+        let second = m.prefill(&seq[split..], &mut two);
+
+        // The last row of both passes predicts the same next token.
+        let a = full.row(seq.len() - 1);
+        let b = second.row(seq.len() - split - 1);
+        let diff = a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        prop_assert!(diff < 2e-3, "split prefill diverged by {diff}");
+    }
+}

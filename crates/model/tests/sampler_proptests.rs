@@ -1,0 +1,98 @@
+//! Property-based tests for the sampling layer.
+
+use proptest::prelude::*;
+use specinfer_model::sampler::{greedy_token, probs_from_logits};
+use specinfer_model::DecodeMode;
+
+fn logits_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every mode yields a probability distribution.
+    #[test]
+    fn outputs_are_distributions(
+        logits in logits_strategy(),
+        temperature in 0.1f32..5.0,
+        top_k in 1usize..40,
+        top_p in 0.1f32..1.0,
+    ) {
+        for mode in [
+            DecodeMode::Greedy,
+            DecodeMode::stochastic(),
+            DecodeMode::Stochastic { temperature, top_k: Some(top_k), top_p: None },
+            DecodeMode::Stochastic { temperature, top_k: None, top_p: Some(top_p) },
+            DecodeMode::Stochastic { temperature, top_k: Some(top_k), top_p: Some(top_p) },
+        ] {
+            let p = probs_from_logits(&logits, &mode);
+            prop_assert_eq!(p.len(), logits.len());
+            let sum: f32 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "{mode:?}: sum {sum}");
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    /// Greedy mode is a one-hot on the argmax, which every filtered mode
+    /// also keeps in its support.
+    #[test]
+    fn argmax_survives_all_filters(
+        logits in logits_strategy(),
+        top_k in 1usize..40,
+        top_p in 0.05f32..1.0,
+    ) {
+        let best = greedy_token(&logits) as usize;
+        let greedy = probs_from_logits(&logits, &DecodeMode::Greedy);
+        prop_assert_eq!(greedy[best], 1.0);
+
+        let filtered = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(top_k), top_p: Some(top_p) },
+        );
+        prop_assert!(filtered[best] > 0.0, "argmax must never be filtered out");
+    }
+
+    /// top-k support never exceeds k; top-p support is the smallest
+    /// covering prefix (hence nonempty).
+    #[test]
+    fn filters_bound_the_support(
+        logits in logits_strategy(),
+        top_k in 1usize..40,
+        top_p in 0.05f32..1.0,
+    ) {
+        let pk = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(top_k), top_p: None },
+        );
+        let support_k = pk.iter().filter(|&&x| x > 0.0).count();
+        prop_assert!(support_k <= top_k.min(logits.len()));
+        prop_assert!(support_k >= 1);
+
+        let pp = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 1.0, top_k: None, top_p: Some(top_p) },
+        );
+        prop_assert!(pp.iter().any(|&x| x > 0.0));
+    }
+
+    /// Filtering preserves relative order: if token a had a higher logit
+    /// than token b and both survive, a's probability is ≥ b's.
+    #[test]
+    fn filtering_preserves_ranking(
+        logits in logits_strategy(),
+        top_k in 1usize..40,
+    ) {
+        let p = probs_from_logits(
+            &logits,
+            &DecodeMode::Stochastic { temperature: 0.8, top_k: Some(top_k), top_p: None },
+        );
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if p[i] > 0.0 && p[j] > 0.0 && logits[i] > logits[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! A live serving daemon: the request-manager loop of Figure 6 running
+//! on a real background thread.
+//!
+//! [`Server`](crate::Server) replays a whole trace on a simulated clock;
+//! [`ServerDaemon`] instead accepts submissions *while running* (from any
+//! thread, via channels) and continuously executes decoding iterations
+//! with iteration-level scheduling, completing requests as they finish.
+//! Simulated time is still used for the latency metrics (the cost model
+//! prices each iteration); wall-clock arrival order drives admission.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use specinfer_model::Transformer;
+use specinfer_spec::{Session, StepStats};
+use specinfer_tokentree::TokenId;
+
+use crate::metrics::ServeReport;
+use crate::request::{RequestId, Response};
+use crate::server::ServerConfig;
+
+enum Msg {
+    Submit {
+        prompt: Vec<TokenId>,
+        max_new_tokens: usize,
+        reply: Sender<Response>,
+        id_reply: Sender<RequestId>,
+    },
+    Shutdown,
+}
+
+/// A ticket for one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The assigned request id.
+    pub id: RequestId,
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon was shut down before completing this request.
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("daemon dropped the request")
+    }
+}
+
+/// Handle to a running serving daemon.
+///
+/// Dropping the handle without calling [`ServerDaemon::shutdown`] shuts
+/// the daemon down and discards its report.
+#[derive(Debug)]
+pub struct ServerDaemon {
+    tx: Sender<Msg>,
+    join: Option<JoinHandle<ServeReport>>,
+}
+
+impl ServerDaemon {
+    /// Spawns the daemon thread.
+    pub fn spawn(
+        llm: Arc<Transformer>,
+        ssms: Vec<Arc<Transformer>>,
+        config: ServerConfig,
+    ) -> ServerDaemon {
+        let (tx, rx) = unbounded::<Msg>();
+        let join = std::thread::Builder::new()
+            .name("specinfer-daemon".into())
+            .spawn(move || daemon_loop(&llm, &ssms, &config, &rx))
+            .expect("failed to spawn the serving daemon");
+        ServerDaemon { tx, join: Some(join) }
+    }
+
+    /// Submits a request; returns a [`Ticket`] whose `wait()` yields the
+    /// response. Callable from any thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon has already shut down.
+    pub fn submit(&self, prompt: Vec<TokenId>, max_new_tokens: usize) -> Ticket {
+        let (reply_tx, reply_rx) = bounded(1);
+        let (id_tx, id_rx) = bounded(1);
+        self.tx
+            .send(Msg::Submit { prompt, max_new_tokens, reply: reply_tx, id_reply: id_tx })
+            .expect("daemon is not running");
+        let id = id_rx.recv().expect("daemon is not running");
+        Ticket { id, rx: reply_rx }
+    }
+
+    /// Finishes all in-flight requests, stops the daemon, and returns its
+    /// aggregate report.
+    pub fn shutdown(mut self) -> ServeReport {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.join
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("the serving daemon panicked")
+    }
+}
+
+impl Drop for ServerDaemon {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+struct LiveRequest {
+    id: RequestId,
+    prompt_len: usize,
+    session: Session,
+    config: specinfer_spec::EngineConfig,
+    reply: Sender<Response>,
+    arrival_s: f64,
+    last: Option<StepStats>,
+}
+
+fn daemon_loop(
+    llm: &Transformer,
+    ssms: &[Arc<Transformer>],
+    config: &ServerConfig,
+    rx: &Receiver<Msg>,
+) -> ServeReport {
+    let ssm_refs: Vec<&Transformer> = ssms.iter().map(Arc::as_ref).collect();
+    let mut clock = 0.0f64;
+    let mut next_id = 0u64;
+    let mut active: Vec<LiveRequest> = Vec::new();
+    let mut responses: Vec<Response> = Vec::new();
+    let mut iterations = 0usize;
+    let mut draining = false;
+
+    loop {
+        // Admission: block when idle, poll otherwise.
+        loop {
+            let msg = if active.is_empty() && !draining {
+                match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => return finish(responses, clock, iterations),
+                }
+            } else {
+                rx.try_recv().ok()
+            };
+            match msg {
+                Some(Msg::Submit { prompt, max_new_tokens, reply, id_reply }) => {
+                    let id = RequestId(next_id);
+                    next_id += 1;
+                    let _ = id_reply.send(id);
+                    let mut engine = config.engine.clone();
+                    engine.max_new_tokens = max_new_tokens;
+                    let session = Session::new(
+                        llm,
+                        &ssm_refs,
+                        &prompt,
+                        config.seed.wrapping_add(id.0),
+                    );
+                    active.push(LiveRequest {
+                        id,
+                        prompt_len: prompt.len(),
+                        session,
+                        config: engine,
+                        reply,
+                        arrival_s: clock,
+                        last: None,
+                    });
+                }
+                Some(Msg::Shutdown) => draining = true,
+                None => break,
+            }
+            if active.len() >= config.max_batch_size {
+                break;
+            }
+        }
+        if active.is_empty() {
+            if draining {
+                return finish(responses, clock, iterations);
+            }
+            continue;
+        }
+
+        // One decoding iteration over the live batch (bounded by the
+        // admission limit; extra submissions wait in the channel).
+        let batch: usize = active.len().min(config.max_batch_size);
+        for r in active.iter_mut().take(batch) {
+            r.last = r.session.step(llm, &ssm_refs, &r.config);
+        }
+        iterations += 1;
+        let mean_tree = active
+            .iter()
+            .take(batch)
+            .filter_map(|r| r.last.map(|s| s.tree_size as f64))
+            .sum::<f64>()
+            / batch as f64;
+        let mean_ctx =
+            active.iter().take(batch).map(|r| r.session.tokens().len()).sum::<usize>() / batch;
+        clock += config.timing.iteration_s(&config.engine.mode, batch, mean_tree, mean_ctx);
+
+        // Retire finished requests and answer their tickets.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].session.is_finished() {
+                let done = active.swap_remove(i);
+                let result = done.session.into_result();
+                let response = Response {
+                    id: done.id,
+                    dataset: None,
+                    prompt_len: done.prompt_len,
+                    generated: result.generated().to_vec(),
+                    arrival_s: done.arrival_s,
+                    finish_s: clock,
+                    steps: result.steps,
+                };
+                let _ = done.reply.send(response.clone());
+                responses.push(response);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn finish(mut responses: Vec<Response>, clock: f64, iterations: usize) -> ServeReport {
+    responses.sort_by_key(|r| r.id);
+    // The daemon keeps no per-iteration log (it is a live loop; the
+    // trace-driven `Server` provides the audit trail).
+    ServeReport { responses, makespan_s: clock, iterations, iteration_log: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::TimingConfig;
+    use specinfer_model::{DecodeMode, ModelConfig};
+    use specinfer_spec::{EngineConfig, InferenceMode, StochasticVerifier};
+    use specinfer_tokentree::ExpansionConfig;
+
+    fn daemon(batch: usize) -> ServerDaemon {
+        let llm = Arc::new(Transformer::from_seed(ModelConfig::smoke(), 1));
+        let ssm = Arc::new(Transformer::from_seed(
+            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            2,
+        ));
+        ServerDaemon::spawn(
+            llm,
+            vec![ssm],
+            ServerConfig {
+                engine: EngineConfig {
+                    decode: DecodeMode::Greedy,
+                    verifier: StochasticVerifier::MultiStep,
+                    mode: InferenceMode::TreeSpeculative {
+                        expansion: ExpansionConfig::new(vec![2, 1, 1]),
+                    },
+                    max_new_tokens: 8,
+                    eos_token: None,
+                },
+                max_batch_size: batch,
+                timing: TimingConfig::llama_7b_single_gpu(),
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn live_submissions_complete() {
+        let d = daemon(4);
+        let tickets: Vec<Ticket> =
+            (0..6).map(|i| d.submit(vec![1, 2, (i % 4) + 3], 8)).collect();
+        let mut got = Vec::new();
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.generated.len() >= 8);
+            got.push(r.id);
+        }
+        let report = d.shutdown();
+        assert_eq!(report.responses.len(), 6);
+        assert!(report.iterations > 0);
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn submissions_from_multiple_threads() {
+        let d = Arc::new(daemon(3));
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let d2 = Arc::clone(&d);
+            joins.push(std::thread::spawn(move || {
+                d2.submit(vec![1, (t % 8) as u32 + 2], 6).wait()
+            }));
+        }
+        for j in joins {
+            let r = j.join().expect("submitter thread panicked");
+            assert!(r.generated.len() >= 6);
+        }
+        let d = Arc::try_unwrap(d).expect("all submitters done");
+        let report = d.shutdown();
+        assert_eq!(report.responses.len(), 4);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let d = daemon(2);
+        let t1 = d.submit(vec![5, 5], 8);
+        let t2 = d.submit(vec![6, 6], 8);
+        let report = d.shutdown();
+        assert_eq!(report.responses.len(), 2);
+        // Tickets still resolve after shutdown (responses were sent
+        // before the daemon exited).
+        assert!(t1.wait().generated.len() >= 8);
+        assert!(t2.wait().generated.len() >= 8);
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let d = daemon(2);
+        let _t = d.submit(vec![3, 3], 4);
+        drop(d); // must not hang or panic
+    }
+}

@@ -1,0 +1,26 @@
+//! The SpecInfer serving runtime: request manager, continuous batching
+//! and the trace-driven serving engine (§5 of the paper).
+//!
+//! * [`IterationScheduler`] — Orca-style iteration-level scheduling:
+//!   requests join and leave the running batch between *decoding
+//!   iterations*, never blocking behind long generations.
+//! * [`Server`] — drives a batch of speculative-decoding
+//!   [`specinfer_spec::Session`]s (real models, real token trees) while a
+//!   hardware cost model ([`TimingConfig`]) charges a simulated clock
+//!   with what the paper-scale models would cost on the configured
+//!   cluster.
+//! * [`ServeReport`] — per-request responses plus the aggregate metrics
+//!   the paper reports (mean per-token latency, throughput, tokens per
+//!   decoding step).
+
+mod daemon;
+mod metrics;
+mod request;
+mod scheduler;
+mod server;
+
+pub use daemon::{ServerDaemon, Ticket};
+pub use metrics::{IterationRecord, ServeReport};
+pub use request::{Request, RequestId, Response};
+pub use scheduler::IterationScheduler;
+pub use server::{Server, ServerConfig, TimingConfig};

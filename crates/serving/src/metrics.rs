@@ -1,0 +1,156 @@
+//! Aggregate metrics over a server run.
+
+use crate::request::Response;
+
+/// One decoding iteration as the server executed it — the audit trail
+/// behind the aggregate numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Simulated time at which the iteration began.
+    pub start_s: f64,
+    /// Modelled duration of the iteration.
+    pub duration_s: f64,
+    /// Requests active in the iteration.
+    pub batch: usize,
+    /// Mean speculated-tree size across the batch.
+    pub mean_tree_size: f64,
+    /// Tokens emitted by the whole batch this iteration.
+    pub emitted: usize,
+}
+
+/// The outcome of serving a trace to completion.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Completed requests, ordered by id.
+    pub responses: Vec<Response>,
+    /// Total simulated time from first arrival to last completion.
+    pub makespan_s: f64,
+    /// Number of decoding iterations executed.
+    pub iterations: usize,
+    /// Per-iteration execution log, in order.
+    pub iteration_log: Vec<IterationRecord>,
+}
+
+impl ServeReport {
+    /// Total generated tokens across all requests.
+    pub fn total_generated(&self) -> usize {
+        self.responses.iter().map(|r| r.generated.len()).sum()
+    }
+
+    /// Mean per-token latency over requests — the paper's Figure 7/8
+    /// y-axis.
+    pub fn mean_per_token_latency_s(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(Response::per_token_latency_s).sum::<f64>()
+            / self.responses.len() as f64
+    }
+
+    /// Aggregate throughput: generated tokens per simulated second.
+    pub fn throughput_tokens_per_s(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.total_generated() as f64 / self.makespan_s
+        }
+    }
+
+    /// Mean tokens verified per decoding step, over requests (Table 2's
+    /// metric).
+    pub fn mean_tokens_per_step(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(Response::tokens_per_step).sum::<f64>()
+            / self.responses.len() as f64
+    }
+
+    /// Mean end-to-end request latency.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(Response::latency_s).sum::<f64>() / self.responses.len() as f64
+    }
+
+    /// The `q`-quantile (0..=1) of end-to-end request latency — e.g.
+    /// `latency_quantile_s(0.99)` for the p99 SLO view.
+    pub fn latency_quantile_s(&self, q: f64) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        let mut lats: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        lats[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use specinfer_spec::StepStats;
+
+    fn report() -> ServeReport {
+        let mk = |id: u64, n: usize, finish: f64| Response {
+            id: RequestId(id),
+            dataset: None,
+            prompt_len: 2,
+            generated: (0..n as u32).collect(),
+            arrival_s: 0.0,
+            finish_s: finish,
+            steps: vec![StepStats { tree_size: 3, accepted: 1, emitted: 2 }; n / 2],
+        };
+        ServeReport {
+            responses: vec![mk(0, 4, 1.0), mk(1, 8, 2.0)],
+            makespan_s: 2.0,
+            iterations: 6,
+            iteration_log: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn totals_and_throughput() {
+        let r = report();
+        assert_eq!(r.total_generated(), 12);
+        assert!((r.throughput_tokens_per_s() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_per_token_latency_averages_requests() {
+        let r = report();
+        // Request 0: 1.0/4 = 0.25; request 1: 2.0/8 = 0.25.
+        assert!((r.mean_per_token_latency_s() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_per_step_is_two_here() {
+        let r = report();
+        assert!((r.mean_tokens_per_step() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_yields_zeros() {
+        let r = ServeReport {
+            responses: vec![],
+            makespan_s: 0.0,
+            iterations: 0,
+            iteration_log: Vec::new(),
+        };
+        assert_eq!(r.mean_per_token_latency_s(), 0.0);
+        assert_eq!(r.throughput_tokens_per_s(), 0.0);
+        assert_eq!(r.mean_tokens_per_step(), 0.0);
+        assert_eq!(r.latency_quantile_s(0.99), 0.0);
+    }
+
+    #[test]
+    fn latency_quantiles_bracket_the_range() {
+        let r = report();
+        assert_eq!(r.latency_quantile_s(0.0), 1.0);
+        assert_eq!(r.latency_quantile_s(1.0), 2.0);
+        assert!((r.latency_quantile_s(0.5) - 1.0).abs() < 1e-12
+            || (r.latency_quantile_s(0.5) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Request and response types for the serving layer.
+
+use serde::{Deserialize, Serialize};
+use specinfer_spec::StepStats;
+use specinfer_tokentree::TokenId;
+use specinfer_workloads::Dataset;
+
+/// Identifier of a request within one server run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An LLM serving request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Prompt tokens.
+    pub prompt: Vec<TokenId>,
+    /// Per-request generation budget.
+    pub max_new_tokens: usize,
+    /// Arrival time on the simulated clock, seconds.
+    pub arrival_s: f64,
+    /// The dataset this prompt came from, when known.
+    pub dataset: Option<Dataset>,
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's id.
+    pub id: RequestId,
+    /// The dataset the prompt came from, when known.
+    pub dataset: Option<Dataset>,
+    /// Number of prompt tokens.
+    pub prompt_len: usize,
+    /// Generated tokens (EOS-truncated).
+    pub generated: Vec<TokenId>,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Completion time on the simulated clock, seconds.
+    pub finish_s: f64,
+    /// Per-iteration statistics of this request's decoding.
+    pub steps: Vec<StepStats>,
+}
+
+impl Response {
+    /// End-to-end latency (arrival to completion).
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Mean latency per generated token — the paper's headline metric.
+    pub fn per_token_latency_s(&self) -> f64 {
+        if self.generated.is_empty() {
+            0.0
+        } else {
+            self.latency_s() / self.generated.len() as f64
+        }
+    }
+
+    /// Mean tokens verified per LLM decoding step.
+    pub fn tokens_per_step(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.generated.len() as f64 / self.steps.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response() -> Response {
+        Response {
+            id: RequestId(1),
+            dataset: None,
+            prompt_len: 4,
+            generated: vec![1, 2, 3, 4, 5],
+            arrival_s: 1.0,
+            finish_s: 2.0,
+            steps: vec![
+                StepStats { tree_size: 5, accepted: 2, emitted: 3 },
+                StepStats { tree_size: 5, accepted: 1, emitted: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn latencies_derive_from_clock() {
+        let r = response();
+        assert!((r.latency_s() - 1.0).abs() < 1e-12);
+        assert!((r.per_token_latency_s() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_per_step_counts_generated_over_iterations() {
+        let r = response();
+        assert!((r.tokens_per_step() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_generation_has_zero_rates() {
+        let mut r = response();
+        r.generated.clear();
+        r.steps.clear();
+        assert_eq!(r.per_token_latency_s(), 0.0);
+        assert_eq!(r.tokens_per_step(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Iteration-level scheduling (continuous batching), after Orca.
+//!
+//! The scheduler keeps a FIFO of pending requests and an active set of at
+//! most `max_batch_size` requests. After **every decoding iteration** —
+//! not after whole requests — finished requests retire and newly arrived
+//! requests are admitted, so a long-running request never blocks the
+//! queue (§5.1 of the paper).
+
+use std::collections::VecDeque;
+
+use crate::request::Request;
+
+/// The continuous-batching admission queue.
+#[derive(Debug)]
+pub struct IterationScheduler {
+    pending: VecDeque<Request>,
+    max_batch_size: usize,
+}
+
+impl IterationScheduler {
+    /// Creates a scheduler admitting at most `max_batch_size` concurrent
+    /// requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch_size` is zero.
+    pub fn new(max_batch_size: usize) -> Self {
+        assert!(max_batch_size > 0, "batch size must be positive");
+        IterationScheduler { pending: VecDeque::new(), max_batch_size }
+    }
+
+    /// The admission limit.
+    pub fn max_batch_size(&self) -> usize {
+        self.max_batch_size
+    }
+
+    /// Enqueues a request (kept sorted by arrival time; ties FIFO).
+    pub fn submit(&mut self, request: Request) {
+        // Requests usually arrive in order; walk back only when needed.
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|r| r.arrival_s <= request.arrival_s)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        self.pending.insert(pos, request);
+    }
+
+    /// Number of requests waiting for admission.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether any request is waiting.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The arrival time of the next pending request, if any.
+    pub fn next_arrival_s(&self) -> Option<f64> {
+        self.pending.front().map(|r| r.arrival_s)
+    }
+
+    /// Admits requests that have arrived by `now`, given `active` requests
+    /// currently running, without exceeding the batch limit. Called once
+    /// per decoding iteration.
+    pub fn admit(&mut self, now: f64, active: usize) -> Vec<Request> {
+        let mut admitted = Vec::new();
+        while active + admitted.len() < self.max_batch_size {
+            match self.pending.front() {
+                Some(r) if r.arrival_s <= now => {
+                    admitted.push(self.pending.pop_front().expect("peeked above"));
+                }
+                _ => break,
+            }
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    fn request(id: u64, arrival: f64) -> Request {
+        Request {
+            id: RequestId(id),
+            prompt: vec![1, 2],
+            max_new_tokens: 8,
+            arrival_s: arrival,
+            dataset: None,
+        }
+    }
+
+    #[test]
+    fn admits_up_to_batch_limit() {
+        let mut s = IterationScheduler::new(2);
+        for i in 0..4 {
+            s.submit(request(i, 0.0));
+        }
+        let first = s.admit(0.0, 0);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].id, RequestId(0));
+        // With one slot still busy, only one more fits.
+        let second = s.admit(0.0, 1);
+        assert_eq!(second.len(), 1);
+        assert_eq!(s.pending_len(), 1);
+    }
+
+    #[test]
+    fn respects_arrival_times() {
+        let mut s = IterationScheduler::new(4);
+        s.submit(request(0, 0.0));
+        s.submit(request(1, 5.0));
+        let now = s.admit(1.0, 0);
+        assert_eq!(now.len(), 1);
+        assert_eq!(s.next_arrival_s(), Some(5.0));
+        let later = s.admit(5.0, 0);
+        assert_eq!(later.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_submissions_are_sorted() {
+        let mut s = IterationScheduler::new(4);
+        s.submit(request(1, 2.0));
+        s.submit(request(0, 1.0));
+        s.submit(request(2, 3.0));
+        let all = s.admit(10.0, 0);
+        let ids: Vec<u64> = all.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_keep_fifo_order() {
+        let mut s = IterationScheduler::new(4);
+        s.submit(request(7, 1.0));
+        s.submit(request(8, 1.0));
+        let all = s.admit(1.0, 0);
+        let ids: Vec<u64> = all.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![7, 8]);
+    }
+
+    #[test]
+    fn full_batch_admits_nothing() {
+        let mut s = IterationScheduler::new(2);
+        s.submit(request(0, 0.0));
+        assert!(s.admit(0.0, 2).is_empty());
+        assert_eq!(s.pending_len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Analytical hardware cost model for SpecInfer-rs.
+//!
+//! The paper's end-to-end numbers come from A10 GPUs (AWS g5.12xlarge
+//! nodes) serving LLaMA/OPT models. This crate substitutes an analytical
+//! **roofline model** of those machines (see DESIGN.md §2): each decoding
+//! step costs the maximum of its compute time and its weight/KV-cache
+//! read time, plus kernel-launch, tensor-parallel all-reduce and pipeline
+//! communication overheads. Offloading streams weights over PCIe instead
+//! of HBM.
+//!
+//! The key structural facts the model captures — and which produce the
+//! paper's figure shapes without fitting to the paper's outputs:
+//!
+//! * incremental decoding is **memory-bound**: one full weight read per
+//!   generated token, regardless of batch;
+//! * tree verification reuses the same weight read for all tree tokens,
+//!   so extra speculated tokens are nearly free until the **compute
+//!   roofline** is hit (which happens at large batch × tree size — the
+//!   crossover in Figures 7/10);
+//! * offloading replaces the HBM read with a PCIe stream two orders of
+//!   magnitude slower, so verified-tokens-per-step translates almost
+//!   directly into speedup (Figure 8).
+
+mod gpu;
+mod latency;
+mod offload;
+pub mod overhead;
+mod profile;
+mod systems;
+
+pub use gpu::{GpuSpec, LinkSpec};
+pub use latency::{ClusterSpec, ParallelismPlan, StepWorkload};
+pub use offload::OffloadSpec;
+pub use overhead::{overheads, OverheadReport};
+pub use profile::LlmProfile;
+pub use systems::SystemProfile;

@@ -1,0 +1,105 @@
+//! Property-based tests for the cost model: latency must be monotone in
+//! every workload dimension and respect its structural lower bounds.
+
+use proptest::prelude::*;
+use specinfer_sim::{ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, StepWorkload};
+
+fn workload(batch: usize, tokens: usize, groups: usize, ctx: usize) -> StepWorkload {
+    StepWorkload { batch, tokens_per_request: tokens, kernel_groups: groups, context_len: ctx }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More tokens per request never makes a step faster.
+    #[test]
+    fn latency_monotone_in_tokens(
+        batch in 1usize..32,
+        tokens in 1usize..64,
+        extra in 1usize..64,
+        ctx in 0usize..512,
+    ) {
+        let c = ClusterSpec::g5_single_gpu();
+        let m = LlmProfile::llama_7b();
+        let plan = ParallelismPlan::single();
+        let a = c.decode_step_s(&m, &plan, &workload(batch, tokens, 1, ctx));
+        let b = c.decode_step_s(&m, &plan, &workload(batch, tokens + extra, 1, ctx));
+        prop_assert!(b >= a, "{b} < {a}");
+    }
+
+    /// Larger batches never make a step faster.
+    #[test]
+    fn latency_monotone_in_batch(
+        batch in 1usize..16,
+        extra in 1usize..16,
+        tokens in 1usize..32,
+    ) {
+        let c = ClusterSpec::g5_one_node();
+        let m = LlmProfile::opt_30b();
+        let plan = ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 };
+        let a = c.decode_step_s(&m, &plan, &workload(batch, tokens, 1, 128));
+        let b = c.decode_step_s(&m, &plan, &workload(batch + extra, tokens, 1, 128));
+        prop_assert!(b >= a);
+    }
+
+    /// A bigger model is never cheaper per step, all else equal.
+    #[test]
+    fn latency_monotone_in_model_size(batch in 1usize..16, tokens in 1usize..32) {
+        let c = ClusterSpec::g5_single_gpu();
+        let plan = ParallelismPlan::single();
+        let w = workload(batch, tokens, 1, 128);
+        let small = c.decode_step_s(&LlmProfile::llama_7b(), &plan, &w);
+        let big = c.decode_step_s(&LlmProfile::opt_13b(), &plan, &w);
+        prop_assert!(big > small);
+    }
+
+    /// More kernel groups (sequence-based decoding) never launch faster.
+    #[test]
+    fn latency_monotone_in_kernel_groups(groups in 1usize..8, extra in 1usize..8) {
+        let c = ClusterSpec::g5_single_gpu();
+        let m = LlmProfile::llama_7b();
+        let plan = ParallelismPlan::single();
+        let a = c.decode_step_s(&m, &plan, &workload(4, 20, groups, 128));
+        let b = c.decode_step_s(&m, &plan, &workload(4, 20, groups + extra, 128));
+        prop_assert!(b >= a);
+    }
+
+    /// An offloading step can never beat the raw PCIe weight stream.
+    #[test]
+    fn offload_step_bounded_below_by_stream(
+        batch in 1usize..16,
+        tokens in 1usize..64,
+        ctx in 0usize..512,
+    ) {
+        let o = OffloadSpec::a10_pcie();
+        let m = LlmProfile::opt_13b();
+        let stream_s = m.weight_bytes() / (o.host_link.gb_per_s * 1e9);
+        let t = o.decode_step_s(&m, &workload(batch, tokens, 1, ctx));
+        prop_assert!(t >= stream_s);
+    }
+
+    /// Tensor parallelism never hurts at fixed workload (weights shard).
+    #[test]
+    fn tensor_parallelism_never_hurts_weight_bound_steps(batch in 1usize..4) {
+        let c = ClusterSpec::g5_one_node();
+        let m = LlmProfile::opt_30b();
+        let w = workload(batch, 1, 1, 64);
+        let tp1 = c.decode_step_s(&m, &ParallelismPlan::single(), &w);
+        let tp4 = c.decode_step_s(
+            &m,
+            &ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 },
+            &w,
+        );
+        prop_assert!(tp4 <= tp1);
+    }
+
+    /// Speculation latency scales linearly with depth.
+    #[test]
+    fn speculation_linear_in_depth(depth in 1usize..16, batch in 1usize..16) {
+        let c = ClusterSpec::g5_single_gpu();
+        let ssm = LlmProfile::llama_68m();
+        let one = c.ssm_speculation_s(&ssm, 1, batch, 1.0, 128);
+        let many = c.ssm_speculation_s(&ssm, depth, batch, 1.0, 128);
+        prop_assert!((many - depth as f64 * one).abs() < 1e-9);
+    }
+}

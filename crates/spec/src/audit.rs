@@ -1,0 +1,122 @@
+//! Losslessness auditing.
+//!
+//! Greedy speculative decoding promises *bit-identical* output to
+//! incremental decoding. This module re-derives the incremental output
+//! and diffs it against a speculative [`GenerationResult`] — the check a
+//! deployment can run on sampled traffic to prove the serving stack is
+//! not silently changing model behaviour.
+
+use specinfer_model::{sampler, Transformer};
+use specinfer_tokentree::TokenId;
+
+use crate::engine::GenerationResult;
+
+/// Outcome of auditing one generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Whether the speculative output matches incremental decoding
+    /// exactly (up to the shorter of the two lengths).
+    pub lossless: bool,
+    /// Index (within the generated tokens) of the first divergence.
+    pub first_divergence: Option<usize>,
+    /// The reference incremental output, for inspection.
+    pub reference: Vec<TokenId>,
+}
+
+/// Replays `result`'s prompt through pure greedy incremental decoding on
+/// `llm` and compares outputs.
+///
+/// Only meaningful for generations produced with greedy decoding —
+/// stochastic outputs are distribution-equal, not token-equal (verify
+/// those with the statistical tests instead).
+///
+/// # Panics
+///
+/// Panics if the result's prompt is empty.
+pub fn audit_greedy(llm: &Transformer, result: &GenerationResult) -> AuditReport {
+    let prompt = &result.tokens[..result.prompt_len];
+    assert!(!prompt.is_empty(), "cannot audit an empty prompt");
+    let generated = &result.tokens[result.prompt_len..];
+
+    let mut cache = llm.new_cache();
+    let mut reference = Vec::with_capacity(generated.len());
+    let mut logits = if prompt.len() > 1 {
+        let _ = llm.prefill(&prompt[..prompt.len() - 1], &mut cache);
+        llm.decode_one(prompt[prompt.len() - 1], &mut cache)
+    } else {
+        llm.decode_one(prompt[0], &mut cache)
+    };
+    for _ in 0..generated.len() {
+        let next = sampler::greedy_token(logits.data());
+        reference.push(next);
+        if reference.len() == generated.len() {
+            break;
+        }
+        logits = llm.decode_one(next, &mut cache);
+    }
+
+    let first_divergence = generated.iter().zip(&reference).position(|(a, b)| a != b);
+    AuditReport { lossless: first_divergence.is_none(), first_divergence, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, InferenceMode, SpecEngine};
+    use crate::verifier::StochasticVerifier;
+    use specinfer_model::{DecodeMode, ModelConfig};
+    use specinfer_tokentree::ExpansionConfig;
+
+    fn engines() -> (Transformer, Transformer) {
+        (
+            Transformer::from_seed(ModelConfig::smoke(), 60),
+            Transformer::from_seed(
+                ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+                61,
+            ),
+        )
+    }
+
+    #[test]
+    fn speculative_generation_passes_audit() {
+        let (llm, ssm) = engines();
+        let result = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            EngineConfig {
+                decode: DecodeMode::Greedy,
+                verifier: StochasticVerifier::MultiStep,
+                mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+                max_new_tokens: 20,
+                eos_token: None,
+            },
+        )
+        .generate(&[4, 2, 9], 0);
+        let report = audit_greedy(&llm, &result);
+        assert!(report.lossless, "divergence at {:?}", report.first_divergence);
+        assert_eq!(report.reference.len(), result.generated().len());
+    }
+
+    #[test]
+    fn audit_flags_corrupted_output() {
+        let (llm, ssm) = engines();
+        let mut result = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            EngineConfig {
+                decode: DecodeMode::Greedy,
+                verifier: StochasticVerifier::MultiStep,
+                mode: InferenceMode::SequenceSpeculative { depth: 3 },
+                max_new_tokens: 12,
+                eos_token: None,
+            },
+        )
+        .generate(&[7, 1], 0);
+        // Corrupt the 4th generated token.
+        let idx = result.prompt_len + 3;
+        result.tokens[idx] = (result.tokens[idx] + 1) % 32;
+        let report = audit_greedy(&llm, &result);
+        assert!(!report.lossless);
+        assert_eq!(report.first_divergence, Some(3));
+    }
+}

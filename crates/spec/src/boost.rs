@@ -1,0 +1,233 @@
+//! Collective boost-tuning of SSM pools (§3, "merge-based token tree
+//! construction").
+//!
+//! The paper aligns a *pool* of SSMs with the LLM in a fully unsupervised
+//! fashion, adapting the boosting idea: fine-tune one SSM "to the
+//! fullest" on the corpus, mark every prompt where SSM and LLM generate
+//! identical subsequent tokens, drop the marked prompts, and fine-tune
+//! the next SSM on the remainder. The resulting SSMs are *diverse*: their
+//! aggregated (merged-tree) output covers more of the LLM's behaviour
+//! than any single SSM.
+
+use specinfer_model::train::train_step;
+use specinfer_model::{sampler, ModelConfig, Transformer};
+use specinfer_tensor::optim::Adam;
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tokentree::TokenId;
+
+/// Configuration of the boost-tuning pipeline.
+#[derive(Debug, Clone)]
+pub struct BoostConfig {
+    /// Number of SSMs in the pool.
+    pub n_ssms: usize,
+    /// Architecture of each SSM.
+    pub ssm_config: ModelConfig,
+    /// Passes over the (remaining) corpus per SSM.
+    pub epochs: usize,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Continuation length the LLM generates per prompt to build the
+    /// training corpus.
+    pub gen_len: usize,
+    /// An SSM "covers" a prompt when its first `match_horizon` greedy
+    /// tokens equal the LLM's.
+    pub match_horizon: usize,
+    /// Base RNG seed (SSM `j` initializes from `seed + j`).
+    pub seed: u64,
+}
+
+impl BoostConfig {
+    /// A small default suitable for the tiny-model experiments.
+    pub fn small(n_ssms: usize) -> Self {
+        BoostConfig {
+            n_ssms,
+            ssm_config: ModelConfig::tiny_ssm(),
+            epochs: 2,
+            batch_size: 8,
+            lr: 3e-3,
+            gen_len: 16,
+            match_horizon: 4,
+            seed: 7_000,
+        }
+    }
+}
+
+/// The outcome of boost-tuning a pool.
+#[derive(Debug)]
+pub struct BoostResult {
+    /// The tuned SSMs, in boosting order.
+    pub ssms: Vec<Transformer>,
+    /// Fraction of the *then-remaining* corpus each SSM covered after its
+    /// tuning round.
+    pub round_coverage: Vec<f64>,
+    /// Fraction of the full corpus covered by the union of the pool.
+    pub union_coverage: f64,
+}
+
+/// Greedy continuation of `prompt` by `model`, `len` tokens.
+fn greedy_continuation(model: &Transformer, prompt: &[TokenId], len: usize) -> Vec<TokenId> {
+    let mut cache = model.new_cache();
+    let mut out = Vec::with_capacity(len);
+    let mut logits = if prompt.len() > 1 {
+        let l = model.prefill(&prompt[..prompt.len() - 1], &mut cache);
+        let _ = l;
+        model.decode_one(prompt[prompt.len() - 1], &mut cache)
+    } else {
+        model.decode_one(prompt[0], &mut cache)
+    };
+    for _ in 0..len {
+        let t = sampler::greedy_token(logits.data());
+        out.push(t);
+        if out.len() == len {
+            break;
+        }
+        logits = model.decode_one(t, &mut cache);
+    }
+    out
+}
+
+/// Whether `ssm` covers `prompt`: its first `horizon` greedy tokens match
+/// the target continuation.
+fn covers(ssm: &Transformer, prompt: &[TokenId], target: &[TokenId], horizon: usize) -> bool {
+    let h = horizon.min(target.len());
+    let got = greedy_continuation(ssm, prompt, h);
+    got == target[..h]
+}
+
+/// Runs the boost-tuning pipeline: trains `config.n_ssms` SSMs on
+/// LLM-generated continuations of `prompts`, each round filtering out the
+/// prompts already covered by earlier SSMs.
+///
+/// If every prompt is covered before the pool is full, remaining SSMs are
+/// tuned on the *whole* corpus (extra diversity never hurts the merged
+/// tree).
+///
+/// # Panics
+///
+/// Panics if `prompts` is empty or any configuration field is zero.
+pub fn boost_tune_pool(
+    llm: &Transformer,
+    prompts: &[Vec<TokenId>],
+    config: &BoostConfig,
+) -> BoostResult {
+    assert!(!prompts.is_empty(), "boost-tuning needs a prompt corpus");
+    assert!(config.n_ssms > 0 && config.epochs > 0 && config.batch_size > 0);
+    assert!(config.gen_len >= config.match_horizon, "horizon cannot exceed generation length");
+
+    // Build the unsupervised corpus: prompt + LLM continuation.
+    let samples: Vec<(Vec<TokenId>, Vec<TokenId>)> = prompts
+        .iter()
+        .map(|p| {
+            let cont = greedy_continuation(llm, p, config.gen_len);
+            (p.clone(), cont)
+        })
+        .collect();
+
+    let mut remaining: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = SeededRng::new(config.seed);
+    let mut ssms = Vec::with_capacity(config.n_ssms);
+    let mut round_coverage = Vec::with_capacity(config.n_ssms);
+
+    for j in 0..config.n_ssms {
+        let train_set: Vec<usize> = if remaining.is_empty() {
+            (0..samples.len()).collect()
+        } else {
+            remaining.clone()
+        };
+        let mut ssm = Transformer::from_seed(config.ssm_config.clone(), config.seed + j as u64);
+        let mut opt = Adam::new(config.lr);
+        for _ in 0..config.epochs {
+            let order = rng.permutation(train_set.len());
+            for chunk in order.chunks(config.batch_size) {
+                let batch: Vec<Vec<TokenId>> = chunk
+                    .iter()
+                    .map(|&i| {
+                        let (p, c) = &samples[train_set[i]];
+                        let mut seq = p.clone();
+                        seq.extend_from_slice(c);
+                        seq
+                    })
+                    .collect();
+                let _ = train_step(&mut ssm, &mut opt, &batch);
+            }
+        }
+
+        // Mark covered prompts among the round's training set.
+        let covered: Vec<usize> = train_set
+            .iter()
+            .copied()
+            .filter(|&i| covers(&ssm, &samples[i].0, &samples[i].1, config.match_horizon))
+            .collect();
+        round_coverage.push(covered.len() as f64 / train_set.len() as f64);
+        let covered_set: std::collections::HashSet<usize> = covered.into_iter().collect();
+        remaining.retain(|i| !covered_set.contains(i));
+        ssms.push(ssm);
+    }
+
+    // Union coverage over the full corpus.
+    let union = (0..samples.len())
+        .filter(|&i| {
+            ssms.iter()
+                .any(|s| covers(s, &samples[i].0, &samples[i].1, config.match_horizon))
+        })
+        .count();
+    let union_coverage = union as f64 / samples.len() as f64;
+
+    BoostResult { ssms, round_coverage, union_coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_continuation_is_deterministic() {
+        let m = Transformer::from_seed(ModelConfig::smoke(), 1);
+        let a = greedy_continuation(&m, &[1, 2, 3], 6);
+        let b = greedy_continuation(&m, &[1, 2, 3], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn self_coverage_is_total() {
+        // A model always covers its own continuations.
+        let m = Transformer::from_seed(ModelConfig::smoke(), 2);
+        let prompt = vec![3, 1, 4];
+        let cont = greedy_continuation(&m, &prompt, 8);
+        assert!(covers(&m, &prompt, &cont, 4));
+    }
+
+    #[test]
+    fn boost_pool_has_requested_shape() {
+        let llm = Transformer::from_seed(ModelConfig::smoke(), 3);
+        let prompts: Vec<Vec<TokenId>> = (0..6).map(|i| vec![1, (i % 8) + 2]).collect();
+        let cfg = BoostConfig {
+            n_ssms: 2,
+            ssm_config: ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            epochs: 1,
+            batch_size: 4,
+            lr: 3e-3,
+            gen_len: 6,
+            match_horizon: 2,
+            seed: 9,
+        };
+        let result = boost_tune_pool(&llm, &prompts, &cfg);
+        assert_eq!(result.ssms.len(), 2);
+        assert_eq!(result.round_coverage.len(), 2);
+        assert!(result.union_coverage >= 0.0 && result.union_coverage <= 1.0);
+        // Union coverage can never fall below any single round's share of
+        // the full corpus.
+        assert!(result.union_coverage * prompts.len() as f64 + 1e-9
+            >= result.round_coverage[0] * prompts.len() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt corpus")]
+    fn empty_corpus_rejected() {
+        let llm = Transformer::from_seed(ModelConfig::smoke(), 3);
+        let _ = boost_tune_pool(&llm, &[], &BoostConfig::small(1));
+    }
+}

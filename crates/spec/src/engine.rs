@@ -1,0 +1,670 @@
+//! The speculative generation engine: Algorithm 2's outer loop.
+//!
+//! A [`Session`] owns the per-request state (token sequence, LLM cache,
+//! one cache per SSM) and advances one *decoding iteration* at a time —
+//! exactly the granularity the serving layer's continuous batching
+//! schedules. [`SpecEngine`] packages models + configuration for
+//! single-request generation.
+
+use specinfer_model::{sampler, DecodeMode, KvCache, Transformer};
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tokentree::{ExpansionConfig, LinearizedTree, TokenId, TokenTree};
+
+use crate::speculator::{expand_into, ExpansionMode, Speculation, SsmDistTable};
+use crate::verifier::{verify_greedy, verify_naive, verify_stochastic, StochasticVerifier};
+
+/// Which inference algorithm drives a generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceMode {
+    /// Ordinary incremental decoding (Algorithm 1) — one LLM pass per
+    /// token. The baseline every system in Figure 7 implements.
+    Incremental,
+    /// Sequence-based speculative inference: a single SSM speculates a
+    /// depth-`m` chain (tree width 1).
+    SequenceSpeculative {
+        /// Speculation depth `m`.
+        depth: usize,
+    },
+    /// Tree-based speculative inference (the paper's contribution).
+    TreeSpeculative {
+        /// The expansion schedule ⟨k₁…k_m⟩ applied by every SSM.
+        expansion: ExpansionConfig,
+    },
+    /// Best-first *dynamic* tree expansion — this repository's
+    /// implementation of the paper's stated future work (§3). Uses the
+    /// first SSM of the pool. Greedy verification stays exactly
+    /// lossless; for stochastic decoding prefer the naive-sampling
+    /// verifier (see [`crate::dynamic`] for the semantics discussion).
+    DynamicTree {
+        /// Budget and pruning knobs.
+        config: crate::dynamic::DynamicExpansionConfig,
+    },
+}
+
+/// Engine-level configuration shared across requests.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// How the LLM's output distribution is decoded.
+    pub decode: DecodeMode,
+    /// Stochastic verification algorithm (ignored under greedy decoding).
+    pub verifier: StochasticVerifier,
+    /// The inference algorithm.
+    pub mode: InferenceMode,
+    /// Stop after this many generated tokens (the paper uses 128).
+    pub max_new_tokens: usize,
+    /// Generation stops when this token is produced.
+    pub eos_token: Option<TokenId>,
+}
+
+impl EngineConfig {
+    /// Greedy tree-speculative config with the paper's default expansion.
+    pub fn greedy_tree() -> Self {
+        EngineConfig {
+            decode: DecodeMode::Greedy,
+            verifier: StochasticVerifier::MultiStep,
+            mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+            max_new_tokens: 128,
+            eos_token: Some(specinfer_workload_eos()),
+        }
+    }
+}
+
+// The EOS convention of the workloads crate, duplicated here to avoid a
+// dependency cycle; pinned by a test in the facade crate.
+const fn specinfer_workload_eos() -> TokenId {
+    1
+}
+
+/// Per-iteration statistics of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepStats {
+    /// Nodes in the speculated tree (0 for incremental decoding).
+    pub tree_size: usize,
+    /// Speculated tokens that passed verification.
+    pub accepted: usize,
+    /// Tokens appended this iteration (accepted + bonus, or 1).
+    pub emitted: usize,
+}
+
+/// The completed output of a generation.
+#[derive(Debug, Clone)]
+pub struct GenerationResult {
+    /// Prompt plus all generated tokens (truncated at EOS if hit).
+    pub tokens: Vec<TokenId>,
+    /// Number of prompt tokens at the front of `tokens`.
+    pub prompt_len: usize,
+    /// Per-iteration statistics.
+    pub steps: Vec<StepStats>,
+}
+
+impl GenerationResult {
+    /// The generated tokens (everything after the prompt).
+    pub fn generated(&self) -> &[TokenId] {
+        &self.tokens[self.prompt_len..]
+    }
+
+    /// Number of LLM decoding iterations used.
+    pub fn llm_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Mean number of tokens verified per LLM decoding step — the
+    /// paper's Table 2 / Table 3 metric.
+    pub fn tokens_per_step(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.generated().len() as f64 / self.steps.len() as f64
+        }
+    }
+}
+
+/// Per-request generation state, advanced one decoding iteration at a
+/// time.
+///
+/// The KV-cache invariant maintained between iterations: every cache
+/// (LLM and SSMs) holds rows for all tokens of the sequence *except the
+/// last one* — the last token is the root the next speculated tree grows
+/// from (Figure 4 feeds the verified token together with the speculated
+/// ones).
+#[derive(Debug)]
+pub struct Session {
+    tokens: Vec<TokenId>,
+    prompt_len: usize,
+    llm_cache: KvCache,
+    ssm_caches: Vec<KvCache>,
+    rng: SeededRng,
+    steps: Vec<StepStats>,
+    finished: bool,
+}
+
+impl Session {
+    /// Starts a session: prefills the prompt (all but its last token)
+    /// into the LLM cache and every SSM cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or longer than a model's
+    /// `max_seq_len`.
+    pub fn new(llm: &Transformer, ssms: &[&Transformer], prompt: &[TokenId], seed: u64) -> Self {
+        assert!(!prompt.is_empty(), "prompt must hold at least one token");
+        let mut llm_cache = llm.new_cache();
+        if prompt.len() > 1 {
+            let _ = llm.prefill(&prompt[..prompt.len() - 1], &mut llm_cache);
+        }
+        let ssm_caches = ssms
+            .iter()
+            .map(|ssm| {
+                let mut c = ssm.new_cache();
+                if prompt.len() > 1 {
+                    let _ = ssm.prefill(&prompt[..prompt.len() - 1], &mut c);
+                }
+                c
+            })
+            .collect();
+        Session {
+            tokens: prompt.to_vec(),
+            prompt_len: prompt.len(),
+            llm_cache,
+            ssm_caches,
+            rng: SeededRng::new(seed),
+            steps: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The full token sequence so far (prompt included).
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Tokens generated so far.
+    pub fn generated(&self) -> &[TokenId] {
+        &self.tokens[self.prompt_len..]
+    }
+
+    /// Whether generation has hit EOS or its budget.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Per-iteration statistics so far.
+    pub fn steps(&self) -> &[StepStats] {
+        &self.steps
+    }
+
+    /// Runs one decoding iteration under `config`, using `ssms` for
+    /// speculation (ignored for incremental mode). Returns the stats of
+    /// the iteration, or `None` if the session was already finished.
+    pub fn step(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+    ) -> Option<StepStats> {
+        if self.finished {
+            return None;
+        }
+        // Context-window guard: when even one more row would overflow the
+        // KV cache, the sequence has exhausted the model's context — end
+        // the generation instead of panicking mid-flight.
+        if self.llm_cache.len() + 1 > self.llm_cache.max_len() {
+            self.finished = true;
+            return None;
+        }
+        let stats = match &config.mode {
+            InferenceMode::Incremental => self.step_incremental(llm, config),
+            InferenceMode::SequenceSpeculative { depth } => {
+                let expansion = ExpansionConfig::sequence(*depth);
+                if self.speculation_fits(ssms, expansion.node_count()) {
+                    self.step_speculative(llm, ssms, &expansion, config)
+                } else {
+                    self.step_incremental(llm, config)
+                }
+            }
+            InferenceMode::TreeSpeculative { expansion } => {
+                if self.speculation_fits(ssms, expansion.node_count()) {
+                    self.step_speculative(llm, ssms, &expansion.clone(), config)
+                } else {
+                    // Near the context limit a full tree no longer fits;
+                    // degrade to incremental decoding for the tail.
+                    self.step_incremental(llm, config)
+                }
+            }
+            InferenceMode::DynamicTree { config: dyn_cfg } => {
+                if self.speculation_fits(ssms, dyn_cfg.max_nodes) {
+                    self.step_dynamic(llm, ssms, &dyn_cfg.clone(), config)
+                } else {
+                    self.step_incremental(llm, config)
+                }
+            }
+        };
+        self.steps.push(stats);
+        Some(stats)
+    }
+
+    /// Whether a speculated tree of up to `worst_nodes` nodes (plus the
+    /// root) fits in every cache involved.
+    fn speculation_fits(&self, ssms: &[&Transformer], worst_nodes: usize) -> bool {
+        let need = worst_nodes + 1;
+        if self.llm_cache.len() + need > self.llm_cache.max_len() {
+            return false;
+        }
+        let _ = ssms;
+        self.ssm_caches.iter().all(|c| c.len() + need <= c.max_len())
+    }
+
+    fn step_incremental(&mut self, llm: &Transformer, config: &EngineConfig) -> StepStats {
+        let last = *self.tokens.last().expect("prompt is non-empty");
+        let logits = llm.decode_one(last, &mut self.llm_cache);
+        let next = match &config.decode {
+            DecodeMode::Greedy => sampler::greedy_token(logits.data()),
+            mode => {
+                let p = sampler::probs_from_logits(logits.data(), mode);
+                sampler::sample_token(&p, &mut self.rng)
+            }
+        };
+        self.tokens.push(next);
+        self.check_termination(config, &[next]);
+        StepStats { tree_size: 0, accepted: 0, emitted: 1 }
+    }
+
+    fn step_speculative(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        expansion: &ExpansionConfig,
+        config: &EngineConfig,
+    ) -> StepStats {
+        assert!(!ssms.is_empty(), "speculative modes need at least one SSM");
+        assert_eq!(
+            ssms.len(),
+            self.ssm_caches.len(),
+            "the session was created for a different SSM pool"
+        );
+        let root = *self.tokens.last().expect("prompt is non-empty");
+        let exp_mode = ExpansionMode::for_decode_mode(&config.decode);
+
+        // Speculate: all SSMs expand into one merged tree (§3).
+        let mut tree = TokenTree::new(root);
+        let mut dists = SsmDistTable::new();
+        for (i, ssm) in ssms.iter().enumerate() {
+            expand_into(
+                &mut tree,
+                &mut dists,
+                ssm,
+                i,
+                &mut self.ssm_caches[i],
+                expansion,
+                exp_mode,
+                &mut self.rng,
+            );
+        }
+        let spec = Speculation { tree, dists };
+        self.verify_and_commit(llm, ssms, spec, config)
+    }
+
+    fn step_dynamic(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        dyn_cfg: &crate::dynamic::DynamicExpansionConfig,
+        config: &EngineConfig,
+    ) -> StepStats {
+        assert!(!ssms.is_empty(), "dynamic speculation needs at least one SSM");
+        assert_eq!(
+            ssms.len(),
+            self.ssm_caches.len(),
+            "the session was created for a different SSM pool"
+        );
+        let root = *self.tokens.last().expect("prompt is non-empty");
+        let spec =
+            crate::dynamic::speculate_dynamic(ssms[0], &mut self.ssm_caches[0], root, dyn_cfg);
+        self.verify_and_commit(llm, ssms, spec, config)
+    }
+
+    /// Verifies a speculation against the LLM in one tree-parallel pass,
+    /// commits the accepted path to every cache and the token sequence,
+    /// and returns the iteration's stats.
+    fn verify_and_commit(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        spec: Speculation,
+        config: &EngineConfig,
+    ) -> StepStats {
+        let root = *self.tokens.last().expect("prompt is non-empty");
+        let lin = LinearizedTree::new(&spec.tree);
+        let prefix = self.llm_cache.len();
+        let llm_logits = llm.decode_tree(&lin, &mut self.llm_cache);
+        let outcome = match &config.decode {
+            DecodeMode::Greedy => verify_greedy(&spec.tree, &lin, &llm_logits),
+            mode => match config.verifier {
+                StochasticVerifier::MultiStep => verify_stochastic(
+                    &spec.tree,
+                    &lin,
+                    &llm_logits,
+                    &spec.dists,
+                    mode,
+                    &mut self.rng,
+                ),
+                StochasticVerifier::Naive => {
+                    verify_naive(&spec.tree, &lin, &llm_logits, mode, &mut self.rng)
+                }
+            },
+        };
+
+        // Keep the accepted path (root + verified nodes) in the LLM cache.
+        let mut keep: Vec<usize> = vec![0];
+        keep.extend(outcome.nodes.iter().map(|&u| lin.index_of(u)));
+        self.llm_cache.retain_rows(prefix, &keep);
+
+        // SSM caches saw only the verified prefix; append the root and the
+        // newly verified tokens (everything but the bonus) to restore the
+        // invariant.
+        let accepted = outcome.accepted_speculated();
+        let mut replay = Vec::with_capacity(1 + accepted);
+        replay.push(root);
+        replay.extend_from_slice(&outcome.tokens[..accepted]);
+        for (i, ssm) in ssms.iter().enumerate() {
+            let _ = ssm.prefill(&replay, &mut self.ssm_caches[i]);
+        }
+
+        self.tokens.extend_from_slice(&outcome.tokens);
+        self.check_termination(config, &outcome.tokens);
+        StepStats {
+            tree_size: spec.tree.speculated_len(),
+            accepted,
+            emitted: outcome.tokens.len(),
+        }
+    }
+
+    fn check_termination(&mut self, config: &EngineConfig, new_tokens: &[TokenId]) {
+        if let Some(eos) = config.eos_token {
+            if let Some(rel) = new_tokens.iter().position(|&t| t == eos) {
+                // Truncate right after the EOS token.
+                let cut = self.tokens.len() - new_tokens.len() + rel + 1;
+                self.tokens.truncate(cut);
+                self.finished = true;
+                return;
+            }
+        }
+        if self.tokens.len() - self.prompt_len >= config.max_new_tokens {
+            self.finished = true;
+        }
+    }
+
+    /// Consumes the session into a [`GenerationResult`].
+    pub fn into_result(self) -> GenerationResult {
+        GenerationResult { tokens: self.tokens, prompt_len: self.prompt_len, steps: self.steps }
+    }
+}
+
+/// Convenience wrapper running whole generations: models + configuration.
+///
+/// # Example
+///
+/// ```
+/// use specinfer_model::{ModelConfig, Transformer, DecodeMode};
+/// use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+/// use specinfer_tokentree::ExpansionConfig;
+///
+/// let llm = Transformer::from_seed(ModelConfig::smoke(), 1);
+/// let ssm = Transformer::from_seed(ModelConfig::smoke(), 2);
+/// let config = EngineConfig {
+///     decode: DecodeMode::Greedy,
+///     verifier: StochasticVerifier::MultiStep,
+///     mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+///     max_new_tokens: 16,
+///     eos_token: None,
+/// };
+/// let engine = SpecEngine::new(&llm, vec![&ssm], config);
+/// let result = engine.generate(&[3, 1, 4], 7);
+/// assert!(result.generated().len() >= 16);
+/// ```
+#[derive(Debug)]
+pub struct SpecEngine<'m> {
+    llm: &'m Transformer,
+    ssms: Vec<&'m Transformer>,
+    config: EngineConfig,
+}
+
+impl<'m> SpecEngine<'m> {
+    /// Creates an engine over an LLM, a pool of SSMs and a configuration.
+    pub fn new(llm: &'m Transformer, ssms: Vec<&'m Transformer>, config: EngineConfig) -> Self {
+        SpecEngine { llm, ssms, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs a full generation for `prompt`, seeded by `seed`.
+    pub fn generate(&self, prompt: &[TokenId], seed: u64) -> GenerationResult {
+        let mut session = Session::new(self.llm, &self.ssms, prompt, seed);
+        while !session.is_finished() {
+            let _ = session.step(self.llm, &self.ssms, &self.config);
+        }
+        session.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specinfer_model::ModelConfig;
+
+    fn models() -> (Transformer, Transformer) {
+        // SSM = the LLM's own little sibling (same seed family) so greedy
+        // speculation has nontrivial accept rates even untrained.
+        let llm = Transformer::from_seed(ModelConfig::smoke(), 100);
+        let ssm = Transformer::from_seed(
+            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            101,
+        );
+        (llm, ssm)
+    }
+
+    fn config(mode: InferenceMode, decode: DecodeMode) -> EngineConfig {
+        EngineConfig {
+            decode,
+            verifier: StochasticVerifier::MultiStep,
+            mode,
+            max_new_tokens: 24,
+            eos_token: None,
+        }
+    }
+
+    #[test]
+    fn incremental_generates_budgeted_tokens() {
+        let (llm, _) = models();
+        let engine =
+            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy));
+        let r = engine.generate(&[1, 2, 3], 0);
+        assert_eq!(r.generated().len(), 24);
+        assert_eq!(r.llm_steps(), 24);
+        assert!((r.tokens_per_step() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_tree_spec_matches_incremental_exactly() {
+        let (llm, ssm) = models();
+        let inc =
+            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
+                .generate(&[5, 9, 2], 0);
+        let tree = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            config(
+                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1, 1]) },
+                DecodeMode::Greedy,
+            ),
+        )
+        .generate(&[5, 9, 2], 0);
+        // Lossless guarantee: identical output, fewer LLM steps.
+        let n = inc.generated().len().min(tree.generated().len());
+        assert_eq!(&inc.generated()[..n], &tree.generated()[..n]);
+        assert!(tree.llm_steps() <= inc.llm_steps());
+    }
+
+    #[test]
+    fn sequence_spec_is_tree_of_width_one() {
+        let (llm, ssm) = models();
+        let r = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            config(InferenceMode::SequenceSpeculative { depth: 4 }, DecodeMode::Greedy),
+        )
+        .generate(&[7, 7, 7], 1);
+        for s in &r.steps {
+            assert!(s.tree_size <= 4);
+            assert_eq!(s.emitted, s.accepted + 1);
+        }
+    }
+
+    #[test]
+    fn self_speculation_accepts_everything_greedy() {
+        // When the SSM *is* the LLM, greedy speculation of a chain must be
+        // accepted in full every step: emitted = depth + 1.
+        let (llm, _) = models();
+        let depth = 4;
+        let r = SpecEngine::new(
+            &llm,
+            vec![&llm],
+            config(InferenceMode::SequenceSpeculative { depth }, DecodeMode::Greedy),
+        )
+        .generate(&[2, 3], 0);
+        for s in &r.steps {
+            assert_eq!(s.accepted, depth, "self-speculation must fully verify");
+            assert_eq!(s.emitted, depth + 1);
+        }
+    }
+
+    #[test]
+    fn stochastic_modes_produce_budgeted_output() {
+        let (llm, ssm) = models();
+        for verifier in [StochasticVerifier::MultiStep, StochasticVerifier::Naive] {
+            let mut cfg = config(
+                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1, 1]) },
+                DecodeMode::stochastic(),
+            );
+            cfg.verifier = verifier;
+            let r = SpecEngine::new(&llm, vec![&ssm], cfg).generate(&[4, 4], 3);
+            assert!(r.generated().len() >= 24);
+            for s in &r.steps {
+                assert_eq!(s.emitted, s.accepted + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn eos_terminates_and_truncates() {
+        let (llm, ssm) = models();
+        // Find the greedy continuation and use its second token as EOS so
+        // termination happens mid-stream.
+        let probe =
+            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
+                .generate(&[6, 1, 6], 0);
+        let eos = probe.generated()[1];
+        let mut cfg = config(
+            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1, 1]) },
+            DecodeMode::Greedy,
+        );
+        cfg.eos_token = Some(eos);
+        let r = SpecEngine::new(&llm, vec![&ssm], cfg).generate(&[6, 1, 6], 0);
+        assert_eq!(*r.tokens.last().unwrap(), eos);
+        assert_eq!(r.generated().len(), 2, "output must stop right after EOS");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2]) },
+            DecodeMode::stochastic(),
+        );
+        let engine = SpecEngine::new(&llm, vec![&ssm], cfg);
+        let a = engine.generate(&[8, 3], 42);
+        let b = engine.generate(&[8, 3], 42);
+        assert_eq!(a.tokens, b.tokens);
+        let c = engine.generate(&[8, 3], 43);
+        assert_ne!(a.tokens, c.tokens, "different seeds should diverge");
+    }
+
+    #[test]
+    fn session_stops_stepping_after_finish() {
+        let (llm, _) = models();
+        let cfg = config(InferenceMode::Incremental, DecodeMode::Greedy);
+        let mut s = Session::new(&llm, &[], &[1], 0);
+        for _ in 0..24 {
+            assert!(s.step(&llm, &[], &cfg).is_some());
+        }
+        assert!(s.is_finished());
+        assert!(s.step(&llm, &[], &cfg).is_none());
+    }
+
+    #[test]
+    fn context_exhaustion_degrades_then_finishes() {
+        // A model with a tiny context window: the engine must fall back
+        // to incremental steps near the limit and stop cleanly at it,
+        // never panicking on cache overflow.
+        let cfg_model = ModelConfig { max_seq_len: 18, ..ModelConfig::smoke() };
+        let llm = Transformer::from_seed(cfg_model.clone(), 300);
+        let ssm = Transformer::from_seed(
+            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..cfg_model },
+            301,
+        );
+        let mut cfg = config(
+            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+            DecodeMode::Greedy,
+        );
+        cfg.max_new_tokens = 100; // far beyond the context window
+        let r = SpecEngine::new(&llm, vec![&ssm], cfg).generate(&[1, 2, 3], 0);
+        // Sequence length (prompt + generated) never exceeds max_seq_len
+        // by more than the final bonus token that is never cached.
+        assert!(r.tokens.len() <= 18 + 1, "{} tokens", r.tokens.len());
+        assert!(!r.generated().is_empty());
+    }
+
+    #[test]
+    fn dynamic_tree_is_lossless_under_greedy() {
+        let (llm, ssm) = models();
+        let inc =
+            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
+                .generate(&[3, 8, 1], 0);
+        let dynamic = SpecEngine::new(
+            &llm,
+            vec![&ssm],
+            config(
+                InferenceMode::DynamicTree {
+                    config: crate::dynamic::DynamicExpansionConfig::default(),
+                },
+                DecodeMode::Greedy,
+            ),
+        )
+        .generate(&[3, 8, 1], 0);
+        let n = inc.generated().len().min(dynamic.generated().len());
+        assert_eq!(&inc.generated()[..n], &dynamic.generated()[..n]);
+        assert!(dynamic.llm_steps() <= inc.llm_steps());
+        assert!(dynamic.steps.iter().all(|s| s.tree_size <= 20));
+    }
+
+    #[test]
+    fn multi_ssm_sessions_track_their_pool() {
+        let (llm, ssm) = models();
+        let ssm2 = Transformer::from_seed(
+            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            202,
+        );
+        let cfg = config(
+            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![1, 1, 1]) },
+            DecodeMode::Greedy,
+        );
+        let r = SpecEngine::new(&llm, vec![&ssm, &ssm2], cfg).generate(&[9, 9], 5);
+        assert!(r.generated().len() >= 24);
+        // Merged speculation from two distinct SSMs yields trees of up to
+        // 6 nodes (two depth-3 chains).
+        assert!(r.steps.iter().all(|s| s.tree_size <= 6));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the verifier: structural invariants that
+//! must hold for arbitrary trees, logits and seeds.
+
+use proptest::prelude::*;
+use specinfer_model::{sampler, DecodeMode};
+use specinfer_spec::{verify_greedy, verify_naive, verify_stochastic, SsmDistTable};
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
+use specinfer_tokentree::{LinearizedTree, TokenTree};
+
+const VOCAB: usize = 8;
+
+fn build_tree(edges: &[(usize, u32)]) -> TokenTree {
+    let mut tree = TokenTree::new(0);
+    let mut ids = vec![TokenTree::ROOT];
+    for &(p, t) in edges {
+        let parent = ids[p % ids.len()];
+        ids.push(tree.add_child(parent, t % VOCAB as u32, 0, 0.25));
+    }
+    tree
+}
+
+fn logits_tensor(tree: &TokenTree, raw: &[f32]) -> (LinearizedTree, Tensor) {
+    let lin = LinearizedTree::new(tree);
+    let mut data = Vec::with_capacity(lin.len() * VOCAB);
+    for i in 0..lin.len() * VOCAB {
+        data.push(raw[i % raw.len()] * (1.0 + (i % 7) as f32 * 0.13));
+    }
+    (lin.clone(), Tensor::from_vec(data, &[lin.len(), VOCAB]))
+}
+
+fn uniform_dists(tree: &TokenTree) -> SsmDistTable {
+    let mut dists = SsmDistTable::new();
+    for u in tree.node_ids() {
+        dists.insert(u, 0, vec![1.0 / VOCAB as f32; VOCAB]);
+    }
+    dists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy verification always follows the argmax walk: each accepted
+    /// token is the argmax at its parent, and the bonus token is the
+    /// argmax at the last accepted node.
+    #[test]
+    fn greedy_outcome_is_the_argmax_walk(
+        edges in prop::collection::vec((0usize..8, 0u32..8), 0..12),
+        raw in prop::collection::vec(-3.0f32..3.0, 4..16),
+    ) {
+        let tree = build_tree(&edges);
+        let (lin, logits) = logits_tensor(&tree, &raw);
+        let out = verify_greedy(&tree, &lin, &logits);
+
+        prop_assert_eq!(out.tokens.len(), out.nodes.len() + 1);
+        let mut u = TokenTree::ROOT;
+        for (i, &tok) in out.tokens.iter().enumerate() {
+            let argmax = sampler::greedy_token(logits.row(lin.index_of(u)));
+            prop_assert_eq!(tok, argmax, "position {} not the argmax", i);
+            if i < out.nodes.len() {
+                let v = out.nodes[i];
+                prop_assert_eq!(tree.parent(v), Some(u));
+                prop_assert_eq!(tree.token(v), tok);
+                u = v;
+            } else {
+                // The bonus token never matches a child of u (else the
+                // walk would have continued).
+                prop_assert!(tree.child_with_token(u, tok).is_none());
+            }
+        }
+    }
+
+    /// MSS and naive outcomes always form a root-path of the tree plus a
+    /// bonus token, regardless of seed.
+    #[test]
+    fn stochastic_outcomes_are_root_paths(
+        edges in prop::collection::vec((0usize..8, 0u32..8), 0..12),
+        raw in prop::collection::vec(-3.0f32..3.0, 4..16),
+        seed in 0u64..1_000,
+    ) {
+        let tree = build_tree(&edges);
+        let (lin, logits) = logits_tensor(&tree, &raw);
+        let dists = uniform_dists(&tree);
+        let mode = DecodeMode::stochastic();
+
+        for which in 0..2 {
+            let mut rng = SeededRng::new(seed);
+            let out = if which == 0 {
+                verify_stochastic(&tree, &lin, &logits, &dists, &mode, &mut rng)
+            } else {
+                verify_naive(&tree, &lin, &logits, &mode, &mut rng)
+            };
+            prop_assert_eq!(out.tokens.len(), out.nodes.len() + 1);
+            let mut u = TokenTree::ROOT;
+            for (i, &v) in out.nodes.iter().enumerate() {
+                prop_assert_eq!(tree.parent(v), Some(u), "step {} broke the path", i);
+                prop_assert_eq!(tree.token(v), out.tokens[i]);
+                u = v;
+            }
+        }
+    }
+
+    /// Verification is deterministic given the seed.
+    #[test]
+    fn verification_is_seed_deterministic(
+        edges in prop::collection::vec((0usize..8, 0u32..8), 0..10),
+        raw in prop::collection::vec(-2.0f32..2.0, 4..12),
+        seed in 0u64..500,
+    ) {
+        let tree = build_tree(&edges);
+        let (lin, logits) = logits_tensor(&tree, &raw);
+        let dists = uniform_dists(&tree);
+        let mode = DecodeMode::stochastic();
+        let mut r1 = SeededRng::new(seed);
+        let mut r2 = SeededRng::new(seed);
+        let a = verify_stochastic(&tree, &lin, &logits, &dists, &mode, &mut r1);
+        let b = verify_stochastic(&tree, &lin, &logits, &dists, &mode, &mut r2);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! First-order optimizers driving the autograd tape.
+//!
+//! Parameters live *outside* the tape (owned by the model); each training
+//! step registers them on a fresh [`crate::autograd::Tape`], runs
+//! forward/backward, and hands `(params, grads)` to an [`Optimizer`].
+
+use crate::Tensor;
+
+/// A first-order optimizer over a fixed, ordered list of parameters.
+///
+/// The parameter list must have the same length and per-slot dims on
+/// every call; optimizers keep per-slot state (e.g. Adam moments) keyed by
+/// position.
+pub trait Optimizer {
+    /// Applies one update step. `grads[i]` is the gradient for `params[i]`;
+    /// a `None` gradient leaves that parameter untouched (this happens for
+    /// parameters not reachable from the loss, e.g. a frozen branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()` or a gradient's dims differ
+    /// from its parameter's.
+    fn step(&mut self, params: &mut [Tensor], grads: &[Option<Tensor>]);
+}
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Tensor], grads: &[Option<Tensor>]) {
+        assert_eq!(params.len(), grads.len(), "one gradient slot per parameter");
+        for (p, g) in params.iter_mut().zip(grads) {
+            let Some(g) = g else { continue };
+            assert_eq!(p.dims(), g.dims(), "gradient dims must match parameter dims");
+            for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                *pv -= self.lr * (gv + self.weight_decay * *pv);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyperparameters (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Tensor], grads: &[Option<Tensor>]) {
+        assert_eq!(params.len(), grads.len(), "one gradient slot per parameter");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list must not change size");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            let Some(g) = g else { continue };
+            assert_eq!(p.dims(), g.dims(), "gradient dims must match parameter dims");
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for ((pv, gv), (mv, vv)) in
+                p.data_mut().iter_mut().zip(g.data()).zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Tape;
+    use crate::rng::SeededRng;
+
+    /// Minimizes ‖w − target‖² and checks convergence.
+    fn converges_on_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 3]);
+        let mut rng = SeededRng::new(1);
+        let mut params = vec![Tensor::randn(&[1, 3], 1.0, &mut rng)];
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let w = tape.param(params[0].clone());
+            let t = tape.constant(target.scale(-1.0));
+            let diff = tape.add(w, t);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.sum_scalar(sq);
+            tape.backward(loss);
+            let grads = vec![tape.grad(w).cloned()];
+            opt.step(&mut params, &grads);
+        }
+        params[0].max_abs_diff(&target)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.1);
+        assert!(converges_on_quadratic(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05);
+        assert!(converges_on_quadratic(&mut opt, 500) < 1e-2);
+    }
+
+    #[test]
+    fn none_gradient_leaves_param_untouched() {
+        let mut opt = Sgd::new(0.5);
+        let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
+        opt.step(&mut params, &[None]);
+        assert_eq!(params[0].data(), &[1.0]);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
+        let grads = vec![Some(Tensor::from_vec(vec![0.0], &[1]))];
+        opt.step(&mut params, &grads);
+        assert!((params[0].data()[0] - 0.9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Every stochastic component in the workspace (weight init, sampling,
+//! workload generation) draws from [`SeededRng`], a thin wrapper around
+//! ChaCha8 so that experiments are bit-reproducible across runs and
+//! platforms. `rand`'s default `StdRng` explicitly does *not* promise
+//! stability across crate versions, which would silently break the
+//! experiment tables — hence the pinned generator.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random number generator with convenience samplers.
+///
+/// ```
+/// use specinfer_tensor::rng::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.uniform(), b.uniform());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; `stream` distinguishes
+    /// children derived from the same parent state.
+    ///
+    /// Useful for giving each request / dataset / model its own
+    /// reproducible stream.
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let base = self.inner.next_u64();
+        SeededRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// A uniform sample in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller: avoid u1 == 0 which would produce -inf.
+        let u1 = self.inner.gen::<f64>().max(1e-12);
+        let u2 = self.inner.gen::<f64>();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Samples an index from a discrete probability distribution.
+    ///
+    /// The probabilities are assumed non-negative; they are normalized
+    /// internally, so unnormalized weights are accepted. Returns the final
+    /// index if accumulated rounding leaves the draw unmatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or sums to zero.
+    pub fn sample_index(&mut self, probs: &[f32]) -> usize {
+        assert!(!probs.is_empty(), "cannot sample from an empty distribution");
+        let total: f32 = probs.iter().sum();
+        assert!(total > 0.0, "distribution must have positive mass");
+        let mut draw = self.uniform() * total;
+        for (i, &p) in probs.iter().enumerate() {
+            draw -= p;
+            if draw < 0.0 {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// A uniform permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.below(i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// Raw 64-bit output, for deriving sub-seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_streams() {
+        let mut root = SeededRng::new(5);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        // Not a strict statistical test, just a regression check that the
+        // streams differ.
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = SeededRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_index_respects_distribution() {
+        let mut rng = SeededRng::new(11);
+        let probs = [0.1, 0.7, 0.2];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.sample_index(&probs)] += 1;
+        }
+        assert!(counts[1] > counts[0] && counts[1] > counts[2]);
+        assert!((counts[1] as f32 / 10_000.0 - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_index_handles_unnormalized_weights() {
+        let mut rng = SeededRng::new(12);
+        let idx = rng.sample_index(&[0.0, 3.0, 0.0]);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SeededRng::new(13);
+        let p = rng.permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,37 @@
+//! Token tree data structures for tree-based speculative inference.
+//!
+//! A *token tree* (Definition 3.1 of the SpecInfer paper) organizes
+//! speculated continuations of a prompt: every node carries one token, and
+//! the path from the root to a node spells out one candidate token
+//! sequence. This crate provides:
+//!
+//! * [`TokenTree`] — the tree itself, with ancestor queries and the
+//!   **merge** operation of Definition 3.2 (trie-union of candidate sets);
+//! * [`ExpansionConfig`] — the static ⟨k₁, …, k_m⟩ expansion schedule used
+//!   by the expansion-based tree constructor;
+//! * [`LinearizedTree`] — the depth-first linearization used to lay
+//!   speculated tokens out in a shared KV cache, together with the
+//!   **topology-aware causal mask** that makes single-pass tree attention
+//!   equivalent to per-sequence attention (§4.2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use specinfer_tokentree::TokenTree;
+//!
+//! // Root holds the last verified token; children are speculations.
+//! let mut tree = TokenTree::new(7);
+//! let a = tree.add_child(TokenTree::ROOT, 1, 0, 0.9);
+//! let _b = tree.add_child(TokenTree::ROOT, 2, 0, 0.1);
+//! let c = tree.add_child(a, 3, 0, 0.8);
+//! assert_eq!(tree.sequence(c), vec![7, 1, 3]);
+//! assert_eq!(tree.len(), 4);
+//! ```
+
+mod expansion;
+mod linearize;
+mod tree;
+
+pub use expansion::ExpansionConfig;
+pub use linearize::{LinearizedTree, TopologyMask};
+pub use tree::{NodeId, TokenId, TokenTree};

@@ -1,0 +1,124 @@
+//! Property-based tests for token-tree invariants.
+
+use proptest::prelude::*;
+use specinfer_tokentree::{LinearizedTree, NodeId, TokenTree};
+
+/// Builds a random tree from a shape description: each entry attaches a
+/// node under parent `p % current_len` with token `t`.
+fn build_tree(root: u32, edges: &[(usize, u32)]) -> TokenTree {
+    let mut tree = TokenTree::new(root);
+    let mut ids = vec![TokenTree::ROOT];
+    for &(p, tok) in edges {
+        let parent = ids[p % ids.len()];
+        let id = tree.add_child(parent, tok, 0, 0.5);
+        ids.push(id);
+    }
+    tree
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    prop::collection::vec((0usize..64, 0u32..16), 0..40)
+}
+
+proptest! {
+    /// Merging trees yields exactly the union of their candidate-sequence
+    /// sets (Definition 3.2, both directions).
+    #[test]
+    fn merge_is_sequence_set_union(
+        e1 in edges_strategy(),
+        e2 in edges_strategy(),
+        e3 in edges_strategy(),
+    ) {
+        let trees = vec![build_tree(0, &e1), build_tree(0, &e2), build_tree(0, &e3)];
+        let merged = TokenTree::merge(&trees);
+
+        let mut union: Vec<Vec<u32>> = Vec::new();
+        for t in &trees {
+            for s in t.all_sequences() {
+                if !union.contains(&s) {
+                    union.push(s);
+                }
+            }
+        }
+        let merged_seqs = merged.all_sequences();
+        // Forward: every input sequence appears in the merge.
+        for s in &union {
+            prop_assert!(merged_seqs.contains(s), "missing {s:?}");
+        }
+        // Backward: the merge introduces no new sequences, and each node
+        // identifies a distinct sequence (trie property).
+        prop_assert_eq!(merged_seqs.len(), union.len());
+        for s in &merged_seqs {
+            prop_assert!(union.contains(s), "extra {s:?}");
+        }
+    }
+
+    /// Merge is idempotent: merging a tree with itself preserves the
+    /// sequence set and node count of its trie form.
+    #[test]
+    fn merge_is_idempotent(e in edges_strategy()) {
+        let t = build_tree(3, &e);
+        let once = TokenTree::merge(std::slice::from_ref(&t));
+        let twice = TokenTree::merge(&[t.clone(), t.clone()]);
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(once.all_sequences(), twice.all_sequences());
+    }
+
+    /// DFS order always places parents before children, and visits every
+    /// node exactly once.
+    #[test]
+    fn dfs_is_topological_and_complete(e in edges_strategy()) {
+        let t = build_tree(1, &e);
+        let order = t.dfs_order();
+        prop_assert_eq!(order.len(), t.len());
+        let mut pos = vec![usize::MAX; t.len()];
+        for (i, u) in order.iter().enumerate() {
+            prop_assert_eq!(pos[u.index()], usize::MAX, "node visited twice");
+            pos[u.index()] = i;
+        }
+        for u in t.node_ids() {
+            if let Some(p) = t.parent(u) {
+                prop_assert!(pos[p.index()] < pos[u.index()]);
+            }
+        }
+    }
+
+    /// The topology mask equals the ancestor relation, for arbitrary trees.
+    #[test]
+    fn mask_equals_ancestor_relation(e in edges_strategy()) {
+        let t = build_tree(2, &e);
+        let lin = LinearizedTree::new(&t);
+        let nodes: Vec<NodeId> = lin.nodes().to_vec();
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate() {
+                prop_assert_eq!(lin.mask().allowed(i, j), t.is_ancestor(v, u));
+            }
+        }
+    }
+
+    /// A node's sequence is its parent's sequence plus its own token
+    /// (Definition 3.1).
+    #[test]
+    fn sequence_extends_parent(e in edges_strategy()) {
+        let t = build_tree(5, &e);
+        for u in t.node_ids() {
+            if let Some(p) = t.parent(u) {
+                let mut expect = t.sequence(p);
+                expect.push(t.token(u));
+                prop_assert_eq!(t.sequence(u), expect);
+            }
+        }
+    }
+
+    /// Depths reported by the linearization agree with the tree, and the
+    /// mask allows exactly depth+1 positions per row (the root path).
+    #[test]
+    fn mask_row_cardinality_is_depth_plus_one(e in edges_strategy()) {
+        let t = build_tree(0, &e);
+        let lin = LinearizedTree::new(&t);
+        for i in 0..lin.len() {
+            let row_count = (0..lin.len()).filter(|&j| lin.mask().allowed(i, j)).count();
+            prop_assert_eq!(row_count, lin.depths()[i] + 1);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic workloads for SpecInfer-rs.
+//!
+//! The paper evaluates on five public prompt datasets (Alpaca, ChatGPT
+//! Prompts, WebQA, Chatbot Instruction Prompts, PIQA). Those datasets are
+//! used purely as prompt sources with differing *predictability*; this
+//! crate substitutes a seeded probabilistic grammar ([`Grammar`]) whose
+//! five domains ([`Dataset`]) differ in branching factor and skew the same
+//! way, reproducing the ordering of the paper's per-dataset rows (CIP/CP
+//! most predictable, WebQA/PIQA least).
+//!
+//! The grammar also yields the unsupervised **training corpus** used to
+//! train the base LLM and boost-tune SSM pools (standing in for
+//! OpenWebText).
+//!
+//! [`trace`] provides request arrival processes for the serving
+//! experiments.
+
+mod datasets;
+mod grammar;
+pub mod text;
+pub mod trace;
+
+pub use datasets::{Dataset, PromptSpec};
+pub use grammar::{Grammar, BOS_TOKEN, EOS_TOKEN};

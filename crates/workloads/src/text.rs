@@ -1,0 +1,69 @@
+//! Pseudo-text rendering of token sequences.
+//!
+//! The synthetic grammar has no real vocabulary, but demos and logs are
+//! far easier to read as words than as integers. This module gives every
+//! token a stable, pronounceable pseudo-word (domain tokens share a
+//! domain-specific prefix so the structure stays visible).
+
+use specinfer_tokentree::TokenId;
+
+use crate::grammar::{BOS_TOKEN, EOS_TOKEN};
+
+const ONSETS: [&str; 8] = ["b", "d", "k", "l", "m", "n", "r", "t"];
+const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
+const CODAS: [&str; 6] = ["", "n", "s", "l", "r", "k"];
+
+/// Renders one token as a stable pseudo-word.
+///
+/// ```
+/// use specinfer_workloads::text::render_token;
+/// assert_eq!(render_token(1), "⟨eos⟩");
+/// assert_eq!(render_token(42), render_token(42)); // stable
+/// ```
+pub fn render_token(t: TokenId) -> String {
+    match t {
+        BOS_TOKEN => "⟨bos⟩".to_string(),
+        EOS_TOKEN => "⟨eos⟩".to_string(),
+        t => {
+            let n = t as usize;
+            let onset = ONSETS[n % ONSETS.len()];
+            let vowel = VOWELS[(n / ONSETS.len()) % VOWELS.len()];
+            let coda = CODAS[(n / (ONSETS.len() * VOWELS.len())) % CODAS.len()];
+            let second = VOWELS[(n / 7) % VOWELS.len()];
+            format!("{onset}{vowel}{coda}{second}")
+        }
+    }
+}
+
+/// Renders a token sequence as space-separated pseudo-words.
+pub fn render(tokens: &[TokenId]) -> String {
+    tokens.iter().map(|&t| render_token(t)).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_stable_and_distinctish() {
+        let a: Vec<String> = (0..256).map(render_token).collect();
+        let b: Vec<String> = (0..256).map(render_token).collect();
+        assert_eq!(a, b);
+        // Not required to be injective over 256 tokens, but should be
+        // far from constant.
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert!(distinct.len() > 100, "{} distinct", distinct.len());
+    }
+
+    #[test]
+    fn specials_are_marked() {
+        assert!(render_token(BOS_TOKEN).contains("bos"));
+        assert!(render_token(EOS_TOKEN).contains("eos"));
+    }
+
+    #[test]
+    fn render_joins_with_spaces() {
+        let s = render(&[0, 5, 1]);
+        assert_eq!(s.split(' ').count(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the synthetic grammar and traces.
+
+use proptest::prelude::*;
+use specinfer_tensor::rng::SeededRng;
+use specinfer_workloads::{trace::Trace, Dataset, Grammar, BOS_TOKEN, EOS_TOKEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every bigram's successor distribution is a valid probability
+    /// distribution over the vocabulary, for arbitrary previous tokens.
+    #[test]
+    fn next_dist_is_normalized_for_any_bigram(
+        seed in 0u64..50,
+        prev in 0u32..256,
+        cur in 0u32..256,
+    ) {
+        let g = Grammar::synthetic(256, seed);
+        let dist = g.next_dist(prev, cur);
+        let sum: f32 = dist.iter().map(|&(_, p)| p).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "{sum}");
+        prop_assert!(dist.iter().all(|&(t, p)| p >= 0.0 && (t as usize) < 256));
+    }
+
+    /// The successor *set* never depends on the previous token (only the
+    /// probability assignment rotates).
+    #[test]
+    fn rotation_preserves_support(
+        seed in 0u64..50,
+        cur in 2u32..256,
+        prev_a in 0u32..256,
+        prev_b in 0u32..256,
+    ) {
+        let g = Grammar::synthetic(256, seed);
+        let sa: Vec<u32> = g.next_dist(prev_a, cur).iter().map(|&(t, _)| t).collect();
+        let sb: Vec<u32> = g.next_dist(prev_b, cur).iter().map(|&(t, _)| t).collect();
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Rotation permutes probabilities: the multiset of probabilities is
+    /// identical for every previous token.
+    #[test]
+    fn rotation_is_a_permutation(
+        seed in 0u64..50,
+        cur in 2u32..256,
+        prev_a in 0u32..256,
+        prev_b in 0u32..256,
+    ) {
+        let g = Grammar::synthetic(256, seed);
+        let mut pa: Vec<f32> = g.next_dist(prev_a, cur).iter().map(|&(_, p)| p).collect();
+        let mut pb: Vec<f32> = g.next_dist(prev_b, cur).iter().map(|&(_, p)| p).collect();
+        pa.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pb.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in pa.iter().zip(&pb) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Sampled sequences are structurally valid: start at BOS, stay in
+    /// vocabulary, EOS only terminal.
+    #[test]
+    fn sequences_are_well_formed(
+        seed in 0u64..200,
+        domain in 0usize..5,
+        max_len in 2usize..64,
+    ) {
+        let g = Grammar::synthetic(256, 7);
+        let mut rng = SeededRng::new(seed);
+        let s = g.sample_sequence(Some(domain), max_len, &mut rng);
+        prop_assert_eq!(s[0], BOS_TOKEN);
+        prop_assert!(s.len() <= max_len + 1);
+        prop_assert!(s.iter().all(|&t| (t as usize) < 256));
+        if let Some(pos) = s.iter().position(|&t| t == EOS_TOKEN) {
+            prop_assert_eq!(pos, s.len() - 1);
+        }
+    }
+
+    /// Dataset prompts always carry the requested shape and never contain
+    /// a premature EOS.
+    #[test]
+    fn prompts_have_requested_shape(
+        n in 1usize..8,
+        len in 2usize..24,
+        seed in 0u64..100,
+    ) {
+        let g = Grammar::synthetic(256, 7);
+        for ds in Dataset::all() {
+            let prompts = ds.prompts(&g, n, len, 16, seed);
+            prop_assert_eq!(prompts.len(), n);
+            for p in prompts {
+                prop_assert_eq!(p.tokens.len(), len + 1);
+                prop_assert!(!p.tokens[..p.tokens.len() - 1].contains(&EOS_TOKEN));
+            }
+        }
+    }
+
+    /// Poisson traces are sorted and complete.
+    #[test]
+    fn traces_are_sorted(n in 1usize..40, rate in 0.5f64..100.0, seed in 0u64..50) {
+        let g = Grammar::synthetic(256, 7);
+        let t = Trace::poisson(&g, n, rate, 6, 16, seed);
+        prop_assert_eq!(t.len(), n);
+        for w in t.requests.windows(2) {
+            prop_assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        prop_assert!(t.requests[0].arrival_s >= 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! SpecInfer-rs facade crate: re-exports the public API of the
+//! workspace.
+//!
+//! See the [README](https://github.com/example/specinfer-rs) for the
+//! project overview; each re-exported crate carries its own module-level
+//! documentation.
+//!
+//! # Example
+//!
+//! The README's library snippet, compile-checked:
+//!
+//! ```
+//! use specinfer::model::{DecodeMode, ModelConfig, Transformer};
+//! use specinfer::spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+//! use specinfer::tokentree::ExpansionConfig;
+//!
+//! let llm = Transformer::from_seed(ModelConfig::smoke(), 1);
+//! let ssm = Transformer::from_seed(ModelConfig::smoke(), 2);
+//! let engine = SpecEngine::new(&llm, vec![&ssm], EngineConfig {
+//!     decode: DecodeMode::Greedy,
+//!     verifier: StochasticVerifier::MultiStep,
+//!     mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+//!     max_new_tokens: 8,
+//!     eos_token: Some(1),
+//! });
+//! let out = engine.generate(&[2, 3, 4], 0);
+//! assert!(out.tokens_per_step() >= 1.0);
+//! ```
+
+pub use specinfer_model as model;
+pub use specinfer_serving as serving;
+pub use specinfer_sim as sim;
+pub use specinfer_spec as spec;
+pub use specinfer_tensor as tensor;
+pub use specinfer_tokentree as tokentree;
+pub use specinfer_workloads as workloads;

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests of the lossless-acceleration guarantee:
+//! greedy tree-based speculative decoding must produce *exactly* the
+//! sequence incremental decoding produces, for any SSM, while using no
+//! more LLM steps.
+
+use specinfer::model::{DecodeMode, ModelConfig, Transformer};
+use specinfer::spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+use specinfer::tokentree::ExpansionConfig;
+use specinfer::workloads::EOS_TOKEN;
+
+fn engine_config(mode: InferenceMode) -> EngineConfig {
+    EngineConfig {
+        decode: DecodeMode::Greedy,
+        verifier: StochasticVerifier::MultiStep,
+        mode,
+        max_new_tokens: 32,
+        eos_token: None,
+    }
+}
+
+#[test]
+fn greedy_tree_speculation_is_lossless_across_seeds_and_ssms() {
+    for llm_seed in [10u64, 11, 12] {
+        let llm = Transformer::from_seed(ModelConfig::smoke(), llm_seed);
+        let incremental = SpecEngine::new(&llm, vec![], engine_config(InferenceMode::Incremental))
+            .generate(&[1, 2, 3, 4], 0);
+        for ssm_seed in [20u64, 21] {
+            let ssm = Transformer::from_seed(
+                ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+                ssm_seed,
+            );
+            for expansion in [
+                ExpansionConfig::sequence(5),
+                ExpansionConfig::new(vec![2, 2, 1]),
+                ExpansionConfig::paper_default(),
+            ] {
+                let spec = SpecEngine::new(
+                    &llm,
+                    vec![&ssm],
+                    engine_config(InferenceMode::TreeSpeculative { expansion: expansion.clone() }),
+                )
+                .generate(&[1, 2, 3, 4], 0);
+                let n = incremental.generated().len().min(spec.generated().len());
+                assert_eq!(
+                    &incremental.generated()[..n],
+                    &spec.generated()[..n],
+                    "llm {llm_seed}, ssm {ssm_seed}, expansion {expansion}: output diverged"
+                );
+                assert!(
+                    spec.llm_steps() <= incremental.llm_steps(),
+                    "speculation must never add LLM steps"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_multi_ssm_speculation_is_also_lossless() {
+    let llm = Transformer::from_seed(ModelConfig::smoke(), 30);
+    let ssm_cfg =
+        ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() };
+    let s1 = Transformer::from_seed(ssm_cfg.clone(), 31);
+    let s2 = Transformer::from_seed(ssm_cfg.clone(), 32);
+    let s3 = Transformer::from_seed(ssm_cfg, 33);
+
+    let incremental = SpecEngine::new(&llm, vec![], engine_config(InferenceMode::Incremental))
+        .generate(&[7, 5, 3], 0);
+    let merged = SpecEngine::new(
+        &llm,
+        vec![&s1, &s2, &s3],
+        engine_config(InferenceMode::SequenceSpeculative { depth: 6 }),
+    )
+    .generate(&[7, 5, 3], 0);
+    let n = incremental.generated().len().min(merged.generated().len());
+    assert_eq!(&incremental.generated()[..n], &merged.generated()[..n]);
+}
+
+#[test]
+fn eos_convention_is_consistent_across_crates() {
+    // `EngineConfig::greedy_tree` hard-codes the workloads EOS so the two
+    // crates stay decoupled; this pin breaks if either side drifts.
+    let cfg = EngineConfig::greedy_tree();
+    assert_eq!(cfg.eos_token, Some(EOS_TOKEN));
+}
+
+#[test]
+fn speculation_accepts_more_with_a_better_ssm() {
+    // The LLM speculating for itself accepts everything; a random SSM
+    // accepts less. This orders tokens/step as alignment orders it.
+    let llm = Transformer::from_seed(ModelConfig::smoke(), 40);
+    let random_ssm = Transformer::from_seed(
+        ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+        41,
+    );
+    let cfg = engine_config(InferenceMode::SequenceSpeculative { depth: 6 });
+    let self_spec = SpecEngine::new(&llm, vec![&llm], cfg.clone()).generate(&[9, 8, 7], 0);
+    let rand_spec = SpecEngine::new(&llm, vec![&random_ssm], cfg).generate(&[9, 8, 7], 0);
+    assert!(self_spec.tokens_per_step() >= rand_spec.tokens_per_step());
+    assert!((self_spec.tokens_per_step() - 7.0).abs() < 1e-9, "self-speculation accepts all");
+}
