@@ -17,8 +17,26 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
             bench.iter(|| std::hint::black_box(a.matmul(&b)));
         });
+        group.bench_with_input(BenchmarkId::new("nn_ref", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_ref(&b)));
+        });
         group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
             bench.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt_ref", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_nt_ref(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_tn(&b)));
+        });
+        // Scratch-reuse variant: the allocation-free path the forward pass
+        // uses via `ForwardScratch` — same kernel, no output allocation.
+        let mut out = Tensor::default();
+        group.bench_with_input(BenchmarkId::new("nn_into", n), &n, |bench, _| {
+            bench.iter(|| {
+                a.matmul_into(&b, &mut out);
+                std::hint::black_box(out.len())
+            });
         });
     }
     group.finish();

@@ -39,12 +39,33 @@ fn bench_tree_vs_sequence(c: &mut Criterion) {
                 std::hint::black_box(model.decode_tree(&lin, &mut cache))
             });
         });
-        group.bench_with_input(BenchmarkId::new("sequence_per_branch", width), &width, |b, _| {
-            b.iter(|| std::hint::black_box(model.decode_sequences(&tree, &base)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequence_per_branch", width),
+            &width,
+            |b, _| {
+                b.iter(|| std::hint::black_box(model.decode_sequences(&tree, &base)));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_vs_sequence);
+/// Single-token decode latency — the fused-QKV + thread-local-scratch fast
+/// path: after warmup, each step allocates only the returned logits row.
+fn bench_decode_one(c: &mut Criterion) {
+    let model = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
+    let prompt: Vec<u32> = (2..14).collect();
+    let mut base = model.new_cache();
+    let _ = model.prefill(&prompt, &mut base);
+
+    c.bench_function("decode_one_step", |b| {
+        b.iter(|| {
+            let mut cache = base.clone();
+            let logits = model.decode_one(5, &mut cache);
+            std::hint::black_box(logits.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_tree_vs_sequence, bench_decode_one);
 criterion_main!(benches);

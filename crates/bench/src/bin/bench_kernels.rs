@@ -1,0 +1,180 @@
+//! Machine-readable kernel and end-to-end throughput benchmark.
+//!
+//! Writes `BENCH_kernels.json` into the current directory:
+//!
+//! * `kernels` — GFLOP/s of the blocked matmul kernels at several shapes
+//!   alongside the naive reference kernels, with the measured speedup.
+//! * `end_to_end` — tokens/step and tokens/s of incremental vs
+//!   tree-speculative generation on the smoke-scale trained suite.
+//!
+//! Everything is seeded; numbers vary with the machine, shapes don't.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use specinfer_bench::{Scale, Suite};
+use specinfer_model::DecodeMode;
+use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
+use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
+use specinfer_tokentree::ExpansionConfig;
+
+#[derive(Serialize)]
+struct KernelResult {
+    op: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    fast_gflops: f64,
+    ref_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    mode: String,
+    tokens: usize,
+    llm_steps: usize,
+    tokens_per_step: f64,
+    tokens_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    effective_threads: usize,
+    kernels: Vec<KernelResult>,
+    end_to_end: Vec<EndToEnd>,
+}
+
+/// Median-free quick timer: doubles the iteration count until a batch
+/// takes ≥ 0.25 s, then reports seconds per iteration.
+fn time_per_iter(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut iters = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed().as_secs_f64();
+        if dt >= 0.25 {
+            return dt / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+fn bench_kernels() -> Vec<KernelResult> {
+    let mut rng = SeededRng::new(1);
+    let mut results = Vec::new();
+    for &(m, k, n) in &[(96usize, 96usize, 96usize), (256, 256, 256), (1, 96, 288)] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bt = b.transpose();
+        let flops = (2 * m * k * n) as f64;
+        let mut out = Tensor::default();
+        let fast_nn = time_per_iter(|| a.matmul_into(&b, &mut out));
+        let ref_nn = time_per_iter(|| {
+            std::hint::black_box(a.matmul_ref(&b));
+        });
+        results.push(KernelResult {
+            op: "nn".into(),
+            m,
+            k,
+            n,
+            fast_gflops: flops / fast_nn / 1e9,
+            ref_gflops: flops / ref_nn / 1e9,
+            speedup: ref_nn / fast_nn,
+        });
+        let fast_nt = time_per_iter(|| a.matmul_nt_into(&bt, &mut out));
+        let ref_nt = time_per_iter(|| {
+            std::hint::black_box(a.matmul_nt_ref(&bt));
+        });
+        results.push(KernelResult {
+            op: "nt".into(),
+            m,
+            k,
+            n,
+            fast_gflops: flops / fast_nt / 1e9,
+            ref_gflops: flops / ref_nt / 1e9,
+            speedup: ref_nt / fast_nt,
+        });
+    }
+    results
+}
+
+fn run_mode(
+    suite: &Suite,
+    name: &str,
+    mode: InferenceMode,
+    ssm: &specinfer_model::Transformer,
+) -> EndToEnd {
+    let config = EngineConfig {
+        decode: DecodeMode::Greedy,
+        verifier: StochasticVerifier::MultiStep,
+        mode,
+        max_new_tokens: 64,
+        eos_token: None,
+    };
+    let engine = SpecEngine::new(&suite.llm, vec![ssm], config);
+    let prompt: Vec<u32> = vec![2, 3, 4];
+    let t = Instant::now();
+    let reps = 4;
+    let mut tokens = 0;
+    let mut steps = 0;
+    for seed in 0..reps {
+        let r = engine.generate(&prompt, seed);
+        tokens += r.generated().len();
+        steps += r.llm_steps();
+    }
+    let dt = t.elapsed().as_secs_f64();
+    EndToEnd {
+        mode: name.into(),
+        tokens,
+        llm_steps: steps,
+        tokens_per_step: tokens as f64 / steps as f64,
+        tokens_per_s: tokens as f64 / dt,
+    }
+}
+
+fn main() {
+    eprintln!("[bench_kernels] timing kernels…");
+    let kernels = bench_kernels();
+    eprintln!("[bench_kernels] preparing smoke suite…");
+    let suite = Suite::prepare(Scale::Smoke);
+    eprintln!("[bench_kernels] timing end-to-end generation…");
+    let expansion = ExpansionConfig::new(vec![2, 2, 1]);
+    let end_to_end = vec![
+        run_mode(
+            &suite,
+            "incremental",
+            InferenceMode::Incremental,
+            &suite.ssm,
+        ),
+        run_mode(
+            &suite,
+            "tree_speculative",
+            InferenceMode::TreeSpeculative {
+                expansion: expansion.clone(),
+            },
+            &suite.ssm,
+        ),
+        // Upper bound: the LLM drafts for itself, so every speculated chain
+        // is accepted — isolates the tree-verification machinery's ceiling.
+        run_mode(
+            &suite,
+            "tree_speculative_selfdraft",
+            InferenceMode::TreeSpeculative { expansion },
+            &suite.llm,
+        ),
+    ];
+    let report = Report {
+        effective_threads: specinfer_tensor::effective_threads(),
+        kernels,
+        end_to_end,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    eprintln!("[bench_kernels] wrote BENCH_kernels.json");
+}

@@ -44,8 +44,18 @@ fn main() {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "ablation-expansion", "ablation-merge", "ablation-dynamic", "ablation-compress",
+            "table1",
+            "table2",
+            "table3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablation-expansion",
+            "ablation-merge",
+            "ablation-dynamic",
+            "ablation-compress",
             "overheads",
         ]
         .iter()
@@ -56,7 +66,10 @@ fn main() {
     let start = std::time::Instant::now();
     let suite = Suite::prepare(scale);
     let params = tables::ExpParams::for_scale(scale);
-    eprintln!("[repro] suite prepared in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro] suite prepared in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 
     for exp in &experiments {
         let t0 = std::time::Instant::now();
@@ -81,7 +94,10 @@ fn main() {
         };
         table.print();
         if let Err(e) = table.write_json(&out_dir) {
-            eprintln!("[repro] warning: could not write {}: {e}", out_dir.display());
+            eprintln!(
+                "[repro] warning: could not write {}: {e}",
+                out_dir.display()
+            );
         }
         eprintln!("[repro] {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
     }

@@ -6,10 +6,8 @@
 //! `specinfer-sim` cost model for the paper-scale models and clusters.
 
 use specinfer_model::{DecodeMode, Transformer};
-use specinfer_sim::{
-    ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, SystemProfile,
-};
 use specinfer_serving::TimingConfig;
+use specinfer_sim::{ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, SystemProfile};
 use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
 use specinfer_tokentree::{ExpansionConfig, TokenId};
 use specinfer_workloads::{Dataset, EOS_TOKEN};
@@ -38,7 +36,11 @@ pub fn measure_behavior(
 ) -> ModeBehavior {
     let mean_context = params.prompt_len + params.gen_tokens / 2;
     if matches!(mode, InferenceMode::Incremental) {
-        return ModeBehavior { tokens_per_step: 1.0, mean_tree_size: 0.0, mean_context };
+        return ModeBehavior {
+            tokens_per_step: 1.0,
+            mean_tree_size: 0.0,
+            mean_context,
+        };
     }
     let prompts = Dataset::Alpaca.prompts(
         &suite.grammar,
@@ -67,7 +69,11 @@ pub fn measure_behavior(
             trees.extend(r.steps.iter().map(|s| s.tree_size as f64));
         }
     }
-    ModeBehavior { tokens_per_step: mean(&tps).max(1.0), mean_tree_size: mean(&trees), mean_context }
+    ModeBehavior {
+        tokens_per_step: mean(&tps).max(1.0),
+        mean_tree_size: mean(&trees),
+        mean_context,
+    }
 }
 
 const BATCH_SIZES: [usize; 5] = [1, 2, 4, 8, 16];
@@ -81,7 +87,9 @@ fn per_token_ms(timing: &TimingConfig, mode: &InferenceMode, bs: usize, b: &Mode
 pub fn fig7(suite: &Suite, params: &ExpParams) -> TableData {
     let incremental = InferenceMode::Incremental;
     let sequence = InferenceMode::SequenceSpeculative { depth: 8 };
-    let tree = InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() };
+    let tree = InferenceMode::TreeSpeculative {
+        expansion: ExpansionConfig::paper_default(),
+    };
 
     let b_inc = measure_behavior(suite, params, &incremental, DecodeMode::Greedy);
     let b_seq = measure_behavior(suite, params, &sequence, DecodeMode::Greedy);
@@ -106,14 +114,20 @@ pub fn fig7(suite: &Suite, params: &ExpParams) -> TableData {
             label: "OPT-30B (4 GPUs)",
             profile: LlmProfile::opt_30b(),
             cluster: ClusterSpec::g5_one_node(),
-            plan: ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 },
+            plan: ParallelismPlan {
+                tensor_parallel: 4,
+                pipeline_parallel: 1,
+            },
             multi_node: false,
         },
         Setting {
             label: "LLaMA-65B (2x4 GPUs)",
             profile: LlmProfile::llama_65b(),
             cluster: ClusterSpec::g5_two_nodes(),
-            plan: ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 2 },
+            plan: ParallelismPlan {
+                tensor_parallel: 4,
+                pipeline_parallel: 2,
+            },
             multi_node: true,
         },
     ];
@@ -130,20 +144,47 @@ pub fn fig7(suite: &Suite, params: &ExpParams) -> TableData {
         };
         let mut push = |name: &str, mode: &InferenceMode, b: &ModeBehavior, sys: SystemProfile| {
             let t = timing(sys);
-            let values: Vec<f64> =
-                BATCH_SIZES.iter().map(|&bs| per_token_ms(&t, mode, bs, b)).collect();
+            let values: Vec<f64> = BATCH_SIZES
+                .iter()
+                .map(|&bs| per_token_ms(&t, mode, bs, b))
+                .collect();
             rows.push((format!("{}/{}", s.label, name), values));
         };
         if !s.multi_node {
             // vLLM and HF TGI do not support pipeline parallelism and
             // cannot serve an LLM on multiple nodes (§6.2).
             push("vLLM", &incremental, &b_inc, SystemProfile::vllm());
-            push("HuggingFace TGI", &incremental, &b_inc, SystemProfile::tgi());
+            push(
+                "HuggingFace TGI",
+                &incremental,
+                &b_inc,
+                SystemProfile::tgi(),
+            );
         }
-        push("FasterTransformer", &incremental, &b_inc, SystemProfile::faster_transformer());
-        push("SpecInfer (incremental)", &incremental, &b_inc, SystemProfile::specinfer());
-        push("SpecInfer (sequence)", &sequence, &b_seq, SystemProfile::specinfer());
-        push("SpecInfer (tree)", &tree, &b_tree, SystemProfile::specinfer());
+        push(
+            "FasterTransformer",
+            &incremental,
+            &b_inc,
+            SystemProfile::faster_transformer(),
+        );
+        push(
+            "SpecInfer (incremental)",
+            &incremental,
+            &b_inc,
+            SystemProfile::specinfer(),
+        );
+        push(
+            "SpecInfer (sequence)",
+            &sequence,
+            &b_seq,
+            SystemProfile::specinfer(),
+        );
+        push(
+            "SpecInfer (tree)",
+            &tree,
+            &b_tree,
+            SystemProfile::specinfer(),
+        );
     }
     TableData {
         id: "fig7".into(),
@@ -160,8 +201,15 @@ pub fn fig7(suite: &Suite, params: &ExpParams) -> TableData {
 /// Figure 8: offloading-based inference per-token latency, FlexGen vs
 /// SpecInfer (seconds), plus the speedup ratio.
 pub fn fig8(suite: &Suite, params: &ExpParams) -> TableData {
-    let tree = InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() };
-    let b_inc = measure_behavior(suite, params, &InferenceMode::Incremental, DecodeMode::Greedy);
+    let tree = InferenceMode::TreeSpeculative {
+        expansion: ExpansionConfig::paper_default(),
+    };
+    let b_inc = measure_behavior(
+        suite,
+        params,
+        &InferenceMode::Incremental,
+        DecodeMode::Greedy,
+    );
     let b_tree = measure_behavior(suite, params, &tree, DecodeMode::Greedy);
 
     let mut rows = Vec::new();
@@ -206,7 +254,11 @@ pub fn fig9(suite: &Suite, params: &ExpParams) -> TableData {
     let qs = [0.1, 0.25, 0.5, 0.75, 0.9];
     let mut rows = Vec::new();
     for greedy in [true, false] {
-        let decode = if greedy { DecodeMode::Greedy } else { DecodeMode::stochastic() };
+        let decode = if greedy {
+            DecodeMode::Greedy
+        } else {
+            DecodeMode::stochastic()
+        };
         let sweeps = width_sweep(
             suite,
             params,
@@ -226,7 +278,10 @@ pub fn fig9(suite: &Suite, params: &ExpParams) -> TableData {
     TableData {
         id: "fig9".into(),
         title: "CDF of average verified tokens per decoding step (Alpaca)".into(),
-        columns: qs.iter().map(|q| format!("p{}", (q * 100.0) as u32)).collect(),
+        columns: qs
+            .iter()
+            .map(|q| format!("p{}", (q * 100.0) as u32))
+            .collect(),
         rows,
         paper_reference: "Figure 9: wider trees shift the whole CDF right; width 1→5 cuts \
                           decoding steps by 1.2–1.5× (greedy), 1.3–1.4× (stochastic)"
@@ -249,8 +304,9 @@ pub fn fig10(suite: &Suite, params: &ExpParams) -> TableData {
     let timing = TimingConfig::llama_7b_single_gpu();
     let mut rows = Vec::new();
     for s in &sweeps {
-        let mode =
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::width_at_third(s.width) };
+        let mode = InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::width_at_third(s.width),
+        };
         let b = ModeBehavior {
             tokens_per_step: s.mean_tps().max(1.0),
             mean_tree_size: s.mean_tree_size,
@@ -258,7 +314,10 @@ pub fn fig10(suite: &Suite, params: &ExpParams) -> TableData {
         };
         rows.push((
             format!("width={}", s.width),
-            BATCH_SIZES.iter().map(|&bs| per_token_ms(&timing, &mode, bs, &b)).collect(),
+            BATCH_SIZES
+                .iter()
+                .map(|&bs| per_token_ms(&timing, &mode, bs, &b))
+                .collect(),
         ));
     }
     TableData {
@@ -280,7 +339,9 @@ pub fn fig10(suite: &Suite, params: &ExpParams) -> TableData {
 /// mechanisms verify the same tokens, so tokens/step is shared.
 pub fn fig11(suite: &Suite, params: &ExpParams) -> TableData {
     let expansion = ExpansionConfig::paper_default();
-    let mode = InferenceMode::TreeSpeculative { expansion: expansion.clone() };
+    let mode = InferenceMode::TreeSpeculative {
+        expansion: expansion.clone(),
+    };
     let b_tree = measure_behavior(suite, params, &mode, DecodeMode::Greedy);
     let timing = TimingConfig::llama_7b_single_gpu();
 
@@ -315,7 +376,9 @@ pub fn fig11(suite: &Suite, params: &ExpParams) -> TableData {
             context_len: b_tree.mean_context,
         };
         let verify_s =
-            seq_timing.cluster.decode_step_s(&seq_timing.llm_profile, &seq_timing.plan, &verify);
+            seq_timing
+                .cluster
+                .decode_step_s(&seq_timing.llm_profile, &seq_timing.plan, &verify);
         let spec_s = seq_timing.cluster.ssm_speculation_s(
             &seq_timing.ssm_profile,
             expansion.depth(),
@@ -323,9 +386,7 @@ pub fn fig11(suite: &Suite, params: &ExpParams) -> TableData {
             seq_behavior.mean_tree_size / expansion.depth() as f64,
             b_tree.mean_context,
         );
-        seq_ms.push(
-            seq_timing.system.apply(verify_s + spec_s) / b_tree.tokens_per_step * 1e3,
-        );
+        seq_ms.push(seq_timing.system.apply(verify_s + spec_s) / b_tree.tokens_per_step * 1e3);
     }
     let rows = vec![
         ("tree-based (ms)".to_string(), tree_ms.clone()),
@@ -363,7 +424,9 @@ pub fn ablation_expansion(suite: &Suite, params: &ExpParams) -> TableData {
             let b = measure_behavior(
                 suite,
                 params,
-                &InferenceMode::TreeSpeculative { expansion: cfg.clone() },
+                &InferenceMode::TreeSpeculative {
+                    expansion: cfg.clone(),
+                },
                 decode,
             );
             values.push(b.tokens_per_step);
@@ -394,7 +457,10 @@ pub fn ablation_merge(suite: &Suite, params: &ExpParams) -> TableData {
     let mut pools: Vec<(String, Vec<&Transformer>)> =
         vec![("distilled SSM x1".into(), vec![&suite.ssm])];
     for n in 1..=suite.boost_pool.len() {
-        pools.push((format!("boost pool x{n}"), suite.boost_pool.iter().take(n).collect()));
+        pools.push((
+            format!("boost pool x{n}"),
+            suite.boost_pool.iter().take(n).collect(),
+        ));
     }
     let mut rows = Vec::new();
     for (label, pool) in pools {
@@ -483,7 +549,9 @@ pub fn ablation_dynamic(suite: &Suite, params: &ExpParams) -> TableData {
         } else {
             ExpansionConfig::new(vec![1, 1, 5, 1, 1, 1, 1, 1])
         };
-        let (s_tps, s_tree) = run(InferenceMode::TreeSpeculative { expansion: static_cfg.clone() });
+        let (s_tps, s_tree) = run(InferenceMode::TreeSpeculative {
+            expansion: static_cfg.clone(),
+        });
         let (d_tps, d_tree) = run(InferenceMode::DynamicTree {
             config: DynamicExpansionConfig {
                 max_nodes: budget,
@@ -492,8 +560,14 @@ pub fn ablation_dynamic(suite: &Suite, params: &ExpParams) -> TableData {
                 max_children: 4,
             },
         });
-        rows.push((format!("static {static_cfg} (budget {budget})"), vec![s_tree, s_tps]));
-        rows.push((format!("dynamic best-first (budget {budget})"), vec![d_tree, d_tps]));
+        rows.push((
+            format!("static {static_cfg} (budget {budget})"),
+            vec![s_tree, s_tps],
+        ));
+        rows.push((
+            format!("dynamic best-first (budget {budget})"),
+            vec![d_tree, d_tps],
+        ));
     }
     TableData {
         id: "ablation-dynamic".into(),
@@ -536,7 +610,9 @@ pub fn ablation_compress(suite: &Suite, params: &ExpParams) -> TableData {
             EngineConfig {
                 decode: DecodeMode::Greedy,
                 verifier: StochasticVerifier::MultiStep,
-                mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+                mode: InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::paper_default(),
+                },
                 max_new_tokens: params.gen_tokens,
                 eos_token: Some(EOS_TOKEN),
             },
@@ -566,7 +642,9 @@ pub fn ablation_compress(suite: &Suite, params: &ExpParams) -> TableData {
 /// sizes and acceptance from the trained models.
 pub fn overheads_table(suite: &Suite, params: &ExpParams) -> TableData {
     let expansion = ExpansionConfig::paper_default();
-    let mode = InferenceMode::TreeSpeculative { expansion: expansion.clone() };
+    let mode = InferenceMode::TreeSpeculative {
+        expansion: expansion.clone(),
+    };
     let b = measure_behavior(suite, params, &mode, DecodeMode::Greedy);
 
     let mut rows = Vec::new();
@@ -620,13 +698,21 @@ mod tests {
     use crate::models::Scale;
 
     fn setup() -> (Suite, ExpParams) {
-        (Suite::prepare(Scale::Smoke), ExpParams::for_scale(Scale::Smoke))
+        (
+            Suite::prepare(Scale::Smoke),
+            ExpParams::for_scale(Scale::Smoke),
+        )
     }
 
     #[test]
     fn behavior_of_incremental_is_unit() {
         let (suite, params) = setup();
-        let b = measure_behavior(&suite, &params, &InferenceMode::Incremental, DecodeMode::Greedy);
+        let b = measure_behavior(
+            &suite,
+            &params,
+            &InferenceMode::Incremental,
+            DecodeMode::Greedy,
+        );
         assert_eq!(b.tokens_per_step, 1.0);
         assert_eq!(b.mean_tree_size, 0.0);
     }
@@ -635,8 +721,12 @@ mod tests {
     fn fig7_tree_beats_incremental_at_bs1() {
         let (suite, params) = setup();
         let t = fig7(&suite, &params);
-        let inc = t.value("LLaMA-7B (1 GPU)/SpecInfer (incremental)", "BS=1").unwrap();
-        let tree = t.value("LLaMA-7B (1 GPU)/SpecInfer (tree)", "BS=1").unwrap();
+        let inc = t
+            .value("LLaMA-7B (1 GPU)/SpecInfer (incremental)", "BS=1")
+            .unwrap();
+        let tree = t
+            .value("LLaMA-7B (1 GPU)/SpecInfer (tree)", "BS=1")
+            .unwrap();
         // At smoke scale the SSM is barely trained, so only sanity-check
         // the plumbing: tree latency must be within a small factor of
         // incremental (the Full-scale win is checked by the repro run).
@@ -644,7 +734,9 @@ mod tests {
         assert!(tree > 0.0 && inc > 0.0);
         // Baselines exist for single-node settings only on vLLM/TGI.
         assert!(t.value("LLaMA-65B (2x4 GPUs)/vLLM", "BS=1").is_none());
-        assert!(t.value("LLaMA-65B (2x4 GPUs)/FasterTransformer", "BS=1").is_some());
+        assert!(t
+            .value("LLaMA-65B (2x4 GPUs)/FasterTransformer", "BS=1")
+            .is_some());
     }
 
     #[test]

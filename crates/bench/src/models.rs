@@ -50,8 +50,22 @@ impl Suite {
 
     fn prepare_smoke() -> Suite {
         let grammar = Grammar::synthetic(256, GRAMMAR_SEED);
-        let llm_cfg = ModelConfig { vocab_size: 256, d_model: 32, n_layers: 2, n_heads: 2, d_ff: 64, max_seq_len: 512 };
-        let ssm_cfg = ModelConfig { vocab_size: 256, d_model: 16, n_layers: 1, n_heads: 2, d_ff: 32, max_seq_len: 512 };
+        let llm_cfg = ModelConfig {
+            vocab_size: 256,
+            d_model: 32,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 64,
+            max_seq_len: 512,
+        };
+        let ssm_cfg = ModelConfig {
+            vocab_size: 256,
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq_len: 512,
+        };
         let mut llm = Transformer::from_seed(llm_cfg, 1);
         let corpus = grammar.training_corpus(32, 24, 11);
         let mut opt = Adam::new(3e-3);
@@ -64,24 +78,45 @@ impl Suite {
             let _ = distill_step(&mut ssm, &mut sopt, &llm, chunk);
         }
         let pool = vec![ssm.clone(), Transformer::from_seed(ssm_cfg, 3)];
-        Suite { grammar, llm, ssm, boost_pool: pool, scale: Scale::Smoke }
+        Suite {
+            grammar,
+            llm,
+            ssm,
+            boost_pool: pool,
+            scale: Scale::Smoke,
+        }
     }
 
     fn prepare_full() -> Suite {
         let grammar = Grammar::synthetic(256, GRAMMAR_SEED);
         if let Some(suite) = Self::load_cached(&grammar) {
-            eprintln!("[suite] loaded trained models from {}", cache_dir(&grammar).display());
+            eprintln!(
+                "[suite] loaded trained models from {}",
+                cache_dir(&grammar).display()
+            );
             suite.report_quality();
             return suite;
         }
-        eprintln!("[suite] training LLM ({} params)…", ModelConfig::tiny_llm().param_count());
+        eprintln!(
+            "[suite] training LLM ({} params)…",
+            ModelConfig::tiny_llm().param_count()
+        );
         let llm = train_llm(&grammar);
-        eprintln!("[suite] distilling primary SSM ({} params)…", ModelConfig::tiny_ssm().param_count());
+        eprintln!(
+            "[suite] distilling primary SSM ({} params)…",
+            ModelConfig::tiny_ssm().param_count()
+        );
         let ssm = distill_ssm(&llm, &grammar);
         eprintln!("[suite] boost-tuning SSM pool…");
         let boost_pool = boost_pool(&llm, &grammar);
         eprintln!("[suite] ready.");
-        let suite = Suite { grammar, llm, ssm, boost_pool, scale: Scale::Full };
+        let suite = Suite {
+            grammar,
+            llm,
+            ssm,
+            boost_pool,
+            scale: Scale::Full,
+        };
         suite.save_cache();
         suite.report_quality();
         suite
@@ -104,7 +139,13 @@ impl Suite {
         for i in 0..3 {
             boost_pool.push(checkpoint::load(&dir.join(format!("boost{i}.ckpt"))).ok()?);
         }
-        Some(Suite { grammar: grammar.clone(), llm, ssm, boost_pool, scale: Scale::Full })
+        Some(Suite {
+            grammar: grammar.clone(),
+            llm,
+            ssm,
+            boost_pool,
+            scale: Scale::Full,
+        })
     }
 
     fn save_cache(&self) {
@@ -131,7 +172,9 @@ fn cache_dir(grammar: &Grammar) -> PathBuf {
     // version: any calibration change invalidates old checkpoints.
     let mut h = std::collections::hash_map::DefaultHasher::new();
     TRAINING_RECIPE_VERSION.hash(&mut h);
-    serde_json::to_string(grammar).unwrap_or_default().hash(&mut h);
+    serde_json::to_string(grammar)
+        .unwrap_or_default()
+        .hash(&mut h);
     PathBuf::from(".suite-cache").join(format!("{:016x}", h.finish()))
 }
 
@@ -148,7 +191,12 @@ fn train_llm(grammar: &Grammar) -> Transformer {
             let batch: Vec<Vec<u32>> = chunk.iter().map(|&i| corpus[i].clone()).collect();
             last = train_step(&mut llm, &mut opt, &batch);
         }
-        eprintln!("[suite]   LLM epoch {}/{} loss {:.3}", epoch + 1, epochs, last);
+        eprintln!(
+            "[suite]   LLM epoch {}/{} loss {:.3}",
+            epoch + 1,
+            epochs,
+            last
+        );
     }
     llm
 }
@@ -166,7 +214,12 @@ fn distill_ssm(llm: &Transformer, grammar: &Grammar) -> Transformer {
             let batch: Vec<Vec<u32>> = chunk.iter().map(|&i| corpus[i].clone()).collect();
             last = distill_step(&mut ssm, &mut opt, llm, &batch);
         }
-        eprintln!("[suite]   SSM epoch {}/{} loss {:.3}", epoch + 1, epochs, last);
+        eprintln!(
+            "[suite]   SSM epoch {}/{} loss {:.3}",
+            epoch + 1,
+            epochs,
+            last
+        );
     }
     ssm
 }

@@ -29,7 +29,11 @@ impl TableData {
             .chain(std::iter::once(8))
             .max()
             .unwrap_or(8);
-        let col_w = self.columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(8))
+            .collect::<Vec<_>>();
         print!("{:label_w$}", "");
         for (c, w) in self.columns.iter().zip(&col_w) {
             print!("  {c:>w$}");
@@ -67,7 +71,10 @@ impl TableData {
     /// Looks up a row's value by labels.
     pub fn value(&self, row: &str, column: &str) -> Option<f64> {
         let ci = self.columns.iter().position(|c| c == column)?;
-        self.rows.iter().find(|(l, _)| l == row).and_then(|(_, vs)| vs.get(ci).copied())
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .and_then(|(_, vs)| vs.get(ci).copied())
     }
 }
 

@@ -76,10 +76,19 @@ pub fn table1(suite: &Suite, params: &ExpParams) -> TableData {
     let ks = [1usize, 2, 3, 4, 5];
     let mut rows = Vec::new();
     for greedy in [true, false] {
-        let decode = if greedy { DecodeMode::Greedy } else { DecodeMode::stochastic() };
+        let decode = if greedy {
+            DecodeMode::Greedy
+        } else {
+            DecodeMode::stochastic()
+        };
         for dataset in Dataset::all() {
-            let prompts =
-                dataset.prompts(&suite.grammar, params.n_prompts, params.prompt_len, params.gen_tokens, params.seed);
+            let prompts = dataset.prompts(
+                &suite.grammar,
+                params.n_prompts,
+                params.prompt_len,
+                params.gen_tokens,
+                params.seed,
+            );
             let mut hits = [0usize; 5];
             let mut total = 0usize;
             for (pi, p) in prompts.iter().enumerate() {
@@ -109,8 +118,10 @@ pub fn table1(suite: &Suite, params: &ExpParams) -> TableData {
                 }
             }
             let mode_name = if greedy { "greedy" } else { "stochastic" };
-            let values: Vec<f64> =
-                hits.iter().map(|&h| 100.0 * h as f64 / total.max(1) as f64).collect();
+            let values: Vec<f64> = hits
+                .iter()
+                .map(|&h| 100.0 * h as f64 / total.max(1) as f64)
+                .collect();
             rows.push((format!("{mode_name}/{dataset}"), values));
         }
     }
@@ -156,8 +167,13 @@ pub fn width_sweep(
     verifier: StochasticVerifier,
     widths: &[usize],
 ) -> Vec<WidthBehavior> {
-    let prompts =
-        dataset.prompts(&suite.grammar, params.n_prompts, params.prompt_len, params.gen_tokens, params.seed);
+    let prompts = dataset.prompts(
+        &suite.grammar,
+        params.n_prompts,
+        params.prompt_len,
+        params.gen_tokens,
+        params.seed,
+    );
     widths
         .iter()
         .map(|&w| {
@@ -174,7 +190,11 @@ pub fn width_sweep(
                     eos_token: Some(EOS_TOKEN),
                 },
             );
-            let reps = if decode.is_greedy() { 1 } else { params.stochastic_reps.max(1) };
+            let reps = if decode.is_greedy() {
+                1
+            } else {
+                params.stochastic_reps.max(1)
+            };
             let mut per_prompt = Vec::with_capacity(prompts.len() * reps);
             let mut tree_sizes = Vec::new();
             let mut contexts = Vec::new();
@@ -208,7 +228,11 @@ pub fn table2(suite: &Suite, params: &ExpParams) -> TableData {
     let widths = [1usize, 2, 3, 4, 5];
     let mut rows = Vec::new();
     for greedy in [true, false] {
-        let decode = if greedy { DecodeMode::Greedy } else { DecodeMode::stochastic() };
+        let decode = if greedy {
+            DecodeMode::Greedy
+        } else {
+            DecodeMode::stochastic()
+        };
         for dataset in Dataset::all() {
             let sweeps = width_sweep(
                 suite,
@@ -287,7 +311,10 @@ mod tests {
         for (label, values) in &t.rows {
             assert_eq!(values.len(), 5);
             for w in values.windows(2) {
-                assert!(w[1] >= w[0] - 1e-9, "{label}: success must be monotone in k: {values:?}");
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "{label}: success must be monotone in k: {values:?}"
+                );
             }
             assert!(values.iter().all(|&v| (0.0..=100.0).contains(&v)));
         }

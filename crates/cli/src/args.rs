@@ -29,19 +29,29 @@ impl Parsed {
                 continue;
             }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-            parsed.values.entry(name.to_string()).or_default().push(value.clone());
+            parsed
+                .values
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
         }
         Ok(parsed)
     }
 
     /// The last value of `--name`, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// All values of a repeatable flag (e.g. `--ssm a --ssm b`).
     pub fn get_all(&self, name: &str) -> Vec<&str> {
-        self.values.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
+        self.values
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 
     /// A required flag.
@@ -50,7 +60,8 @@ impl Parsed {
     ///
     /// Returns a message naming the missing flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// A numeric flag with a default.
@@ -61,7 +72,9 @@ impl Parsed {
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
 

@@ -7,8 +7,8 @@ use specinfer_model::train::{distill_step, train_step};
 use specinfer_model::{checkpoint, DecodeMode, ModelConfig, Transformer};
 use specinfer_serving::{ServerConfig, ServerDaemon, TimingConfig};
 use specinfer_spec::{
-    boost_tune_pool, BoostConfig, DynamicExpansionConfig, EngineConfig, InferenceMode,
-    SpecEngine, StochasticVerifier,
+    boost_tune_pool, BoostConfig, DynamicExpansionConfig, EngineConfig, InferenceMode, SpecEngine,
+    StochasticVerifier,
 };
 use specinfer_tensor::optim::Adam;
 use specinfer_tensor::rng::SeededRng;
@@ -27,7 +27,9 @@ fn arch(name: &str) -> Result<ModelConfig, String> {
         "tiny-llm" => Ok(ModelConfig::tiny_llm()),
         "tiny-ssm" => Ok(ModelConfig::tiny_ssm()),
         "smoke" => Ok(ModelConfig::smoke()),
-        other => Err(format!("unknown --arch {other:?} (tiny-llm|tiny-ssm|smoke)")),
+        other => Err(format!(
+            "unknown --arch {other:?} (tiny-llm|tiny-ssm|smoke)"
+        )),
     }
 }
 
@@ -65,7 +67,10 @@ pub fn train(args: &Parsed) -> Result<(), String> {
     let config = arch(args.get("arch").unwrap_or("tiny-llm"))?;
 
     let g = grammar();
-    let corpus = fold_vocab(g.training_corpus(480, 48, seed ^ 0xC0FFEE), config.vocab_size);
+    let corpus = fold_vocab(
+        g.training_corpus(480, 48, seed ^ 0xC0FFEE),
+        config.vocab_size,
+    );
     let mut model = Transformer::from_seed(config, seed);
     let mut opt = Adam::new(3e-3);
     let mut rng = SeededRng::new(seed ^ 0xBEEF);
@@ -95,7 +100,10 @@ pub fn distill(args: &Parsed) -> Result<(), String> {
     let config = arch(args.get("arch").unwrap_or("tiny-ssm"))?;
 
     let g = grammar();
-    let corpus = fold_vocab(g.training_corpus(320, 48, seed ^ 0xD15711), config.vocab_size);
+    let corpus = fold_vocab(
+        g.training_corpus(320, 48, seed ^ 0xD15711),
+        config.vocab_size,
+    );
     if teacher.config().vocab_size != config.vocab_size {
         return Err(format!(
             "teacher vocab {} does not match --arch vocab {}",
@@ -168,8 +176,12 @@ fn inference_mode(args: &Parsed) -> Result<InferenceMode, String> {
     Ok(match args.get("mode").unwrap_or("tree") {
         "incremental" => InferenceMode::Incremental,
         "sequence" => InferenceMode::SequenceSpeculative { depth: 8 },
-        "tree" => InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
-        "dynamic" => InferenceMode::DynamicTree { config: DynamicExpansionConfig::default() },
+        "tree" => InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::paper_default(),
+        },
+        "dynamic" => InferenceMode::DynamicTree {
+            config: DynamicExpansionConfig::default(),
+        },
         other => return Err(format!("unknown --mode {other:?}")),
     })
 }
@@ -178,8 +190,11 @@ fn inference_mode(args: &Parsed) -> Result<InferenceMode, String> {
 /// speculation statistics.
 pub fn generate(args: &Parsed) -> Result<(), String> {
     let llm = load_model(args.require("llm")?)?;
-    let ssms: Vec<Transformer> =
-        args.get_all("ssm").into_iter().map(load_model).collect::<Result<_, _>>()?;
+    let ssms: Vec<Transformer> = args
+        .get_all("ssm")
+        .into_iter()
+        .map(load_model)
+        .collect::<Result<_, _>>()?;
     let mode = inference_mode(args)?;
     if matches!(
         mode,
@@ -198,8 +213,11 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
     let mut prompt = ds.prompts(&g, 1, 10, tokens, seed ^ 0x9999).remove(0);
     prompt.tokens = fold_vocab(vec![prompt.tokens], llm.config().vocab_size).remove(0);
     let prompt = &prompt;
-    let decode =
-        if args.switch("stochastic") { DecodeMode::stochastic() } else { DecodeMode::Greedy };
+    let decode = if args.switch("stochastic") {
+        DecodeMode::stochastic()
+    } else {
+        DecodeMode::Greedy
+    };
     let engine = SpecEngine::new(
         &llm,
         ssms.iter().collect(),
@@ -265,7 +283,9 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             engine: EngineConfig {
                 decode: DecodeMode::Greedy,
                 verifier: StochasticVerifier::MultiStep,
-                mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+                mode: InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::paper_default(),
+                },
                 max_new_tokens: tokens,
                 eos_token: Some(EOS_TOKEN),
             },

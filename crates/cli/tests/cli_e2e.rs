@@ -18,11 +18,21 @@ fn full_cli_workflow() {
     let ssm_s = ssm.to_str().unwrap();
 
     // Train a smoke LLM (1 epoch) and distill a smoke SSM from it.
-    call(&["train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet"])
-        .expect("train");
+    call(&[
+        "train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet",
+    ])
+    .expect("train");
     assert!(llm.exists());
     call(&[
-        "distill", "--teacher", llm_s, "--out", ssm_s, "--epochs", "1", "--arch", "smoke",
+        "distill",
+        "--teacher",
+        llm_s,
+        "--out",
+        ssm_s,
+        "--epochs",
+        "1",
+        "--arch",
+        "smoke",
         "--quiet",
     ])
     .expect("distill");
@@ -33,8 +43,9 @@ fn full_cli_workflow() {
     // All four inference modes generate successfully — and pass the
     // losslessness audit against incremental decoding.
     for mode in ["incremental", "sequence", "tree", "dynamic"] {
-        let mut args =
-            vec!["generate", "--llm", llm_s, "--mode", mode, "--tokens", "6", "--audit"];
+        let mut args = vec![
+            "generate", "--llm", llm_s, "--mode", mode, "--tokens", "6", "--audit",
+        ];
         if mode != "incremental" {
             args.extend(["--ssm", ssm_s]);
         }
@@ -43,15 +54,33 @@ fn full_cli_workflow() {
 
     // --audit under stochastic decoding is rejected with guidance.
     let err = call(&[
-        "generate", "--llm", llm_s, "--ssm", ssm_s, "--mode", "tree", "--tokens", "4",
-        "--stochastic", "--audit",
+        "generate",
+        "--llm",
+        llm_s,
+        "--ssm",
+        ssm_s,
+        "--mode",
+        "tree",
+        "--tokens",
+        "4",
+        "--stochastic",
+        "--audit",
     ])
     .unwrap_err();
     assert!(err.contains("greedy"), "{err}");
 
     // Live serving through the daemon.
     call(&[
-        "serve", "--llm", llm_s, "--ssm", ssm_s, "--requests", "3", "--batch", "2", "--tokens",
+        "serve",
+        "--llm",
+        llm_s,
+        "--ssm",
+        ssm_s,
+        "--requests",
+        "3",
+        "--batch",
+        "2",
+        "--tokens",
         "6",
     ])
     .expect("serve");
@@ -73,7 +102,10 @@ fn speculative_generate_requires_ssm() {
     std::fs::create_dir_all(&dir).unwrap();
     let llm = dir.join("llm.ckpt");
     let llm_s = llm.to_str().unwrap();
-    call(&["train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet"]).unwrap();
+    call(&[
+        "train", "--out", llm_s, "--epochs", "1", "--arch", "smoke", "--quiet",
+    ])
+    .unwrap();
     let err = call(&["generate", "--llm", llm_s, "--mode", "tree"]).unwrap_err();
     assert!(err.contains("--ssm"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);

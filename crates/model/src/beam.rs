@@ -64,7 +64,11 @@ pub fn beam_search(
         .map(|(tok, lp)| {
             let mut tokens = prompt.to_vec();
             tokens.push(tok as TokenId);
-            Beam { tokens, log_prob: lp, cache: cache.clone() }
+            Beam {
+                tokens,
+                log_prob: lp,
+                cache: cache.clone(),
+            }
         })
         .collect();
     let mut finished: Vec<Hypothesis> = Vec::new();
@@ -93,16 +97,24 @@ pub fn beam_search(
             let mut tokens = src.tokens.clone();
             tokens.push(tok);
             if eos == Some(tok) {
-                finished.push(Hypothesis { tokens, log_prob: lp });
+                finished.push(Hypothesis {
+                    tokens,
+                    log_prob: lp,
+                });
             } else {
-                next.push(Beam { tokens, log_prob: lp, cache: src.cache.clone() });
+                next.push(Beam {
+                    tokens,
+                    log_prob: lp,
+                    cache: src.cache.clone(),
+                });
             }
         }
         beams = next;
     }
-    finished.extend(
-        beams.into_iter().map(|b| Hypothesis { tokens: b.tokens, log_prob: b.log_prob }),
-    );
+    finished.extend(beams.into_iter().map(|b| Hypothesis {
+        tokens: b.tokens,
+        log_prob: b.log_prob,
+    }));
     finished.sort_by(|a, b| {
         b.score(prompt.len())
             .partial_cmp(&a.score(prompt.len()))
@@ -187,7 +199,9 @@ mod tests {
         let probe = beam_search(&m, &prompt, 1, 3, None);
         let eos = probe[0].tokens[prompt.len() + 1];
         let hyps = beam_search(&m, &prompt, 2, 6, Some(eos));
-        assert!(hyps.iter().any(|h| h.tokens.last() == Some(&eos) || h.tokens.len() == 9));
+        assert!(hyps
+            .iter()
+            .any(|h| h.tokens.last() == Some(&eos) || h.tokens.len() == 9));
     }
 
     #[test]

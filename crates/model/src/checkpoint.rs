@@ -96,7 +96,14 @@ pub fn to_bytes(model: &Transformer) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     let c = model.config();
-    for v in [c.vocab_size, c.d_model, c.n_layers, c.n_heads, c.d_ff, c.max_seq_len] {
+    for v in [
+        c.vocab_size,
+        c.d_model,
+        c.n_layers,
+        c.n_heads,
+        c.d_ff,
+        c.max_seq_len,
+    ] {
         buf.put_u64_le(v as u64);
     }
     let params = model.weights().to_params();
@@ -140,7 +147,9 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Transformer, CheckpointError> {
     let n_params = bytes.get_u32_le() as usize;
     let expected = 1 + config.n_layers * 9 + 2;
     if n_params != expected {
-        return Err(CheckpointError::Corrupt("parameter count does not match config"));
+        return Err(CheckpointError::Corrupt(
+            "parameter count does not match config",
+        ));
     }
     let mut params = Vec::with_capacity(n_params);
     for _ in 0..n_params {
@@ -211,7 +220,10 @@ mod tests {
         let m = model();
         save(&m, &path).unwrap();
         let restored = load(&path).unwrap();
-        assert_eq!(m.weights().to_params()[0].data(), restored.weights().to_params()[0].data());
+        assert_eq!(
+            m.weights().to_params()[0].data(),
+            restored.weights().to_params()[0].data()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl QuantizedTensor {
             .iter()
             .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
-        QuantizedTensor { values, dims: t.dims().to_vec(), scale }
+        QuantizedTensor {
+            values,
+            dims: t.dims().to_vec(),
+            scale,
+        }
     }
 
     fn dequantize(&self) -> Tensor {
@@ -68,9 +72,16 @@ pub struct QuantizedModel {
 impl QuantizedModel {
     /// Quantizes every weight tensor of `model` to int8.
     pub fn quantize(model: &Transformer) -> Self {
-        let tensors =
-            model.weights().to_params().iter().map(QuantizedTensor::quantize).collect();
-        QuantizedModel { config: model.config().clone(), tensors }
+        let tensors = model
+            .weights()
+            .to_params()
+            .iter()
+            .map(QuantizedTensor::quantize)
+            .collect();
+        QuantizedModel {
+            config: model.config().clone(),
+            tensors,
+        }
     }
 
     /// Bytes occupied by the quantized weights (1 byte per value + one
@@ -81,13 +92,22 @@ impl QuantizedModel {
 
     /// Bytes the f32 weights of `model` occupy, for comparison.
     pub fn f32_bytes(model: &Transformer) -> usize {
-        model.weights().to_params().iter().map(|t| t.len() * 4).sum()
+        model
+            .weights()
+            .to_params()
+            .iter()
+            .map(|t| t.len() * 4)
+            .sum()
     }
 
     /// Reconstructs an f32 model carrying the quantization error — the
     /// model actually used for (simulated-)quantized inference.
     pub fn dequantize(&self) -> Transformer {
-        let params: Vec<Tensor> = self.tensors.iter().map(QuantizedTensor::dequantize).collect();
+        let params: Vec<Tensor> = self
+            .tensors
+            .iter()
+            .map(QuantizedTensor::dequantize)
+            .collect();
         let mut weights = ModelWeights::init(&self.config, 0);
         weights.assign_params(&params);
         Transformer::new(self.config.clone(), weights)
@@ -204,15 +224,26 @@ mod tests {
         let orig = &m.weights().to_params()[1]; // a matrix
         let pruned = &p.weights().to_params()[1];
         let max_orig = orig.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
-        let idx = orig.data().iter().position(|&v| v.abs() == max_orig).unwrap();
-        assert_eq!(pruned.data()[idx], orig.data()[idx], "largest weight must survive");
+        let idx = orig
+            .data()
+            .iter()
+            .position(|&v| v.abs() == max_orig)
+            .unwrap();
+        assert_eq!(
+            pruned.data()[idx],
+            orig.data()[idx],
+            "largest weight must survive"
+        );
     }
 
     #[test]
     fn zero_sparsity_is_identity() {
         let m = model();
         let p = prune(&m, 0.0);
-        assert_eq!(m.weights().to_params()[1].data(), p.weights().to_params()[1].data());
+        assert_eq!(
+            m.weights().to_params()[1].data(),
+            p.weights().to_params()[1].data()
+        );
     }
 
     #[test]

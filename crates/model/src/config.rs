@@ -41,8 +41,16 @@ impl ModelConfig {
         assert!(self.vocab_size > 0, "vocab_size must be positive");
         assert!(self.d_model > 0 && self.n_layers > 0 && self.n_heads > 0 && self.d_ff > 0);
         assert!(self.max_seq_len > 0, "max_seq_len must be positive");
-        assert_eq!(self.d_model % self.n_heads, 0, "d_model must divide evenly into heads");
-        assert_eq!(self.head_dim() % 2, 0, "RoPE requires an even head dimension");
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "d_model must divide evenly into heads"
+        );
+        assert_eq!(
+            self.head_dim() % 2,
+            0,
+            "RoPE requires an even head dimension"
+        );
     }
 
     /// Per-head dimension.
@@ -130,7 +138,14 @@ mod tests {
 
     #[test]
     fn param_count_matches_hand_computation() {
-        let c = ModelConfig { vocab_size: 10, d_model: 4, n_layers: 1, n_heads: 2, d_ff: 8, max_seq_len: 16 };
+        let c = ModelConfig {
+            vocab_size: 10,
+            d_model: 4,
+            n_layers: 1,
+            n_heads: 2,
+            d_ff: 8,
+            max_seq_len: 16,
+        };
         // embed 40 + (4*16 + 2*32 + 32 + 8) per layer + final norm 4 + head 40
         let per_layer = 4 * 16 + 2 * 32 + 32 + 2 * 4;
         assert_eq!(c.param_count(), 40 + per_layer + 4 + 40);

@@ -35,7 +35,12 @@ impl KvCache {
     /// `d_model` and capacity `max_len` rows.
     pub fn new(n_layers: usize, d_model: usize, max_len: usize) -> Self {
         KvCache {
-            layers: (0..n_layers).map(|_| LayerCache { k: Vec::new(), v: Vec::new() }).collect(),
+            layers: (0..n_layers)
+                .map(|_| LayerCache {
+                    k: Vec::new(),
+                    v: Vec::new(),
+                })
+                .collect(),
             d_model,
             len: 0,
             max_len,
@@ -74,6 +79,9 @@ impl KvCache {
     /// # Panics
     ///
     /// Panics if dims disagree or capacity would be exceeded.
+    // The fused-QKV forward path appends via `append_layer_fused_rows`;
+    // this unfused form remains for callers holding separate K/V tensors.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn append_layer_rows(&mut self, layer: usize, k: &Tensor, v: &Tensor) {
         assert_eq!(k.dims(), v.dims(), "key and value dims must agree");
         assert_eq!(k.cols(), self.d_model, "row width must equal d_model");
@@ -87,6 +95,50 @@ impl KvCache {
         let lc = &mut self.layers[layer];
         lc.k.extend_from_slice(k.data());
         lc.v.extend_from_slice(v.data());
+    }
+
+    /// Appends `n` rows to layer `layer` straight from a fused
+    /// `[n, stride]` projection buffer: row `r`'s key is
+    /// `data[r·stride + k_off ..][..d_model]` and its value is
+    /// `data[r·stride + v_off ..][..d_model]`. This lets the fused-QKV
+    /// forward pass feed the cache without first slicing the packed
+    /// buffer into separate key/value tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too short, an offset overruns `stride`,
+    /// or capacity would be exceeded.
+    pub(crate) fn append_layer_fused_rows(
+        &mut self,
+        layer: usize,
+        data: &[f32],
+        stride: usize,
+        k_off: usize,
+        v_off: usize,
+        n: usize,
+    ) {
+        let d = self.d_model;
+        assert!(
+            data.len() >= n * stride,
+            "fused buffer too short for {n} rows"
+        );
+        assert!(
+            k_off + d <= stride && v_off + d <= stride,
+            "offset overruns fused row"
+        );
+        assert!(
+            self.len + n <= self.max_len,
+            "KV cache overflow: {} + {} > {}",
+            self.len,
+            n,
+            self.max_len
+        );
+        let lc = &mut self.layers[layer];
+        for r in 0..n {
+            let row = &data[r * stride..(r + 1) * stride];
+            lc.k.extend_from_slice(&row[k_off..k_off + d]);
+            lc.v.extend_from_slice(&row[v_off..v_off + d]);
+        }
     }
 
     /// Declares that `n` rows were appended to every layer.
@@ -121,7 +173,12 @@ impl KvCache {
     ///
     /// Panics if `new_len > self.len()`.
     pub fn truncate(&mut self, new_len: usize) {
-        assert!(new_len <= self.len, "cannot truncate {} to {}", self.len, new_len);
+        assert!(
+            new_len <= self.len,
+            "cannot truncate {} to {}",
+            self.len,
+            new_len
+        );
         for l in &mut self.layers {
             l.k.truncate(new_len * self.d_model);
             l.v.truncate(new_len * self.d_model);
@@ -141,7 +198,10 @@ impl KvCache {
         assert!(prefix_len <= self.len, "prefix exceeds cache length");
         let d = self.d_model;
         for rel in keep_rel {
-            assert!(prefix_len + rel < self.len, "retained row {rel} out of range");
+            assert!(
+                prefix_len + rel < self.len,
+                "retained row {rel} out of range"
+            );
         }
         for l in &mut self.layers {
             let mut new_k = Vec::with_capacity((prefix_len + keep_rel.len()) * d);

@@ -30,7 +30,11 @@ pub enum DecodeMode {
 impl DecodeMode {
     /// Plain temperature-1 sampling with no filtering.
     pub fn stochastic() -> Self {
-        DecodeMode::Stochastic { temperature: 1.0, top_k: None, top_p: None }
+        DecodeMode::Stochastic {
+            temperature: 1.0,
+            top_k: None,
+            top_p: None,
+        }
     }
 
     /// Whether this mode is greedy.
@@ -51,7 +55,10 @@ impl DecodeMode {
 ///
 /// Panics if `logits` is empty or temperature is not positive.
 pub fn probs_from_logits(logits: &[f32], mode: &DecodeMode) -> Vec<f32> {
-    assert!(!logits.is_empty(), "cannot build a distribution from no logits");
+    assert!(
+        !logits.is_empty(),
+        "cannot build a distribution from no logits"
+    );
     match mode {
         DecodeMode::Greedy => {
             let mut best = 0;
@@ -64,7 +71,11 @@ pub fn probs_from_logits(logits: &[f32], mode: &DecodeMode) -> Vec<f32> {
             probs[best] = 1.0;
             probs
         }
-        DecodeMode::Stochastic { temperature, top_k, top_p } => {
+        DecodeMode::Stochastic {
+            temperature,
+            top_k,
+            top_p,
+        } => {
             assert!(*temperature > 0.0, "temperature must be positive");
             let mut scaled: Vec<f32> = logits.iter().map(|l| l / temperature).collect();
             ops::softmax_inplace(&mut scaled);
@@ -170,11 +181,19 @@ mod tests {
         let logits = [1.0, 2.0];
         let cold = probs_from_logits(
             &logits,
-            &DecodeMode::Stochastic { temperature: 0.1, top_k: None, top_p: None },
+            &DecodeMode::Stochastic {
+                temperature: 0.1,
+                top_k: None,
+                top_p: None,
+            },
         );
         let hot = probs_from_logits(
             &logits,
-            &DecodeMode::Stochastic { temperature: 10.0, top_k: None, top_p: None },
+            &DecodeMode::Stochastic {
+                temperature: 10.0,
+                top_k: None,
+                top_p: None,
+            },
         );
         assert!(cold[1] > 0.99);
         assert!((hot[1] - 0.5).abs() < 0.05);
@@ -184,7 +203,11 @@ mod tests {
     fn top_k_zeroes_the_tail() {
         let probs = probs_from_logits(
             &[3.0, 2.0, 1.0, 0.0],
-            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(2), top_p: None },
+            &DecodeMode::Stochastic {
+                temperature: 1.0,
+                top_k: Some(2),
+                top_p: None,
+            },
         );
         assert!(probs[0] > 0.0 && probs[1] > 0.0);
         assert_eq!(probs[2], 0.0);
@@ -197,7 +220,11 @@ mod tests {
         // Distribution ≈ [0.64, 0.24, 0.09, 0.03]; p=0.7 keeps two tokens.
         let probs = probs_from_logits(
             &[3.0, 2.0, 1.0, 0.0],
-            &DecodeMode::Stochastic { temperature: 1.0, top_k: None, top_p: Some(0.7) },
+            &DecodeMode::Stochastic {
+                temperature: 1.0,
+                top_k: None,
+                top_p: Some(0.7),
+            },
         );
         assert!(probs[0] > 0.0 && probs[1] > 0.0);
         assert_eq!(probs[2], 0.0);
@@ -214,7 +241,11 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let probs = probs_from_logits(
             &[5.0, 0.0, 0.0],
-            &DecodeMode::Stochastic { temperature: 1.0, top_k: Some(1), top_p: None },
+            &DecodeMode::Stochastic {
+                temperature: 1.0,
+                top_k: Some(1),
+                top_p: None,
+            },
         );
         for _ in 0..50 {
             assert_eq!(sample_token(&probs, &mut rng), 0);

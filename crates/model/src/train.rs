@@ -61,7 +61,13 @@ impl WeightVars {
         let final_norm = it.next().expect("final_norm");
         let lm_head = it.next().expect("lm_head");
         assert!(it.next().is_none(), "parameter ordering drifted");
-        WeightVars { flat, embed, layers, final_norm, lm_head }
+        WeightVars {
+            flat,
+            embed,
+            layers,
+            final_norm,
+            lm_head,
+        }
     }
 }
 
@@ -144,17 +150,16 @@ pub fn tape_logits(model: &Transformer, tokens: &[TokenId]) -> Tensor {
 /// # Panics
 ///
 /// Panics if the batch is empty or any sequence is shorter than 2 tokens.
-pub fn train_step(
-    model: &mut Transformer,
-    opt: &mut dyn Optimizer,
-    batch: &[Vec<TokenId>],
-) -> f32 {
+pub fn train_step(model: &mut Transformer, opt: &mut dyn Optimizer, batch: &[Vec<TokenId>]) -> f32 {
     assert!(!batch.is_empty(), "training batch must be non-empty");
     let mut tape = Tape::new();
     let vars = WeightVars::register(&mut tape, model);
     let mut total: Option<Var> = None;
     for seq in batch {
-        assert!(seq.len() >= 2, "sequences need at least two tokens to train on");
+        assert!(
+            seq.len() >= 2,
+            "sequences need at least two tokens to train on"
+        );
         let inputs = &seq[..seq.len() - 1];
         let targets: Vec<usize> = seq[1..].iter().map(|&t| t as usize).collect();
         let logits = tape_forward(&mut tape, &vars, model.config(), inputs);
@@ -205,7 +210,10 @@ pub fn distill_step(
     let vars = WeightVars::register(&mut tape, student);
     let mut total: Option<Var> = None;
     for seq in batch {
-        assert!(seq.len() >= 2, "sequences need at least two tokens to distill on");
+        assert!(
+            seq.len() >= 2,
+            "sequences need at least two tokens to distill on"
+        );
         let inputs = &seq[..seq.len() - 1];
         let teacher_logits = teacher.logits_for_sequence(inputs);
         let soft_targets = ops::softmax_rows(&teacher_logits);
@@ -242,7 +250,10 @@ pub fn evaluate_nll(model: &Transformer, sequences: &[Vec<TokenId>]) -> f64 {
     let mut total = 0.0f64;
     let mut count = 0usize;
     for seq in sequences {
-        assert!(seq.len() >= 2, "sequences need at least two tokens to evaluate");
+        assert!(
+            seq.len() >= 2,
+            "sequences need at least two tokens to evaluate"
+        );
         let logits = model.logits_for_sequence(&seq[..seq.len() - 1]);
         for (i, &target) in seq[1..].iter().enumerate() {
             let ls = ops::log_softmax(logits.row(i));
@@ -266,7 +277,10 @@ mod tests {
         let tape = tape_logits(&model, &seq);
         let inference = model.logits_for_sequence(&seq);
         let diff = tape.max_abs_diff(&inference);
-        assert!(diff < 1e-3, "train and inference forward diverged by {diff}");
+        assert!(
+            diff < 1e-3,
+            "train and inference forward diverged by {diff}"
+        );
     }
 
     #[test]
@@ -274,8 +288,7 @@ mod tests {
         let mut model = Transformer::from_seed(ModelConfig::smoke(), 21);
         let mut opt = Adam::new(3e-3);
         // A deterministic cyclic pattern over 4 tokens.
-        let seq: Vec<TokenId> =
-            (0..24).map(|i| [3u32, 7, 11, 15][i % 4]).collect();
+        let seq: Vec<TokenId> = (0..24).map(|i| [3u32, 7, 11, 15][i % 4]).collect();
         let batch = vec![seq.clone(), seq.clone()];
         let first = train_step(&mut model, &mut opt, &batch);
         let mut last = first;
@@ -294,7 +307,13 @@ mod tests {
     fn distillation_pulls_student_toward_teacher() {
         let teacher = Transformer::from_seed(ModelConfig::smoke(), 31);
         let mut student = Transformer::from_seed(
-            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..ModelConfig::smoke()
+            },
             32,
         );
         let mut rng = SeededRng::new(33);
@@ -307,7 +326,10 @@ mod tests {
         for _ in 0..40 {
             last = distill_step(&mut student, &mut opt, &teacher, &batch);
         }
-        assert!(last < first, "distillation loss should fall: {first} → {last}");
+        assert!(
+            last < first,
+            "distillation loss should fall: {first} → {last}"
+        );
     }
 
     #[test]
@@ -327,7 +349,7 @@ mod tests {
         let before = evaluate_nll(&model, &eval);
         let mut opt = Adam::new(3e-3);
         for _ in 0..30 {
-            let _ = train_step(&mut model, &mut opt, &[seq.clone()]);
+            let _ = train_step(&mut model, &mut opt, std::slice::from_ref(&seq));
         }
         let after = evaluate_nll(&model, &eval);
         assert!(after < before * 0.7, "{before} → {after}");

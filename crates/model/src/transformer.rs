@@ -2,7 +2,10 @@
 //! incremental, sequence-based (per-branch), and tree-based parallel
 //! decoding with the topology-aware causal mask (§4.2 of the paper).
 
-use specinfer_tensor::{ops, Tensor};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+use specinfer_tensor::{kernels, ops, Tensor};
 use specinfer_tokentree::{LinearizedTree, NodeId, TokenId, TokenTree, TopologyMask};
 
 use crate::config::ModelConfig;
@@ -40,6 +43,100 @@ impl std::fmt::Debug for Visibility<'_> {
     }
 }
 
+/// Reusable per-thread buffers for [`Transformer::forward_rows`].
+///
+/// Every intermediate of the forward pass lives here, so once the
+/// buffers have grown to steady-state size a decode step performs no
+/// heap allocation except for the returned logits tensor. One scratch
+/// per thread (not per model) is safe because `forward_rows` fully
+/// resets each buffer before use.
+#[derive(Default)]
+struct ForwardScratch {
+    /// Visibility matrix, `[n, total]` row-major.
+    vis: Vec<bool>,
+    /// Residual stream, `[n, d]`.
+    x: Tensor,
+    /// RMS-normed hidden rows, `[n, d]`.
+    h: Tensor,
+    /// Fused Q|K|V projections, `[n, 3·d]`.
+    qkv: Tensor,
+    /// Attention output, `[n, d]`.
+    att: Tensor,
+    /// Attention/FFN residual write, `[n, d]`.
+    proj: Tensor,
+    /// SwiGLU gate, `[n, d_ff]`.
+    gate: Tensor,
+    /// SwiGLU linear branch, `[n, d_ff]`.
+    lin: Tensor,
+    /// Gathered (row, score) pairs of the serial attention path.
+    scores: Vec<(usize, f32)>,
+    /// RoPE inverse frequencies keyed by head_dim (LLM and SSMs with
+    /// different head widths may share one thread).
+    inv_freqs: Vec<(usize, Vec<f32>)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ForwardScratch> = RefCell::new(ForwardScratch::default());
+}
+
+/// Multiply–add count per (query row × cache row × channel) below which
+/// the attention loop stays serial; matches the kernels' threshold.
+const PAR_MIN_ATT_FLOPS: usize = kernels::PAR_MIN_FLOPS;
+
+/// Computes attention for query rows `i0..` of one layer into
+/// `att_chunk` (`chunk_rows × d`, zeroed). Scores for each (row, head)
+/// are gathered, softmaxed and applied over cache rows in ascending-`j`
+/// order, so the result is independent of how rows are partitioned
+/// across threads.
+#[allow(clippy::too_many_arguments)]
+fn attention_rows(
+    att_chunk: &mut [f32],
+    i0: usize,
+    qkv: &Tensor,
+    vis: &[bool],
+    cache: &KvCache,
+    layer_idx: usize,
+    old: usize,
+    total: usize,
+    n_heads: usize,
+    hd: usize,
+    scale: f32,
+    scores: &mut Vec<(usize, f32)>,
+) {
+    let d = n_heads * hd;
+    for (r, out_row) in att_chunk.chunks_mut(d).enumerate() {
+        let i = i0 + r;
+        for head in 0..n_heads {
+            let hcol = head * hd;
+            let q_slice = &qkv.row(i)[hcol..hcol + hd];
+            scores.clear();
+            for j in 0..=old + i {
+                if !vis[i * total + j] {
+                    continue;
+                }
+                let key = &cache.key_row(layer_idx, j)[hcol..hcol + hd];
+                let dot: f32 = q_slice.iter().zip(key).map(|(a, b)| a * b).sum();
+                scores.push((j, dot * scale));
+            }
+            // Stable softmax over the gathered scores.
+            let max = scores.iter().map(|s| s.1).fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for s in scores.iter_mut() {
+                s.1 = (s.1 - max).exp();
+                denom += s.1;
+            }
+            let out = &mut out_row[hcol..hcol + hd];
+            for &(j, w) in scores.iter() {
+                let val = &cache.value_row(layer_idx, j)[hcol..hcol + hd];
+                let wn = w / denom;
+                for (o, vv) in out.iter_mut().zip(val) {
+                    *o += wn * vv;
+                }
+            }
+        }
+    }
+}
+
 /// A decoder-only Transformer (RMSNorm + RoPE + SwiGLU) with explicit KV
 /// cache management.
 ///
@@ -60,6 +157,13 @@ impl std::fmt::Debug for Visibility<'_> {
 pub struct Transformer {
     config: ModelConfig,
     weights: ModelWeights,
+    /// Per-layer fused `[d, 3·d]` Q|K|V projection matrices: row `r` is
+    /// `wq.row(r) ‖ wk.row(r) ‖ wv.row(r)`, so one matmul per layer
+    /// replaces three. Columns of the pack reduce over `k` in the same
+    /// ascending order as the separate matmuls, so the projected values
+    /// are bitwise identical. Built lazily on first use; dropped by
+    /// [`Transformer::weights_mut`] so training sees fresh weights.
+    qkv_pack: OnceLock<Arc<Vec<Tensor>>>,
 }
 
 impl Transformer {
@@ -70,13 +174,21 @@ impl Transformer {
     /// Panics if the configuration is internally inconsistent.
     pub fn new(config: ModelConfig, weights: ModelWeights) -> Self {
         config.validate();
-        Transformer { config, weights }
+        Transformer {
+            config,
+            weights,
+            qkv_pack: OnceLock::new(),
+        }
     }
 
     /// Creates a model with random weights derived from `seed`.
     pub fn from_seed(config: ModelConfig, seed: u64) -> Self {
         let weights = ModelWeights::init(&config, seed);
-        Transformer { config, weights }
+        Transformer {
+            config,
+            weights,
+            qkv_pack: OnceLock::new(),
+        }
     }
 
     /// The model's configuration.
@@ -91,12 +203,40 @@ impl Transformer {
 
     /// Mutable access to the weights (used by training).
     pub fn weights_mut(&mut self) -> &mut ModelWeights {
+        // The fused pack mirrors wq/wk/wv; any mutation invalidates it.
+        self.qkv_pack.take();
         &mut self.weights
+    }
+
+    /// The fused per-layer `[d, 3·d]` QKV projection matrices.
+    fn qkv_packed(&self) -> Arc<Vec<Tensor>> {
+        Arc::clone(self.qkv_pack.get_or_init(|| {
+            let d = self.config.d_model;
+            Arc::new(
+                self.weights
+                    .layers
+                    .iter()
+                    .map(|layer| {
+                        let mut data = Vec::with_capacity(d * 3 * d);
+                        for r in 0..d {
+                            data.extend_from_slice(layer.wq.row(r));
+                            data.extend_from_slice(layer.wk.row(r));
+                            data.extend_from_slice(layer.wv.row(r));
+                        }
+                        Tensor::from_vec(data, &[d, 3 * d])
+                    })
+                    .collect(),
+            )
+        }))
     }
 
     /// Creates an empty KV cache sized for this model.
     pub fn new_cache(&self) -> KvCache {
-        KvCache::new(self.config.n_layers, self.config.d_model, self.config.max_seq_len)
+        KvCache::new(
+            self.config.n_layers,
+            self.config.d_model,
+            self.config.max_seq_len,
+        )
     }
 
     /// Runs a batch of `tokens` at sequence `positions` on top of `cache`,
@@ -110,7 +250,9 @@ impl Transformer {
     /// # Panics
     ///
     /// Panics if lengths disagree, a token is out of vocabulary, or the
-    /// cache would overflow.
+    /// cache would overflow. A [`Visibility::Custom`] closure must not
+    /// itself call `forward_rows` (the pass borrows a per-thread scratch
+    /// buffer for its whole duration).
     pub fn forward_rows(
         &self,
         tokens: &[TokenId],
@@ -126,102 +268,140 @@ impl Transformer {
         let hd = self.config.head_dim();
         let old = cache.len();
         let total = old + n;
+        let qkv_pack = self.qkv_packed();
 
-        // Materialize the visibility matrix once: vis[i][j] for absolute
-        // row j (cache layout after this batch is appended).
-        let mut vis = vec![false; n * total];
-        for i in 0..n {
-            for j in 0..=old + i {
-                let ok = if j == old + i {
-                    true
-                } else {
-                    match &visible {
-                        Visibility::Causal => true,
-                        Visibility::Tree(mask) => {
-                            if j < old {
-                                true
-                            } else {
-                                mask.allowed(i, j - old)
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+
+            // Materialize the visibility matrix once: vis[i][j] for
+            // absolute row j (cache layout after this batch is appended).
+            s.vis.clear();
+            s.vis.resize(n * total, false);
+            for i in 0..n {
+                for j in 0..=old + i {
+                    let ok = if j == old + i {
+                        true
+                    } else {
+                        match &visible {
+                            Visibility::Causal => true,
+                            Visibility::Tree(mask) => {
+                                if j < old {
+                                    true
+                                } else {
+                                    mask.allowed(i, j - old)
+                                }
                             }
+                            Visibility::Custom(f) => f(i, j),
                         }
-                        Visibility::Custom(f) => f(i, j),
-                    }
-                };
-                vis[i * total + j] = ok;
+                    };
+                    s.vis[i * total + j] = ok;
+                }
             }
-        }
 
-        // Embedding lookup.
-        let mut x = {
-            let mut data = Vec::with_capacity(n * d);
-            for &t in tokens {
+            // RoPE inverse frequencies for this head width.
+            let fi = match s.inv_freqs.iter().position(|(h, _)| *h == hd) {
+                Some(i) => i,
+                None => {
+                    s.inv_freqs
+                        .push((hd, ops::rope_inv_freqs(hd, ModelConfig::ROPE_BASE)));
+                    s.inv_freqs.len() - 1
+                }
+            };
+
+            // Embedding gather straight into the residual buffer.
+            s.x.reset(&[n, d]);
+            for (i, &t) in tokens.iter().enumerate() {
                 assert!(
                     (t as usize) < self.config.vocab_size,
                     "token {t} outside vocabulary {}",
                     self.config.vocab_size
                 );
-                data.extend_from_slice(self.weights.embed.row(t as usize));
+                s.x.row_mut(i)
+                    .copy_from_slice(self.weights.embed.row(t as usize));
             }
-            Tensor::from_vec(data, &[n, d])
-        };
 
-        let scale = 1.0 / (hd as f32).sqrt();
-        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-            let h = ops::rmsnorm_rows(&x, &layer.attn_norm, ModelConfig::RMS_EPS);
-            let mut q = h.matmul(&layer.wq);
-            let mut k = h.matmul(&layer.wk);
-            let v = h.matmul(&layer.wv);
-            for (i, &pos) in positions.iter().enumerate() {
-                ops::rope_rotate_row(q.row_mut(i), pos, hd, ModelConfig::ROPE_BASE);
-                ops::rope_rotate_row(k.row_mut(i), pos, hd, ModelConfig::ROPE_BASE);
-            }
-            cache.append_layer_rows(layer_idx, &k, &v);
-
-            // Attention over visible rows, per query row and head.
-            let mut att = Tensor::zeros(&[n, d]);
-            let mut scores: Vec<(usize, f32)> = Vec::with_capacity(total);
-            for i in 0..n {
-                for head in 0..n_heads {
-                    let hcol = head * hd;
-                    let q_slice = &q.row(i)[hcol..hcol + hd];
-                    scores.clear();
-                    for j in 0..=old + i {
-                        if !vis[i * total + j] {
-                            continue;
-                        }
-                        let key = &cache.key_row(layer_idx, j)[hcol..hcol + hd];
-                        let dot: f32 = q_slice.iter().zip(key).map(|(a, b)| a * b).sum();
-                        scores.push((j, dot * scale));
-                    }
-                    // Stable softmax over the gathered scores.
-                    let max = scores.iter().map(|s| s.1).fold(f32::NEG_INFINITY, f32::max);
-                    let mut denom = 0.0;
-                    for s in &mut scores {
-                        s.1 = (s.1 - max).exp();
-                        denom += s.1;
-                    }
-                    let out = &mut att.row_mut(i)[hcol..hcol + hd];
-                    for &(j, w) in &scores {
-                        let val = &cache.value_row(layer_idx, j)[hcol..hcol + hd];
-                        let wn = w / denom;
-                        for (o, vv) in out.iter_mut().zip(val) {
-                            *o += wn * vv;
-                        }
-                    }
+            let scale = 1.0 / (hd as f32).sqrt();
+            for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+                ops::rmsnorm_rows_into(&s.x, &layer.attn_norm, ModelConfig::RMS_EPS, &mut s.h);
+                // One fused matmul computes Q|K|V side by side.
+                s.h.matmul_into(&qkv_pack[layer_idx], &mut s.qkv);
+                for (i, &pos) in positions.iter().enumerate() {
+                    let row = s.qkv.row_mut(i);
+                    let inv = &s.inv_freqs[fi].1;
+                    ops::rope_rotate_row_cached(&mut row[..d], pos, inv);
+                    ops::rope_rotate_row_cached(&mut row[d..2 * d], pos, inv);
                 }
+                cache.append_layer_fused_rows(layer_idx, s.qkv.data(), 3 * d, d, 2 * d, n);
+
+                // Attention over visible rows, partitioned by query row
+                // when the work justifies threads; scores are reduced in
+                // the same ascending-j order either way, so the output
+                // is bitwise independent of the partitioning.
+                s.att.reset(&[n, d]);
+                let threads = kernels::effective_threads().min(n);
+                if threads > 1 && n * total * d >= PAR_MIN_ATT_FLOPS {
+                    let cache_ref: &KvCache = cache;
+                    let (att, qkv, vis) = (&mut s.att, &s.qkv, &s.vis);
+                    let chunk_rows = n.div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for (ci, chunk) in att.data_mut().chunks_mut(chunk_rows * d).enumerate() {
+                            scope.spawn(move || {
+                                let mut scores = Vec::with_capacity(total);
+                                attention_rows(
+                                    chunk,
+                                    ci * chunk_rows,
+                                    qkv,
+                                    vis,
+                                    cache_ref,
+                                    layer_idx,
+                                    old,
+                                    total,
+                                    n_heads,
+                                    hd,
+                                    scale,
+                                    &mut scores,
+                                );
+                            });
+                        }
+                    });
+                } else {
+                    attention_rows(
+                        s.att.data_mut(),
+                        0,
+                        &s.qkv,
+                        &s.vis,
+                        cache,
+                        layer_idx,
+                        old,
+                        total,
+                        n_heads,
+                        hd,
+                        scale,
+                        &mut s.scores,
+                    );
+                }
+                s.att.matmul_into(&layer.wo, &mut s.proj);
+                s.x.add_assign(&s.proj);
+
+                ops::rmsnorm_rows_into(&s.x, &layer.ffn_norm, ModelConfig::RMS_EPS, &mut s.h);
+                s.h.matmul_into(&layer.w1, &mut s.gate);
+                ops::silu_inplace(&mut s.gate);
+                s.h.matmul_into(&layer.w3, &mut s.lin);
+                s.gate.mul_assign(&s.lin);
+                s.gate.matmul_into(&layer.w2, &mut s.proj);
+                s.x.add_assign(&s.proj);
             }
-            x = x.add(&att.matmul(&layer.wo));
+            cache.commit_rows(n);
 
-            let h2 = ops::rmsnorm_rows(&x, &layer.ffn_norm, ModelConfig::RMS_EPS);
-            let gate = ops::silu(&h2.matmul(&layer.w1));
-            let lin = h2.matmul(&layer.w3);
-            let ffn = gate.mul(&lin).matmul(&layer.w2);
-            x = x.add(&ffn);
-        }
-        cache.commit_rows(n);
-
-        let final_h = ops::rmsnorm_rows(&x, &self.weights.final_norm, ModelConfig::RMS_EPS);
-        final_h.matmul(&self.weights.lm_head)
+            ops::rmsnorm_rows_into(
+                &s.x,
+                &self.weights.final_norm,
+                ModelConfig::RMS_EPS,
+                &mut s.h,
+            );
+            // The returned logits are the one per-call allocation.
+            s.h.matmul(&self.weights.lm_head)
+        })
     }
 
     /// Processes a span of tokens causally (prompt prefill or replaying
@@ -252,7 +432,12 @@ impl Transformer {
     pub fn decode_tree(&self, lin: &LinearizedTree, cache: &mut KvCache) -> Tensor {
         let base = cache.len();
         let positions: Vec<usize> = lin.depths().iter().map(|d| base + d).collect();
-        self.forward_rows(lin.tokens(), &positions, cache, Visibility::Tree(lin.mask()))
+        self.forward_rows(
+            lin.tokens(),
+            &positions,
+            cache,
+            Visibility::Tree(lin.mask()),
+        )
     }
 
     /// Sequence-based parallel decoding — the baseline of Figure 4: each
@@ -436,6 +621,73 @@ mod tests {
 
         let diff = spec_next.max_abs_diff(&ref_next);
         assert!(diff < 1e-3, "post-retention decoding diverged by {diff}");
+    }
+
+    #[test]
+    fn fused_qkv_projection_matches_separate_matmuls_bitwise() {
+        let m = model();
+        let d = m.config().d_model;
+        let packs = m.qkv_packed();
+        let h = Tensor::randn(&[5, d], 1.0, &mut specinfer_tensor::rng::SeededRng::new(11));
+        for (layer, pack) in m.weights().layers.iter().zip(packs.iter()) {
+            assert_eq!(pack.dims(), &[d, 3 * d]);
+            let q = h.matmul(&layer.wq);
+            let k = h.matmul(&layer.wk);
+            let v = h.matmul(&layer.wv);
+            let fused = h.matmul(pack);
+            for r in 0..5 {
+                assert_eq!(&fused.row(r)[..d], q.row(r));
+                assert_eq!(&fused.row(r)[d..2 * d], k.row(r));
+                assert_eq!(&fused.row(r)[2 * d..], v.row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_mut_invalidates_fused_pack() {
+        let mut m = model();
+        let seq: Vec<TokenId> = vec![1, 2, 3, 4];
+        let before = m.logits_for_sequence(&seq);
+        let scaled = m.weights().layers[0].wq.scale(2.0);
+        m.weights_mut().layers[0].wq = scaled;
+        let after = m.logits_for_sequence(&seq);
+        // A stale pack would keep producing `before`.
+        assert!(before.max_abs_diff(&after) > 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_bitwise_stable() {
+        let m = model();
+        let vocab = m.config().vocab_size;
+        let long: Vec<TokenId> = (0..20).map(|i| (i * 7 % vocab) as TokenId).collect();
+        let short: Vec<TokenId> = vec![4, 2];
+        let long_fresh = m.logits_for_sequence(&long);
+        let short_fresh = m.logits_for_sequence(&short);
+        // Interleave shapes so buffers shrink and regrow between calls.
+        for _ in 0..3 {
+            assert_eq!(m.logits_for_sequence(&short), short_fresh);
+            assert_eq!(m.logits_for_sequence(&long), long_fresh);
+        }
+    }
+
+    #[test]
+    fn tree_decode_bitwise_identical_serial_vs_parallel() {
+        // Safe to toggle the global knob concurrently with other tests:
+        // every path is bitwise identical at any thread count.
+        let m = model();
+        let prompt: Vec<TokenId> = vec![9, 8, 7];
+        let lin = LinearizedTree::new(&spec_tree());
+        let run = || {
+            let mut cache = m.new_cache();
+            let _ = m.prefill(&prompt, &mut cache);
+            m.decode_tree(&lin, &mut cache)
+        };
+        specinfer_tensor::set_max_threads(1);
+        let serial = run();
+        specinfer_tensor::set_max_threads(8);
+        let parallel = run();
+        specinfer_tensor::set_max_threads(0);
+        assert_eq!(serial.data(), parallel.data());
     }
 
     #[test]

@@ -99,6 +99,35 @@ proptest! {
         prop_assert!(diff < 2e-3, "retention changed logits by {diff}");
     }
 
+    /// Tree-parallel decoding produces bitwise-identical logits whether
+    /// the kernels and attention loop run serial or parallel, for
+    /// arbitrary tree-shaped visibility masks: the attention loop is
+    /// partitioned by query row with the per-(row, head) reduction order
+    /// unchanged, and the matmul kernels never split the k reduction.
+    #[test]
+    fn tree_decode_bitwise_serial_vs_parallel(
+        root in 0u32..32,
+        edges in prop::collection::vec((0usize..16, 0u32..32), 1..12),
+        prompt in prop::collection::vec(0u32..32, 1..6),
+        threads in 2usize..9,
+    ) {
+        let m = model();
+        let tree = build_tree(root, &edges);
+        let lin = LinearizedTree::new(&tree);
+        let mut base = m.new_cache();
+        let _ = m.prefill(&prompt, &mut base);
+
+        specinfer_tensor::set_max_threads(1);
+        let mut serial_cache = base.clone();
+        let serial = m.decode_tree(&lin, &mut serial_cache);
+        specinfer_tensor::set_max_threads(threads);
+        let mut parallel_cache = base.clone();
+        let parallel = m.decode_tree(&lin, &mut parallel_cache);
+        specinfer_tensor::set_max_threads(0);
+
+        prop_assert_eq!(serial.data(), parallel.data());
+    }
+
     /// Prefill in one call equals prefill split at any point.
     #[test]
     fn split_prefill_is_equivalent(

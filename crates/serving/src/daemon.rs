@@ -71,7 +71,10 @@ impl ServerDaemon {
             .name("specinfer-daemon".into())
             .spawn(move || daemon_loop(&llm, &ssms, &config, &rx))
             .expect("failed to spawn the serving daemon");
-        ServerDaemon { tx, join: Some(join) }
+        ServerDaemon {
+            tx,
+            join: Some(join),
+        }
     }
 
     /// Submits a request; returns a [`Ticket`] whose `wait()` yields the
@@ -84,7 +87,12 @@ impl ServerDaemon {
         let (reply_tx, reply_rx) = bounded(1);
         let (id_tx, id_rx) = bounded(1);
         self.tx
-            .send(Msg::Submit { prompt, max_new_tokens, reply: reply_tx, id_reply: id_tx })
+            .send(Msg::Submit {
+                prompt,
+                max_new_tokens,
+                reply: reply_tx,
+                id_reply: id_tx,
+            })
             .expect("daemon is not running");
         let id = id_rx.recv().expect("daemon is not running");
         Ticket { id, rx: reply_rx }
@@ -147,18 +155,19 @@ fn daemon_loop(
                 rx.try_recv().ok()
             };
             match msg {
-                Some(Msg::Submit { prompt, max_new_tokens, reply, id_reply }) => {
+                Some(Msg::Submit {
+                    prompt,
+                    max_new_tokens,
+                    reply,
+                    id_reply,
+                }) => {
                     let id = RequestId(next_id);
                     next_id += 1;
                     let _ = id_reply.send(id);
                     let mut engine = config.engine.clone();
                     engine.max_new_tokens = max_new_tokens;
-                    let session = Session::new(
-                        llm,
-                        &ssm_refs,
-                        &prompt,
-                        config.seed.wrapping_add(id.0),
-                    );
+                    let session =
+                        Session::new(llm, &ssm_refs, &prompt, config.seed.wrapping_add(id.0));
                     active.push(LiveRequest {
                         id,
                         prompt_len: prompt.len(),
@@ -196,9 +205,15 @@ fn daemon_loop(
             .filter_map(|r| r.last.map(|s| s.tree_size as f64))
             .sum::<f64>()
             / batch as f64;
-        let mean_ctx =
-            active.iter().take(batch).map(|r| r.session.tokens().len()).sum::<usize>() / batch;
-        clock += config.timing.iteration_s(&config.engine.mode, batch, mean_tree, mean_ctx);
+        let mean_ctx = active
+            .iter()
+            .take(batch)
+            .map(|r| r.session.tokens().len())
+            .sum::<usize>()
+            / batch;
+        clock += config
+            .timing
+            .iteration_s(&config.engine.mode, batch, mean_tree, mean_ctx);
 
         // Retire finished requests and answer their tickets.
         let mut i = 0;
@@ -228,7 +243,12 @@ fn finish(mut responses: Vec<Response>, clock: f64, iterations: usize) -> ServeR
     responses.sort_by_key(|r| r.id);
     // The daemon keeps no per-iteration log (it is a live loop; the
     // trace-driven `Server` provides the audit trail).
-    ServeReport { responses, makespan_s: clock, iterations, iteration_log: Vec::new() }
+    ServeReport {
+        responses,
+        makespan_s: clock,
+        iterations,
+        iteration_log: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +262,13 @@ mod tests {
     fn daemon(batch: usize) -> ServerDaemon {
         let llm = Arc::new(Transformer::from_seed(ModelConfig::smoke(), 1));
         let ssm = Arc::new(Transformer::from_seed(
-            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..ModelConfig::smoke()
+            },
             2,
         ));
         ServerDaemon::spawn(
@@ -268,8 +294,9 @@ mod tests {
     #[test]
     fn live_submissions_complete() {
         let d = daemon(4);
-        let tickets: Vec<Ticket> =
-            (0..6).map(|i| d.submit(vec![1, 2, (i % 4) + 3], 8)).collect();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| d.submit(vec![1, 2, (i % 4) + 3], 8))
+            .collect();
         let mut got = Vec::new();
         for t in tickets {
             let r = t.wait();

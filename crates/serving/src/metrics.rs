@@ -43,7 +43,10 @@ impl ServeReport {
         if self.responses.is_empty() {
             return 0.0;
         }
-        self.responses.iter().map(Response::per_token_latency_s).sum::<f64>()
+        self.responses
+            .iter()
+            .map(Response::per_token_latency_s)
+            .sum::<f64>()
             / self.responses.len() as f64
     }
 
@@ -62,7 +65,10 @@ impl ServeReport {
         if self.responses.is_empty() {
             return 0.0;
         }
-        self.responses.iter().map(Response::tokens_per_step).sum::<f64>()
+        self.responses
+            .iter()
+            .map(Response::tokens_per_step)
+            .sum::<f64>()
             / self.responses.len() as f64
     }
 
@@ -101,7 +107,14 @@ mod tests {
             generated: (0..n as u32).collect(),
             arrival_s: 0.0,
             finish_s: finish,
-            steps: vec![StepStats { tree_size: 3, accepted: 1, emitted: 2 }; n / 2],
+            steps: vec![
+                StepStats {
+                    tree_size: 3,
+                    accepted: 1,
+                    emitted: 2
+                };
+                n / 2
+            ],
         };
         ServeReport {
             responses: vec![mk(0, 4, 1.0), mk(1, 8, 2.0)],
@@ -150,7 +163,9 @@ mod tests {
         let r = report();
         assert_eq!(r.latency_quantile_s(0.0), 1.0);
         assert_eq!(r.latency_quantile_s(1.0), 2.0);
-        assert!((r.latency_quantile_s(0.5) - 1.0).abs() < 1e-12
-            || (r.latency_quantile_s(0.5) - 2.0).abs() < 1e-12);
+        assert!(
+            (r.latency_quantile_s(0.5) - 1.0).abs() < 1e-12
+                || (r.latency_quantile_s(0.5) - 2.0).abs() < 1e-12
+        );
     }
 }

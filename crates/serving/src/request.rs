@@ -87,8 +87,16 @@ mod tests {
             arrival_s: 1.0,
             finish_s: 2.0,
             steps: vec![
-                StepStats { tree_size: 5, accepted: 2, emitted: 3 },
-                StepStats { tree_size: 5, accepted: 1, emitted: 2 },
+                StepStats {
+                    tree_size: 5,
+                    accepted: 2,
+                    emitted: 3,
+                },
+                StepStats {
+                    tree_size: 5,
+                    accepted: 1,
+                    emitted: 2,
+                },
             ],
         }
     }

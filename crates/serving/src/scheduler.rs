@@ -26,7 +26,10 @@ impl IterationScheduler {
     /// Panics if `max_batch_size` is zero.
     pub fn new(max_batch_size: usize) -> Self {
         assert!(max_batch_size > 0, "batch size must be positive");
-        IterationScheduler { pending: VecDeque::new(), max_batch_size }
+        IterationScheduler {
+            pending: VecDeque::new(),
+            max_batch_size,
+        }
     }
 
     /// The admission limit.

@@ -85,7 +85,9 @@ impl TimingConfig {
         };
         let verify_s = match &self.offload {
             Some(offload) => offload.decode_step_s(&self.llm_profile, &verify_workload),
-            None => self.cluster.decode_step_s(&self.llm_profile, &self.plan, &verify_workload),
+            None => self
+                .cluster
+                .decode_step_s(&self.llm_profile, &self.plan, &verify_workload),
         };
         let spec_s = if spec_depth > 0 {
             let mean_width = (mean_tree_size / spec_depth as f64).max(1.0);
@@ -259,7 +261,12 @@ impl<'m> Server<'m> {
                         &request.prompt,
                         self.config.seed.wrapping_add(request.id.0),
                     );
-                    active.push(ActiveRequest { request, config, session, last_stats: None });
+                    active.push(ActiveRequest {
+                        request,
+                        config,
+                        session,
+                        last_stats: None,
+                    });
                 }
             }
 
@@ -274,16 +281,26 @@ impl<'m> Server<'m> {
                 .filter_map(|a| a.last_stats.map(|s| s.tree_size as f64))
                 .sum::<f64>()
                 / batch as f64;
-            let mean_context =
-                active.iter().map(|a| a.session.tokens().len()).sum::<usize>() / batch;
-            let dt =
-                self.config.timing.iteration_s(&self.config.engine.mode, batch, mean_tree, mean_context);
+            let mean_context = active
+                .iter()
+                .map(|a| a.session.tokens().len())
+                .sum::<usize>()
+                / batch;
+            let dt = self.config.timing.iteration_s(
+                &self.config.engine.mode,
+                batch,
+                mean_tree,
+                mean_context,
+            );
             iteration_log.push(crate::metrics::IterationRecord {
                 start_s: clock,
                 duration_s: dt,
                 batch,
                 mean_tree_size: mean_tree,
-                emitted: active.iter().filter_map(|a| a.last_stats.map(|s| s.emitted)).sum(),
+                emitted: active
+                    .iter()
+                    .filter_map(|a| a.last_stats.map(|s| s.emitted))
+                    .sum(),
             });
             clock += dt;
 
@@ -309,7 +326,12 @@ impl<'m> Server<'m> {
         }
 
         responses.sort_by_key(|r| r.id);
-        ServeReport { responses, makespan_s: clock, iterations, iteration_log }
+        ServeReport {
+            responses,
+            makespan_s: clock,
+            iterations,
+            iteration_log,
+        }
     }
 
     fn step_batch(&self, active: &mut [ActiveRequest]) {
@@ -345,7 +367,13 @@ mod tests {
         (
             Transformer::from_seed(ModelConfig::smoke(), 1),
             Transformer::from_seed(
-                ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+                ModelConfig {
+                    d_model: 8,
+                    n_heads: 2,
+                    n_layers: 1,
+                    d_ff: 16,
+                    ..ModelConfig::smoke()
+                },
                 2,
             ),
         )
@@ -373,7 +401,9 @@ mod tests {
             &llm,
             vec![&ssm],
             server_config(
-                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1]) },
+                InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 1]),
+                },
                 4,
             ),
         );
@@ -416,7 +446,10 @@ mod tests {
         assert_eq!(report.responses.len(), 2);
         let late = &report.responses[1];
         assert!(late.finish_s >= 1_000.0);
-        assert!(late.latency_s() < 1.0, "late request should not inherit queue time");
+        assert!(
+            late.latency_s() < 1.0,
+            "late request should not inherit queue time"
+        );
     }
 
     #[test]
@@ -427,7 +460,12 @@ mod tests {
         // timing model must then show a large per-token win.
         let trace_args = (&g, Dataset::Alpaca, 2usize, 4usize, 12usize, 9u64);
         let trace = specinfer_workloads::trace::Trace::closed_batch(
-            trace_args.0, trace_args.1, trace_args.2, trace_args.3, trace_args.4, trace_args.5,
+            trace_args.0,
+            trace_args.1,
+            trace_args.2,
+            trace_args.3,
+            trace_args.4,
+            trace_args.5,
         );
         // Tiny-vocab smoke models can't consume 256-vocab prompts; build
         // prompts within the smoke vocab instead.
@@ -437,8 +475,7 @@ mod tests {
                 *t %= 32;
             }
         }
-        let inc_server =
-            Server::new(&llm, vec![], server_config(InferenceMode::Incremental, 2));
+        let inc_server = Server::new(&llm, vec![], server_config(InferenceMode::Incremental, 2));
         let inc = inc_server.serve_trace(&trace);
         let spec_server = Server::new(
             &llm,
@@ -461,7 +498,9 @@ mod tests {
             &llm,
             vec![&ssm],
             server_config(
-                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1]) },
+                InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 1]),
+                },
                 2,
             ),
         );

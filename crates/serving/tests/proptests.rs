@@ -4,7 +4,13 @@ use proptest::prelude::*;
 use specinfer_serving::{IterationScheduler, Request, RequestId};
 
 fn request(id: u64, arrival: f64) -> Request {
-    Request { id: RequestId(id), prompt: vec![1], max_new_tokens: 4, arrival_s: arrival, dataset: None }
+    Request {
+        id: RequestId(id),
+        prompt: vec![1],
+        max_new_tokens: 4,
+        arrival_s: arrival,
+        dataset: None,
+    }
 }
 
 proptest! {

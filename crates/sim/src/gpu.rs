@@ -64,12 +64,18 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// PCIe Gen4 x16 (intra-node GPU↔GPU / GPU↔host on g5.12xlarge).
     pub fn pcie_gen4() -> Self {
-        LinkSpec { gb_per_s: 24.0, latency_us: 5.0 }
+        LinkSpec {
+            gb_per_s: 24.0,
+            latency_us: 5.0,
+        }
     }
 
     /// 100 Gbps Ethernet between nodes (the paper's cluster network).
     pub fn ethernet_100g() -> Self {
-        LinkSpec { gb_per_s: 12.5, latency_us: 30.0 }
+        LinkSpec {
+            gb_per_s: 12.5,
+            latency_us: 30.0,
+        }
     }
 
     /// Seconds to move `bytes` over this link, including latency.

@@ -23,7 +23,10 @@ pub struct ParallelismPlan {
 impl ParallelismPlan {
     /// A single-GPU plan.
     pub fn single() -> Self {
-        ParallelismPlan { tensor_parallel: 1, pipeline_parallel: 1 }
+        ParallelismPlan {
+            tensor_parallel: 1,
+            pipeline_parallel: 1,
+        }
     }
 
     /// Total GPUs used by the plan.
@@ -52,7 +55,12 @@ pub struct StepWorkload {
 impl StepWorkload {
     /// An incremental decoding step for `batch` requests.
     pub fn incremental(batch: usize, context_len: usize) -> Self {
-        StepWorkload { batch, tokens_per_request: 1, kernel_groups: 1, context_len }
+        StepWorkload {
+            batch,
+            tokens_per_request: 1,
+            kernel_groups: 1,
+            context_len,
+        }
     }
 }
 
@@ -85,18 +93,28 @@ impl ClusterSpec {
 
     /// One g5.12xlarge node: 4×A10 (the paper's OPT-30B setting).
     pub fn g5_one_node() -> Self {
-        ClusterSpec { gpus_per_node: 4, ..Self::g5_single_gpu() }
+        ClusterSpec {
+            gpus_per_node: 4,
+            ..Self::g5_single_gpu()
+        }
     }
 
     /// Two g5.12xlarge nodes: 8×A10 (the paper's LLaMA-65B setting).
     pub fn g5_two_nodes() -> Self {
-        ClusterSpec { gpus_per_node: 4, n_nodes: 2, ..Self::g5_single_gpu() }
+        ClusterSpec {
+            gpus_per_node: 4,
+            n_nodes: 2,
+            ..Self::g5_single_gpu()
+        }
     }
 
     /// The natural plan for this cluster: tensor parallelism within each
     /// node, pipeline parallelism across nodes (as in the paper).
     pub fn default_plan(&self) -> ParallelismPlan {
-        ParallelismPlan { tensor_parallel: self.gpus_per_node, pipeline_parallel: self.n_nodes }
+        ParallelismPlan {
+            tensor_parallel: self.gpus_per_node,
+            pipeline_parallel: self.n_nodes,
+        }
     }
 
     /// Latency of one LLM decoding step (seconds).
@@ -214,7 +232,11 @@ mod tests {
     fn incremental_step_is_memory_bound_at_small_batch() {
         let c = ClusterSpec::g5_single_gpu();
         let m = LlmProfile::llama_7b();
-        let t = c.decode_step_s(&m, &ParallelismPlan::single(), &StepWorkload::incremental(1, 128));
+        let t = c.decode_step_s(
+            &m,
+            &ParallelismPlan::single(),
+            &StepWorkload::incremental(1, 128),
+        );
         // Dominated by the 13.4 GB weight read at 600 GB/s ≈ 22 ms.
         assert!(t > 0.020 && t < 0.035, "{t}");
     }
@@ -228,7 +250,12 @@ mod tests {
         let small_tree = c.decode_step_s(
             &m,
             &plan,
-            &StepWorkload { batch: 1, tokens_per_request: 20, kernel_groups: 1, context_len: 128 },
+            &StepWorkload {
+                batch: 1,
+                tokens_per_request: 20,
+                kernel_groups: 1,
+                context_len: 128,
+            },
         );
         // 20 tree tokens at batch 1 stay under the memory roofline.
         assert!(small_tree < inc * 1.15, "{small_tree} vs {inc}");
@@ -236,7 +263,12 @@ mod tests {
         let big = c.decode_step_s(
             &m,
             &plan,
-            &StepWorkload { batch: 16, tokens_per_request: 40, kernel_groups: 1, context_len: 128 },
+            &StepWorkload {
+                batch: 16,
+                tokens_per_request: 40,
+                kernel_groups: 1,
+                context_len: 128,
+            },
         );
         // 640 tokens cross into the compute-bound regime.
         assert!(big > inc * 1.5, "{big} vs {inc}");
@@ -247,11 +279,13 @@ mod tests {
         let c = ClusterSpec::g5_one_node();
         let m = LlmProfile::opt_30b();
         let w = StepWorkload::incremental(1, 128);
-        let tp1 = ClusterSpec::g5_single_gpu()
-            .decode_step_s(&m, &ParallelismPlan::single(), &w);
+        let tp1 = ClusterSpec::g5_single_gpu().decode_step_s(&m, &ParallelismPlan::single(), &w);
         let tp4 = c.decode_step_s(
             &m,
-            &ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 },
+            &ParallelismPlan {
+                tensor_parallel: 4,
+                pipeline_parallel: 1,
+            },
             &w,
         );
         assert!(tp4 < tp1 * 0.45, "tp4 {tp4} vs tp1 {tp1}");
@@ -275,12 +309,22 @@ mod tests {
         let fused = c.decode_step_s(
             &m,
             &plan,
-            &StepWorkload { batch: 8, tokens_per_request: 20, kernel_groups: 1, context_len: 128 },
+            &StepWorkload {
+                batch: 8,
+                tokens_per_request: 20,
+                kernel_groups: 1,
+                context_len: 128,
+            },
         );
         let per_branch = c.decode_step_s(
             &m,
             &plan,
-            &StepWorkload { batch: 8, tokens_per_request: 26, kernel_groups: 3, context_len: 128 },
+            &StepWorkload {
+                batch: 8,
+                tokens_per_request: 26,
+                kernel_groups: 3,
+                context_len: 128,
+            },
         );
         assert!(per_branch > fused, "{per_branch} vs {fused}");
     }
@@ -290,8 +334,11 @@ mod tests {
         let c = ClusterSpec::g5_single_gpu();
         let llm = LlmProfile::llama_7b();
         let ssm = LlmProfile::llama_68m();
-        let llm_step =
-            c.decode_step_s(&llm, &ParallelismPlan::single(), &StepWorkload::incremental(1, 128));
+        let llm_step = c.decode_step_s(
+            &llm,
+            &ParallelismPlan::single(),
+            &StepWorkload::incremental(1, 128),
+        );
         let spec = c.ssm_speculation_s(&ssm, 8, 1, 1.2, 128);
         assert!(
             spec < llm_step,
@@ -312,12 +359,18 @@ mod tests {
         assert!(!single.fits_in_memory(&LlmProfile::opt_30b(), None, &plan1, 1, 128));
 
         let node = ClusterSpec::g5_one_node();
-        let tp4 = ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 };
+        let tp4 = ParallelismPlan {
+            tensor_parallel: 4,
+            pipeline_parallel: 1,
+        };
         assert!(node.fits_in_memory(&LlmProfile::opt_30b(), Some(&ssm), &tp4, 16, 512));
         assert!(!node.fits_in_memory(&LlmProfile::llama_65b(), None, &tp4, 1, 128));
 
         let two = ClusterSpec::g5_two_nodes();
-        let tp4pp2 = ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 2 };
+        let tp4pp2 = ParallelismPlan {
+            tensor_parallel: 4,
+            pipeline_parallel: 2,
+        };
         assert!(two.fits_in_memory(&LlmProfile::llama_65b(), Some(&ssm), &tp4pp2, 16, 512));
     }
 
@@ -338,7 +391,10 @@ mod tests {
         let c = ClusterSpec::g5_single_gpu();
         let _ = c.decode_step_s(
             &LlmProfile::llama_7b(),
-            &ParallelismPlan { tensor_parallel: 4, pipeline_parallel: 1 },
+            &ParallelismPlan {
+                tensor_parallel: 4,
+                pipeline_parallel: 1,
+            },
             &StepWorkload::incremental(1, 0),
         );
     }

@@ -23,7 +23,10 @@ pub struct OffloadSpec {
 impl OffloadSpec {
     /// One A10 with PCIe Gen4 to host DRAM (the paper's Figure 8 setup).
     pub fn a10_pcie() -> Self {
-        OffloadSpec { gpu: GpuSpec::a10(), host_link: LinkSpec::pcie_gen4() }
+        OffloadSpec {
+            gpu: GpuSpec::a10(),
+            host_link: LinkSpec::pcie_gen4(),
+        }
     }
 
     /// Latency of one decoding step: the full weight stream overlaps with
@@ -64,7 +67,12 @@ mod tests {
         let inc = o.decode_step_s(&m, &StepWorkload::incremental(1, 128));
         let tree = o.decode_step_s(
             &m,
-            &StepWorkload { batch: 1, tokens_per_request: 20, kernel_groups: 1, context_len: 128 },
+            &StepWorkload {
+                batch: 1,
+                tokens_per_request: 20,
+                kernel_groups: 1,
+                context_len: 128,
+            },
         );
         // The PCIe stream dwarfs the extra compute: < 2% difference.
         assert!((tree - inc) / inc < 0.02, "inc {inc} tree {tree}");

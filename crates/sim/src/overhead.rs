@@ -64,8 +64,10 @@ pub fn overheads(
     let verify_flops = llm.forward_flops((tree_size + 1) as f64);
     // Each SSM runs `spec_depth` incremental steps (roughly one token
     // each along its own chain).
-    let spec_flops: f64 =
-        ssms.iter().map(|s| s.forward_flops(spec_depth as f64)).sum();
+    let spec_flops: f64 = ssms
+        .iter()
+        .map(|s| s.forward_flops(spec_depth as f64))
+        .sum();
     let speculation_compute_fraction = spec_flops / verify_flops;
 
     let wasted_tokens = (tree_size as f64 - accepted).max(0.0);
@@ -111,7 +113,11 @@ mod tests {
     #[test]
     fn speculation_compute_is_under_ten_percent() {
         let r = report();
-        assert!(r.speculation_compute_fraction < 0.1, "{}", r.speculation_compute_fraction);
+        assert!(
+            r.speculation_compute_fraction < 0.1,
+            "{}",
+            r.speculation_compute_fraction
+        );
     }
 
     #[test]
@@ -123,10 +129,21 @@ mod tests {
 
     #[test]
     fn multiple_ssms_scale_the_weight_fraction() {
-        let one = overheads(&LlmProfile::llama_7b(), &[LlmProfile::llama_68m()], 20, 3.0, 512, 8);
+        let one = overheads(
+            &LlmProfile::llama_7b(),
+            &[LlmProfile::llama_68m()],
+            20,
+            3.0,
+            512,
+            8,
+        );
         let three = overheads(
             &LlmProfile::llama_7b(),
-            &[LlmProfile::llama_68m(), LlmProfile::llama_68m(), LlmProfile::llama_68m()],
+            &[
+                LlmProfile::llama_68m(),
+                LlmProfile::llama_68m(),
+                LlmProfile::llama_68m(),
+            ],
             20,
             3.0,
             512,

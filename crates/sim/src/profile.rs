@@ -36,32 +36,62 @@ impl LlmProfile {
 
     /// LLaMA-7B (Figure 7, single GPU).
     pub fn llama_7b() -> Self {
-        LlmProfile { name: "LLaMA-7B".into(), params: 6.7e9, n_layers: 32, d_model: 4096 }
+        LlmProfile {
+            name: "LLaMA-7B".into(),
+            params: 6.7e9,
+            n_layers: 32,
+            d_model: 4096,
+        }
     }
 
     /// OPT-13B (Figure 8 offloading).
     pub fn opt_13b() -> Self {
-        LlmProfile { name: "OPT-13B".into(), params: 13.0e9, n_layers: 40, d_model: 5120 }
+        LlmProfile {
+            name: "OPT-13B".into(),
+            params: 13.0e9,
+            n_layers: 40,
+            d_model: 5120,
+        }
     }
 
     /// OPT-30B (Figure 7 four-GPU, Figure 8 offloading).
     pub fn opt_30b() -> Self {
-        LlmProfile { name: "OPT-30B".into(), params: 30.0e9, n_layers: 48, d_model: 7168 }
+        LlmProfile {
+            name: "OPT-30B".into(),
+            params: 30.0e9,
+            n_layers: 48,
+            d_model: 7168,
+        }
     }
 
     /// LLaMA-65B (Figure 7, two nodes × four GPUs).
     pub fn llama_65b() -> Self {
-        LlmProfile { name: "LLaMA-65B".into(), params: 65.0e9, n_layers: 80, d_model: 8192 }
+        LlmProfile {
+            name: "LLaMA-65B".into(),
+            params: 65.0e9,
+            n_layers: 80,
+            d_model: 8192,
+        }
     }
 
     /// LLaMA-68M (the paper's LLaMA-family SSM).
     pub fn llama_68m() -> Self {
-        LlmProfile { name: "LLaMA-68M".into(), params: 68.0e6, n_layers: 2, d_model: 768 }
+        LlmProfile {
+            name: "LLaMA-68M".into(),
+            params: 68.0e6,
+            n_layers: 2,
+            d_model: 768,
+        }
     }
 
     /// OPT-125M (the paper's OPT-family SSM).
     pub fn opt_125m() -> Self {
-        LlmProfile { name: "OPT-125M".into(), params: 125.0e6, n_layers: 12, d_model: 768 }
+        LlmProfile {
+            name: "OPT-125M".into(),
+            params: 125.0e6,
+            n_layers: 12,
+            d_model: 768,
+        }
     }
 }
 

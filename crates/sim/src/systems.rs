@@ -25,7 +25,11 @@ pub struct SystemProfile {
 impl SystemProfile {
     /// vLLM (PagedAttention serving engine).
     pub fn vllm() -> Self {
-        SystemProfile { name: "vLLM".into(), step_overhead_s: 0.7e-3, step_multiplier: 1.00 }
+        SystemProfile {
+            name: "vLLM".into(),
+            step_overhead_s: 0.7e-3,
+            step_multiplier: 1.00,
+        }
     }
 
     /// HuggingFace Text Generation Inference — Python-side scheduling
@@ -49,12 +53,20 @@ impl SystemProfile {
 
     /// SpecInfer's own runtime (FlexFlow-based).
     pub fn specinfer() -> Self {
-        SystemProfile { name: "SpecInfer".into(), step_overhead_s: 0.5e-3, step_multiplier: 1.00 }
+        SystemProfile {
+            name: "SpecInfer".into(),
+            step_overhead_s: 0.5e-3,
+            step_multiplier: 1.00,
+        }
     }
 
     /// FlexGen (offloading baseline).
     pub fn flexgen() -> Self {
-        SystemProfile { name: "FlexGen".into(), step_overhead_s: 2.0e-3, step_multiplier: 1.05 }
+        SystemProfile {
+            name: "FlexGen".into(),
+            step_overhead_s: 2.0e-3,
+            step_multiplier: 1.05,
+        }
     }
 
     /// Applies the profile to a modelled step latency.

@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use specinfer_sim::{ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, StepWorkload};
 
 fn workload(batch: usize, tokens: usize, groups: usize, ctx: usize) -> StepWorkload {
-    StepWorkload { batch, tokens_per_request: tokens, kernel_groups: groups, context_len: ctx }
+    StepWorkload {
+        batch,
+        tokens_per_request: tokens,
+        kernel_groups: groups,
+        context_len: ctx,
+    }
 }
 
 proptest! {

@@ -56,7 +56,11 @@ pub fn audit_greedy(llm: &Transformer, result: &GenerationResult) -> AuditReport
     }
 
     let first_divergence = generated.iter().zip(&reference).position(|(a, b)| a != b);
-    AuditReport { lossless: first_divergence.is_none(), first_divergence, reference }
+    AuditReport {
+        lossless: first_divergence.is_none(),
+        first_divergence,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +75,13 @@ mod tests {
         (
             Transformer::from_seed(ModelConfig::smoke(), 60),
             Transformer::from_seed(
-                ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+                ModelConfig {
+                    d_model: 8,
+                    n_heads: 2,
+                    n_layers: 1,
+                    d_ff: 16,
+                    ..ModelConfig::smoke()
+                },
                 61,
             ),
         )
@@ -86,14 +96,20 @@ mod tests {
             EngineConfig {
                 decode: DecodeMode::Greedy,
                 verifier: StochasticVerifier::MultiStep,
-                mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+                mode: InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 2, 1]),
+                },
                 max_new_tokens: 20,
                 eos_token: None,
             },
         )
         .generate(&[4, 2, 9], 0);
         let report = audit_greedy(&llm, &result);
-        assert!(report.lossless, "divergence at {:?}", report.first_divergence);
+        assert!(
+            report.lossless,
+            "divergence at {:?}",
+            report.first_divergence
+        );
         assert_eq!(report.reference.len(), result.generated().len());
     }
 

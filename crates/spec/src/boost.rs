@@ -114,7 +114,10 @@ pub fn boost_tune_pool(
 ) -> BoostResult {
     assert!(!prompts.is_empty(), "boost-tuning needs a prompt corpus");
     assert!(config.n_ssms > 0 && config.epochs > 0 && config.batch_size > 0);
-    assert!(config.gen_len >= config.match_horizon, "horizon cannot exceed generation length");
+    assert!(
+        config.gen_len >= config.match_horizon,
+        "horizon cannot exceed generation length"
+    );
 
     // Build the unsupervised corpus: prompt + LLM continuation.
     let samples: Vec<(Vec<TokenId>, Vec<TokenId>)> = prompts
@@ -175,7 +178,11 @@ pub fn boost_tune_pool(
         .count();
     let union_coverage = union as f64 / samples.len() as f64;
 
-    BoostResult { ssms, round_coverage, union_coverage }
+    BoostResult {
+        ssms,
+        round_coverage,
+        union_coverage,
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +213,13 @@ mod tests {
         let prompts: Vec<Vec<TokenId>> = (0..6).map(|i| vec![1, (i % 8) + 2]).collect();
         let cfg = BoostConfig {
             n_ssms: 2,
-            ssm_config: ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            ssm_config: ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..ModelConfig::smoke()
+            },
             epochs: 1,
             batch_size: 4,
             lr: 3e-3,
@@ -220,8 +233,10 @@ mod tests {
         assert!(result.union_coverage >= 0.0 && result.union_coverage <= 1.0);
         // Union coverage can never fall below any single round's share of
         // the full corpus.
-        assert!(result.union_coverage * prompts.len() as f64 + 1e-9
-            >= result.round_coverage[0] * prompts.len() as f64);
+        assert!(
+            result.union_coverage * prompts.len() as f64 + 1e-9
+                >= result.round_coverage[0] * prompts.len() as f64
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub struct DynamicExpansionConfig {
 
 impl Default for DynamicExpansionConfig {
     fn default() -> Self {
-        DynamicExpansionConfig { max_nodes: 20, max_depth: 8, prob_threshold: 1e-3, max_children: 4 }
+        DynamicExpansionConfig {
+            max_nodes: 20,
+            max_depth: 8,
+            prob_threshold: 1e-3,
+            max_children: 4,
+        }
     }
 }
 
@@ -66,7 +71,9 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.score.partial_cmp(&other.score).unwrap_or(Ordering::Equal)
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -100,12 +107,12 @@ pub fn speculate_dynamic(
     // Helper: run the SSM on one materialized node and enqueue its
     // children candidates.
     let process = |u: NodeId,
-                       tree: &mut TokenTree,
-                       dists: &mut SsmDistTable,
-                       cache: &mut KvCache,
-                       ancestor_rows: &mut HashMap<usize, Vec<usize>>,
-                       path_prob: &HashMap<usize, f32>,
-                       heap: &mut BinaryHeap<Candidate>| {
+                   tree: &mut TokenTree,
+                   dists: &mut SsmDistTable,
+                   cache: &mut KvCache,
+                   ancestor_rows: &mut HashMap<usize, Vec<usize>>,
+                   path_prob: &HashMap<usize, f32>,
+                   heap: &mut BinaryHeap<Candidate>| {
         let token = tree.token(u);
         let pos = root_pos + tree.depth(u);
         let row = cache.len();
@@ -156,7 +163,15 @@ pub fn speculate_dynamic(
         debug_assert!(c.depth <= config.max_depth);
         let node = tree.add_child(c.parent, c.token, 0, c.prob);
         path_prob.insert(node.index(), c.score);
-        process(node, &mut tree, &mut dists, cache, &mut ancestor_rows, &path_prob, &mut heap);
+        process(
+            node,
+            &mut tree,
+            &mut dists,
+            cache,
+            &mut ancestor_rows,
+            &path_prob,
+            &mut heap,
+        );
     }
 
     cache.truncate(prefix);
@@ -183,7 +198,11 @@ mod tests {
 
     #[test]
     fn respects_node_budget_and_depth() {
-        let cfg = DynamicExpansionConfig { max_nodes: 12, max_depth: 4, ..Default::default() };
+        let cfg = DynamicExpansionConfig {
+            max_nodes: 12,
+            max_depth: 4,
+            ..Default::default()
+        };
         let s = spec(&cfg);
         assert!(s.tree.speculated_len() <= 12);
         assert!(s.tree.max_depth() <= 4);
@@ -215,22 +234,34 @@ mod tests {
             prob_threshold: 0.5,
             max_children: 4,
         };
-        let loose = DynamicExpansionConfig { prob_threshold: 0.0, ..strict.clone() };
+        let loose = DynamicExpansionConfig {
+            prob_threshold: 0.0,
+            ..strict.clone()
+        };
         assert!(spec(&strict).tree.speculated_len() <= spec(&loose).tree.speculated_len());
     }
 
     #[test]
     fn every_expanded_node_has_a_distribution() {
-        let cfg = DynamicExpansionConfig { max_nodes: 10, ..Default::default() };
+        let cfg = DynamicExpansionConfig {
+            max_nodes: 10,
+            ..Default::default()
+        };
         let s = spec(&cfg);
         for u in s.tree.node_ids() {
-            assert!(s.dists.get(u, 0).is_some(), "node {u:?} missing distribution");
+            assert!(
+                s.dists.get(u, 0).is_some(),
+                "node {u:?} missing distribution"
+            );
         }
     }
 
     #[test]
     fn node_probs_match_parent_distributions() {
-        let cfg = DynamicExpansionConfig { max_nodes: 10, ..Default::default() };
+        let cfg = DynamicExpansionConfig {
+            max_nodes: 10,
+            ..Default::default()
+        };
         let s = spec(&cfg);
         for u in s.tree.node_ids() {
             if let Some(p) = s.tree.parent(u) {

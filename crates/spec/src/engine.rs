@@ -10,7 +10,9 @@ use specinfer_model::{sampler, DecodeMode, KvCache, Transformer};
 use specinfer_tensor::rng::SeededRng;
 use specinfer_tokentree::{ExpansionConfig, LinearizedTree, TokenId, TokenTree};
 
-use crate::speculator::{expand_into, ExpansionMode, Speculation, SsmDistTable};
+use crate::speculator::{
+    expand_into, speculate_pool_parallel, ExpansionMode, Speculation, SsmDistTable,
+};
 use crate::verifier::{verify_greedy, verify_naive, verify_stochastic, StochasticVerifier};
 
 /// Which inference algorithm drives a generation.
@@ -62,7 +64,9 @@ impl EngineConfig {
         EngineConfig {
             decode: DecodeMode::Greedy,
             verifier: StochasticVerifier::MultiStep,
-            mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+            mode: InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::paper_default(),
+            },
             max_new_tokens: 128,
             eos_token: Some(specinfer_workload_eos()),
         }
@@ -251,7 +255,9 @@ impl Session {
             return false;
         }
         let _ = ssms;
-        self.ssm_caches.iter().all(|c| c.len() + need <= c.max_len())
+        self.ssm_caches
+            .iter()
+            .all(|c| c.len() + need <= c.max_len())
     }
 
     fn step_incremental(&mut self, llm: &Transformer, config: &EngineConfig) -> StepStats {
@@ -266,7 +272,11 @@ impl Session {
         };
         self.tokens.push(next);
         self.check_termination(config, &[next]);
-        StepStats { tree_size: 0, accepted: 0, emitted: 1 }
+        StepStats {
+            tree_size: 0,
+            accepted: 0,
+            emitted: 1,
+        }
     }
 
     fn step_speculative(
@@ -285,22 +295,35 @@ impl Session {
         let root = *self.tokens.last().expect("prompt is non-empty");
         let exp_mode = ExpansionMode::for_decode_mode(&config.decode);
 
-        // Speculate: all SSMs expand into one merged tree (§3).
-        let mut tree = TokenTree::new(root);
-        let mut dists = SsmDistTable::new();
-        for (i, ssm) in ssms.iter().enumerate() {
+        // Speculate (§3). A single SSM expands inline on the session's
+        // RNG stream; a pool expands data-parallel — one thread, private
+        // tree and forked RNG stream per SSM — and the private trees are
+        // merged deterministically in pool order.
+        let spec = if ssms.len() == 1 {
+            let mut tree = TokenTree::new(root);
+            let mut dists = SsmDistTable::new();
             expand_into(
                 &mut tree,
                 &mut dists,
-                ssm,
-                i,
-                &mut self.ssm_caches[i],
+                ssms[0],
+                0,
+                &mut self.ssm_caches[0],
                 expansion,
                 exp_mode,
                 &mut self.rng,
             );
-        }
-        let spec = Speculation { tree, dists };
+            Speculation { tree, dists }
+        } else {
+            let configs = vec![expansion.clone(); ssms.len()];
+            speculate_pool_parallel(
+                ssms,
+                &mut self.ssm_caches,
+                root,
+                &configs,
+                exp_mode,
+                &mut self.rng,
+            )
+        };
         self.verify_and_commit(llm, ssms, spec, config)
     }
 
@@ -311,7 +334,10 @@ impl Session {
         dyn_cfg: &crate::dynamic::DynamicExpansionConfig,
         config: &EngineConfig,
     ) -> StepStats {
-        assert!(!ssms.is_empty(), "dynamic speculation needs at least one SSM");
+        assert!(
+            !ssms.is_empty(),
+            "dynamic speculation needs at least one SSM"
+        );
         assert_eq!(
             ssms.len(),
             self.ssm_caches.len(),
@@ -396,7 +422,11 @@ impl Session {
 
     /// Consumes the session into a [`GenerationResult`].
     pub fn into_result(self) -> GenerationResult {
-        GenerationResult { tokens: self.tokens, prompt_len: self.prompt_len, steps: self.steps }
+        GenerationResult {
+            tokens: self.tokens,
+            prompt_len: self.prompt_len,
+            steps: self.steps,
+        }
     }
 }
 
@@ -460,7 +490,13 @@ mod tests {
         // speculation has nontrivial accept rates even untrained.
         let llm = Transformer::from_seed(ModelConfig::smoke(), 100);
         let ssm = Transformer::from_seed(
-            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..ModelConfig::smoke()
+            },
             101,
         );
         (llm, ssm)
@@ -479,8 +515,11 @@ mod tests {
     #[test]
     fn incremental_generates_budgeted_tokens() {
         let (llm, _) = models();
-        let engine =
-            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy));
+        let engine = SpecEngine::new(
+            &llm,
+            vec![],
+            config(InferenceMode::Incremental, DecodeMode::Greedy),
+        );
         let r = engine.generate(&[1, 2, 3], 0);
         assert_eq!(r.generated().len(), 24);
         assert_eq!(r.llm_steps(), 24);
@@ -490,14 +529,19 @@ mod tests {
     #[test]
     fn greedy_tree_spec_matches_incremental_exactly() {
         let (llm, ssm) = models();
-        let inc =
-            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
-                .generate(&[5, 9, 2], 0);
+        let inc = SpecEngine::new(
+            &llm,
+            vec![],
+            config(InferenceMode::Incremental, DecodeMode::Greedy),
+        )
+        .generate(&[5, 9, 2], 0);
         let tree = SpecEngine::new(
             &llm,
             vec![&ssm],
             config(
-                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1, 1]) },
+                InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 2, 1, 1]),
+                },
                 DecodeMode::Greedy,
             ),
         )
@@ -514,7 +558,10 @@ mod tests {
         let r = SpecEngine::new(
             &llm,
             vec![&ssm],
-            config(InferenceMode::SequenceSpeculative { depth: 4 }, DecodeMode::Greedy),
+            config(
+                InferenceMode::SequenceSpeculative { depth: 4 },
+                DecodeMode::Greedy,
+            ),
         )
         .generate(&[7, 7, 7], 1);
         for s in &r.steps {
@@ -532,7 +579,10 @@ mod tests {
         let r = SpecEngine::new(
             &llm,
             vec![&llm],
-            config(InferenceMode::SequenceSpeculative { depth }, DecodeMode::Greedy),
+            config(
+                InferenceMode::SequenceSpeculative { depth },
+                DecodeMode::Greedy,
+            ),
         )
         .generate(&[2, 3], 0);
         for s in &r.steps {
@@ -546,7 +596,9 @@ mod tests {
         let (llm, ssm) = models();
         for verifier in [StochasticVerifier::MultiStep, StochasticVerifier::Naive] {
             let mut cfg = config(
-                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1, 1]) },
+                InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 1, 1]),
+                },
                 DecodeMode::stochastic(),
             );
             cfg.verifier = verifier;
@@ -563,12 +615,17 @@ mod tests {
         let (llm, ssm) = models();
         // Find the greedy continuation and use its second token as EOS so
         // termination happens mid-stream.
-        let probe =
-            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
-                .generate(&[6, 1, 6], 0);
+        let probe = SpecEngine::new(
+            &llm,
+            vec![],
+            config(InferenceMode::Incremental, DecodeMode::Greedy),
+        )
+        .generate(&[6, 1, 6], 0);
         let eos = probe.generated()[1];
         let mut cfg = config(
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 1, 1]) },
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 1, 1]),
+            },
             DecodeMode::Greedy,
         );
         cfg.eos_token = Some(eos);
@@ -581,7 +638,9 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let (llm, ssm) = models();
         let cfg = config(
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2]) },
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 2]),
+            },
             DecodeMode::stochastic(),
         );
         let engine = SpecEngine::new(&llm, vec![&ssm], cfg);
@@ -609,14 +668,25 @@ mod tests {
         // A model with a tiny context window: the engine must fall back
         // to incremental steps near the limit and stop cleanly at it,
         // never panicking on cache overflow.
-        let cfg_model = ModelConfig { max_seq_len: 18, ..ModelConfig::smoke() };
+        let cfg_model = ModelConfig {
+            max_seq_len: 18,
+            ..ModelConfig::smoke()
+        };
         let llm = Transformer::from_seed(cfg_model.clone(), 300);
         let ssm = Transformer::from_seed(
-            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..cfg_model },
+            ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..cfg_model
+            },
             301,
         );
         let mut cfg = config(
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 2, 1]),
+            },
             DecodeMode::Greedy,
         );
         cfg.max_new_tokens = 100; // far beyond the context window
@@ -630,9 +700,12 @@ mod tests {
     #[test]
     fn dynamic_tree_is_lossless_under_greedy() {
         let (llm, ssm) = models();
-        let inc =
-            SpecEngine::new(&llm, vec![], config(InferenceMode::Incremental, DecodeMode::Greedy))
-                .generate(&[3, 8, 1], 0);
+        let inc = SpecEngine::new(
+            &llm,
+            vec![],
+            config(InferenceMode::Incremental, DecodeMode::Greedy),
+        )
+        .generate(&[3, 8, 1], 0);
         let dynamic = SpecEngine::new(
             &llm,
             vec![&ssm],
@@ -654,11 +727,19 @@ mod tests {
     fn multi_ssm_sessions_track_their_pool() {
         let (llm, ssm) = models();
         let ssm2 = Transformer::from_seed(
-            ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+            ModelConfig {
+                d_model: 8,
+                n_heads: 2,
+                n_layers: 1,
+                d_ff: 16,
+                ..ModelConfig::smoke()
+            },
             202,
         );
         let cfg = config(
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![1, 1, 1]) },
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![1, 1, 1]),
+            },
             DecodeMode::Greedy,
         );
         let r = SpecEngine::new(&llm, vec![&ssm, &ssm2], cfg).generate(&[9, 9], 5);

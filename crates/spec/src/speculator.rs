@@ -82,7 +82,10 @@ pub const DRAFT_FLATTEN_TEMPERATURE: f32 = 1.6;
 
 fn flatten(q: &[f32], temperature: f32) -> Vec<f32> {
     let inv = 1.0 / temperature;
-    let mut out: Vec<f32> = q.iter().map(|&p| if p > 0.0 { p.powf(inv) } else { 0.0 }).collect();
+    let mut out: Vec<f32> = q
+        .iter()
+        .map(|&p| if p > 0.0 { p.powf(inv) } else { 0.0 })
+        .collect();
     let total: f32 = out.iter().sum();
     if total > 0.0 {
         for v in &mut out {
@@ -141,12 +144,7 @@ pub fn expand_into(
 
     // Level 0: feed the root token itself.
     let root = TokenTree::ROOT;
-    let root_logits = ssm.forward_rows(
-        &[tree.token(root)],
-        &[root_pos],
-        cache,
-        Visibility::Causal,
-    );
+    let root_logits = ssm.forward_rows(&[tree.token(root)], &[root_pos], cache, Visibility::Causal);
     node_row.insert(root.index(), prefix);
     ancestor_rows.insert(root.index(), vec![prefix]);
 
@@ -173,9 +171,7 @@ pub fn expand_into(
                     .filter(|&(_, p)| p > 0.0)
                     .map(|(t, _)| t as TokenId)
                     .collect(),
-                ExpansionMode::Sampled => {
-                    (0..k).map(|_| sampler::sample_token(&q, rng)).collect()
-                }
+                ExpansionMode::Sampled => (0..k).map(|_| sampler::sample_token(&q, rng)).collect(),
             };
             for tok in children {
                 let prob = q[tok as usize];
@@ -203,7 +199,10 @@ pub fn expand_into(
         // Batch-decode the whole new level in one SSM pass: each new node
         // attends to the verified prefix plus its own ancestor rows.
         let tokens: Vec<TokenId> = new_nodes.iter().map(|&u| tree.token(u)).collect();
-        let positions: Vec<usize> = new_nodes.iter().map(|&u| root_pos + tree.depth(u)).collect();
+        let positions: Vec<usize> = new_nodes
+            .iter()
+            .map(|&u| root_pos + tree.depth(u))
+            .collect();
         let base = cache.len();
         for (i, u) in new_nodes.iter().enumerate() {
             let parent = tree.parent(*u).expect("expanded node has a parent");
@@ -272,13 +271,149 @@ pub fn speculate_merged(
     mode: ExpansionMode,
     rng: &mut SeededRng,
 ) -> Speculation {
-    assert!(!ssms.is_empty(), "merge-based speculation needs at least one SSM");
+    assert!(
+        !ssms.is_empty(),
+        "merge-based speculation needs at least one SSM"
+    );
     assert_eq!(ssms.len(), caches.len(), "one cache per SSM required");
-    assert_eq!(ssms.len(), configs.len(), "one expansion config per SSM required");
+    assert_eq!(
+        ssms.len(),
+        configs.len(),
+        "one expansion config per SSM required"
+    );
     let mut tree = TokenTree::new(root_token);
     let mut dists = SsmDistTable::new();
     for (i, ssm) in ssms.iter().enumerate() {
-        expand_into(&mut tree, &mut dists, ssm, i, &mut caches[i], &configs[i], mode, rng);
+        expand_into(
+            &mut tree,
+            &mut dists,
+            ssm,
+            i,
+            &mut caches[i],
+            &configs[i],
+            mode,
+            rng,
+        );
+    }
+    Speculation { tree, dists }
+}
+
+/// Grafts a privately speculated tree onto `tree` per Definition 3.2:
+/// nodes are walked in arena order (parents first) and either matched
+/// against an existing child carrying the same token (TopK — merged
+/// candidate sets keep the first proposer's metadata) or appended as new
+/// nodes (Sampled — i.i.d. drafts stay distinct even on collision).
+/// `part_dists` entries are re-keyed onto the merged node ids.
+fn graft_into(
+    tree: &mut TokenTree,
+    dists: &mut SsmDistTable,
+    part: &TokenTree,
+    part_dists: &SsmDistTable,
+    ssm_id: usize,
+    mode: ExpansionMode,
+) {
+    let mut map: Vec<NodeId> = Vec::with_capacity(part.len());
+    for u in part.node_ids() {
+        let mu = match part.parent(u) {
+            None => TokenTree::ROOT,
+            Some(p) => {
+                let mp = map[p.index()];
+                let tok = part.token(u);
+                match mode {
+                    ExpansionMode::TopK => match tree.child_with_token(mp, tok) {
+                        Some(existing) => existing,
+                        None => tree.add_child(mp, tok, part.ssm_id(u), part.ssm_prob(u)),
+                    },
+                    ExpansionMode::Sampled => {
+                        tree.add_child(mp, tok, part.ssm_id(u), part.ssm_prob(u))
+                    }
+                }
+            }
+        };
+        map.push(mu);
+        if let Some(q) = part_dists.get(u, ssm_id) {
+            if dists.get(mu, ssm_id).is_none() {
+                dists.insert(mu, ssm_id, q.to_vec());
+            }
+        }
+    }
+}
+
+/// Data-parallel merge-based speculation: every SSM of the pool expands
+/// into a *private* tree on its own thread — each SSM already owns a
+/// private KV cache, so the expansions share nothing mutable — and the
+/// private trees are then merged in pool order (Definition 3.2).
+///
+/// One RNG stream per SSM is forked from `rng` up front, in pool order,
+/// so the result is identical whether the pool runs on one thread or
+/// many. Under [`ExpansionMode::TopK`] no randomness is consumed and the
+/// merged tree is exactly the one [`speculate_merged`] builds
+/// sequentially.
+///
+/// # Panics
+///
+/// Panics if the numbers of SSMs, caches and configurations disagree, or
+/// if no SSM is provided.
+pub fn speculate_pool_parallel(
+    ssms: &[&Transformer],
+    caches: &mut [KvCache],
+    root_token: TokenId,
+    configs: &[ExpansionConfig],
+    mode: ExpansionMode,
+    rng: &mut SeededRng,
+) -> Speculation {
+    assert!(!ssms.is_empty(), "pool speculation needs at least one SSM");
+    assert_eq!(ssms.len(), caches.len(), "one cache per SSM required");
+    assert_eq!(
+        ssms.len(),
+        configs.len(),
+        "one expansion config per SSM required"
+    );
+    // Fork the per-SSM streams before any threading decision so the
+    // draws cannot depend on the thread count.
+    let mut rngs: Vec<SeededRng> = (0..ssms.len()).map(|i| rng.fork(i as u64)).collect();
+    let mut parts: Vec<Option<(TokenTree, SsmDistTable)>> = ssms.iter().map(|_| None).collect();
+    if specinfer_tensor::effective_threads() > 1 && ssms.len() > 1 {
+        std::thread::scope(|scope| {
+            for ((((i, &ssm), cache), prng), slot) in ssms
+                .iter()
+                .enumerate()
+                .zip(caches.iter_mut())
+                .zip(rngs.iter_mut())
+                .zip(parts.iter_mut())
+            {
+                let config = &configs[i];
+                scope.spawn(move || {
+                    let mut tree = TokenTree::new(root_token);
+                    let mut dists = SsmDistTable::new();
+                    expand_into(&mut tree, &mut dists, ssm, i, cache, config, mode, prng);
+                    *slot = Some((tree, dists));
+                });
+            }
+        });
+    } else {
+        for (i, ssm) in ssms.iter().enumerate() {
+            let mut tree = TokenTree::new(root_token);
+            let mut dists = SsmDistTable::new();
+            expand_into(
+                &mut tree,
+                &mut dists,
+                ssm,
+                i,
+                &mut caches[i],
+                &configs[i],
+                mode,
+                &mut rngs[i],
+            );
+            parts[i] = Some((tree, dists));
+        }
+    }
+    // Deterministic pool-order merge.
+    let mut tree = TokenTree::new(root_token);
+    let mut dists = SsmDistTable::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let (ptree, pdists) = part.expect("every SSM produces a speculation");
+        graft_into(&mut tree, &mut dists, &ptree, &pdists, i, mode);
     }
     Speculation { tree, dists }
 }
@@ -299,8 +434,7 @@ mod tests {
         let _ = m.prefill(&[1, 2], &mut cache);
         let mut rng = SeededRng::new(1);
         let cfg = ExpansionConfig::new(vec![2, 2, 1]);
-        let spec =
-            speculate_expansion(&m, &mut cache, 3, &cfg, ExpansionMode::TopK, &mut rng);
+        let spec = speculate_expansion(&m, &mut cache, 3, &cfg, ExpansionMode::TopK, &mut rng);
         assert_eq!(spec.tree.speculated_len(), cfg.node_count());
         assert_eq!(spec.tree.max_depth(), 3);
         assert_eq!(spec.tree.children(TokenTree::ROOT).len(), 2);
@@ -315,8 +449,7 @@ mod tests {
         let _ = m.prefill(&[5], &mut cache);
         let mut rng = SeededRng::new(2);
         let cfg = ExpansionConfig::new(vec![4]);
-        let spec =
-            speculate_expansion(&m, &mut cache, 1, &cfg, ExpansionMode::TopK, &mut rng);
+        let spec = speculate_expansion(&m, &mut cache, 1, &cfg, ExpansionMode::TopK, &mut rng);
         let kids = spec.tree.children(TokenTree::ROOT);
         assert_eq!(kids.len(), 4);
         let tokens: std::collections::HashSet<_> =
@@ -334,14 +467,16 @@ mod tests {
         let _ = m.prefill(&[2, 4], &mut cache);
         let mut rng = SeededRng::new(3);
         let cfg = ExpansionConfig::new(vec![2, 2]);
-        let spec =
-            speculate_expansion(&m, &mut cache, 7, &cfg, ExpansionMode::TopK, &mut rng);
+        let spec = speculate_expansion(&m, &mut cache, 7, &cfg, ExpansionMode::TopK, &mut rng);
         for u in spec.tree.node_ids() {
             if u == TokenTree::ROOT {
                 continue;
             }
             let parent = spec.tree.parent(u).unwrap();
-            let q = spec.dists.get(parent, 0).expect("parent distribution recorded");
+            let q = spec
+                .dists
+                .get(parent, 0)
+                .expect("parent distribution recorded");
             let tok = spec.tree.token(u) as usize;
             assert!((q[tok] - spec.tree.ssm_prob(u)).abs() < 1e-6);
         }
@@ -371,8 +506,7 @@ mod tests {
         let _ = m.prefill(&[1], &mut cache);
         let mut rng = SeededRng::new(11);
         let cfg = ExpansionConfig::new(vec![6]);
-        let spec =
-            speculate_expansion(&m, &mut cache, 2, &cfg, ExpansionMode::Sampled, &mut rng);
+        let spec = speculate_expansion(&m, &mut cache, 2, &cfg, ExpansionMode::Sampled, &mut rng);
         assert_eq!(spec.tree.children(TokenTree::ROOT).len(), 6);
     }
 
@@ -401,6 +535,83 @@ mod tests {
         assert!(spec.tree.speculated_len() >= 3);
         assert!(spec.dists.get(TokenTree::ROOT, 0).is_some());
         assert!(spec.dists.get(TokenTree::ROOT, 1).is_some());
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential_merge_topk() {
+        let m1 = Transformer::from_seed(ModelConfig::smoke(), 10);
+        let m2 = Transformer::from_seed(ModelConfig::smoke(), 20);
+        let prompt = [4u32, 2];
+        let fresh_caches = || {
+            let mut c1 = m1.new_cache();
+            let mut c2 = m2.new_cache();
+            let _ = m1.prefill(&prompt, &mut c1);
+            let _ = m2.prefill(&prompt, &mut c2);
+            [c1, c2]
+        };
+        let cfgs = [
+            ExpansionConfig::new(vec![2, 2]),
+            ExpansionConfig::sequence(3),
+        ];
+        let seq = speculate_merged(
+            &[&m1, &m2],
+            &mut fresh_caches(),
+            7,
+            &cfgs,
+            ExpansionMode::TopK,
+            &mut SeededRng::new(1),
+        );
+        let par = speculate_pool_parallel(
+            &[&m1, &m2],
+            &mut fresh_caches(),
+            7,
+            &cfgs,
+            ExpansionMode::TopK,
+            &mut SeededRng::new(1),
+        );
+        assert_eq!(seq.tree.all_sequences(), par.tree.all_sequences());
+        assert_eq!(seq.dists.len(), par.dists.len());
+        for u in seq.tree.node_ids() {
+            for ssm_id in 0..2 {
+                assert_eq!(
+                    seq.dists.get(u, ssm_id),
+                    par.dists.get(u, ssm_id),
+                    "node {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pool_is_thread_count_invariant() {
+        let m1 = Transformer::from_seed(ModelConfig::smoke(), 30);
+        let m2 = Transformer::from_seed(ModelConfig::smoke(), 40);
+        let prompt = [1u32, 2, 3];
+        let cfgs = [
+            ExpansionConfig::new(vec![2, 1]),
+            ExpansionConfig::new(vec![2, 1]),
+        ];
+        let run = || {
+            let mut c1 = m1.new_cache();
+            let mut c2 = m2.new_cache();
+            let _ = m1.prefill(&prompt, &mut c1);
+            let _ = m2.prefill(&prompt, &mut c2);
+            let spec = speculate_pool_parallel(
+                &[&m1, &m2],
+                &mut [c1, c2],
+                5,
+                &cfgs,
+                ExpansionMode::Sampled,
+                &mut SeededRng::new(9),
+            );
+            spec.tree.all_sequences()
+        };
+        specinfer_tensor::set_max_threads(1);
+        let serial = run();
+        specinfer_tensor::set_max_threads(4);
+        let parallel = run();
+        specinfer_tensor::set_max_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! speculative sampling (MSS), and the naive-sampling baseline.
 
 use specinfer_model::{sampler, DecodeMode};
-use specinfer_tensor::Tensor;
 use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
 use specinfer_tokentree::{LinearizedTree, NodeId, TokenId, TokenTree};
 
 use crate::speculator::SsmDistTable;
@@ -48,12 +48,11 @@ pub enum StochasticVerifier {
 /// # Panics
 ///
 /// Panics if `llm_logits` has fewer rows than the linearized tree.
-pub fn verify_greedy(
-    tree: &TokenTree,
-    lin: &LinearizedTree,
-    llm_logits: &Tensor,
-) -> VerifyOutcome {
-    assert!(llm_logits.rows() >= lin.len(), "one logit row per tree node required");
+pub fn verify_greedy(tree: &TokenTree, lin: &LinearizedTree, llm_logits: &Tensor) -> VerifyOutcome {
+    assert!(
+        llm_logits.rows() >= lin.len(),
+        "one logit row per tree node required"
+    );
     let mut tokens = Vec::new();
     let mut nodes = Vec::new();
     let mut u = TokenTree::ROOT;
@@ -96,7 +95,10 @@ pub fn verify_stochastic(
     mode: &DecodeMode,
     rng: &mut SeededRng,
 ) -> VerifyOutcome {
-    assert!(llm_logits.rows() >= lin.len(), "one logit row per tree node required");
+    assert!(
+        llm_logits.rows() >= lin.len(),
+        "one logit row per tree node required"
+    );
     let mut tokens = Vec::new();
     let mut nodes = Vec::new();
     let mut u = TokenTree::ROOT;
@@ -167,7 +169,10 @@ pub fn verify_naive(
     mode: &DecodeMode,
     rng: &mut SeededRng,
 ) -> VerifyOutcome {
-    assert!(llm_logits.rows() >= lin.len(), "one logit row per tree node required");
+    assert!(
+        llm_logits.rows() >= lin.len(),
+        "one logit row per tree node required"
+    );
     let mut tokens = Vec::new();
     let mut nodes = Vec::new();
     let mut u = TokenTree::ROOT;
@@ -217,7 +222,12 @@ mod tests {
         for u in tree.node_ids() {
             dists.insert(u, 0, vec![0.25, 0.25, 0.25, 0.25]);
         }
-        Fixture { tree, lin, logits, dists }
+        Fixture {
+            tree,
+            lin,
+            logits,
+            dists,
+        }
     }
 
     const LO: f32 = -10.0;
@@ -227,10 +237,10 @@ mod tests {
         // LLM's argmax at root is 1 (matches a), at a is 2 (matches b),
         // at b is 3 (no child → bonus).
         let f = fixture(&[
-            [LO, 5.0, LO, LO],  // root → 1
-            [LO, LO, 5.0, LO],  // a → 2
-            [LO, LO, LO, 5.0],  // b → 3 (bonus)
-            [5.0, LO, LO, LO],  // c (unused)
+            [LO, 5.0, LO, LO], // root → 1
+            [LO, LO, 5.0, LO], // a → 2
+            [LO, LO, LO, 5.0], // b → 3 (bonus)
+            [5.0, LO, LO, LO], // c (unused)
         ]);
         let out = verify_greedy(&f.tree, &f.lin, &f.logits);
         assert_eq!(out.tokens, vec![1, 2, 3]);
@@ -255,12 +265,7 @@ mod tests {
     #[test]
     fn greedy_rejects_everything_but_still_emits_bonus() {
         // Root argmax 2 matches no child.
-        let f = fixture(&[
-            [LO, LO, 5.0, LO],
-            [0.0; 4],
-            [0.0; 4],
-            [0.0; 4],
-        ]);
+        let f = fixture(&[[LO, LO, 5.0, LO], [0.0; 4], [0.0; 4], [0.0; 4]]);
         let out = verify_greedy(&f.tree, &f.lin, &f.logits);
         assert_eq!(out.tokens, vec![2]);
         assert!(out.nodes.is_empty());
@@ -294,12 +299,7 @@ mod tests {
     fn mss_rejects_zero_probability_candidates() {
         // LLM puts ~all mass on token 2 at the root; children are 1 and 3
         // with p≈0 → both rejected; the bonus must be 2.
-        let f = fixture(&[
-            [LO, LO, 20.0, LO],
-            [0.0; 4],
-            [0.0; 4],
-            [0.0; 4],
-        ]);
+        let f = fixture(&[[LO, LO, 20.0, LO], [0.0; 4], [0.0; 4], [0.0; 4]]);
         let mut rng = SeededRng::new(2);
         let out = verify_stochastic(
             &f.tree,
@@ -323,8 +323,13 @@ mod tests {
             [0.0; 4],
         ]);
         let mut rng = SeededRng::new(3);
-        let out =
-            verify_naive(&f.tree, &f.lin, &f.logits, &DecodeMode::stochastic(), &mut rng);
+        let out = verify_naive(
+            &f.tree,
+            &f.lin,
+            &f.logits,
+            &DecodeMode::stochastic(),
+            &mut rng,
+        );
         assert_eq!(out.tokens, vec![1, 2, 0]);
         assert_eq!(out.accepted_speculated(), 2);
     }
@@ -365,7 +370,13 @@ mod tests {
                 &mut rng,
             );
             assert_eq!(s.tokens.len(), s.nodes.len() + 1);
-            let n = verify_naive(&f.tree, &f.lin, &f.logits, &DecodeMode::stochastic(), &mut rng);
+            let n = verify_naive(
+                &f.tree,
+                &f.lin,
+                &f.logits,
+                &DecodeMode::stochastic(),
+                &mut rng,
+            );
             assert_eq!(n.tokens.len(), n.nodes.len() + 1);
         }
     }

@@ -44,14 +44,7 @@ fn mss_trial(p: &[f32], qs: &[Vec<f32>], k: usize, rng: &mut SeededRng) -> (u32,
         data.extend_from_slice(&row);
     }
     let logits = Tensor::from_vec(data, &[lin.len(), vocab]);
-    let out = verify_stochastic(
-        &tree,
-        &lin,
-        &logits,
-        &dists,
-        &DecodeMode::stochastic(),
-        rng,
-    );
+    let out = verify_stochastic(&tree, &lin, &logits, &dists, &DecodeMode::stochastic(), rng);
     (out.tokens[0], out.nodes.is_empty())
 }
 
@@ -93,7 +86,9 @@ fn theorem_4_2_single_ssm_peaked_proposal() {
     let q = vec![vec![0.9, 0.1]];
     let trials = 200_000;
     let mut rng = SeededRng::new(1);
-    let samples: Vec<u32> = (0..trials).map(|_| mss_trial(&p, &q, 2, &mut rng).0).collect();
+    let samples: Vec<u32> = (0..trials)
+        .map(|_| mss_trial(&p, &q, 2, &mut rng).0)
+        .collect();
     let emp = empirical_dist(&samples, 2);
     let tv = total_variation(&emp, &p);
     assert!(tv < 0.01, "TV(MSS, LLM) = {tv} (emp = {emp:?})");
@@ -111,7 +106,9 @@ fn theorem_4_2_multi_ssm() {
     ];
     let trials = 150_000;
     let mut rng = SeededRng::new(2);
-    let samples: Vec<u32> = (0..trials).map(|_| mss_trial(&p, &qs, 1, &mut rng).0).collect();
+    let samples: Vec<u32> = (0..trials)
+        .map(|_| mss_trial(&p, &qs, 1, &mut rng).0)
+        .collect();
     let emp = empirical_dist(&samples, 6);
     let tv = total_variation(&emp, &p);
     assert!(tv < 0.012, "TV(MSS, LLM) = {tv} (emp = {emp:?})");
@@ -126,7 +123,9 @@ fn theorem_4_2_disjoint_supports() {
     let q = vec![vec![0.7, 0.3, 0.0, 0.0]];
     let trials = 60_000;
     let mut rng = SeededRng::new(3);
-    let samples: Vec<u32> = (0..trials).map(|_| mss_trial(&p, &q, 3, &mut rng).0).collect();
+    let samples: Vec<u32> = (0..trials)
+        .map(|_| mss_trial(&p, &q, 3, &mut rng).0)
+        .collect();
     let emp = empirical_dist(&samples, 4);
     let tv = total_variation(&emp, &p);
     assert!(tv < 0.015, "TV(MSS, LLM) = {tv} (emp = {emp:?})");
@@ -149,11 +148,13 @@ fn theorem_4_3_mss_rejects_no_more_than_naive() {
     let trials = 40_000;
     for (ci, (p, qs)) in cases.iter().enumerate() {
         let mut rng = SeededRng::new(100 + ci as u64);
-        let mss_rejects =
-            (0..trials).filter(|_| mss_trial(p, qs, 2, &mut rng).1).count() as f64;
+        let mss_rejects = (0..trials)
+            .filter(|_| mss_trial(p, qs, 2, &mut rng).1)
+            .count() as f64;
         let mut rng = SeededRng::new(200 + ci as u64);
-        let ns_rejects =
-            (0..trials).filter(|_| ns_trial(p, qs, 2, &mut rng).1).count() as f64;
+        let ns_rejects = (0..trials)
+            .filter(|_| ns_trial(p, qs, 2, &mut rng).1)
+            .count() as f64;
         let slack = 2.5 * (trials as f64).sqrt(); // ~2.5σ of a binomial count
         assert!(
             mss_rejects <= ns_rejects + slack,
@@ -169,7 +170,13 @@ fn theorem_4_3_mss_rejects_no_more_than_naive() {
 fn theorem_4_2_end_to_end_engine() {
     let llm = Transformer::from_seed(ModelConfig::smoke(), 50);
     let ssm = Transformer::from_seed(
-        ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+        ModelConfig {
+            d_model: 8,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 16,
+            ..ModelConfig::smoke()
+        },
         51,
     );
     let prompt = [4u32, 2, 7];
@@ -184,14 +191,17 @@ fn theorem_4_2_end_to_end_engine() {
         EngineConfig {
             decode: DecodeMode::stochastic(),
             verifier: StochasticVerifier::MultiStep,
-            mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![3, 1]) },
+            mode: InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![3, 1]),
+            },
             max_new_tokens: 1,
             eos_token: None,
         },
     );
     let trials = 4_000;
-    let samples: Vec<u32> =
-        (0..trials).map(|seed| engine.generate(&prompt, seed).generated()[0]).collect();
+    let samples: Vec<u32> = (0..trials)
+        .map(|seed| engine.generate(&prompt, seed).generated()[0])
+        .collect();
     let emp = empirical_dist(&samples, llm.config().vocab_size);
     let tv = total_variation(&emp, &p);
     // Monte-Carlo noise for K=32, N=4000 is ≈ 0.07; a biased sampler (e.g.
@@ -215,11 +225,7 @@ fn theorem_4_2_joint_two_token_distribution() {
     ];
     // SSM proposal at each level.
     let q1 = [0.4f32, 0.4, 0.2];
-    let q2 = [
-        [0.3f32, 0.4, 0.3],
-        [0.5, 0.25, 0.25],
-        [1.0 / 3.0; 3],
-    ];
+    let q2 = [[0.3f32, 0.4, 0.3], [0.5, 0.25, 0.25], [1.0 / 3.0; 3]];
 
     let trials = 120_000;
     let mut rng = SeededRng::new(77);
@@ -280,7 +286,10 @@ fn theorem_4_2_joint_two_token_distribution() {
         }
     }
     let tv = total_variation(&counts, &expected);
-    assert!(tv < 0.012, "joint TV = {tv}\n got {counts:?}\n want {expected:?}");
+    assert!(
+        tv < 0.012,
+        "joint TV = {tv}\n got {counts:?}\n want {expected:?}"
+    );
 }
 
 /// MSS accepts strictly more than NS in expectation when the SSM aligns
@@ -291,10 +300,13 @@ fn mss_accepts_more_than_naive_when_aligned() {
     let qs = vec![vec![0.45, 0.3, 0.15, 0.1]];
     let trials = 30_000;
     let mut rng = SeededRng::new(9);
-    let mss_accepts =
-        (0..trials).filter(|_| !mss_trial(&p, &qs, 2, &mut rng).1).count() as f64;
+    let mss_accepts = (0..trials)
+        .filter(|_| !mss_trial(&p, &qs, 2, &mut rng).1)
+        .count() as f64;
     let mut rng = SeededRng::new(10);
-    let ns_accepts = (0..trials).filter(|_| !ns_trial(&p, &qs, 2, &mut rng).1).count() as f64;
+    let ns_accepts = (0..trials)
+        .filter(|_| !ns_trial(&p, &qs, 2, &mut rng).1)
+        .count() as f64;
     assert!(
         mss_accepts > ns_accepts,
         "MSS accepted {mss_accepts} vs NS {ns_accepts} — expected a clear gap"

@@ -50,14 +50,36 @@ enum Op {
     AddRowBroadcast(Var, Var),
     AddConst(Var),
     Silu(Var),
-    RmsNorm { x: Var, gain: Var, eps: f32 },
-    Embedding { table: Var, ids: Vec<usize> },
-    Rope { x: Var, positions: Vec<usize>, head_dim: usize, base: f32 },
+    RmsNorm {
+        x: Var,
+        gain: Var,
+        eps: f32,
+    },
+    Embedding {
+        table: Var,
+        ids: Vec<usize>,
+    },
+    Rope {
+        x: Var,
+        positions: Vec<usize>,
+        head_dim: usize,
+        base: f32,
+    },
     SoftmaxRows(Var),
-    SliceCols { x: Var, start: usize, len: usize },
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
     ConcatCols(Vec<Var>),
-    CrossEntropy { logits: Var, targets: Vec<usize> },
-    SoftCrossEntropy { logits: Var, target_probs: Tensor },
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+    },
+    SoftCrossEntropy {
+        logits: Var,
+        target_probs: Tensor,
+    },
     SumScalar(Var),
 }
 
@@ -89,7 +111,12 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -194,12 +221,23 @@ impl Tape {
         let d = tbl.cols();
         let mut data = Vec::with_capacity(ids.len() * d);
         for &id in ids {
-            assert!(id < tbl.rows(), "embedding id {id} out of range {}", tbl.rows());
+            assert!(
+                id < tbl.rows(),
+                "embedding id {id} out of range {}",
+                tbl.rows()
+            );
             data.extend_from_slice(tbl.row(id));
         }
         let value = Tensor::from_vec(data, &[ids.len(), d]);
         let rg = self.rg(table);
-        self.push(value, Op::Embedding { table, ids: ids.to_vec() }, rg)
+        self.push(
+            value,
+            Op::Embedding {
+                table,
+                ids: ids.to_vec(),
+            },
+            rg,
+        )
     }
 
     /// Applies rotary position embeddings to each row, where row `i` sits at
@@ -210,12 +248,25 @@ impl Tape {
     /// Panics if `positions.len()` differs from the number of rows.
     pub fn rope(&mut self, x: Var, positions: &[usize], head_dim: usize, base: f32) -> Var {
         let mut value = self.value(x).clone();
-        assert_eq!(positions.len(), value.rows(), "one position per row required");
+        assert_eq!(
+            positions.len(),
+            value.rows(),
+            "one position per row required"
+        );
         for (r, &pos) in positions.iter().enumerate() {
             ops::rope_rotate_row(value.row_mut(r), pos, head_dim, base);
         }
         let rg = self.rg(x);
-        self.push(value, Op::Rope { x, positions: positions.to_vec(), head_dim, base }, rg)
+        self.push(
+            value,
+            Op::Rope {
+                x,
+                positions: positions.to_vec(),
+                head_dim,
+                base,
+            },
+            rg,
+        )
     }
 
     /// Softmax over each row.
@@ -277,7 +328,14 @@ impl Tape {
         }
         let value = Tensor::from_vec(vec![total / targets.len() as f32], &[1]);
         let rg = self.rg(logits);
-        self.push(value, Op::CrossEntropy { logits, targets: targets.to_vec() }, rg)
+        self.push(
+            value,
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+            },
+            rg,
+        )
     }
 
     /// Mean soft cross-entropy `−Σ p log softmax(logits)` against target
@@ -288,7 +346,11 @@ impl Tape {
     /// Panics if dims differ.
     pub fn soft_cross_entropy(&mut self, logits: Var, target_probs: &Tensor) -> Var {
         let l = self.value(logits);
-        assert_eq!(l.dims(), target_probs.dims(), "logits and targets must align");
+        assert_eq!(
+            l.dims(),
+            target_probs.dims(),
+            "logits and targets must align"
+        );
         let mut total = 0.0;
         for r in 0..l.rows() {
             let ls = ops::log_softmax(l.row(r));
@@ -298,7 +360,14 @@ impl Tape {
         }
         let value = Tensor::from_vec(vec![total / l.rows() as f32], &[1]);
         let rg = self.rg(logits);
-        self.push(value, Op::SoftCrossEntropy { logits, target_probs: target_probs.clone() }, rg)
+        self.push(
+            value,
+            Op::SoftCrossEntropy {
+                logits,
+                target_probs: target_probs.clone(),
+            },
+            rg,
+        )
     }
 
     /// Sum of all elements, as a scalar node. Mostly useful in tests.
@@ -330,7 +399,9 @@ impl Tape {
         assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
         self.nodes[loss.0].grad = Some(Tensor::from_vec(vec![1.0], &[1]));
         for i in (0..=loss.0).rev() {
-            let Some(out_grad) = self.nodes[i].grad.clone() else { continue };
+            let Some(out_grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
             if !self.nodes[i].requires_grad {
                 continue;
             }
@@ -431,7 +502,12 @@ impl Tape {
                     }
                     self.accumulate(table, dtable);
                 }
-                Op::Rope { x, positions, head_dim, base } => {
+                Op::Rope {
+                    x,
+                    positions,
+                    head_dim,
+                    base,
+                } => {
                     // The adjoint of a rotation is the inverse rotation.
                     let (x, head_dim, base) = (*x, *head_dim, *base);
                     let positions = positions.clone();
@@ -474,7 +550,8 @@ impl Tape {
                         let rows = out_grad.rows();
                         let mut dp = Tensor::zeros(&[rows, w]);
                         for r in 0..rows {
-                            dp.row_mut(r).copy_from_slice(&out_grad.row(r)[start..start + w]);
+                            dp.row_mut(r)
+                                .copy_from_slice(&out_grad.row(r)[start..start + w]);
                         }
                         self.accumulate(p, dp);
                         start += w;
@@ -491,7 +568,10 @@ impl Tape {
                     }
                     self.accumulate(logits, dl.scale(scale));
                 }
-                Op::SoftCrossEntropy { logits, target_probs } => {
+                Op::SoftCrossEntropy {
+                    logits,
+                    target_probs,
+                } => {
                     let logits = *logits;
                     let target_probs = target_probs.clone();
                     let rows = target_probs.rows() as f32;

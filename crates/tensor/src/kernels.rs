@@ -1,0 +1,315 @@
+//! Parallel blocked matmul kernels.
+//!
+//! All three matmul variants dispatch through this module. Large shapes
+//! are partitioned across threads with `std::thread::scope`; small
+//! shapes stay on a single-threaded fast path. The partitioning is
+//! always over *output elements* (rows, or columns when there is a
+//! single output row), never over the shared `k` dimension, so every
+//! output element accumulates its products in exactly the same
+//! ascending-`k` order as the naive serial triple loop. Results are
+//! therefore bitwise identical no matter the thread count — see
+//! `ARCHITECTURE.md` ("Threading model & determinism").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured thread cap; 0 means "use available parallelism".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of threads matmul kernels may use.
+///
+/// `0` restores the default (the machine's available parallelism);
+/// `1` forces the serial path. The setting is process-global and takes
+/// effect on the next kernel call. Output values are bitwise identical
+/// at every setting; the cap exists for benchmarking and for tests that
+/// want to exercise a specific path.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current thread cap (0 = automatic).
+pub fn max_threads() -> usize {
+    MAX_THREADS.load(Ordering::Relaxed)
+}
+
+/// Multiply–add count (`m·k·n`) below which kernels stay serial: at
+/// small sizes thread spawn/join costs more than the arithmetic.
+pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// The thread count kernels will actually use: the configured cap, or
+/// the machine's available parallelism when the cap is 0. Exposed so
+/// higher layers (e.g. the model's attention loop) can make the same
+/// serial-vs-parallel decision the kernels do.
+pub fn effective_threads() -> usize {
+    match max_threads() {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// `out[i0+r, :] = A[i0+r, :] × B` for each row of `out`, in i-k-j order.
+///
+/// The inner j-loop is a branch-free fused multiply–add sweep over the
+/// output row, which LLVM autovectorizes; per element the `k` reduction
+/// is ascending. `out` must be zero-filled.
+fn nn_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let o_row = &mut out[r * n..(r + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Single-output-row variant of [`nn_rows`] over a column range:
+/// `out[j0..j0+w] = a × B[:, j0..j0+w]` where `a` is one row.
+fn nn_cols(a: &[f32], b: &[f32], out: &mut [f32], j0: usize, k: usize, n: usize) {
+    let w = out.len();
+    for (kk, &av) in a.iter().enumerate().take(k) {
+        let b_seg = &b[kk * n + j0..kk * n + j0 + w];
+        for (o, &bv) in out.iter_mut().zip(b_seg) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `out[i0+r, :] = A[i0+r, :] × Bᵀ` for each row of `out`, with four
+/// independent accumulator lanes across adjacent columns.
+///
+/// Each lane owns one output element and reduces over `k` in ascending
+/// order, so the lanes change instruction-level parallelism but not the
+/// per-element reduction order.
+fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let o_row = &mut out[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (t, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[t];
+                s1 += av * b1[t];
+                s2 += av * b2[t];
+                s3 += av * b3[t];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            o_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// `out[r, :] += A[kk, i0+r] · B[kk, :]` over all `kk`, i.e. the rows
+/// `i0..` of `Aᵀ × B`. Per element the `k` reduction is ascending.
+/// `out` must be zero-filled.
+fn tn_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for kk in 0..k {
+        let a_col = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for r in 0..rows {
+            let av = a_col[i0 + r];
+            let o_row = &mut out[r * n..(r + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Partitions `out` (treated as `m` rows of width `n`) across threads
+/// and runs `worker(out_chunk, first_row)` on each chunk.
+fn scoped_rows(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    threads: usize,
+    worker: impl Fn(&mut [f32], usize) + Sync,
+) {
+    let chunk_rows = m.div_ceil(threads.min(m));
+    std::thread::scope(|scope| {
+        for (ci, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
+            let worker = &worker;
+            scope.spawn(move || worker(out_chunk, ci * chunk_rows));
+        }
+    });
+}
+
+/// Partitions a single output row of width `n` across threads by column
+/// range and runs `worker(out_chunk, first_col)` on each chunk.
+fn scoped_cols(
+    out: &mut [f32],
+    n: usize,
+    threads: usize,
+    worker: impl Fn(&mut [f32], usize) + Sync,
+) {
+    let chunk_cols = n.div_ceil(threads.min(n));
+    std::thread::scope(|scope| {
+        for (ci, out_chunk) in out.chunks_mut(chunk_cols).enumerate() {
+            let worker = &worker;
+            scope.spawn(move || worker(out_chunk, ci * chunk_cols));
+        }
+    });
+}
+
+/// `out = A × B`; `out` must be zero-filled, length `m·n`.
+pub(crate) fn matmul_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    let threads = effective_threads();
+    if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
+        nn_rows(a, b, out, 0, k, n);
+    } else if m == 1 {
+        scoped_cols(out, n, threads, |chunk, j0| nn_cols(a, b, chunk, j0, k, n));
+    } else {
+        scoped_rows(out, m, n, threads, |chunk, i0| {
+            nn_rows(a, b, chunk, i0, k, n)
+        });
+    }
+}
+
+/// `out = A × Bᵀ` (`b` stored `[n, k]`); `out` has length `m·n` and is
+/// fully overwritten.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    let threads = effective_threads();
+    if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
+        nt_rows(a, b, out, 0, k, n);
+    } else if m == 1 {
+        // Columns of the single output row are rows of `b`, so each
+        // chunk sees a contiguous slice of `b`.
+        scoped_cols(out, n, threads, |chunk, j0| {
+            let b_chunk = &b[j0 * k..(j0 + chunk.len()) * k];
+            nt_rows(a, b_chunk, chunk, 0, k, chunk.len());
+        });
+    } else {
+        scoped_rows(out, m, n, threads, |chunk, i0| {
+            nt_rows(a, b, chunk, i0, k, n)
+        });
+    }
+}
+
+/// `out = Aᵀ × B` (`a` stored `[k, m]`); `out` must be zero-filled,
+/// length `m·n`.
+pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    let threads = effective_threads();
+    if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
+        tn_rows(a, b, out, 0, m, k, n);
+    } else if m == 1 {
+        // With one output row, Aᵀ is a single row of length k stored as
+        // a column, which is exactly the nn single-row sweep.
+        scoped_cols(out, n, threads, |chunk, j0| nn_cols(a, b, chunk, j0, k, n));
+    } else {
+        scoped_rows(out, m, n, threads, |chunk, i0| {
+            tn_rows(a, b, chunk, i0, m, k, n)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use crate::Tensor;
+
+    /// Serializes tests that toggle the global thread cap.
+    static KNOB: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn randn(dims: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(dims, 1.0, &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn forced_serial_and_parallel_agree_bitwise() {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        // Shapes straddle the threshold and include non-multiples of the
+        // nt lane width and single-row/single-column extremes.
+        let shapes = [
+            (1, 96, 288),
+            (96, 96, 96),
+            (65, 70, 3),
+            (3, 300, 301),
+            (128, 1, 128),
+            (1, 4096, 7),
+        ];
+        for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = randn(&[m, k], idx as u64);
+            let b = randn(&[k, n], 100 + idx as u64);
+            let bt = b.transpose();
+            let at = a.transpose();
+            set_max_threads(1);
+            let serial = (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b));
+            set_max_threads(8);
+            let parallel = (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b));
+            set_max_threads(0);
+            assert_eq!(serial.0.data(), parallel.0.data(), "nn {m}x{k}x{n}");
+            assert_eq!(serial.1.data(), parallel.1.data(), "nt {m}x{k}x{n}");
+            assert_eq!(serial.2.data(), parallel.2.data(), "tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn kernels_match_naive_reference_bitwise() {
+        let shapes = [
+            (1, 5, 9),
+            (7, 8, 9),
+            (96, 96, 96),
+            (1, 96, 96),
+            (96, 96, 1),
+            (2, 1, 2),
+        ];
+        for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = randn(&[m, k], 7 + idx as u64);
+            let b = randn(&[k, n], 70 + idx as u64);
+            assert_eq!(
+                a.matmul(&b).data(),
+                a.matmul_ref(&b).data(),
+                "nn {m}x{k}x{n}"
+            );
+            let bt = b.transpose();
+            assert_eq!(
+                a.matmul_nt(&bt).data(),
+                a.matmul_nt_ref(&bt).data(),
+                "nt {m}x{k}x{n}"
+            );
+            let at = a.transpose();
+            assert_eq!(
+                at.matmul_tn(&b).data(),
+                at.matmul_tn_ref(&b).data(),
+                "tn {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_cap_round_trips() {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert_eq!(max_threads(), 0);
+        assert!(effective_threads() >= 1);
+    }
+}

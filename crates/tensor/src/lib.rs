@@ -26,9 +26,11 @@
 //! ```
 
 pub mod autograd;
+pub mod kernels;
 pub mod ops;
 pub mod optim;
 pub mod rng;
 mod tensor;
 
+pub use kernels::{effective_threads, max_threads, set_max_threads};
 pub use tensor::{Tensor, TensorError};

@@ -65,8 +65,25 @@ pub fn log_softmax(xs: &[f32]) -> Vec<f32> {
 ///
 /// Panics if `t` is not 2-D or `gain.len() != t.cols()`.
 pub fn rmsnorm_rows(t: &Tensor, gain: &Tensor, eps: f32) -> Tensor {
-    assert_eq!(gain.len(), t.cols(), "gain length must equal the column count");
-    let mut out = t.clone();
+    let mut out = Tensor::zeros(&[0]);
+    rmsnorm_rows_into(t, gain, eps, &mut out);
+    out
+}
+
+/// [`rmsnorm_rows`] writing into a caller-owned tensor, reusing its
+/// allocation. Bitwise identical to the allocating version.
+///
+/// # Panics
+///
+/// Panics if `t` is not 2-D or `gain.len() != t.cols()`.
+pub fn rmsnorm_rows_into(t: &Tensor, gain: &Tensor, eps: f32, out: &mut Tensor) {
+    assert_eq!(
+        gain.len(),
+        t.cols(),
+        "gain length must equal the column count"
+    );
+    out.reset(t.dims());
+    out.data_mut().copy_from_slice(t.data());
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let ms: f32 = row.iter().map(|x| x * x).sum::<f32>() / row.len() as f32;
@@ -75,16 +92,20 @@ pub fn rmsnorm_rows(t: &Tensor, gain: &Tensor, eps: f32) -> Tensor {
             *x *= inv * g;
         }
     }
-    out
 }
 
 /// SiLU (a.k.a. swish) activation, element-wise: `x * sigmoid(x)`.
 pub fn silu(t: &Tensor) -> Tensor {
     let mut out = t.clone();
-    for x in out.data_mut() {
+    silu_inplace(&mut out);
+    out
+}
+
+/// In-place [`silu`].
+pub fn silu_inplace(t: &mut Tensor) {
+    for x in t.data_mut() {
         *x = silu_scalar(*x);
     }
-    out
 }
 
 pub(crate) fn silu_scalar(x: f32) -> f32 {
@@ -106,11 +127,63 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
 /// Panics if `row.len()` is not a multiple of `head_dim`, or if `head_dim`
 /// is odd.
 pub fn rope_rotate_row(row: &mut [f32], pos: usize, head_dim: usize, base: f32) {
-    assert!(head_dim.is_multiple_of(2), "RoPE requires an even head dimension");
-    assert!(row.len().is_multiple_of(head_dim), "row length must be a multiple of head_dim");
+    assert!(
+        head_dim.is_multiple_of(2),
+        "RoPE requires an even head dimension"
+    );
+    assert!(
+        row.len().is_multiple_of(head_dim),
+        "row length must be a multiple of head_dim"
+    );
     for head in row.chunks_mut(head_dim) {
         for i in 0..head_dim / 2 {
             let theta = base.powf(-2.0 * i as f32 / head_dim as f32);
+            let angle = pos as f32 * theta;
+            let (sin, cos) = angle.sin_cos();
+            let a = head[2 * i];
+            let b = head[2 * i + 1];
+            head[2 * i] = a * cos - b * sin;
+            head[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// Precomputes the RoPE inverse frequencies `θᵢ = base^(−2i/head_dim)`
+/// for `i` in `0..head_dim/2`, using the same arithmetic as
+/// [`rope_rotate_row`].
+///
+/// Hoisting the `powf` calls out of the per-token path is the point:
+/// [`rope_rotate_row_cached`] with these frequencies is bitwise
+/// identical to [`rope_rotate_row`] but does no transcendental work
+/// beyond `sin_cos`.
+///
+/// # Panics
+///
+/// Panics if `head_dim` is odd.
+pub fn rope_inv_freqs(head_dim: usize, base: f32) -> Vec<f32> {
+    assert!(
+        head_dim.is_multiple_of(2),
+        "RoPE requires an even head dimension"
+    );
+    (0..head_dim / 2)
+        .map(|i| base.powf(-2.0 * i as f32 / head_dim as f32))
+        .collect()
+}
+
+/// [`rope_rotate_row`] with the inverse frequencies precomputed by
+/// [`rope_inv_freqs`]. Bitwise identical to the uncached version.
+///
+/// # Panics
+///
+/// Panics if `row.len()` is not a multiple of `2 · inv_freqs.len()`.
+pub fn rope_rotate_row_cached(row: &mut [f32], pos: usize, inv_freqs: &[f32]) {
+    let head_dim = 2 * inv_freqs.len();
+    assert!(
+        row.len().is_multiple_of(head_dim),
+        "row length must be a multiple of head_dim"
+    );
+    for head in row.chunks_mut(head_dim) {
+        for (i, &theta) in inv_freqs.iter().enumerate() {
             let angle = pos as f32 * theta;
             let (sin, cos) = angle.sin_cos();
             let a = head[2 * i];
@@ -127,7 +200,11 @@ pub fn rope_rotate_row(row: &mut [f32], pos: usize, head_dim: usize, base: f32) 
 /// If `k > xs.len()` every entry is returned.
 pub fn topk(xs: &[f32], k: usize) -> Vec<(usize, f32)> {
     let mut pairs: Vec<(usize, f32)> = xs.iter().copied().enumerate().collect();
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    pairs.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     pairs.truncate(k);
     pairs
 }
@@ -210,11 +287,15 @@ mod tests {
     #[test]
     fn rope_preserves_pair_norms() {
         let mut row: Vec<f32> = (0..8).map(|i| i as f32 + 1.0).collect();
-        let before: Vec<f32> =
-            row.chunks(2).map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt()).collect();
+        let before: Vec<f32> = row
+            .chunks(2)
+            .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
+            .collect();
         rope_rotate_row(&mut row, 17, 8, 10_000.0);
-        let after: Vec<f32> =
-            row.chunks(2).map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt()).collect();
+        let after: Vec<f32> = row
+            .chunks(2)
+            .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
+            .collect();
         for (b, a) in before.iter().zip(after.iter()) {
             assert!((b - a).abs() < 1e-4);
         }
@@ -228,6 +309,34 @@ mod tests {
         for (a, b) in row.iter().zip(orig.iter()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn cached_rope_matches_uncached_bitwise() {
+        let mut rng = SeededRng::new(9);
+        let base = 10_000.0;
+        for head_dim in [4, 8, 24] {
+            let inv = rope_inv_freqs(head_dim, base);
+            for pos in [0usize, 1, 17, 511] {
+                let t = Tensor::randn(&[1, head_dim * 3], 1.0, &mut rng);
+                let mut a: Vec<f32> = t.data().to_vec();
+                let mut b = a.clone();
+                rope_rotate_row(&mut a, pos, head_dim, base);
+                rope_rotate_row_cached(&mut b, pos, &inv);
+                assert_eq!(a, b, "head_dim {head_dim} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn rmsnorm_into_reuses_buffer_and_matches() {
+        let mut rng = SeededRng::new(10);
+        let t = Tensor::randn(&[4, 6], 1.5, &mut rng);
+        let gain = Tensor::randn(&[6], 0.5, &mut rng);
+        let fresh = rmsnorm_rows(&t, &gain, 1e-5);
+        let mut reused = Tensor::zeros(&[9, 9]);
+        rmsnorm_rows_into(&t, &gain, 1e-5, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

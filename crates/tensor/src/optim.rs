@@ -35,7 +35,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ impl Optimizer for Sgd {
         assert_eq!(params.len(), grads.len(), "one gradient slot per parameter");
         for (p, g) in params.iter_mut().zip(grads) {
             let Some(g) = g else { continue };
-            assert_eq!(p.dims(), g.dims(), "gradient dims must match parameter dims");
+            assert_eq!(
+                p.dims(),
+                g.dims(),
+                "gradient dims must match parameter dims"
+            );
             for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
                 *pv -= self.lr * (gv + self.weight_decay * *pv);
             }
@@ -71,7 +78,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with standard hyperparameters (β₁=0.9, β₂=0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -82,16 +97,27 @@ impl Optimizer for Adam {
             self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter list must not change size");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list must not change size"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
             let Some(g) = g else { continue };
-            assert_eq!(p.dims(), g.dims(), "gradient dims must match parameter dims");
+            assert_eq!(
+                p.dims(),
+                g.dims(),
+                "gradient dims must match parameter dims"
+            );
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
-            for ((pv, gv), (mv, vv)) in
-                p.data_mut().iter_mut().zip(g.data()).zip(m.iter_mut().zip(v.iter_mut()))
+            for ((pv, gv), (mv, vv)) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(m.iter_mut().zip(v.iter_mut()))
             {
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
@@ -150,7 +176,10 @@ mod tests {
 
     #[test]
     fn sgd_weight_decay_shrinks_params() {
-        let mut opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
         let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
         let grads = vec![Some(Tensor::from_vec(vec![0.0], &[1]))];
         opt.step(&mut params, &grads);

@@ -27,7 +27,9 @@ pub struct SeededRng {
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        SeededRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; `stream` distinguishes
@@ -73,7 +75,10 @@ impl SeededRng {
     ///
     /// Panics if `probs` is empty or sums to zero.
     pub fn sample_index(&mut self, probs: &[f32]) -> usize {
-        assert!(!probs.is_empty(), "cannot sample from an empty distribution");
+        assert!(
+            !probs.is_empty(),
+            "cannot sample from an empty distribution"
+        );
         let total: f32 = probs.iter().sum();
         assert!(total > 0.0, "distribution must have positive mass");
         let mut draw = self.uniform() * total;

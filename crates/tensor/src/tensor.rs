@@ -50,7 +50,23 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, …; {}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, …; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// An empty 1-D tensor, ready to be [`Tensor::reset`] into shape.
+    fn default() -> Self {
+        Tensor {
+            data: Vec::new(),
+            dims: vec![0],
         }
     }
 }
@@ -65,13 +81,19 @@ impl Tensor {
     /// ```
     pub fn zeros(dims: &[usize]) -> Self {
         let n = dims.iter().product();
-        Tensor { data: vec![0.0; n], dims: dims.to_vec() }
+        Tensor {
+            data: vec![0.0; n],
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let n = dims.iter().product();
-        Tensor { data: vec![value; n], dims: dims.to_vec() }
+        Tensor {
+            data: vec![value; n],
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates the `n`×`n` identity matrix.
@@ -101,9 +123,15 @@ impl Tensor {
     pub fn try_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
         let expected: usize = dims.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeMismatch { expected, actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { data, dims: dims.to_vec() })
+        Ok(Tensor {
+            data,
+            dims: dims.to_vec(),
+        })
     }
 
     /// Creates a tensor with entries drawn i.i.d. from `N(0, std²)` using a
@@ -111,7 +139,10 @@ impl Tensor {
     pub fn randn(dims: &[usize], std: f32, rng: &mut SeededRng) -> Self {
         let n: usize = dims.iter().product();
         let data = (0..n).map(|_| rng.normal() * std).collect();
-        Tensor { data, dims: dims.to_vec() }
+        Tensor {
+            data,
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dims (shape) of the tensor.
@@ -191,60 +222,134 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, dims: &[usize]) -> Self {
         let expected: usize = dims.iter().product();
-        assert_eq!(self.data.len(), expected, "reshape must preserve element count");
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape must preserve element count"
+        );
         self.dims = dims.to_vec();
         self
     }
 
+    /// Resets the tensor to `dims`, zero-filled, reusing its allocation.
+    ///
+    /// This is the buffer-recycling primitive behind the `_into` ops: a
+    /// scratch tensor can be `reset` every step without touching the
+    /// allocator once its backing buffer has grown to the steady-state
+    /// size.
+    pub fn reset(&mut self, dims: &[usize]) {
+        let n = dims.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
     /// Matrix multiplication `self × other` for 2-D tensors.
     ///
-    /// Uses an i-k-j loop order for cache-friendly access.
+    /// Large shapes run row-partitioned across threads; every output
+    /// element reduces over `k` in ascending order regardless of the
+    /// thread count, so results are bitwise identical to
+    /// [`Tensor::matmul_ref`].
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree or either tensor is not 2-D.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-owned tensor, reusing
+    /// its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or either input is not 2-D.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
-        let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reset(&[m, n]);
+        crate::kernels::matmul_nn(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// Matrix multiplication with the second operand transposed:
     /// `self × otherᵀ`, where `other` is stored as `[n, k]`.
     ///
     /// This is the natural layout for attention scores (`Q × Kᵀ`) and for
-    /// weight matrices stored output-major.
+    /// weight matrices stored output-major. Bitwise identical to
+    /// [`Tensor::matmul_nt_ref`] at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if the shared dimension disagrees or either tensor is not 2-D.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into a caller-owned tensor, reusing
+    /// its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees or either input is not 2-D.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_nt shared dimension must agree ({k} vs {k2})");
+        out.reset(&[m, n]);
+        crate::kernels::matmul_nt(&self.data, &other.data, &mut out.data, m, k, n);
+    }
+
+    /// Matrix multiplication with the first operand transposed:
+    /// `selfᵀ × other`, where `self` is stored as `[k, m]`.
+    ///
+    /// Bitwise identical to [`Tensor::matmul_tn_ref`] at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees or either tensor is not 2-D.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0, 0]);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-owned tensor, reusing
+    /// its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees or either input is not 2-D.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_tn shared dimension must agree ({k} vs {k2})");
+        out.reset(&[m, n]);
+        crate::kernels::matmul_tn(&self.data, &other.data, &mut out.data, m, k, n);
+    }
+
+    /// Naive serial `self × other`: the bitwise reference for
+    /// [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or either tensor is not 2-D.
+    pub fn matmul_ref(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
         let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk] * other.data[kk * n + j];
                 }
                 out.data[i * n + j] = acc;
             }
@@ -252,28 +357,47 @@ impl Tensor {
         out
     }
 
-    /// Matrix multiplication with the first operand transposed:
-    /// `selfᵀ × other`, where `self` is stored as `[k, m]`.
+    /// Naive serial `self × otherᵀ`: the bitwise reference for
+    /// [`Tensor::matmul_nt`].
     ///
     /// # Panics
     ///
     /// Panics if the shared dimension disagrees or either tensor is not 2-D.
-    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+    pub fn matmul_nt_ref(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_nt shared dimension must agree ({k} vs {k2})");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[i * k + kk] * other.data[j * k + kk];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive serial `selfᵀ × other`: the bitwise reference for
+    /// [`Tensor::matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees or either tensor is not 2-D.
+    pub fn matmul_tn_ref(&self, other: &Tensor) -> Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_tn shared dimension must agree ({k} vs {k2})");
         let mut out = Tensor::zeros(&[m, n]);
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data[kk * m + i] * other.data[kk * n + j];
                 }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                out.data[i * n + j] = acc;
             }
         }
         out
@@ -302,8 +426,16 @@ impl Tensor {
     /// Panics if dims differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.dims, other.dims, "add requires identical dims");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { data, dims: self.dims.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            data,
+            dims: self.dims.clone(),
+        }
     }
 
     /// In-place element-wise addition.
@@ -325,8 +457,16 @@ impl Tensor {
     /// Panics if dims differ.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.dims, other.dims, "sub requires identical dims");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Tensor { data, dims: self.dims.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            data,
+            dims: self.dims.clone(),
+        }
     }
 
     /// Element-wise (Hadamard) product.
@@ -336,14 +476,37 @@ impl Tensor {
     /// Panics if dims differ.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.dims, other.dims, "mul requires identical dims");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { data, dims: self.dims.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            data,
+            dims: self.dims.clone(),
+        }
+    }
+
+    /// In-place element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dims differ.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims, other.dims, "mul_assign requires identical dims");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
     }
 
     /// Multiplies every element by `c`.
     pub fn scale(&self, c: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * c).collect();
-        Tensor { data, dims: self.dims.clone() }
+        Tensor {
+            data,
+            dims: self.dims.clone(),
+        }
     }
 
     /// Adds a `[cols]` bias vector to every row of a 2-D tensor.
@@ -408,7 +571,10 @@ impl Tensor {
             assert_eq!(r.len(), c, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Tensor { data, dims: vec![rows.len(), c] }
+        Tensor {
+            data,
+            dims: vec![rows.len(), c],
+        }
     }
 
     /// Maximum absolute difference between two tensors of equal dims.
@@ -417,7 +583,10 @@ impl Tensor {
     ///
     /// Panics if dims differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.dims, other.dims, "max_abs_diff requires identical dims");
+        assert_eq!(
+            self.dims, other.dims,
+            "max_abs_diff requires identical dims"
+        );
         self.data
             .iter()
             .zip(&other.data)

@@ -31,8 +31,14 @@ impl ExpansionConfig {
     ///
     /// Panics if `widths` is empty or any width is zero.
     pub fn new(widths: Vec<usize>) -> Self {
-        assert!(!widths.is_empty(), "expansion config must have at least one step");
-        assert!(widths.iter().all(|&k| k > 0), "expansion widths must be positive");
+        assert!(
+            !widths.is_empty(),
+            "expansion config must have at least one step"
+        );
+        assert!(
+            widths.iter().all(|&k| k > 0),
+            "expansion widths must be positive"
+        );
         ExpansionConfig { widths }
     }
 

@@ -75,8 +75,10 @@ impl LinearizedTree {
         }
         let tokens: Vec<TokenId> = order.iter().map(|&u| tree.token(u)).collect();
         let depths: Vec<usize> = order.iter().map(|&u| tree.depth(u)).collect();
-        let parents: Vec<Option<usize>> =
-            order.iter().map(|&u| tree.parent(u).map(|p| index_of[p.index()])).collect();
+        let parents: Vec<Option<usize>> = order
+            .iter()
+            .map(|&u| tree.parent(u).map(|p| index_of[p.index()]))
+            .collect();
 
         // Because parents precede children in DFS order, each row of the
         // ancestor mask is its parent's row plus the diagonal bit.
@@ -202,9 +204,15 @@ mod tests {
         let i5 = lin.tokens().iter().position(|&t| t == 5).unwrap();
         let i6 = lin.tokens().iter().position(|&t| t == 6).unwrap();
         assert!(i5 < i7, "DFS places 5 before 7");
-        assert!(!mask.allowed(i7, i5), "cross-branch attention must be masked");
+        assert!(
+            !mask.allowed(i7, i5),
+            "cross-branch attention must be masked"
+        );
         assert!(mask.allowed(i7, i6));
-        assert!(mask.allowed(i7, 0), "everything attends to the verified root");
+        assert!(
+            mask.allowed(i7, 0),
+            "everything attends to the verified root"
+        );
     }
 
     #[test]

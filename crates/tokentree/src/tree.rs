@@ -182,7 +182,9 @@ impl TokenTree {
 
     /// All leaf nodes (nodes without children).
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&u| self.nodes[u.0].children.is_empty()).collect()
+        self.node_ids()
+            .filter(|&u| self.nodes[u.0].children.is_empty())
+            .collect()
     }
 
     /// Maximum node depth in the tree.
@@ -227,7 +229,10 @@ impl TokenTree {
     /// tokens disagree.
     pub fn from_sequences(sequences: &[Vec<TokenId>]) -> TokenTree {
         assert!(!sequences.is_empty(), "need at least one sequence");
-        assert!(sequences.iter().all(|s| !s.is_empty()), "sequences must be non-empty");
+        assert!(
+            sequences.iter().all(|s| !s.is_empty()),
+            "sequences must be non-empty"
+        );
         let root = sequences[0][0];
         let mut tree = TokenTree::new(root);
         for s in sequences {
@@ -380,7 +385,10 @@ mod tests {
         };
         for u in t.node_ids() {
             if let Some(p) = t.parent(u) {
-                assert!(pos[p.0] < pos[u.0], "parent must precede child in DFS order");
+                assert!(
+                    pos[p.0] < pos[u.0],
+                    "parent must precede child in DFS order"
+                );
             }
         }
     }

@@ -38,7 +38,13 @@ pub enum Dataset {
 impl Dataset {
     /// All five datasets in the paper's table order.
     pub fn all() -> [Dataset; 5] {
-        [Dataset::Alpaca, Dataset::Cp, Dataset::WebQa, Dataset::Cip, Dataset::Piqa]
+        [
+            Dataset::Alpaca,
+            Dataset::Cp,
+            Dataset::WebQa,
+            Dataset::Cip,
+            Dataset::Piqa,
+        ]
     }
 
     /// The dataset's display name as used in the paper's tables.
@@ -87,7 +93,10 @@ impl Dataset {
                     tries += 1;
                 }
                 tokens.truncate(prompt_len + 1);
-                PromptSpec { tokens, max_new_tokens }
+                PromptSpec {
+                    tokens,
+                    max_new_tokens,
+                }
             })
             .collect()
     }

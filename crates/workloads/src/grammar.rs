@@ -87,7 +87,10 @@ impl Grammar {
         for t in 0..vocab_size {
             transitions.push(Self::build_transition(t, &shared, &mut rng));
         }
-        Grammar { vocab_size, transitions }
+        Grammar {
+            vocab_size,
+            transitions,
+        }
     }
 
     fn domain_of(t: usize) -> Option<usize> {
@@ -110,7 +113,11 @@ impl Grammar {
     fn build_transition(t: usize, shared: &[TokenId], rng: &mut SeededRng) -> Transition {
         if t == EOS_TOKEN as usize {
             // Absorbing.
-            return Transition { successors: vec![EOS_TOKEN], probs: vec![1.0], rotating: 0 };
+            return Transition {
+                successors: vec![EOS_TOKEN],
+                probs: vec![1.0],
+                rotating: 0,
+            };
         }
         if t == BOS_TOKEN as usize {
             // BOS fans out uniformly over all domain start regions.
@@ -122,7 +129,11 @@ impl Grammar {
                 .collect();
             let p = 1.0 / successors.len() as f32;
             let probs = vec![p; successors.len()];
-            return Transition { successors, probs, rotating: 0 };
+            return Transition {
+                successors,
+                probs,
+                rotating: 0,
+            };
         }
 
         // Domain tokens branch within their domain; shared tokens branch
@@ -134,7 +145,11 @@ impl Grammar {
             }
             None => {
                 let d = rng.below(N_DOMAINS);
-                (4, 1.0, Self::domain_tokens(d).map(|x| x as TokenId).collect())
+                (
+                    4,
+                    1.0,
+                    Self::domain_tokens(d).map(|x| x as TokenId).collect(),
+                )
             }
         };
 
@@ -173,7 +188,11 @@ impl Grammar {
         successors.push(EOS_TOKEN);
         probs.push(EOS_PROB);
 
-        Transition { successors, probs, rotating: branch }
+        Transition {
+            successors,
+            probs,
+            rotating: branch,
+        }
     }
 
     /// The vocabulary size the grammar was built for.
@@ -193,14 +212,19 @@ impl Grammar {
     /// Panics if `cur` is out of vocabulary.
     pub fn next_dist(&self, prev: TokenId, cur: TokenId) -> Vec<(TokenId, f32)> {
         let tr = &self.transitions[cur as usize];
-        let mut pairs: Vec<(TokenId, f32)> =
-            tr.successors.iter().copied().zip(tr.probs.iter().copied()).collect();
+        let mut pairs: Vec<(TokenId, f32)> = tr
+            .successors
+            .iter()
+            .copied()
+            .zip(tr.probs.iter().copied())
+            .collect();
         if tr.rotating > 1 {
             let r = (prev as usize).wrapping_mul(0x9E37_79B1) % tr.rotating;
             // Rotate the probability column of the first `rotating`
             // entries; the successor set itself is stable.
-            let rotated: Vec<f32> =
-                (0..tr.rotating).map(|i| tr.probs[(i + r) % tr.rotating]).collect();
+            let rotated: Vec<f32> = (0..tr.rotating)
+                .map(|i| tr.probs[(i + r) % tr.rotating])
+                .collect();
             for (pair, p) in pairs.iter_mut().zip(rotated) {
                 pair.1 = p;
             }
@@ -308,7 +332,10 @@ mod tests {
         for prev in [0u32, 7, 100, 250] {
             for t in 0..g.vocab_size() {
                 let sum: f32 = g.next_dist(prev, t as TokenId).iter().map(|(_, p)| p).sum();
-                assert!((sum - 1.0).abs() < 1e-4, "token {t} (prev {prev}) sums to {sum}");
+                assert!(
+                    (sum - 1.0).abs() < 1e-4,
+                    "token {t} (prev {prev}) sums to {sum}"
+                );
             }
         }
     }
@@ -341,7 +368,10 @@ mod tests {
                 .unwrap();
             argmaxes.insert(best);
         }
-        assert!(argmaxes.len() >= 2, "rotation must move the argmax: {argmaxes:?}");
+        assert!(
+            argmaxes.len() >= 2,
+            "rotation must move the argmax: {argmaxes:?}"
+        );
     }
 
     #[test]
@@ -388,8 +418,14 @@ mod tests {
         assert_eq!(a.next_dist(3, 10), b.next_dist(3, 10));
         let c = Grammar::synthetic(256, 6);
         assert_ne!(
-            a.next_dist(3, 10).iter().map(|(t, _)| *t).collect::<Vec<_>>(),
-            c.next_dist(3, 10).iter().map(|(t, _)| *t).collect::<Vec<_>>()
+            a.next_dist(3, 10)
+                .iter()
+                .map(|(t, _)| *t)
+                .collect::<Vec<_>>(),
+            c.next_dist(3, 10)
+                .iter()
+                .map(|(t, _)| *t)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -37,7 +37,11 @@ pub fn render_token(t: TokenId) -> String {
 
 /// Renders a token sequence as space-separated pseudo-words.
 pub fn render(tokens: &[TokenId]) -> String {
-    tokens.iter().map(|&t| render_token(t)).collect::<Vec<_>>().join(" ")
+    tokens
+        .iter()
+        .map(|&t| render_token(t))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]

@@ -44,7 +44,11 @@ impl Trace {
         Trace {
             requests: prompts
                 .into_iter()
-                .map(|prompt| TraceRequest { arrival_s: 0.0, prompt, dataset })
+                .map(|prompt| TraceRequest {
+                    arrival_s: 0.0,
+                    prompt,
+                    dataset,
+                })
                 .collect(),
         }
     }
@@ -74,10 +78,20 @@ impl Trace {
             t += -u.ln() / rate_per_s;
             let dataset = datasets[i % datasets.len()];
             let prompt = dataset
-                .prompts(grammar, 1, prompt_len, max_new_tokens, seed.wrapping_add(i as u64))
+                .prompts(
+                    grammar,
+                    1,
+                    prompt_len,
+                    max_new_tokens,
+                    seed.wrapping_add(i as u64),
+                )
                 .pop()
                 .expect("one prompt requested");
-            requests.push(TraceRequest { arrival_s: t, prompt, dataset });
+            requests.push(TraceRequest {
+                arrival_s: t,
+                prompt,
+                dataset,
+            });
         }
         Trace { requests }
     }
@@ -122,8 +136,7 @@ mod tests {
     fn poisson_mixes_datasets() {
         let g = Grammar::synthetic(256, 1);
         let t = Trace::poisson(&g, 10, 5.0, 8, 32, 4);
-        let distinct: std::collections::HashSet<_> =
-            t.requests.iter().map(|r| r.dataset).collect();
+        let distinct: std::collections::HashSet<_> = t.requests.iter().map(|r| r.dataset).collect();
         assert_eq!(distinct.len(), 5);
     }
 }

@@ -43,12 +43,21 @@ fn main() {
         })
         .collect();
     let result = boost_tune_pool(&llm, &prompts, &BoostConfig::small(3));
-    println!("per-round coverage of remaining prompts: {:?}", result.round_coverage);
-    println!("union coverage of the pool:              {:.2}", result.union_coverage);
+    println!(
+        "per-round coverage of remaining prompts: {:?}",
+        result.round_coverage
+    );
+    println!(
+        "union coverage of the pool:              {:.2}",
+        result.union_coverage
+    );
 
     // Merge-based speculation: compare pool prefixes.
     let eval = Dataset::Alpaca.prompts(&grammar, 8, 10, 48, 21);
-    println!("\n{:18} {:>14} {:>12}", "speculator", "tokens/step", "LLM steps");
+    println!(
+        "\n{:18} {:>14} {:>12}",
+        "speculator", "tokens/step", "LLM steps"
+    );
     for n in 1..=result.ssms.len() {
         let pool: Vec<&Transformer> = result.ssms.iter().take(n).collect();
         let engine = SpecEngine::new(
@@ -69,7 +78,12 @@ fn main() {
             tps += r.tokens_per_step();
             steps += r.llm_steps();
         }
-        println!("{:18} {:>14.2} {:>12}", format!("{n} merged SSM(s)"), tps / eval.len() as f64, steps);
+        println!(
+            "{:18} {:>14.2} {:>12}",
+            format!("{n} merged SSM(s)"),
+            tps / eval.len() as f64,
+            steps
+        );
     }
     println!("\n(merged token trees from diverse SSMs cover more of the LLM's output)");
 }

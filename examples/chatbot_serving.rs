@@ -39,10 +39,15 @@ fn main() {
 
     let modes: Vec<(&str, InferenceMode)> = vec![
         ("incremental", InferenceMode::Incremental),
-        ("sequence-spec", InferenceMode::SequenceSpeculative { depth: 8 }),
+        (
+            "sequence-spec",
+            InferenceMode::SequenceSpeculative { depth: 8 },
+        ),
         (
             "tree-spec",
-            InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::paper_default(),
+            },
         ),
     ];
 
@@ -51,8 +56,11 @@ fn main() {
         "mode", "p50 lat (s)", "ms/token", "tokens/step", "makespan (s)"
     );
     for (name, mode) in modes {
-        let ssms: Vec<&Transformer> =
-            if matches!(mode, InferenceMode::Incremental) { vec![] } else { vec![&ssm] };
+        let ssms: Vec<&Transformer> = if matches!(mode, InferenceMode::Incremental) {
+            vec![]
+        } else {
+            vec![&ssm]
+        };
         let server = Server::new(
             &llm,
             ssms,

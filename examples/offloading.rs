@@ -42,15 +42,24 @@ fn main() {
     );
     for profile in [LlmProfile::opt_13b(), LlmProfile::opt_30b()] {
         for (label, mode, system) in [
-            ("FlexGen (incremental)", InferenceMode::Incremental, SystemProfile::flexgen()),
+            (
+                "FlexGen (incremental)",
+                InferenceMode::Incremental,
+                SystemProfile::flexgen(),
+            ),
             (
                 "SpecInfer (tree)",
-                InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+                InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::paper_default(),
+                },
                 SystemProfile::specinfer(),
             ),
         ] {
-            let ssms: Vec<&Transformer> =
-                if matches!(mode, InferenceMode::Incremental) { vec![] } else { vec![&ssm] };
+            let ssms: Vec<&Transformer> = if matches!(mode, InferenceMode::Incremental) {
+                vec![]
+            } else {
+                vec![&ssm]
+            };
             let server = Server::new(
                 &llm,
                 ssms,

@@ -23,14 +23,20 @@ fn main() {
     let grammar = Grammar::synthetic(256, 42);
     let corpus = grammar.training_corpus(160, 40, 7);
 
-    println!("training the LLM ({} params)…", ModelConfig::tiny_llm().param_count());
+    println!(
+        "training the LLM ({} params)…",
+        ModelConfig::tiny_llm().param_count()
+    );
     let mut llm = Transformer::from_seed(ModelConfig::tiny_llm(), 1);
     let mut opt = Adam::new(3e-3);
     for chunk in corpus.chunks(8) {
         let _ = train_step(&mut llm, &mut opt, chunk);
     }
 
-    println!("distilling the SSM ({} params)…", ModelConfig::tiny_ssm().param_count());
+    println!(
+        "distilling the SSM ({} params)…",
+        ModelConfig::tiny_ssm().param_count()
+    );
     let mut ssm = Transformer::from_seed(ModelConfig::tiny_ssm(), 2);
     let mut sopt = Adam::new(3e-3);
     for chunk in corpus.chunks(8) {
@@ -59,14 +65,20 @@ fn main() {
         EngineConfig {
             decode: DecodeMode::Greedy,
             verifier: StochasticVerifier::MultiStep,
-            mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::paper_default() },
+            mode: InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::paper_default(),
+            },
             max_new_tokens: 64,
             eos_token: Some(EOS_TOKEN),
         },
     )
     .generate(&prompt.tokens, 0);
 
-    println!("\nincremental : {} tokens in {} LLM steps", incremental.generated().len(), incremental.llm_steps());
+    println!(
+        "\nincremental : {} tokens in {} LLM steps",
+        incremental.generated().len(),
+        incremental.llm_steps()
+    );
     println!(
         "tree-spec   : {} tokens in {} LLM steps ({:.2} tokens/step)",
         speculative.generated().len(),
@@ -74,11 +86,19 @@ fn main() {
         speculative.tokens_per_step()
     );
 
-    let n = incremental.generated().len().min(speculative.generated().len());
+    let n = incremental
+        .generated()
+        .len()
+        .min(speculative.generated().len());
     assert_eq!(
         &incremental.generated()[..n],
         &speculative.generated()[..n],
         "greedy speculative decoding must be lossless"
     );
-    println!("\noutputs identical ✓ — speculative decoding used {} fewer LLM passes", incremental.llm_steps().saturating_sub(speculative.llm_steps()));
+    println!(
+        "\noutputs identical ✓ — speculative decoding used {} fewer LLM passes",
+        incremental
+            .llm_steps()
+            .saturating_sub(speculative.llm_steps())
+    );
 }

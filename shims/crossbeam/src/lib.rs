@@ -1,0 +1,301 @@
+//! Offline shim for the `crossbeam::channel` API this workspace uses:
+//! multi-producer/multi-consumer channels built on `Mutex` + `Condvar`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signals receivers that an item arrived or all senders left.
+        recv_ready: Condvar,
+        /// Signals bounded senders that capacity freed up.
+        send_ready: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned when sending into a channel with no receivers.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a channel with no receivers")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned when receiving from an empty channel with no senders.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty channel with no senders")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("channel empty"),
+                TryRecvError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self
+                            .shared
+                            .send_ready
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.recv_ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.shared.recv_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .recv_ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = state.items.pop_front() {
+                drop(state);
+                self.shared.send_ready.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers += 1;
+            drop(state);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                // Wake bounded senders blocked on a full queue so they
+                // observe the disconnect.
+                self.shared.send_ready.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_round_trip_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u32> = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        handle.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_until_capacity_frees() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Blocks until the main thread drains the first item.
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn send_errors_with_no_receivers() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+}

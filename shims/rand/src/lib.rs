@@ -1,0 +1,204 @@
+//! Offline shim for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of `rand` it actually needs: the `RngCore` /
+//! `SeedableRng` / `Rng` traits with `gen::<f32/f64>()` and
+//! `gen_range(0..n)`. The algorithms are bit-compatible with rand 0.8:
+//! `seed_from_u64` uses the same PCG-based seed expansion and
+//! `gen_range` uses the same widening-multiply rejection sampling, so
+//! seeded streams match the real crate for these entry points.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed with the same PCG-based
+    /// scheme as `rand_core` 0.6, so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from a generator's raw bits (the `Standard`
+/// distribution of real `rand`).
+pub trait SampleStandard {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 bits of precision in [0, 1), as in rand 0.8's Standard.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 bits of precision in [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one value from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range requires a non-empty range");
+                // Widening-multiply rejection sampling, matching rand 0.8's
+                // `sample_single` for 64-bit-wide integer types.
+                let range = (high as u64).wrapping_sub(low as u64);
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let lo = m as u64;
+                    if lo <= zone {
+                        return low.wrapping_add((m >> 64) as u64 as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u64, usize, i64);
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws from the standard distribution of `T`.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range.start, range.end, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = Counter(0);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for n in 1usize..50 {
+            for _ in 0..100 {
+                assert!(rng.gen_range(0..n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_expansion_is_deterministic() {
+        struct Echo([u8; 32]);
+        impl SeedableRng for Echo {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Echo(seed)
+            }
+        }
+        impl RngCore for Echo {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let a = Echo::seed_from_u64(42).0;
+        let b = Echo::seed_from_u64(42).0;
+        let c = Echo::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

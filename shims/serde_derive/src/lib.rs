@@ -1,0 +1,270 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Generates `Serialize::to_value` / `Deserialize::from_value` impls for
+//! the shapes this workspace actually derives: structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are all
+//! unit variants. Field *types* are never parsed — generated code calls
+//! `::serde::Serialize`/`::serde::Deserialize` on each field and lets
+//! trait resolution do the rest. Generics and data-carrying enum
+//! variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The derivable item shapes.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Splits a token stream on commas at angle-bracket depth zero.
+/// Parenthesized/bracketed/braced content arrives pre-grouped, so only
+/// `<...>` nesting needs manual tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        pieces.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+/// Returns the index after any leading attributes (`#[...]`, including
+/// doc comments) and visibility (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// First identifier of a field/variant piece, past attributes and
+/// visibility.
+fn leading_ident(piece: &[TokenTree]) -> Result<String, String> {
+    let i = skip_attrs_and_vis(piece, 0);
+    match piece.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn parse(item: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "`{name}`: generic types are not supported by the serde shim derive"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(g.stream())
+                    .iter()
+                    .map(|piece| leading_ident(piece))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Ok(Shape::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("`{name}`: unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut variants = Vec::new();
+                for piece in split_top_level(g.stream()) {
+                    let variant = leading_ident(&piece)?;
+                    let has_payload = piece.iter().any(
+                        |tt| matches!(tt, TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket),
+                    );
+                    if has_payload {
+                        return Err(format!(
+                            "`{name}::{variant}`: only unit enum variants are supported by the serde shim derive"
+                        ));
+                    }
+                    variants.push(variant);
+                }
+                Ok(Shape::UnitEnum { name, variants })
+            }
+            other => Err(format!("`{name}`: unsupported enum body {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("::core::compile_error!({message:?});")
+        .parse()
+        .expect("valid compile_error")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let shape = match parse(item) {
+        Ok(shape) => shape,
+        Err(message) => return compile_error(&message),
+    };
+    let mut body = String::new();
+    let name = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            body.push_str("::serde::Value::Object(::std::vec![\n");
+            for field in fields {
+                body.push_str(&format!(
+                    "(::std::string::String::from({field:?}), ::serde::Serialize::to_value(&self.{field})),\n"
+                ));
+            }
+            body.push_str("])");
+            name
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+            name
+        }
+        Shape::TupleStruct { name, arity } => {
+            body.push_str("::serde::Value::Array(::std::vec![\n");
+            for idx in 0..*arity {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),\n"));
+            }
+            body.push_str("])");
+            name
+        }
+        Shape::UnitStruct { name } => {
+            body.push_str("::serde::Value::Null");
+            name
+        }
+        Shape::UnitEnum { name, variants } => {
+            body.push_str("match self {\n");
+            for variant in variants {
+                body.push_str(&format!(
+                    "{name}::{variant} => ::serde::Value::String(::std::string::String::from({variant:?})),\n"
+                ));
+            }
+            body.push('}');
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let shape = match parse(item) {
+        Ok(shape) => shape,
+        Err(message) => return compile_error(&message),
+    };
+    let mut body = String::new();
+    let name = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for field in fields {
+                // Missing keys read as Null so `Option` fields tolerate
+                // absent entries, matching common serde usage.
+                body.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(value.get({field:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::new(::std::format!(\"field `{field}` of `{name}`: {{e}}\")))?,\n"
+                ));
+            }
+            body.push_str("})");
+            name
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ));
+            name
+        }
+        Shape::TupleStruct { name, arity } => {
+            body.push_str(&format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for `{name}`\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(\"wrong tuple arity for `{name}`\"));\n\
+                 }}\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{idx}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            name
+        }
+        Shape::UnitStruct { name } => {
+            body.push_str(&format!("::std::result::Result::Ok({name})"));
+            name
+        }
+        Shape::UnitEnum { name, variants } => {
+            body.push_str("match value.as_str() {\n");
+            for variant in variants {
+                body.push_str(&format!(
+                    "::std::option::Option::Some({variant:?}) => ::std::result::Result::Ok({name}::{variant}),\n"
+                ));
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant {{value:?}} for `{name}`\"))),\n}}"
+            ));
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -26,7 +26,13 @@ fn greedy_tree_speculation_is_lossless_across_seeds_and_ssms() {
             .generate(&[1, 2, 3, 4], 0);
         for ssm_seed in [20u64, 21] {
             let ssm = Transformer::from_seed(
-                ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+                ModelConfig {
+                    d_model: 8,
+                    n_heads: 2,
+                    n_layers: 1,
+                    d_ff: 16,
+                    ..ModelConfig::smoke()
+                },
                 ssm_seed,
             );
             for expansion in [
@@ -37,7 +43,9 @@ fn greedy_tree_speculation_is_lossless_across_seeds_and_ssms() {
                 let spec = SpecEngine::new(
                     &llm,
                     vec![&ssm],
-                    engine_config(InferenceMode::TreeSpeculative { expansion: expansion.clone() }),
+                    engine_config(InferenceMode::TreeSpeculative {
+                        expansion: expansion.clone(),
+                    }),
                 )
                 .generate(&[1, 2, 3, 4], 0);
                 let n = incremental.generated().len().min(spec.generated().len());
@@ -58,8 +66,13 @@ fn greedy_tree_speculation_is_lossless_across_seeds_and_ssms() {
 #[test]
 fn merged_multi_ssm_speculation_is_also_lossless() {
     let llm = Transformer::from_seed(ModelConfig::smoke(), 30);
-    let ssm_cfg =
-        ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() };
+    let ssm_cfg = ModelConfig {
+        d_model: 8,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 16,
+        ..ModelConfig::smoke()
+    };
     let s1 = Transformer::from_seed(ssm_cfg.clone(), 31);
     let s2 = Transformer::from_seed(ssm_cfg.clone(), 32);
     let s3 = Transformer::from_seed(ssm_cfg, 33);
@@ -90,12 +103,21 @@ fn speculation_accepts_more_with_a_better_ssm() {
     // accepts less. This orders tokens/step as alignment orders it.
     let llm = Transformer::from_seed(ModelConfig::smoke(), 40);
     let random_ssm = Transformer::from_seed(
-        ModelConfig { d_model: 8, n_heads: 2, n_layers: 1, d_ff: 16, ..ModelConfig::smoke() },
+        ModelConfig {
+            d_model: 8,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 16,
+            ..ModelConfig::smoke()
+        },
         41,
     );
     let cfg = engine_config(InferenceMode::SequenceSpeculative { depth: 6 });
     let self_spec = SpecEngine::new(&llm, vec![&llm], cfg.clone()).generate(&[9, 8, 7], 0);
     let rand_spec = SpecEngine::new(&llm, vec![&random_ssm], cfg).generate(&[9, 8, 7], 0);
     assert!(self_spec.tokens_per_step() >= rand_spec.tokens_per_step());
-    assert!((self_spec.tokens_per_step() - 7.0).abs() < 1e-9, "self-speculation accepts all");
+    assert!(
+        (self_spec.tokens_per_step() - 7.0).abs() < 1e-9,
+        "self-speculation accepts all"
+    );
 }

@@ -10,7 +10,14 @@ use specinfer::tokentree::ExpansionConfig;
 use specinfer::workloads::{trace::Trace, Dataset, Grammar, EOS_TOKEN};
 
 fn tiny_cfg(d: usize) -> ModelConfig {
-    ModelConfig { vocab_size: 256, d_model: d, n_layers: 1, n_heads: 2, d_ff: 2 * d, max_seq_len: 256 }
+    ModelConfig {
+        vocab_size: 256,
+        d_model: d,
+        n_layers: 1,
+        n_heads: 2,
+        d_ff: 2 * d,
+        max_seq_len: 256,
+    }
 }
 
 #[test]
@@ -41,7 +48,9 @@ fn full_stack_speculative_serving() {
             engine: EngineConfig {
                 decode: DecodeMode::Greedy,
                 verifier: StochasticVerifier::MultiStep,
-                mode: InferenceMode::TreeSpeculative { expansion: ExpansionConfig::new(vec![2, 2, 1]) },
+                mode: InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 2, 1]),
+                },
                 max_new_tokens: 12,
                 eos_token: Some(EOS_TOKEN),
             },
@@ -91,9 +100,17 @@ fn serving_is_deterministic() {
             },
         );
         let report = server.serve_trace(&trace);
-        report.responses.iter().map(|r| r.generated.clone()).collect::<Vec<_>>()
+        report
+            .responses
+            .iter()
+            .map(|r| r.generated.clone())
+            .collect::<Vec<_>>()
     };
-    assert_eq!(run(), run(), "same seed must reproduce identical generations");
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce identical generations"
+    );
 }
 
 #[test]
