@@ -5,10 +5,10 @@ use std::sync::Arc;
 
 use specinfer_model::train::{distill_step, train_step};
 use specinfer_model::{checkpoint, DecodeMode, ModelConfig, Transformer};
-use specinfer_serving::{ServerConfig, ServerDaemon, TimingConfig};
+use specinfer_serving::{QueuePolicy, ServerConfig, ServerDaemon, TimingConfig};
 use specinfer_spec::{
-    boost_tune_pool, BoostConfig, DynamicExpansionConfig, EngineConfig, InferenceMode, SpecEngine,
-    StochasticVerifier,
+    boost_tune_pool, BoostConfig, DegradationPolicy, DynamicExpansionConfig, EngineConfig,
+    InferenceMode, SpecEngine, StochasticVerifier,
 };
 use specinfer_tensor::optim::Adam;
 use specinfer_tensor::rng::SeededRng;
@@ -292,6 +292,9 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             max_batch_size: batch,
             timing: TimingConfig::llama_7b_single_gpu(),
             seed,
+            faults: None,
+            degradation: DegradationPolicy::serving_default(),
+            queue: QueuePolicy::unbounded(),
         },
     );
     let datasets = Dataset::all();

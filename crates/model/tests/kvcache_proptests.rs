@@ -68,6 +68,44 @@ proptest! {
         prop_assert!(la.max_abs_diff(&lb) < 1e-5);
     }
 
+    /// Arbitrary interleavings of appends and rollbacks — the cache
+    /// lifecycle of a speculative session, where every verify pass
+    /// appends draft rows and every rejection rolls them back — leave
+    /// the cache indistinguishable from a from-scratch prefill of the
+    /// logical sequence that survived.
+    #[test]
+    fn append_rollback_interleavings_equal_fresh_replay(
+        prompt in prop::collection::vec(0u32..32, 1..5),
+        ops in prop::collection::vec(
+            (prop::collection::vec(0u32..32, 1..5), 0usize..6),
+            1..8,
+        ),
+        probe in 0u32..32,
+    ) {
+        let m = model();
+        let mut cache = m.new_cache();
+        let _ = m.prefill(&prompt, &mut cache);
+        let mut logical = prompt.clone();
+
+        for (chunk, rollback) in &ops {
+            let _ = m.prefill(chunk, &mut cache);
+            logical.extend_from_slice(chunk);
+            // Roll back up to `rollback` tokens, never into the prompt —
+            // the shape of a rejected speculation.
+            let new_len = logical.len().saturating_sub(*rollback).max(prompt.len());
+            cache.truncate(new_len);
+            logical.truncate(new_len);
+            prop_assert_eq!(cache.len(), logical.len());
+        }
+
+        let la = m.decode_one(probe, &mut cache);
+        let mut fresh = m.new_cache();
+        let _ = m.prefill(&logical, &mut fresh);
+        let lb = m.decode_one(probe, &mut fresh);
+        let diff = la.max_abs_diff(&lb);
+        prop_assert!(diff < 2e-3, "interleaved cache diverged by {diff}");
+    }
+
     /// Cache length bookkeeping survives arbitrary operation sequences.
     #[test]
     fn lengths_are_exact(

@@ -128,6 +128,53 @@ proptest! {
         prop_assert_eq!(serial.data(), parallel.data());
     }
 
+    /// The tree-parallel verify pass is *bitwise* identical to decoding
+    /// each root-to-leaf path sequentially in a fresh KV cache: for every
+    /// node, the fused pass's logits row equals the row `decode_one`
+    /// yields after consuming that node's root-path prefix token by
+    /// token. This is the strong form of the equivalence above — it holds
+    /// exactly (not within a tolerance) because per-row kernels never
+    /// split the k reduction, masked attention entries contribute an
+    /// exact 0.0, and ancestors keep their relative order in the
+    /// linearized tree.
+    #[test]
+    fn tree_decode_bitwise_equals_fresh_path_decode(
+        root in 0u32..32,
+        edges in prop::collection::vec((0usize..16, 0u32..32), 1..10),
+        prompt in prop::collection::vec(0u32..32, 1..5),
+    ) {
+        let m = model();
+        let tree = build_tree(root, &edges);
+        let lin = LinearizedTree::new(&tree);
+
+        let mut tree_cache = m.new_cache();
+        let _ = m.prefill(&prompt, &mut tree_cache);
+        let tree_logits = m.decode_tree(&lin, &mut tree_cache);
+
+        for leaf in tree.leaves() {
+            let mut path = Vec::new();
+            let mut cur = Some(leaf);
+            while let Some(u) = cur {
+                path.push(u);
+                cur = tree.parent(u);
+            }
+            path.reverse();
+
+            let mut fresh = m.new_cache();
+            let _ = m.prefill(&prompt, &mut fresh);
+            for &node in &path {
+                let seq_logits = m.decode_one(tree.token(node), &mut fresh);
+                prop_assert_eq!(
+                    seq_logits.data(),
+                    tree_logits.row(lin.index_of(node)),
+                    "node {:?} on the path to {:?} is not bitwise equal",
+                    node,
+                    leaf
+                );
+            }
+        }
+    }
+
     /// Prefill in one call equals prefill split at any point.
     #[test]
     fn split_prefill_is_equivalent(

@@ -7,6 +7,12 @@
 //! with iteration-level scheduling, completing requests as they finish.
 //! Simulated time is still used for the latency metrics (the cost model
 //! prices each iteration); wall-clock arrival order drives admission.
+//!
+//! The daemon honours the same [`FaultPlan`](crate::FaultPlan) as the
+//! trace-driven server, plus *client-initiated* cancellation: any thread
+//! holding the daemon handle can cut a request mid-stream with
+//! [`ServerDaemon::cancel`], and the partial output is returned through
+//! the request's [`Ticket`].
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -16,17 +22,21 @@ use specinfer_model::Transformer;
 use specinfer_spec::{Session, StepStats};
 use specinfer_tokentree::TokenId;
 
-use crate::metrics::ServeReport;
-use crate::request::{RequestId, Response};
+use crate::metrics::{FaultCounters, ServeReport};
+use crate::request::{RequestId, RequestOutcome, Response};
 use crate::server::ServerConfig;
 
 enum Msg {
     Submit {
         prompt: Vec<TokenId>,
         max_new_tokens: usize,
+        /// Latency budget in simulated seconds; the absolute deadline is
+        /// the admission clock plus this budget.
+        budget_s: Option<f64>,
         reply: Sender<Response>,
         id_reply: Sender<RequestId>,
     },
+    Cancel(RequestId),
     Shutdown,
 }
 
@@ -39,7 +49,8 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the request completes.
+    /// Blocks until the request completes (or is cancelled/expired — the
+    /// response's `outcome` says which).
     ///
     /// # Panics
     ///
@@ -84,18 +95,48 @@ impl ServerDaemon {
     ///
     /// Panics if the daemon has already shut down.
     pub fn submit(&self, prompt: Vec<TokenId>, max_new_tokens: usize) -> Ticket {
+        self.submit_inner(prompt, max_new_tokens, None)
+    }
+
+    /// Submits a request with a latency budget: if the request hasn't
+    /// finished within `budget_s` simulated seconds of admission, it is
+    /// shed mid-stream and its ticket resolves with
+    /// [`RequestOutcome::DeadlineMissed`].
+    pub fn submit_with_deadline(
+        &self,
+        prompt: Vec<TokenId>,
+        max_new_tokens: usize,
+        budget_s: f64,
+    ) -> Ticket {
+        self.submit_inner(prompt, max_new_tokens, Some(budget_s))
+    }
+
+    fn submit_inner(
+        &self,
+        prompt: Vec<TokenId>,
+        max_new_tokens: usize,
+        budget_s: Option<f64>,
+    ) -> Ticket {
         let (reply_tx, reply_rx) = bounded(1);
         let (id_tx, id_rx) = bounded(1);
         self.tx
             .send(Msg::Submit {
                 prompt,
                 max_new_tokens,
+                budget_s,
                 reply: reply_tx,
                 id_reply: id_tx,
             })
             .expect("daemon is not running");
         let id = id_rx.recv().expect("daemon is not running");
         Ticket { id, rx: reply_rx }
+    }
+
+    /// Cancels an in-flight request. The request's ticket resolves with
+    /// [`RequestOutcome::Cancelled`] and whatever tokens were generated
+    /// before the cut. Cancelling an unknown or finished id is a no-op.
+    pub fn cancel(&self, id: RequestId) {
+        let _ = self.tx.send(Msg::Cancel(id));
     }
 
     /// Finishes all in-flight requests, stops the daemon, and returns its
@@ -126,7 +167,37 @@ struct LiveRequest {
     config: specinfer_spec::EngineConfig,
     reply: Sender<Response>,
     arrival_s: f64,
+    /// Absolute simulated-clock deadline, if the submission had a budget.
+    deadline_s: Option<f64>,
+    /// Fault-plan cancellation threshold (generated tokens), if any.
+    cancel_at: Option<usize>,
+    /// Set by a client [`Msg::Cancel`]; retired before the next step.
+    client_cancelled: bool,
+    /// Iterations executed — the fault plan's step index.
+    steps_taken: usize,
     last: Option<StepStats>,
+}
+
+impl LiveRequest {
+    fn retire(self, clock: f64, outcome: RequestOutcome, faults: &mut FaultCounters) -> Response {
+        let d = self.session.degradation();
+        faults.fallbacks_taken += d.fallbacks_taken;
+        faults.fallback_steps += d.fallback_steps;
+        faults.reprobes += d.reprobes;
+        let result = self.session.into_result();
+        let response = Response {
+            id: self.id,
+            dataset: None,
+            prompt_len: self.prompt_len,
+            generated: result.generated().to_vec(),
+            arrival_s: self.arrival_s,
+            finish_s: clock,
+            steps: result.steps,
+            outcome,
+        };
+        let _ = self.reply.send(response.clone());
+        response
+    }
 }
 
 fn daemon_loop(
@@ -136,11 +207,13 @@ fn daemon_loop(
     rx: &Receiver<Msg>,
 ) -> ServeReport {
     let ssm_refs: Vec<&Transformer> = ssms.iter().map(Arc::as_ref).collect();
+    let plan = config.faults.as_ref();
     let mut clock = 0.0f64;
     let mut next_id = 0u64;
     let mut active: Vec<LiveRequest> = Vec::new();
     let mut responses: Vec<Response> = Vec::new();
     let mut iterations = 0usize;
+    let mut faults = FaultCounters::default();
     let mut draining = false;
 
     loop {
@@ -149,7 +222,7 @@ fn daemon_loop(
             let msg = if active.is_empty() && !draining {
                 match rx.recv() {
                     Ok(m) => Some(m),
-                    Err(_) => return finish(responses, clock, iterations),
+                    Err(_) => return finish(responses, clock, iterations, faults),
                 }
             } else {
                 rx.try_recv().ok()
@@ -158,6 +231,7 @@ fn daemon_loop(
                 Some(Msg::Submit {
                     prompt,
                     max_new_tokens,
+                    budget_s,
                     reply,
                     id_reply,
                 }) => {
@@ -166,8 +240,9 @@ fn daemon_loop(
                     let _ = id_reply.send(id);
                     let mut engine = config.engine.clone();
                     engine.max_new_tokens = max_new_tokens;
-                    let session =
+                    let mut session =
                         Session::new(llm, &ssm_refs, &prompt, config.seed.wrapping_add(id.0));
+                    session.set_degradation_policy(config.degradation);
                     active.push(LiveRequest {
                         id,
                         prompt_len: prompt.len(),
@@ -175,8 +250,17 @@ fn daemon_loop(
                         config: engine,
                         reply,
                         arrival_s: clock,
+                        deadline_s: budget_s.map(|b| clock + b),
+                        cancel_at: plan.and_then(|p| p.cancel_after(id)),
+                        client_cancelled: false,
+                        steps_taken: 0,
                         last: None,
                     });
+                }
+                Some(Msg::Cancel(id)) => {
+                    if let Some(r) = active.iter_mut().find(|r| r.id == id) {
+                        r.client_cancelled = true;
+                    }
                 }
                 Some(Msg::Shutdown) => draining = true,
                 None => break,
@@ -185,9 +269,23 @@ fn daemon_loop(
                 break;
             }
         }
+
+        // Retire client-cancelled requests before spending an iteration
+        // on them.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].client_cancelled {
+                faults.cancellations += 1;
+                let done = active.swap_remove(i);
+                responses.push(done.retire(clock, RequestOutcome::Cancelled, &mut faults));
+            } else {
+                i += 1;
+            }
+        }
+
         if active.is_empty() {
             if draining {
-                return finish(responses, clock, iterations);
+                return finish(responses, clock, iterations, faults);
             }
             continue;
         }
@@ -196,7 +294,17 @@ fn daemon_loop(
         // admission limit; extra submissions wait in the channel).
         let batch: usize = active.len().min(config.max_batch_size);
         for r in active.iter_mut().take(batch) {
-            r.last = r.session.step(llm, &ssm_refs, &r.config);
+            let fault = plan
+                .and_then(|p| p.step_fault(r.id, r.steps_taken))
+                .unwrap_or_default();
+            faults.ssm_garbage += usize::from(fault.ssm_garbage.is_some());
+            faults.ssm_stalls += usize::from(fault.ssm_stall);
+            faults.kv_ooms += usize::from(fault.kv_oom);
+            faults.injected += usize::from(fault.ssm_garbage.is_some())
+                + usize::from(fault.ssm_stall)
+                + usize::from(fault.kv_oom);
+            r.last = r.session.step_faulted(llm, &ssm_refs, &r.config, fault);
+            r.steps_taken += 1;
         }
         iterations += 1;
         let mean_tree = active
@@ -211,35 +319,51 @@ fn daemon_loop(
             .map(|r| r.session.tokens().len())
             .sum::<usize>()
             / batch;
-        clock += config
+        let mut dt = config
             .timing
             .iteration_s(&config.engine.mode, batch, mean_tree, mean_ctx);
+        if let Some(factor) = plan.and_then(|p| p.verifier_slowdown(iterations - 1)) {
+            faults.slowdowns += 1;
+            faults.injected += 1;
+            dt *= factor;
+        }
+        clock += dt;
 
-        // Retire finished requests and answer their tickets.
+        // Retire finished, plan-cancelled and expired requests and answer
+        // their tickets.
         let mut i = 0;
         while i < active.len() {
-            if active[i].session.is_finished() {
-                let done = active.swap_remove(i);
-                let result = done.session.into_result();
-                let response = Response {
-                    id: done.id,
-                    dataset: None,
-                    prompt_len: done.prompt_len,
-                    generated: result.generated().to_vec(),
-                    arrival_s: done.arrival_s,
-                    finish_s: clock,
-                    steps: result.steps,
-                };
-                let _ = done.reply.send(response.clone());
-                responses.push(response);
+            let outcome = if active[i].session.is_finished() {
+                Some(RequestOutcome::Completed)
+            } else if active[i]
+                .cancel_at
+                .is_some_and(|n| active[i].session.generated().len() >= n)
+            {
+                faults.cancellations += 1;
+                Some(RequestOutcome::Cancelled)
+            } else if active[i].deadline_s.is_some_and(|d| d <= clock) {
+                faults.deadline_misses += 1;
+                Some(RequestOutcome::DeadlineMissed)
             } else {
-                i += 1;
+                None
+            };
+            match outcome {
+                Some(outcome) => {
+                    let done = active.swap_remove(i);
+                    responses.push(done.retire(clock, outcome, &mut faults));
+                }
+                None => i += 1,
             }
         }
     }
 }
 
-fn finish(mut responses: Vec<Response>, clock: f64, iterations: usize) -> ServeReport {
+fn finish(
+    mut responses: Vec<Response>,
+    clock: f64,
+    iterations: usize,
+    faults: FaultCounters,
+) -> ServeReport {
     responses.sort_by_key(|r| r.id);
     // The daemon keeps no per-iteration log (it is a live loop; the
     // trace-driven `Server` provides the audit trail).
@@ -248,18 +372,41 @@ fn finish(mut responses: Vec<Response>, clock: f64, iterations: usize) -> ServeR
         makespan_s: clock,
         iterations,
         iteration_log: Vec::new(),
+        faults,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSpec};
+    use crate::scheduler::QueuePolicy;
     use crate::server::TimingConfig;
     use specinfer_model::{DecodeMode, ModelConfig};
-    use specinfer_spec::{EngineConfig, InferenceMode, StochasticVerifier};
+    use specinfer_spec::{DegradationPolicy, EngineConfig, InferenceMode, StochasticVerifier};
     use specinfer_tokentree::ExpansionConfig;
 
-    fn daemon(batch: usize) -> ServerDaemon {
+    fn daemon_config(batch: usize) -> ServerConfig {
+        ServerConfig {
+            engine: EngineConfig {
+                decode: DecodeMode::Greedy,
+                verifier: StochasticVerifier::MultiStep,
+                mode: InferenceMode::TreeSpeculative {
+                    expansion: ExpansionConfig::new(vec![2, 1, 1]),
+                },
+                max_new_tokens: 8,
+                eos_token: None,
+            },
+            max_batch_size: batch,
+            timing: TimingConfig::llama_7b_single_gpu(),
+            seed: 11,
+            faults: None,
+            degradation: DegradationPolicy::serving_default(),
+            queue: QueuePolicy::unbounded(),
+        }
+    }
+
+    fn daemon_with(config: ServerConfig) -> ServerDaemon {
         let llm = Arc::new(Transformer::from_seed(ModelConfig::smoke(), 1));
         let ssm = Arc::new(Transformer::from_seed(
             ModelConfig {
@@ -271,24 +418,11 @@ mod tests {
             },
             2,
         ));
-        ServerDaemon::spawn(
-            llm,
-            vec![ssm],
-            ServerConfig {
-                engine: EngineConfig {
-                    decode: DecodeMode::Greedy,
-                    verifier: StochasticVerifier::MultiStep,
-                    mode: InferenceMode::TreeSpeculative {
-                        expansion: ExpansionConfig::new(vec![2, 1, 1]),
-                    },
-                    max_new_tokens: 8,
-                    eos_token: None,
-                },
-                max_batch_size: batch,
-                timing: TimingConfig::llama_7b_single_gpu(),
-                seed: 11,
-            },
-        )
+        ServerDaemon::spawn(llm, vec![ssm], config)
+    }
+
+    fn daemon(batch: usize) -> ServerDaemon {
+        daemon_with(daemon_config(batch))
     }
 
     #[test]
@@ -301,6 +435,7 @@ mod tests {
         for t in tickets {
             let r = t.wait();
             assert!(r.generated.len() >= 8);
+            assert_eq!(r.outcome, RequestOutcome::Completed);
             got.push(r.id);
         }
         let report = d.shutdown();
@@ -346,5 +481,74 @@ mod tests {
         let d = daemon(2);
         let _t = d.submit(vec![3, 3], 4);
         drop(d); // must not hang or panic
+    }
+
+    #[test]
+    fn client_cancellation_returns_partial_output() {
+        let d = daemon(2);
+        // A long request we cancel immediately, racing the decode loop:
+        // whichever wins, the ticket must resolve with a consistent
+        // response.
+        let t = d.submit(vec![1, 2], 10_000);
+        d.cancel(t.id);
+        let r = t.wait();
+        match r.outcome {
+            RequestOutcome::Cancelled => {
+                assert!(r.generated.len() < 10_000, "cut mid-stream");
+            }
+            RequestOutcome::Completed => panic!("10k tokens cannot finish first"),
+            RequestOutcome::DeadlineMissed => panic!("no deadline was set"),
+        }
+        let report = d.shutdown();
+        assert_eq!(report.faults.cancellations, 1);
+        assert_eq!(report.responses.len(), 1);
+    }
+
+    #[test]
+    fn cancelling_unknown_ids_is_a_noop() {
+        let d = daemon(2);
+        d.cancel(RequestId(999));
+        let t = d.submit(vec![4, 4], 6);
+        assert_eq!(t.wait().outcome, RequestOutcome::Completed);
+        d.shutdown();
+    }
+
+    #[test]
+    fn deadline_budget_sheds_slow_requests() {
+        let d = daemon(2);
+        // The cost model charges whole milliseconds per iteration; a
+        // microsecond budget cannot cover even one.
+        let t = d.submit_with_deadline(vec![7, 7], 10_000, 1e-9);
+        let r = t.wait();
+        assert_eq!(r.outcome, RequestOutcome::DeadlineMissed);
+        assert!(r.generated.len() < 10_000);
+        let report = d.shutdown();
+        assert_eq!(report.faults.deadline_misses, 1);
+    }
+
+    #[test]
+    fn daemon_absorbs_injected_faults_losslessly() {
+        let clean = daemon(2);
+        let t = clean.submit(vec![1, 2, 3], 12);
+        let clean_out = t.wait().generated;
+        clean.shutdown();
+
+        let mut config = daemon_config(2);
+        config.faults = Some(FaultPlan::new(
+            7,
+            FaultSpec {
+                ssm_garbage_rate: 0.6,
+                ssm_stall_rate: 0.2,
+                verifier_slowdown_rate: 0.4,
+                verifier_slowdown_factor: 3.0,
+                ..FaultSpec::none()
+            },
+        ));
+        let chaotic = daemon_with(config);
+        let t = chaotic.submit(vec![1, 2, 3], 12);
+        let chaos_out = t.wait().generated;
+        let report = chaotic.shutdown();
+        assert!(report.faults.injected > 0, "plan must fire");
+        assert_eq!(clean_out, chaos_out, "greedy output must be fault-proof");
     }
 }

@@ -14,13 +14,15 @@
 //!   decoding step).
 
 mod daemon;
+mod fault;
 mod metrics;
 mod request;
 mod scheduler;
 mod server;
 
 pub use daemon::{ServerDaemon, Ticket};
-pub use metrics::{IterationRecord, ServeReport};
-pub use request::{Request, RequestId, Response};
-pub use scheduler::IterationScheduler;
+pub use fault::{BurstSpec, FaultPlan, FaultSpec};
+pub use metrics::{FaultCounters, IterationRecord, ServeReport};
+pub use request::{Request, RequestId, RequestOutcome, Response};
+pub use scheduler::{IterationScheduler, QueuePolicy, QueueStats};
 pub use server::{Server, ServerConfig, TimingConfig};

@@ -1,6 +1,37 @@
 //! Aggregate metrics over a server run.
 
-use crate::request::Response;
+use crate::request::{RequestOutcome, Response};
+
+/// Counters of injected faults and the runtime's degradation responses —
+/// the observability surface of a chaos run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Total faults injected (per request-iteration, plus slowdowns).
+    pub injected: usize,
+    /// Iterations where an SSM emitted garbage logits.
+    pub ssm_garbage: usize,
+    /// Iterations where the SSM pool stalled.
+    pub ssm_stalls: usize,
+    /// Iterations with simulated KV-arena memory pressure.
+    pub kv_ooms: usize,
+    /// Iterations whose verifier pass was slowed down.
+    pub slowdowns: usize,
+    /// Times a session's degradation ladder fell back to incremental
+    /// decoding.
+    pub fallbacks_taken: usize,
+    /// Iterations served incrementally while in fallback.
+    pub fallback_steps: usize,
+    /// Times a session re-probed speculation after a cooldown.
+    pub reprobes: usize,
+    /// Queue-backpressure retry attempts.
+    pub retries: usize,
+    /// Submissions dropped after exhausting their retries.
+    pub rejected: usize,
+    /// Requests whose deadline passed (in queue or mid-stream).
+    pub deadline_misses: usize,
+    /// Requests cancelled mid-stream.
+    pub cancellations: usize,
+}
 
 /// One decoding iteration as the server executed it — the audit trail
 /// behind the aggregate numbers.
@@ -21,7 +52,8 @@ pub struct IterationRecord {
 /// The outcome of serving a trace to completion.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Completed requests, ordered by id.
+    /// Finished requests (completed, cancelled or expired), ordered by
+    /// id.
     pub responses: Vec<Response>,
     /// Total simulated time from first arrival to last completion.
     pub makespan_s: f64,
@@ -29,25 +61,41 @@ pub struct ServeReport {
     pub iterations: usize,
     /// Per-iteration execution log, in order.
     pub iteration_log: Vec<IterationRecord>,
+    /// Faults injected and degradation responses taken during the run.
+    pub faults: FaultCounters,
 }
 
 impl ServeReport {
-    /// Total generated tokens across all requests.
+    /// The responses that ran to completion (latency aggregates are
+    /// computed over these, so cancelled stubs don't skew the means).
+    pub fn completed(&self) -> impl Iterator<Item = &Response> {
+        self.responses
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Completed)
+    }
+
+    /// Number of completed responses.
+    pub fn completed_len(&self) -> usize {
+        self.completed().count()
+    }
+
+    /// Total generated tokens across all requests (partial outputs of
+    /// cancelled requests included — the work was done).
     pub fn total_generated(&self) -> usize {
         self.responses.iter().map(|r| r.generated.len()).sum()
     }
 
-    /// Mean per-token latency over requests — the paper's Figure 7/8
-    /// y-axis.
+    /// Mean per-token latency over completed requests — the paper's
+    /// Figure 7/8 y-axis.
     pub fn mean_per_token_latency_s(&self) -> f64 {
-        if self.responses.is_empty() {
+        let n = self.completed_len();
+        if n == 0 {
             return 0.0;
         }
-        self.responses
-            .iter()
+        self.completed()
             .map(Response::per_token_latency_s)
             .sum::<f64>()
-            / self.responses.len() as f64
+            / n as f64
     }
 
     /// Aggregate throughput: generated tokens per simulated second.
@@ -59,34 +107,32 @@ impl ServeReport {
         }
     }
 
-    /// Mean tokens verified per decoding step, over requests (Table 2's
-    /// metric).
+    /// Mean tokens verified per decoding step, over completed requests
+    /// (Table 2's metric).
     pub fn mean_tokens_per_step(&self) -> f64 {
-        if self.responses.is_empty() {
+        let n = self.completed_len();
+        if n == 0 {
             return 0.0;
         }
-        self.responses
-            .iter()
-            .map(Response::tokens_per_step)
-            .sum::<f64>()
-            / self.responses.len() as f64
+        self.completed().map(Response::tokens_per_step).sum::<f64>() / n as f64
     }
 
-    /// Mean end-to-end request latency.
+    /// Mean end-to-end latency over completed requests.
     pub fn mean_latency_s(&self) -> f64 {
-        if self.responses.is_empty() {
+        let n = self.completed_len();
+        if n == 0 {
             return 0.0;
         }
-        self.responses.iter().map(Response::latency_s).sum::<f64>() / self.responses.len() as f64
+        self.completed().map(Response::latency_s).sum::<f64>() / n as f64
     }
 
-    /// The `q`-quantile (0..=1) of end-to-end request latency — e.g.
-    /// `latency_quantile_s(0.99)` for the p99 SLO view.
+    /// The `q`-quantile (0..=1) of end-to-end latency over completed
+    /// requests — e.g. `latency_quantile_s(0.99)` for the p99 SLO view.
     pub fn latency_quantile_s(&self, q: f64) -> f64 {
-        if self.responses.is_empty() {
+        let mut lats: Vec<f64> = self.completed().map(Response::latency_s).collect();
+        if lats.is_empty() {
             return 0.0;
         }
-        let mut lats: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         lats[idx]
@@ -96,17 +142,18 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::RequestId;
+    use crate::request::{RequestId, RequestOutcome};
     use specinfer_spec::StepStats;
 
-    fn report() -> ServeReport {
-        let mk = |id: u64, n: usize, finish: f64| Response {
+    fn mk(id: u64, n: usize, finish: f64) -> Response {
+        Response {
             id: RequestId(id),
             dataset: None,
             prompt_len: 2,
             generated: (0..n as u32).collect(),
             arrival_s: 0.0,
             finish_s: finish,
+            outcome: RequestOutcome::Completed,
             steps: vec![
                 StepStats {
                     tree_size: 3,
@@ -115,12 +162,16 @@ mod tests {
                 };
                 n / 2
             ],
-        };
+        }
+    }
+
+    fn report() -> ServeReport {
         ServeReport {
             responses: vec![mk(0, 4, 1.0), mk(1, 8, 2.0)],
             makespan_s: 2.0,
             iterations: 6,
             iteration_log: Vec::new(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -151,11 +202,30 @@ mod tests {
             makespan_s: 0.0,
             iterations: 0,
             iteration_log: Vec::new(),
+            faults: FaultCounters::default(),
         };
         assert_eq!(r.mean_per_token_latency_s(), 0.0);
         assert_eq!(r.throughput_tokens_per_s(), 0.0);
         assert_eq!(r.mean_tokens_per_step(), 0.0);
         assert_eq!(r.latency_quantile_s(0.99), 0.0);
+    }
+
+    #[test]
+    fn cancelled_stubs_do_not_skew_latency_aggregates() {
+        let mut r = report();
+        let mut cancelled = mk(2, 1, 40.0); // absurd latency, partial output
+        cancelled.outcome = RequestOutcome::Cancelled;
+        let mut missed = mk(3, 0, 50.0);
+        missed.outcome = RequestOutcome::DeadlineMissed;
+        missed.steps.clear();
+        r.responses.push(cancelled);
+        r.responses.push(missed);
+        assert_eq!(r.completed_len(), 2);
+        // Latency means are over completed requests only…
+        assert!((r.mean_per_token_latency_s() - 0.25).abs() < 1e-12);
+        assert_eq!(r.latency_quantile_s(1.0), 2.0);
+        // …but generated-token totals count the partial work.
+        assert_eq!(r.total_generated(), 13);
     }
 
     #[test]

@@ -26,11 +26,33 @@ pub struct Request {
     pub max_new_tokens: usize,
     /// Arrival time on the simulated clock, seconds.
     pub arrival_s: f64,
+    /// Absolute simulated-clock deadline; the request is cancelled (in
+    /// queue or mid-stream) once the clock passes it. `None` = no SLO.
+    pub deadline_s: Option<f64>,
     /// The dataset this prompt came from, when known.
     pub dataset: Option<Dataset>,
 }
 
-/// A completed request.
+impl Request {
+    /// Whether the request's deadline has passed at simulated time `now`.
+    pub fn deadline_missed(&self, now: f64) -> bool {
+        self.deadline_s.is_some_and(|d| d <= now)
+    }
+}
+
+/// How a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Ran to completion (budget or EOS).
+    Completed,
+    /// Cancelled by the client or the fault plan; `generated` holds the
+    /// tokens streamed before the cut.
+    Cancelled,
+    /// The per-request deadline passed (in queue or mid-stream).
+    DeadlineMissed,
+}
+
+/// A finished request — completed, cancelled, or expired.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// The request's id.
@@ -39,14 +61,16 @@ pub struct Response {
     pub dataset: Option<Dataset>,
     /// Number of prompt tokens.
     pub prompt_len: usize,
-    /// Generated tokens (EOS-truncated).
+    /// Generated tokens (EOS-truncated; partial for cancelled requests).
     pub generated: Vec<TokenId>,
     /// Arrival time, seconds.
     pub arrival_s: f64,
-    /// Completion time on the simulated clock, seconds.
+    /// Completion (or cancellation) time on the simulated clock, seconds.
     pub finish_s: f64,
     /// Per-iteration statistics of this request's decoding.
     pub steps: Vec<StepStats>,
+    /// How the request left the system.
+    pub outcome: RequestOutcome,
 }
 
 impl Response {
@@ -86,6 +110,7 @@ mod tests {
             generated: vec![1, 2, 3, 4, 5],
             arrival_s: 1.0,
             finish_s: 2.0,
+            outcome: RequestOutcome::Completed,
             steps: vec![
                 StepStats {
                     tree_size: 5,
@@ -112,6 +137,25 @@ mod tests {
     fn tokens_per_step_counts_generated_over_iterations() {
         let r = response();
         assert!((r.tokens_per_step() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_checks_against_the_clock() {
+        let r = Request {
+            id: RequestId(0),
+            prompt: vec![1],
+            max_new_tokens: 4,
+            arrival_s: 1.0,
+            deadline_s: Some(2.0),
+            dataset: None,
+        };
+        assert!(!r.deadline_missed(1.5));
+        assert!(r.deadline_missed(2.0));
+        let open = Request {
+            deadline_s: None,
+            ..r
+        };
+        assert!(!open.deadline_missed(f64::MAX));
     }
 
     #[test]

@@ -5,30 +5,116 @@
 //! not after whole requests — finished requests retire and newly arrived
 //! requests are admitted, so a long-running request never blocks the
 //! queue (§5.1 of the paper).
+//!
+//! Under overload the admission queue applies **backpressure**: with a
+//! bounded [`QueuePolicy`] the queue rejects submissions beyond its
+//! capacity into a deferred list, retrying each with exponential backoff
+//! a bounded number of times before dropping it. Deadline-carrying
+//! requests that expire while queued are shed by [`IterationScheduler::
+//! expire`] before they waste an admission slot.
 
 use std::collections::VecDeque;
 
 use crate::request::Request;
 
+/// Bounds on the admission queue and its retry behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePolicy {
+    /// Maximum requests waiting for admission before backpressure kicks
+    /// in.
+    pub capacity: usize,
+    /// How many times a rejected submission is retried (with exponential
+    /// backoff) before being dropped.
+    pub max_retries: u32,
+    /// Base backoff between retries, seconds on the simulated clock;
+    /// attempt `n` waits `backoff_s · 2ⁿ`.
+    pub backoff_s: f64,
+}
+
+impl QueuePolicy {
+    /// No backpressure: the queue grows without bound (the historical
+    /// behaviour).
+    pub fn unbounded() -> Self {
+        QueuePolicy {
+            capacity: usize::MAX,
+            max_retries: 0,
+            backoff_s: 0.0,
+        }
+    }
+
+    /// A bounded queue with the default retry ladder (3 retries, 50 ms
+    /// base backoff).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        QueuePolicy {
+            capacity,
+            max_retries: 3,
+            backoff_s: 0.05,
+        }
+    }
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy::unbounded()
+    }
+}
+
+/// Counters of backpressure activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Retry attempts performed for deferred submissions.
+    pub retries: usize,
+    /// Submissions dropped after exhausting their retries.
+    pub rejected: usize,
+    /// Pending requests shed because their deadline passed in queue.
+    pub expired: usize,
+}
+
+#[derive(Debug)]
+struct Deferred {
+    request: Request,
+    attempts: u32,
+    retry_at: f64,
+}
+
 /// The continuous-batching admission queue.
 #[derive(Debug)]
 pub struct IterationScheduler {
     pending: VecDeque<Request>,
+    deferred: Vec<Deferred>,
     max_batch_size: usize,
+    policy: QueuePolicy,
+    stats: QueueStats,
+    rejected: Vec<Request>,
 }
 
 impl IterationScheduler {
     /// Creates a scheduler admitting at most `max_batch_size` concurrent
-    /// requests.
+    /// requests, with an unbounded queue.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch_size` is zero.
     pub fn new(max_batch_size: usize) -> Self {
+        IterationScheduler::with_policy(max_batch_size, QueuePolicy::unbounded())
+    }
+
+    /// Creates a scheduler with an explicit queue/backpressure policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch_size` or the policy's capacity is zero.
+    pub fn with_policy(max_batch_size: usize, policy: QueuePolicy) -> Self {
         assert!(max_batch_size > 0, "batch size must be positive");
+        assert!(policy.capacity > 0, "queue capacity must be positive");
         IterationScheduler {
             pending: VecDeque::new(),
+            deferred: Vec::new(),
             max_batch_size,
+            policy,
+            stats: QueueStats::default(),
+            rejected: Vec::new(),
         }
     }
 
@@ -37,37 +123,128 @@ impl IterationScheduler {
         self.max_batch_size
     }
 
-    /// Enqueues a request (kept sorted by arrival time; ties FIFO).
+    /// Backpressure counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drains the requests dropped after exhausting their retries.
+    pub fn take_rejected(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.rejected)
+    }
+
+    /// Enqueues a request, kept sorted by `(arrival_s, id)`.
+    ///
+    /// Ties on `arrival_s` are broken by the request id — the id is
+    /// issued at the front door in arrival order, so equal-arrival
+    /// requests retain FIFO order even when their `submit` calls race
+    /// and land out of order. When the queue is at capacity, the request
+    /// is deferred for retry (or dropped if the policy has no retries).
     pub fn submit(&mut self, request: Request) {
+        if self.pending.len() < self.policy.capacity {
+            self.insert_sorted(request);
+        } else if self.policy.max_retries > 0 {
+            self.deferred.push(Deferred {
+                retry_at: request.arrival_s + self.policy.backoff_s,
+                request,
+                attempts: 0,
+            });
+        } else {
+            self.stats.rejected += 1;
+            self.rejected.push(request);
+        }
+    }
+
+    fn insert_sorted(&mut self, request: Request) {
         // Requests usually arrive in order; walk back only when needed.
         let pos = self
             .pending
             .iter()
-            .rposition(|r| r.arrival_s <= request.arrival_s)
+            .rposition(|r| {
+                r.arrival_s < request.arrival_s
+                    || (r.arrival_s == request.arrival_s && r.id <= request.id)
+            })
             .map(|p| p + 1)
             .unwrap_or(0);
         self.pending.insert(pos, request);
     }
 
-    /// Number of requests waiting for admission.
+    /// Number of requests waiting for admission (deferred ones included).
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.deferred.len()
     }
 
     /// Whether any request is waiting.
     pub fn has_pending(&self) -> bool {
-        !self.pending.is_empty()
+        !self.pending.is_empty() || !self.deferred.is_empty()
     }
 
-    /// The arrival time of the next pending request, if any.
+    /// The earliest time at which a pending (or deferred) request becomes
+    /// admissible, if any.
     pub fn next_arrival_s(&self) -> Option<f64> {
-        self.pending.front().map(|r| r.arrival_s)
+        let pending = self.pending.front().map(|r| r.arrival_s);
+        let deferred = self
+            .deferred
+            .iter()
+            .map(|d| d.retry_at)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            });
+        match (pending, deferred) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Sheds pending requests whose deadline has passed by `now` and
+    /// returns them (so the server can report the misses).
+    pub fn expire(&mut self, now: f64) -> Vec<Request> {
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].deadline_missed(now) {
+                expired.push(self.pending.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+        self.stats.expired += expired.len();
+        expired
+    }
+
+    /// Retries deferred submissions whose backoff has elapsed by `now`.
+    fn pump_deferred(&mut self, now: f64) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].retry_at > now {
+                i += 1;
+                continue;
+            }
+            self.stats.retries += 1;
+            if self.pending.len() < self.policy.capacity {
+                let d = self.deferred.swap_remove(i);
+                self.insert_sorted(d.request);
+            } else {
+                let d = &mut self.deferred[i];
+                d.attempts += 1;
+                if d.attempts > self.policy.max_retries {
+                    let d = self.deferred.swap_remove(i);
+                    self.stats.rejected += 1;
+                    self.rejected.push(d.request);
+                } else {
+                    d.retry_at = now + self.policy.backoff_s * f64::from(1u32 << d.attempts);
+                    i += 1;
+                }
+            }
+        }
     }
 
     /// Admits requests that have arrived by `now`, given `active` requests
     /// currently running, without exceeding the batch limit. Called once
-    /// per decoding iteration.
+    /// per decoding iteration. Deferred submissions whose backoff has
+    /// elapsed are retried first.
     pub fn admit(&mut self, now: f64, active: usize) -> Vec<Request> {
+        self.pump_deferred(now);
         let mut admitted = Vec::new();
         while active + admitted.len() < self.max_batch_size {
             match self.pending.front() {
@@ -92,6 +269,7 @@ mod tests {
             prompt: vec![1, 2],
             max_new_tokens: 8,
             arrival_s: arrival,
+            deadline_s: None,
             dataset: None,
         }
     }
@@ -144,11 +322,101 @@ mod tests {
         assert_eq!(ids, vec![7, 8]);
     }
 
+    /// Regression: equal-arrival requests must retain FIFO (id) order
+    /// even when their `submit` calls land out of order — the id is
+    /// issued at the front door, so it *is* the arrival order.
+    #[test]
+    fn ties_keep_fifo_order_when_submitted_out_of_order() {
+        let mut s = IterationScheduler::new(8);
+        s.submit(request(8, 1.0));
+        s.submit(request(7, 1.0)); // same arrival, earlier id, later submit
+        s.submit(request(5, 0.5));
+        s.submit(request(9, 1.0));
+        s.submit(request(6, 1.0));
+        let all = s.admit(10.0, 0);
+        let ids: Vec<u64> = all.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![5, 6, 7, 8, 9]);
+    }
+
     #[test]
     fn full_batch_admits_nothing() {
         let mut s = IterationScheduler::new(2);
         s.submit(request(0, 0.0));
         assert!(s.admit(0.0, 2).is_empty());
         assert_eq!(s.pending_len(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_defers_and_retries() {
+        let mut s = IterationScheduler::with_policy(
+            1,
+            QueuePolicy {
+                capacity: 2,
+                max_retries: 3,
+                backoff_s: 1.0,
+            },
+        );
+        for i in 0..3 {
+            s.submit(request(i, 0.0));
+        }
+        assert_eq!(s.pending_len(), 3, "third submission is deferred");
+        // Admitting one frees queue space; the deferred request retries
+        // once its backoff (1 s) elapses.
+        let first = s.admit(0.0, 0);
+        assert_eq!(first.len(), 1);
+        let retried = s.admit(1.0, 0);
+        assert_eq!(retried.len(), 1);
+        assert_eq!(retried[0].id, RequestId(1));
+        assert!(s.stats().retries >= 1);
+        assert_eq!(s.stats().rejected, 0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_after_max_retries() {
+        let mut s = IterationScheduler::with_policy(
+            1,
+            QueuePolicy {
+                capacity: 1,
+                max_retries: 2,
+                backoff_s: 0.5,
+            },
+        );
+        s.submit(request(0, 0.0));
+        s.submit(request(1, 0.0)); // deferred — the queue never drains
+        for t in 1..=8 {
+            // Admit with a full active set: the pending request stays
+            // queued, so every retry finds the queue still full. The
+            // clock advances past each backoff.
+            let _ = s.admit(t as f64 * 100.0, 1);
+        }
+        assert_eq!(s.stats().rejected, 1);
+        let dropped = s.take_rejected();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].id, RequestId(1));
+        assert!(s.stats().retries >= 3, "{:?}", s.stats());
+    }
+
+    #[test]
+    fn expired_requests_are_shed_in_queue() {
+        let mut s = IterationScheduler::new(4);
+        let mut doomed = request(0, 0.0);
+        doomed.deadline_s = Some(1.0);
+        s.submit(doomed);
+        s.submit(request(1, 0.0));
+        let expired = s.expire(2.0);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, RequestId(0));
+        assert_eq!(s.stats().expired, 1);
+        assert_eq!(s.pending_len(), 1);
+    }
+
+    #[test]
+    fn unbounded_queue_never_rejects() {
+        let mut s = IterationScheduler::new(1);
+        for i in 0..100 {
+            s.submit(request(i, 0.0));
+        }
+        assert_eq!(s.pending_len(), 100);
+        assert_eq!(s.stats(), QueueStats::default());
     }
 }

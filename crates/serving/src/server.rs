@@ -7,18 +7,28 @@
 //! configured cluster (see `specinfer-sim`). This separation is the
 //! substitution DESIGN.md documents: token-level behaviour is measured,
 //! hardware time is modelled.
+//!
+//! When a [`FaultPlan`] is configured the loop additionally injects
+//! deterministic faults — SSM garbage/stalls, KV-arena pressure, slow
+//! verifier passes, mid-stream cancellations, request bursts — and the
+//! sessions' degradation ladders absorb them. All engine-level faults are
+//! lossless under greedy decoding, so a chaos run's surviving outputs
+//! match a fault-free run of the same seed token for token.
 
 use parking_lot::Mutex;
 use specinfer_model::Transformer;
 use specinfer_sim::{
     ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, StepWorkload, SystemProfile,
 };
-use specinfer_spec::{EngineConfig, InferenceMode, Session, StepStats};
+use specinfer_spec::{
+    DegradationPolicy, EngineConfig, InferenceMode, Session, StepFault, StepStats,
+};
 use specinfer_workloads::trace::Trace;
 
-use crate::metrics::ServeReport;
-use crate::request::{Request, RequestId, Response};
-use crate::scheduler::IterationScheduler;
+use crate::fault::FaultPlan;
+use crate::metrics::{FaultCounters, ServeReport};
+use crate::request::{Request, RequestId, RequestOutcome, Response};
+use crate::scheduler::{IterationScheduler, QueuePolicy};
 
 /// How simulated time is charged per iteration.
 #[derive(Debug, Clone)]
@@ -117,6 +127,13 @@ pub struct ServerConfig {
     pub timing: TimingConfig,
     /// Base seed; request `i` decodes with `seed + i`.
     pub seed: u64,
+    /// Deterministic fault schedule; `None` runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Per-session degradation ladder (fall back speculative →
+    /// incremental under sustained rejection, re-probe after a cooldown).
+    pub degradation: DegradationPolicy,
+    /// Admission-queue capacity and retry/backoff behaviour.
+    pub queue: QueuePolicy,
 }
 
 struct ActiveRequest {
@@ -124,6 +141,14 @@ struct ActiveRequest {
     config: EngineConfig,
     session: Session,
     last_stats: Option<StepStats>,
+    /// Iterations this request has executed (the fault plan's step index).
+    steps_taken: usize,
+    /// Generated-token threshold after which the fault plan cuts this
+    /// request, if it is scheduled for cancellation.
+    cancel_at: Option<usize>,
+    /// Fault chosen for the upcoming iteration (set by the main loop,
+    /// consumed by the batch step).
+    pending_fault: StepFault,
 }
 
 /// A thread-safe admission front door plus the iteration loop.
@@ -132,8 +157,8 @@ struct ActiveRequest {
 ///
 /// ```no_run
 /// use specinfer_model::{DecodeMode, ModelConfig, Transformer};
-/// use specinfer_serving::{Server, ServerConfig, TimingConfig};
-/// use specinfer_spec::{EngineConfig, InferenceMode, StochasticVerifier};
+/// use specinfer_serving::{QueuePolicy, Server, ServerConfig, TimingConfig};
+/// use specinfer_spec::{DegradationPolicy, EngineConfig, InferenceMode, StochasticVerifier};
 /// use specinfer_tokentree::ExpansionConfig;
 /// use specinfer_workloads::{trace::Trace, Dataset, Grammar};
 ///
@@ -152,6 +177,9 @@ struct ActiveRequest {
 ///     max_batch_size: 8,
 ///     timing: TimingConfig::llama_7b_single_gpu(),
 ///     seed: 0,
+///     faults: None,
+///     degradation: DegradationPolicy::serving_default(),
+///     queue: QueuePolicy::unbounded(),
 /// };
 /// let server = Server::new(&llm, vec![&ssm], config);
 /// let grammar = Grammar::synthetic(256, 7);
@@ -173,15 +201,31 @@ impl std::fmt::Debug for Server<'_> {
     }
 }
 
+/// A response stub for a request that never decoded (shed in queue or
+/// rejected by backpressure).
+fn stub_response(request: &Request, finish_s: f64, outcome: RequestOutcome) -> Response {
+    Response {
+        id: request.id,
+        dataset: request.dataset,
+        prompt_len: request.prompt.len(),
+        generated: Vec::new(),
+        arrival_s: request.arrival_s,
+        finish_s,
+        steps: Vec::new(),
+        outcome,
+    }
+}
+
 impl<'m> Server<'m> {
     /// Creates a server over shared models.
     pub fn new(llm: &'m Transformer, ssms: Vec<&'m Transformer>, config: ServerConfig) -> Self {
         let max_batch = config.max_batch_size;
+        let queue = config.queue.clone();
         Server {
             llm,
             ssms,
             config,
-            scheduler: Mutex::new(IterationScheduler::new(max_batch)),
+            scheduler: Mutex::new(IterationScheduler::with_policy(max_batch, queue)),
             next_id: Mutex::new(0),
         }
     }
@@ -198,6 +242,19 @@ impl<'m> Server<'m> {
         max_new_tokens: usize,
         arrival_s: f64,
     ) -> RequestId {
+        self.submit_with_deadline(prompt, max_new_tokens, arrival_s, None)
+    }
+
+    /// Submits a request with an optional absolute simulated-clock
+    /// deadline; the request is shed (in queue or mid-stream) once the
+    /// clock passes it. Thread-safe.
+    pub fn submit_with_deadline(
+        &self,
+        prompt: Vec<specinfer_tokentree::TokenId>,
+        max_new_tokens: usize,
+        arrival_s: f64,
+        deadline_s: Option<f64>,
+    ) -> RequestId {
         let id = {
             let mut n = self.next_id.lock();
             let id = RequestId(*n);
@@ -209,12 +266,14 @@ impl<'m> Server<'m> {
             prompt,
             max_new_tokens,
             arrival_s,
+            deadline_s,
             dataset: None,
         });
         id
     }
 
-    /// Loads a whole trace and runs it to completion.
+    /// Loads a whole trace (plus the fault plan's request burst, if one
+    /// is configured) and runs it to completion.
     pub fn serve_trace(&self, trace: &Trace) -> ServeReport {
         {
             let mut sched = self.scheduler.lock();
@@ -225,9 +284,19 @@ impl<'m> Server<'m> {
                     prompt: r.prompt.tokens.clone(),
                     max_new_tokens: r.prompt.max_new_tokens,
                     arrival_s: r.arrival_s,
+                    deadline_s: None,
                     dataset: Some(r.dataset),
                 });
                 *n += 1;
+            }
+            // Burst ids come after the trace's, so the per-request seeds
+            // of the original requests are identical with and without the
+            // overload.
+            if let Some(plan) = &self.config.faults {
+                for request in plan.burst_requests(*n) {
+                    *n += 1;
+                    sched.submit(request);
+                }
             }
         }
         self.run()
@@ -240,6 +309,8 @@ impl<'m> Server<'m> {
         let mut responses: Vec<Response> = Vec::new();
         let mut iterations = 0usize;
         let mut iteration_log: Vec<crate::metrics::IterationRecord> = Vec::new();
+        let mut faults = FaultCounters::default();
+        let plan = self.config.faults.as_ref();
 
         loop {
             // Admission (iteration-level scheduling).
@@ -248,29 +319,70 @@ impl<'m> Server<'m> {
                 if active.is_empty() {
                     if let Some(next) = sched.next_arrival_s() {
                         clock = clock.max(next);
-                    } else {
-                        break; // neither active nor pending work
                     }
+                }
+                // Shed queued requests whose deadline already passed.
+                for request in sched.expire(clock) {
+                    faults.deadline_misses += 1;
+                    responses.push(stub_response(
+                        &request,
+                        clock,
+                        RequestOutcome::DeadlineMissed,
+                    ));
                 }
                 for request in sched.admit(clock, active.len()) {
                     let mut config = self.config.engine.clone();
                     config.max_new_tokens = request.max_new_tokens;
-                    let session = Session::new(
+                    let mut session = Session::new(
                         self.llm,
                         &self.ssms,
                         &request.prompt,
                         self.config.seed.wrapping_add(request.id.0),
                     );
+                    session.set_degradation_policy(self.config.degradation);
+                    let cancel_at = plan.and_then(|p| p.cancel_after(request.id));
                     active.push(ActiveRequest {
                         request,
                         config,
                         session,
                         last_stats: None,
+                        steps_taken: 0,
+                        cancel_at,
+                        pending_fault: StepFault::default(),
                     });
+                }
+                // Backpressure drops (retries exhausted) leave as
+                // cancelled stubs.
+                for request in sched.take_rejected() {
+                    responses.push(stub_response(&request, clock, RequestOutcome::Cancelled));
+                }
+                if active.is_empty() && !sched.has_pending() {
+                    break; // neither active nor pending work
+                }
+            }
+            if active.is_empty() {
+                continue; // everything due was shed; fast-forward again
+            }
+
+            // Choose this iteration's faults (main thread, so the tally
+            // is deterministic) …
+            if let Some(plan) = plan {
+                for a in &mut active {
+                    let fault = plan
+                        .step_fault(a.request.id, a.steps_taken)
+                        .unwrap_or_default();
+                    faults.ssm_garbage += usize::from(fault.ssm_garbage.is_some());
+                    faults.ssm_stalls += usize::from(fault.ssm_stall);
+                    faults.kv_ooms += usize::from(fault.kv_oom);
+                    faults.injected += usize::from(fault.ssm_garbage.is_some())
+                        + usize::from(fault.ssm_stall)
+                        + usize::from(fault.kv_oom);
+                    a.pending_fault = fault;
                 }
             }
 
-            // One decoding iteration over the whole batch, in parallel.
+            // … then run one decoding iteration over the batch, in
+            // parallel.
             self.step_batch(&mut active);
             iterations += 1;
 
@@ -286,12 +398,17 @@ impl<'m> Server<'m> {
                 .map(|a| a.session.tokens().len())
                 .sum::<usize>()
                 / batch;
-            let dt = self.config.timing.iteration_s(
+            let mut dt = self.config.timing.iteration_s(
                 &self.config.engine.mode,
                 batch,
                 mean_tree,
                 mean_context,
             );
+            if let Some(factor) = plan.and_then(|p| p.verifier_slowdown(iterations - 1)) {
+                faults.slowdowns += 1;
+                faults.injected += 1;
+                dt *= factor;
+            }
             iteration_log.push(crate::metrics::IterationRecord {
                 start_s: clock,
                 duration_s: dt,
@@ -304,26 +421,50 @@ impl<'m> Server<'m> {
             });
             clock += dt;
 
-            // Retire finished requests.
+            // Retire finished, cancelled and expired requests.
             let mut i = 0;
             while i < active.len() {
-                if active[i].session.is_finished() {
-                    let done = active.swap_remove(i);
-                    let result = done.session.into_result();
-                    responses.push(Response {
-                        id: done.request.id,
-                        dataset: done.request.dataset,
-                        prompt_len: done.request.prompt.len(),
-                        generated: result.generated().to_vec(),
-                        arrival_s: done.request.arrival_s,
-                        finish_s: clock,
-                        steps: result.steps,
-                    });
+                let outcome = if active[i].session.is_finished() {
+                    Some(RequestOutcome::Completed)
+                } else if active[i]
+                    .cancel_at
+                    .is_some_and(|n| active[i].session.generated().len() >= n)
+                {
+                    faults.cancellations += 1;
+                    Some(RequestOutcome::Cancelled)
+                } else if active[i].request.deadline_missed(clock) {
+                    faults.deadline_misses += 1;
+                    Some(RequestOutcome::DeadlineMissed)
                 } else {
-                    i += 1;
+                    None
+                };
+                match outcome {
+                    Some(outcome) => {
+                        let done = active.swap_remove(i);
+                        let d = done.session.degradation();
+                        faults.fallbacks_taken += d.fallbacks_taken;
+                        faults.fallback_steps += d.fallback_steps;
+                        faults.reprobes += d.reprobes;
+                        let result = done.session.into_result();
+                        responses.push(Response {
+                            id: done.request.id,
+                            dataset: done.request.dataset,
+                            prompt_len: done.request.prompt.len(),
+                            generated: result.generated().to_vec(),
+                            arrival_s: done.request.arrival_s,
+                            finish_s: clock,
+                            steps: result.steps,
+                            outcome,
+                        });
+                    }
+                    None => i += 1,
                 }
             }
         }
+
+        let queue_stats = self.scheduler.lock().stats();
+        faults.retries = queue_stats.retries;
+        faults.rejected = queue_stats.rejected;
 
         responses.sort_by_key(|r| r.id);
         ServeReport {
@@ -331,6 +472,7 @@ impl<'m> Server<'m> {
             makespan_s: clock,
             iterations,
             iteration_log,
+            faults,
         }
     }
 
@@ -347,7 +489,9 @@ impl<'m> Server<'m> {
             for slice in active.chunks_mut(chunk) {
                 scope.spawn(move || {
                     for a in slice {
-                        a.last_stats = a.session.step(llm, ssms, &a.config);
+                        let fault = std::mem::take(&mut a.pending_fault);
+                        a.last_stats = a.session.step_faulted(llm, ssms, &a.config, fault);
+                        a.steps_taken += 1;
                     }
                 });
             }
@@ -391,6 +535,9 @@ mod tests {
             max_batch_size: batch,
             timing: TimingConfig::llama_7b_single_gpu(),
             seed: 5,
+            faults: None,
+            degradation: DegradationPolicy::serving_default(),
+            queue: QueuePolicy::unbounded(),
         }
     }
 
@@ -415,6 +562,7 @@ mod tests {
         for r in &report.responses {
             assert!(r.generated.len() >= 8);
             assert!(r.finish_s > 0.0);
+            assert_eq!(r.outcome, RequestOutcome::Completed);
         }
         assert!(report.makespan_s > 0.0);
     }
@@ -532,5 +680,94 @@ mod tests {
         let report = server.run();
         assert_eq!(report.responses[0].id, a);
         assert_eq!(report.responses[1].id, b);
+    }
+
+    #[test]
+    fn deadline_is_enforced_in_queue_and_midstream() {
+        let (llm, _) = models();
+        // Batch 1 so the second request queues behind the first.
+        let server = Server::new(&llm, vec![], server_config(InferenceMode::Incremental, 1));
+        server.submit(vec![1, 2], 64, 0.0);
+        // Queued with a deadline that passes while request 0 decodes.
+        server.submit_with_deadline(vec![3, 4], 8, 0.0, Some(1e-6));
+        // Admitted later with a deadline mid-generation.
+        server.submit_with_deadline(vec![5, 6], 400, 0.0, Some(1e9));
+        let report = server.run();
+        assert_eq!(report.responses.len(), 3);
+        assert_eq!(report.responses[0].outcome, RequestOutcome::Completed);
+        let queued = &report.responses[1];
+        assert_eq!(queued.outcome, RequestOutcome::DeadlineMissed);
+        assert!(queued.generated.is_empty(), "shed before decoding");
+        assert_eq!(report.faults.deadline_misses, 1);
+    }
+
+    #[test]
+    fn fault_injection_is_lossless_under_greedy_decoding() {
+        let (llm, ssm) = models();
+        let config = server_config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 2]),
+            },
+            4,
+        );
+        let clean_server = Server::new(&llm, vec![&ssm], config.clone());
+        for i in 0..4 {
+            clean_server.submit(vec![1, 2, (i % 4) + 3], 10, 0.0);
+        }
+        let clean = clean_server.run();
+
+        let mut chaotic = config;
+        chaotic.faults = Some(FaultPlan::new(
+            42,
+            crate::fault::FaultSpec {
+                ssm_garbage_rate: 0.5,
+                ssm_stall_rate: 0.2,
+                kv_oom_rate: 0.1,
+                verifier_slowdown_rate: 0.3,
+                verifier_slowdown_factor: 5.0,
+                ..crate::fault::FaultSpec::none()
+            },
+        ));
+        let chaos_server = Server::new(&llm, vec![&ssm], chaotic);
+        for i in 0..4 {
+            chaos_server.submit(vec![1, 2, (i % 4) + 3], 10, 0.0);
+        }
+        let chaos = chaos_server.run();
+
+        assert!(chaos.faults.injected > 0, "the plan must actually fire");
+        for (c, f) in clean.responses.iter().zip(&chaos.responses) {
+            assert_eq!(c.id, f.id);
+            assert_eq!(
+                c.generated, f.generated,
+                "faults must never change greedy output"
+            );
+        }
+        // Slowdowns and stalls cost time, never tokens.
+        assert!(chaos.makespan_s >= clean.makespan_s);
+    }
+
+    #[test]
+    fn backpressure_counters_surface_in_the_report() {
+        let (llm, _) = models();
+        let mut config = server_config(InferenceMode::Incremental, 1);
+        config.queue = QueuePolicy {
+            capacity: 1,
+            max_retries: 2,
+            backoff_s: 0.01,
+        };
+        let server = Server::new(&llm, vec![], config);
+        for i in 0..4 {
+            server.submit(vec![1, (i % 4) + 2], 4, 0.0);
+        }
+        let report = server.run();
+        assert!(report.faults.retries > 0, "deferred submissions must retry");
+        // Every request leaves the system exactly once.
+        assert_eq!(report.responses.len(), 4);
+        let rejected = report
+            .responses
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Cancelled)
+            .count();
+        assert_eq!(rejected, report.faults.rejected);
     }
 }

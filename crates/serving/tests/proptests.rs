@@ -9,6 +9,7 @@ fn request(id: u64, arrival: f64) -> Request {
         prompt: vec![1],
         max_new_tokens: 4,
         arrival_s: arrival,
+        deadline_s: None,
         dataset: None,
     }
 }
@@ -73,5 +74,37 @@ proptest! {
         }
         let min = arrivals.iter().cloned().fold(f64::MAX, f64::min);
         prop_assert_eq!(s.next_arrival_s(), Some(min));
+    }
+
+    /// Draining yields requests sorted by `(arrival_s, id)` regardless of
+    /// the order `submit` calls landed in — equal-arrival requests keep
+    /// the FIFO order their front-door ids encode.
+    #[test]
+    fn drain_order_is_independent_of_submission_order(
+        arrivals in prop::collection::vec(0.0f64..4.0, 1..30),
+        seed in 0u64..1000,
+    ) {
+        // Quantize arrivals so ties are common.
+        let arrivals: Vec<f64> = arrivals.iter().map(|a| a.floor()).collect();
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        // Deterministic shuffle of the submission order.
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let drain = |ids: &[usize]| {
+            let mut s = IterationScheduler::new(4);
+            for &i in ids {
+                s.submit(request(i as u64, arrivals[i]));
+            }
+            let mut seen = Vec::new();
+            while s.has_pending() {
+                seen.extend(s.admit(f64::MAX, 0).into_iter().map(|r| r.id.0));
+            }
+            seen
+        };
+        let in_order: Vec<usize> = (0..arrivals.len()).collect();
+        prop_assert_eq!(drain(&in_order), drain(&order));
     }
 }

@@ -6,12 +6,15 @@
 //! schedules. [`SpecEngine`] packages models + configuration for
 //! single-request generation.
 
+use std::collections::VecDeque;
+
 use specinfer_model::{sampler, DecodeMode, KvCache, Transformer};
 use specinfer_tensor::rng::SeededRng;
 use specinfer_tokentree::{ExpansionConfig, LinearizedTree, TokenId, TokenTree};
 
 use crate::speculator::{
-    expand_into, speculate_pool_parallel, ExpansionMode, Speculation, SsmDistTable,
+    expand_into, speculate_garbage, speculate_pool_parallel, ExpansionMode, Speculation,
+    SsmDistTable,
 };
 use crate::verifier::{verify_greedy, verify_naive, verify_stochastic, StochasticVerifier};
 
@@ -79,6 +82,101 @@ const fn specinfer_workload_eos() -> TokenId {
     1
 }
 
+/// Faults injected into one decoding iteration of one session.
+///
+/// Produced by the serving layer's deterministic fault plan and consumed
+/// by [`Session::step_faulted`]. All faults are *lossless under greedy
+/// decoding*: a stalled or garbage SSM degrades throughput (the engine
+/// falls back to incremental decoding or rejects the drafts) but never
+/// changes the emitted tokens, so a chaos run's surviving outputs are
+/// comparable bit-for-bit against a fault-free run of the same seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepFault {
+    /// The SSM pool emits garbage logits this iteration: drafts are drawn
+    /// uniformly from the vocabulary by a dedicated RNG with this seed
+    /// (the session's own RNG stream is untouched).
+    pub ssm_garbage: Option<u64>,
+    /// The SSM pool stalls this iteration: no speculation is available
+    /// and the engine decodes one token incrementally.
+    pub ssm_stall: bool,
+    /// The KV arena reports (simulated) memory pressure: speculated rows
+    /// cannot be allocated, so the engine decodes incrementally.
+    pub kv_oom: bool,
+}
+
+impl StepFault {
+    /// Whether no fault is injected.
+    pub fn is_noop(&self) -> bool {
+        self.ssm_garbage.is_none() && !self.ssm_stall && !self.kv_oom
+    }
+}
+
+/// When and how a session abandons speculation (the degradation ladder).
+///
+/// A session watches the acceptance fraction (accepted / tree size) over
+/// a sliding window of speculative iterations. When the mean falls below
+/// `accept_floor` — an SSM emitting garbage, or simply a hopeless prompt
+/// — speculating costs more than it saves, so the session *falls back* to
+/// incremental decoding for `cooldown` iterations, then re-probes
+/// speculation. Fallback and recovery are pure functions of the step
+/// statistics, so seeded runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Mean acceptance fraction below which speculation is abandoned.
+    pub accept_floor: f64,
+    /// Number of speculative iterations averaged; `0` disables the
+    /// ladder entirely.
+    pub window: usize,
+    /// Incremental iterations served before re-probing speculation.
+    pub cooldown: usize,
+}
+
+impl DegradationPolicy {
+    /// The ladder the serving layer enables by default.
+    pub fn serving_default() -> Self {
+        DegradationPolicy {
+            accept_floor: 0.1,
+            window: 4,
+            cooldown: 6,
+        }
+    }
+
+    /// Never falls back (the engine's historical behaviour).
+    pub fn disabled() -> Self {
+        DegradationPolicy {
+            accept_floor: 0.0,
+            window: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// Whether the ladder is active.
+    pub fn is_enabled(&self) -> bool {
+        self.window > 0
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy::serving_default()
+    }
+}
+
+/// Counters of faults absorbed and fallbacks taken by one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Iterations that had any fault injected.
+    pub faulted_steps: usize,
+    /// Iterations forced incremental by a stall or simulated OOM.
+    pub forced_incremental: usize,
+    /// Times the acceptance ladder switched to incremental decoding.
+    pub fallbacks_taken: usize,
+    /// Iterations served incrementally while in fallback.
+    pub fallback_steps: usize,
+    /// Times the session re-probed speculation after a cooldown.
+    pub reprobes: usize,
+}
+
 /// Per-iteration statistics of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepStats {
@@ -140,6 +238,10 @@ pub struct Session {
     rng: SeededRng,
     steps: Vec<StepStats>,
     finished: bool,
+    policy: DegradationPolicy,
+    degradation: DegradationStats,
+    accept_window: VecDeque<f64>,
+    fallback_until: Option<usize>,
 }
 
 impl Session {
@@ -174,7 +276,28 @@ impl Session {
             rng: SeededRng::new(seed),
             steps: Vec::new(),
             finished: false,
+            policy: DegradationPolicy::disabled(),
+            degradation: DegradationStats::default(),
+            accept_window: VecDeque::new(),
+            fallback_until: None,
         }
+    }
+
+    /// Enables (or replaces) the acceptance-collapse degradation ladder.
+    pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
+        self.policy = policy;
+    }
+
+    /// Counters of faults absorbed and fallbacks taken so far.
+    pub fn degradation(&self) -> DegradationStats {
+        self.degradation
+    }
+
+    /// Whether the session is currently decoding incrementally because
+    /// the degradation ladder fell back.
+    pub fn in_fallback(&self) -> bool {
+        self.fallback_until
+            .is_some_and(|until| self.steps.len() < until)
     }
 
     /// The full token sequence so far (prompt included).
@@ -206,6 +329,23 @@ impl Session {
         ssms: &[&Transformer],
         config: &EngineConfig,
     ) -> Option<StepStats> {
+        self.step_faulted(llm, ssms, config, StepFault::default())
+    }
+
+    /// Like [`Session::step`], but with `fault` injected into the
+    /// iteration. A stall or simulated OOM forces incremental decoding;
+    /// garbage logits replace the SSM drafts with uniform draws (which
+    /// greedy verification rejects and stochastic verification absorbs
+    /// via the residual, keeping the output distribution exact). The
+    /// degradation ladder ([`DegradationPolicy`]) watches acceptance and
+    /// falls back to incremental decoding when speculation collapses.
+    pub fn step_faulted(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+        fault: StepFault,
+    ) -> Option<StepStats> {
         if self.finished {
             return None;
         }
@@ -216,33 +356,84 @@ impl Session {
             self.finished = true;
             return None;
         }
-        let stats = match &config.mode {
-            InferenceMode::Incremental => self.step_incremental(llm, config),
-            InferenceMode::SequenceSpeculative { depth } => {
-                let expansion = ExpansionConfig::sequence(*depth);
-                if self.speculation_fits(ssms, expansion.node_count()) {
-                    self.step_speculative(llm, ssms, &expansion, config)
-                } else {
-                    self.step_incremental(llm, config)
-                }
+        if !fault.is_noop() {
+            self.degradation.faulted_steps += 1;
+        }
+        let idx = self.steps.len();
+        // Cooldown over → re-probe speculation with a fresh window.
+        if let Some(until) = self.fallback_until {
+            if idx >= until {
+                self.fallback_until = None;
+                self.degradation.reprobes += 1;
+                self.accept_window.clear();
             }
-            InferenceMode::TreeSpeculative { expansion } => {
-                if self.speculation_fits(ssms, expansion.node_count()) {
-                    self.step_speculative(llm, ssms, &expansion.clone(), config)
-                } else {
-                    // Near the context limit a full tree no longer fits;
-                    // degrade to incremental decoding for the tail.
-                    self.step_incremental(llm, config)
+        }
+        let speculative_mode = !matches!(config.mode, InferenceMode::Incremental);
+        let forced_incremental = speculative_mode && (fault.ssm_stall || fault.kv_oom);
+        let in_fallback = speculative_mode && self.fallback_until.is_some();
+
+        let stats = if forced_incremental {
+            self.degradation.forced_incremental += 1;
+            self.step_incremental(llm, config)
+        } else if in_fallback {
+            self.degradation.fallback_steps += 1;
+            self.step_incremental(llm, config)
+        } else {
+            match &config.mode {
+                InferenceMode::Incremental => self.step_incremental(llm, config),
+                InferenceMode::SequenceSpeculative { depth } => {
+                    let expansion = ExpansionConfig::sequence(*depth);
+                    if self.speculation_fits(ssms, expansion.node_count()) {
+                        self.step_speculative(llm, ssms, &expansion, config, fault.ssm_garbage)
+                    } else {
+                        self.step_incremental(llm, config)
+                    }
                 }
-            }
-            InferenceMode::DynamicTree { config: dyn_cfg } => {
-                if self.speculation_fits(ssms, dyn_cfg.max_nodes) {
-                    self.step_dynamic(llm, ssms, &dyn_cfg.clone(), config)
-                } else {
-                    self.step_incremental(llm, config)
+                InferenceMode::TreeSpeculative { expansion } => {
+                    if self.speculation_fits(ssms, expansion.node_count()) {
+                        self.step_speculative(
+                            llm,
+                            ssms,
+                            &expansion.clone(),
+                            config,
+                            fault.ssm_garbage,
+                        )
+                    } else {
+                        // Near the context limit a full tree no longer fits;
+                        // degrade to incremental decoding for the tail.
+                        self.step_incremental(llm, config)
+                    }
+                }
+                InferenceMode::DynamicTree { config: dyn_cfg } => {
+                    if self.speculation_fits(ssms, dyn_cfg.max_nodes) {
+                        self.step_dynamic(llm, ssms, &dyn_cfg.clone(), config, fault.ssm_garbage)
+                    } else {
+                        self.step_incremental(llm, config)
+                    }
                 }
             }
         };
+        // Feed the ladder with the acceptance of speculative iterations.
+        if self.policy.is_enabled()
+            && speculative_mode
+            && !forced_incremental
+            && !in_fallback
+            && stats.tree_size > 0
+        {
+            self.accept_window
+                .push_back(stats.accepted as f64 / stats.tree_size as f64);
+            while self.accept_window.len() > self.policy.window {
+                self.accept_window.pop_front();
+            }
+            if self.accept_window.len() == self.policy.window {
+                let mean: f64 = self.accept_window.iter().sum::<f64>() / self.policy.window as f64;
+                if mean < self.policy.accept_floor {
+                    self.degradation.fallbacks_taken += 1;
+                    self.fallback_until = Some(idx + 1 + self.policy.cooldown);
+                    self.accept_window.clear();
+                }
+            }
+        }
         self.steps.push(stats);
         Some(stats)
     }
@@ -285,6 +476,7 @@ impl Session {
         ssms: &[&Transformer],
         expansion: &ExpansionConfig,
         config: &EngineConfig,
+        garbage: Option<u64>,
     ) -> StepStats {
         assert!(!ssms.is_empty(), "speculative modes need at least one SSM");
         assert_eq!(
@@ -294,6 +486,13 @@ impl Session {
         );
         let root = *self.tokens.last().expect("prompt is non-empty");
         let exp_mode = ExpansionMode::for_decode_mode(&config.decode);
+
+        // A garbage-logits fault replaces the whole pool's drafts with
+        // uniform draws; the SSMs (and their caches) are not consulted.
+        if let Some(seed) = garbage {
+            let spec = speculate_garbage(root, expansion, llm.config().vocab_size, seed);
+            return self.verify_and_commit(llm, ssms, spec, config);
+        }
 
         // Speculate (§3). A single SSM expands inline on the session's
         // RNG stream; a pool expands data-parallel — one thread, private
@@ -333,6 +532,7 @@ impl Session {
         ssms: &[&Transformer],
         dyn_cfg: &crate::dynamic::DynamicExpansionConfig,
         config: &EngineConfig,
+        garbage: Option<u64>,
     ) -> StepStats {
         assert!(
             !ssms.is_empty(),
@@ -344,6 +544,14 @@ impl Session {
             "the session was created for a different SSM pool"
         );
         let root = *self.tokens.last().expect("prompt is non-empty");
+        if let Some(seed) = garbage {
+            // A garbage dynamic tree degenerates to a uniform chain no
+            // deeper than the configured budget.
+            let depth = dyn_cfg.max_depth.clamp(1, dyn_cfg.max_nodes.max(1));
+            let expansion = ExpansionConfig::sequence(depth);
+            let spec = speculate_garbage(root, &expansion, llm.config().vocab_size, seed);
+            return self.verify_and_commit(llm, ssms, spec, config);
+        }
         let spec =
             crate::dynamic::speculate_dynamic(ssms[0], &mut self.ssm_caches[0], root, dyn_cfg);
         self.verify_and_commit(llm, ssms, spec, config)
@@ -721,6 +929,158 @@ mod tests {
         assert_eq!(&inc.generated()[..n], &dynamic.generated()[..n]);
         assert!(dynamic.llm_steps() <= inc.llm_steps());
         assert!(dynamic.steps.iter().all(|s| s.tree_size <= 20));
+    }
+
+    #[test]
+    fn garbage_ssm_fault_is_lossless_under_greedy() {
+        // With garbage SSM logits injected on every step, greedy
+        // verification rejects the junk drafts and the output must be
+        // bit-identical to a fault-free run.
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 2, 1]),
+            },
+            DecodeMode::Greedy,
+        );
+        let clean = SpecEngine::new(&llm, vec![&ssm], cfg.clone()).generate(&[5, 9, 2], 0);
+
+        let mut s = Session::new(&llm, &[&ssm], &[5, 9, 2], 0);
+        let mut step = 0u64;
+        while !s.is_finished() {
+            let fault = StepFault {
+                ssm_garbage: Some(0xfa017 ^ step),
+                ..StepFault::default()
+            };
+            let _ = s.step_faulted(&llm, &[&ssm], &cfg, fault);
+            step += 1;
+        }
+        assert!(s.degradation().faulted_steps > 0);
+        let faulted = s.into_result();
+        assert_eq!(clean.tokens, faulted.tokens);
+    }
+
+    #[test]
+    fn stall_and_oom_force_incremental_steps() {
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 1]),
+            },
+            DecodeMode::Greedy,
+        );
+        let clean = SpecEngine::new(&llm, vec![&ssm], cfg.clone()).generate(&[7, 3], 0);
+
+        let mut s = Session::new(&llm, &[&ssm], &[7, 3], 0);
+        let mut i = 0usize;
+        while !s.is_finished() {
+            let fault = StepFault {
+                ssm_stall: i.is_multiple_of(2),
+                kv_oom: i % 2 == 1,
+                ..StepFault::default()
+            };
+            let stats = s.step_faulted(&llm, &[&ssm], &cfg, fault).unwrap();
+            assert_eq!(stats.tree_size, 0, "faulted step must not speculate");
+            assert_eq!(stats.emitted, 1);
+            i += 1;
+        }
+        let d = s.degradation();
+        assert_eq!(d.forced_incremental, i);
+        assert_eq!(d.faulted_steps, i);
+        // Forced-incremental greedy decoding is still lossless.
+        assert_eq!(s.into_result().tokens, clean.tokens);
+    }
+
+    #[test]
+    fn acceptance_collapse_falls_back_and_reprobes() {
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 2]),
+            },
+            DecodeMode::Greedy,
+        );
+        let mut cfg = cfg;
+        cfg.max_new_tokens = 40;
+        let clean = SpecEngine::new(&llm, vec![&ssm], cfg.clone()).generate(&[4, 8], 0);
+
+        let mut s = Session::new(&llm, &[&ssm], &[4, 8], 0);
+        s.set_degradation_policy(DegradationPolicy {
+            accept_floor: 0.5,
+            window: 2,
+            cooldown: 3,
+        });
+        let mut step = 0u64;
+        while !s.is_finished() {
+            // Garbage on every probe ⇒ acceptance collapses ⇒ the ladder
+            // must fall back, cool down, re-probe, and collapse again.
+            let fault = StepFault {
+                ssm_garbage: Some(step),
+                ..StepFault::default()
+            };
+            let stats = s.step_faulted(&llm, &[&ssm], &cfg, fault).unwrap();
+            if s.in_fallback() {
+                assert!(stats.emitted >= 1);
+            }
+            step += 1;
+        }
+        let d = s.degradation();
+        assert!(d.fallbacks_taken >= 1, "{d:?}");
+        // Every fallback serves its cooldown incrementally (the last one
+        // may be cut short by the generation budget).
+        assert!(d.fallback_steps >= (d.fallbacks_taken - 1) * 3, "{d:?}");
+        assert!(d.reprobes >= 1, "{d:?}");
+        assert_eq!(s.into_result().tokens, clean.tokens, "fallback is lossless");
+    }
+
+    #[test]
+    fn disabled_ladder_never_falls_back() {
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 1]),
+            },
+            DecodeMode::Greedy,
+        );
+        let mut s = Session::new(&llm, &[&ssm], &[1, 2], 0);
+        let mut step = 0u64;
+        while !s.is_finished() {
+            let fault = StepFault {
+                ssm_garbage: Some(step),
+                ..StepFault::default()
+            };
+            let _ = s.step_faulted(&llm, &[&ssm], &cfg, fault);
+            step += 1;
+        }
+        let d = s.degradation();
+        assert_eq!(d.fallbacks_taken, 0);
+        assert_eq!(d.fallback_steps, 0);
+    }
+
+    #[test]
+    fn garbage_fault_preserves_stochastic_budget() {
+        // Under stochastic decoding garbage drafts flow through the MSS
+        // residual path; generation still completes its budget and every
+        // step emits accepted + 1 tokens.
+        let (llm, ssm) = models();
+        let cfg = config(
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![2, 1]),
+            },
+            DecodeMode::stochastic(),
+        );
+        let mut s = Session::new(&llm, &[&ssm], &[6, 6], 9);
+        let mut step = 0u64;
+        while !s.is_finished() {
+            let fault = StepFault {
+                ssm_garbage: Some(step),
+                ..StepFault::default()
+            };
+            let stats = s.step_faulted(&llm, &[&ssm], &cfg, fault).unwrap();
+            assert_eq!(stats.emitted, stats.accepted + 1);
+            step += 1;
+        }
+        assert!(s.generated().len() >= 24);
     }
 
     #[test]

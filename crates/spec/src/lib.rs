@@ -56,10 +56,13 @@ mod verifier;
 pub use audit::{audit_greedy, AuditReport};
 pub use boost::{boost_tune_pool, BoostConfig, BoostResult};
 pub use dynamic::{speculate_dynamic, DynamicExpansionConfig};
-pub use engine::{EngineConfig, GenerationResult, InferenceMode, Session, SpecEngine, StepStats};
+pub use engine::{
+    DegradationPolicy, DegradationStats, EngineConfig, GenerationResult, InferenceMode, Session,
+    SpecEngine, StepFault, StepStats,
+};
 pub use speculator::{
-    expand_into, speculate_expansion, speculate_merged, speculate_pool_parallel, ExpansionMode,
-    Speculation, SsmDistTable, DRAFT_FLATTEN_TEMPERATURE,
+    expand_into, speculate_expansion, speculate_garbage, speculate_merged, speculate_pool_parallel,
+    ExpansionMode, Speculation, SsmDistTable, DRAFT_FLATTEN_TEMPERATURE,
 };
 pub use verifier::{
     verify_greedy, verify_naive, verify_stochastic, StochasticVerifier, VerifyOutcome,

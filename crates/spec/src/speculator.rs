@@ -252,6 +252,62 @@ pub fn speculate_expansion(
     Speculation { tree, dists }
 }
 
+/// Fault-injected speculation: the tree an SSM with *garbage logits*
+/// would produce — tokens drawn uniformly from the vocabulary, following
+/// the shape of `config`, without ever running the SSM.
+///
+/// The recorded proposal distribution is the uniform distribution the
+/// drafts are actually drawn from, so multi-step speculative sampling's
+/// distribution guarantee (Theorem 4.2 holds for *any* proposal whose
+/// density the verifier knows) survives the fault: a garbage SSM costs
+/// acceptance rate, never correctness. Under greedy verification the
+/// drafts are simply rejected and the output is bit-identical to a
+/// fault-free run. Drafts come from a dedicated RNG seeded by `seed` so
+/// the session's own RNG stream is untouched — chaos runs stay
+/// replayable and fault-free-equivalent.
+pub fn speculate_garbage(
+    root_token: TokenId,
+    config: &ExpansionConfig,
+    vocab: usize,
+    seed: u64,
+) -> Speculation {
+    let mut rng = SeededRng::new(seed);
+    let mut tree = TokenTree::new(root_token);
+    let mut dists = SsmDistTable::new();
+    let uniform = vec![1.0 / vocab as f32; vocab];
+    let mut frontier = vec![TokenTree::ROOT];
+    for step in 0..config.depth() {
+        let k = config.width(step);
+        let mut next: Vec<NodeId> = Vec::new();
+        for &u in &frontier {
+            if dists.get(u, 0).is_none() {
+                dists.insert(u, 0, uniform.clone());
+            }
+            for _ in 0..k {
+                let tok = rng.below(vocab) as TokenId;
+                // Uniform draws may collide; dedup like top-k expansion.
+                let child = match tree.child_with_token(u, tok) {
+                    Some(existing) => existing,
+                    None => tree.add_child(u, tok, 0, uniform[0]),
+                };
+                if !next.contains(&child) {
+                    next.push(child);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    for &u in &frontier {
+        if dists.get(u, 0).is_none() {
+            dists.insert(u, 0, uniform.clone());
+        }
+    }
+    Speculation { tree, dists }
+}
+
 /// Merge-based speculation from a pool of SSMs (§3, "merge-based token
 /// tree construction"): every SSM speculates with its own configuration
 /// and the candidate sets are merged (Definition 3.2) into one tree.

@@ -292,6 +292,114 @@ fn theorem_4_2_joint_two_token_distribution() {
     );
 }
 
+/// Upper-tail χ² critical values at α = 10⁻⁴, indexed by `df − 1` for
+/// df ∈ 1..=8 (from the χ² inverse CDF; e.g. `scipy.stats.chi2.ppf(1 -
+/// 1e-4, df)`).
+///
+/// With seeded RNGs each statistic is a deterministic number, so α does
+/// not describe a flake rate; it calibrates how far empirical counts may
+/// drift before the test calls the sampler biased. Monte-Carlo noise at
+/// these trial counts sits far below the threshold, while a biased
+/// sampler (deterministic top-k drafts, naive residuals) overshoots it
+/// by orders of magnitude.
+const CHI2_CRIT_1E4: [f64; 8] = [
+    15.137, 18.421, 21.108, 23.513, 25.745, 27.856, 29.878, 31.828,
+];
+
+/// Pearson goodness-of-fit statistic of `counts` against the target
+/// distribution `p`, over the target's support. Bins outside the support
+/// must be empty (MSS exactness, not just closeness). Returns `(χ²,
+/// degrees of freedom)`.
+fn chi_square(counts: &[u64], p: &[f32]) -> (f64, usize) {
+    let n: u64 = counts.iter().sum();
+    let mut chi2 = 0.0f64;
+    let mut bins = 0usize;
+    for (i, &pi) in p.iter().enumerate() {
+        if pi <= 0.0 {
+            assert_eq!(counts[i], 0, "bin {i} lies outside the target's support");
+            continue;
+        }
+        let expect = f64::from(pi) * n as f64;
+        let diff = counts[i] as f64 - expect;
+        chi2 += diff * diff / expect;
+        bins += 1;
+    }
+    (chi2, bins - 1)
+}
+
+/// Theorem 4.2 as a χ² goodness-of-fit battery: across adversarial
+/// (target, proposals, width) configurations, the MSS output counts over
+/// ≥10k seeded trials must fit the LLM distribution at α = 10⁻⁴.
+#[test]
+fn theorem_4_2_chi_square_battery() {
+    #[allow(clippy::type_complexity)]
+    let cases: Vec<(&str, Vec<f32>, Vec<Vec<f32>>, usize, usize)> = vec![
+        (
+            "peaked proposal vs flat target",
+            vec![0.5, 0.5],
+            vec![vec![0.9, 0.1]],
+            2,
+            40_000,
+        ),
+        (
+            "uniform target, skewed proposal",
+            vec![0.25; 4],
+            vec![vec![0.4, 0.3, 0.2, 0.1]],
+            3,
+            40_000,
+        ),
+        (
+            // The tentpole's garbage-fault model: junk drafts whose
+            // *recorded* proposal is uniform must still leave the output
+            // exactly on the target.
+            "uniform garbage drafts",
+            vec![0.45, 0.1, 0.25, 0.2],
+            vec![vec![0.25; 4]],
+            2,
+            40_000,
+        ),
+        (
+            "three disagreeing SSMs",
+            vec![0.1, 0.3, 0.05, 0.25, 0.2, 0.1],
+            vec![
+                vec![0.5, 0.2, 0.1, 0.1, 0.05, 0.05],
+                vec![0.05, 0.05, 0.6, 0.1, 0.1, 0.1],
+                vec![1.0 / 6.0; 6],
+            ],
+            1,
+            60_000,
+        ),
+        (
+            "disjoint supports (pure residual path)",
+            vec![0.0, 0.0, 0.6, 0.4],
+            vec![vec![0.7, 0.3, 0.0, 0.0]],
+            3,
+            20_000,
+        ),
+        (
+            "wide vocabulary, sloppy proposal",
+            vec![0.3, 0.05, 0.2, 0.1, 0.15, 0.1, 0.05, 0.05],
+            vec![vec![0.05, 0.3, 0.05, 0.2, 0.05, 0.05, 0.25, 0.05]],
+            2,
+            80_000,
+        ),
+    ];
+    for (ci, (name, p, qs, k, trials)) in cases.iter().enumerate() {
+        assert!(*trials >= 10_000);
+        let mut rng = SeededRng::new(500 + ci as u64);
+        let mut counts = vec![0u64; p.len()];
+        for _ in 0..*trials {
+            counts[mss_trial(p, qs, *k, &mut rng).0 as usize] += 1;
+        }
+        let (chi2, df) = chi_square(&counts, p);
+        assert!(
+            chi2 < CHI2_CRIT_1E4[df - 1],
+            "{name}: χ² = {chi2:.2} > {:.2} at df = {df} (counts {counts:?})",
+            CHI2_CRIT_1E4[df - 1]
+        );
+    }
+}
+
 /// MSS accepts strictly more than NS in expectation when the SSM aligns
 /// with the LLM — the effect behind Table 3.
 #[test]

@@ -12,8 +12,8 @@
 
 use specinfer::model::train::{distill_step, train_step};
 use specinfer::model::{DecodeMode, ModelConfig, Transformer};
-use specinfer::serving::{Server, ServerConfig, TimingConfig};
-use specinfer::spec::{EngineConfig, InferenceMode, StochasticVerifier};
+use specinfer::serving::{QueuePolicy, Server, ServerConfig, TimingConfig};
+use specinfer::spec::{DegradationPolicy, EngineConfig, InferenceMode, StochasticVerifier};
 use specinfer::tensor::optim::Adam;
 use specinfer::tokentree::ExpansionConfig;
 use specinfer::workloads::{trace::Trace, Grammar, EOS_TOKEN};
@@ -75,6 +75,9 @@ fn main() {
                 max_batch_size: 8,
                 timing: TimingConfig::llama_7b_single_gpu(),
                 seed: 7,
+                faults: None,
+                degradation: DegradationPolicy::serving_default(),
+                queue: QueuePolicy::unbounded(),
             },
         );
         let report = server.serve_trace(&trace);

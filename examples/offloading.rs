@@ -11,9 +11,9 @@
 
 use specinfer::model::train::{distill_step, train_step};
 use specinfer::model::{DecodeMode, ModelConfig, Transformer};
-use specinfer::serving::{Server, ServerConfig, TimingConfig};
+use specinfer::serving::{QueuePolicy, Server, ServerConfig, TimingConfig};
 use specinfer::sim::{ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, SystemProfile};
-use specinfer::spec::{EngineConfig, InferenceMode, StochasticVerifier};
+use specinfer::spec::{DegradationPolicy, EngineConfig, InferenceMode, StochasticVerifier};
 use specinfer::tensor::optim::Adam;
 use specinfer::tokentree::ExpansionConfig;
 use specinfer::workloads::{trace::Trace, Dataset, Grammar, EOS_TOKEN};
@@ -81,6 +81,9 @@ fn main() {
                         offload: Some(OffloadSpec::a10_pcie()),
                     },
                     seed: 11,
+                    faults: None,
+                    degradation: DegradationPolicy::serving_default(),
+                    queue: QueuePolicy::unbounded(),
                 },
             );
             let report = server.serve_trace(&trace);

@@ -3,8 +3,8 @@
 
 use specinfer::model::train::{distill_step, train_step};
 use specinfer::model::{DecodeMode, ModelConfig, Transformer};
-use specinfer::serving::{Server, ServerConfig, TimingConfig};
-use specinfer::spec::{EngineConfig, InferenceMode, StochasticVerifier};
+use specinfer::serving::{QueuePolicy, Server, ServerConfig, TimingConfig};
+use specinfer::spec::{DegradationPolicy, EngineConfig, InferenceMode, StochasticVerifier};
 use specinfer::tensor::optim::Adam;
 use specinfer::tokentree::ExpansionConfig;
 use specinfer::workloads::{trace::Trace, Dataset, Grammar, EOS_TOKEN};
@@ -57,6 +57,9 @@ fn full_stack_speculative_serving() {
             max_batch_size: 3,
             timing: TimingConfig::llama_7b_single_gpu(),
             seed: 3,
+            faults: None,
+            degradation: DegradationPolicy::serving_default(),
+            queue: QueuePolicy::unbounded(),
         },
     );
     let report = server.serve_trace(&trace);
@@ -97,6 +100,9 @@ fn serving_is_deterministic() {
                 max_batch_size: 4,
                 timing: TimingConfig::llama_7b_single_gpu(),
                 seed: 77,
+                faults: None,
+                degradation: DegradationPolicy::serving_default(),
+                queue: QueuePolicy::unbounded(),
             },
         );
         let report = server.serve_trace(&trace);
