@@ -296,7 +296,8 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             degradation: DegradationPolicy::serving_default(),
             queue: QueuePolicy::unbounded(),
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let datasets = Dataset::all();
     let tickets: Vec<_> = (0..requests)
         .map(|i| {
@@ -307,7 +308,10 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
         })
         .collect();
     for t in tickets {
-        let r = t.wait();
+        let r = t
+            .map_err(|e| e.to_string())?
+            .wait()
+            .map_err(|e| e.to_string())?;
         println!(
             "{}: {} tokens, {:.2} tokens/step, {:.1} ms/token (simulated)",
             r.id,
@@ -316,7 +320,7 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             r.per_token_latency_s() * 1e3
         );
     }
-    let report = daemon.shutdown();
+    let report = daemon.shutdown().map_err(|e| e.to_string())?;
     println!(
         "served {} requests in {} iterations; mean {:.1} ms/token, {:.0} tokens/s (simulated)",
         report.responses.len(),

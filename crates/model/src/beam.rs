@@ -80,7 +80,9 @@ pub fn beam_search(
         let mut candidates: Vec<(usize, TokenId, f32)> = Vec::new();
         let mut stepped: Vec<Beam> = Vec::new();
         for (bi, mut beam) in beams.drain(..).enumerate() {
-            let last = *beam.tokens.last().expect("beams are non-empty");
+            let Some(&last) = beam.tokens.last() else {
+                unreachable!("beams always extend the prompt by at least one token")
+            };
             let logits = model.decode_one(last, &mut beam.cache);
             let lps = ops::log_softmax(logits.data());
             for (tok, lp) in ops::topk(&lps, beam_width) {

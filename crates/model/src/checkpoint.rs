@@ -156,9 +156,13 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Transformer, CheckpointError> {
         params.push(get_tensor(&mut bytes)?);
     }
     // Rebuild through a randomly initialized skeleton so every dims check
-    // in `assign_params` applies to the loaded tensors.
+    // in `try_assign_params` applies to the loaded tensors; a mismatch is
+    // checkpoint corruption, not a programming error, so it surfaces as
+    // a typed error rather than a panic.
     let mut weights = ModelWeights::init(&config, 0);
-    weights.assign_params(&params);
+    weights
+        .try_assign_params(&params)
+        .map_err(CheckpointError::Corrupt)?;
     Ok(Transformer::new(config, weights))
 }
 

@@ -43,24 +43,30 @@ impl WeightVars {
         let params = model.weights().to_params();
         let flat: Vec<Var> = params.into_iter().map(|p| tape.param(p)).collect();
         let n_layers = model.config().n_layers;
-        let mut it = flat.iter().copied();
-        let embed = it.next().expect("embed");
-        let layers = (0..n_layers)
-            .map(|_| LayerVars {
-                attn_norm: it.next().expect("attn_norm"),
-                wq: it.next().expect("wq"),
-                wk: it.next().expect("wk"),
-                wv: it.next().expect("wv"),
-                wo: it.next().expect("wo"),
-                ffn_norm: it.next().expect("ffn_norm"),
-                w1: it.next().expect("w1"),
-                w3: it.next().expect("w3"),
-                w2: it.next().expect("w2"),
+        // to_params layout: embed, 9 tensors per layer, final_norm,
+        // lm_head — pinned by this assert, then safe to slice by index.
+        assert_eq!(
+            flat.len(),
+            1 + 9 * n_layers + 2,
+            "parameter ordering drifted"
+        );
+        let embed = flat[0];
+        let layers = flat[1..1 + 9 * n_layers]
+            .chunks_exact(9)
+            .map(|c| LayerVars {
+                attn_norm: c[0],
+                wq: c[1],
+                wk: c[2],
+                wv: c[3],
+                wo: c[4],
+                ffn_norm: c[5],
+                w1: c[6],
+                w3: c[7],
+                w2: c[8],
             })
             .collect();
-        let final_norm = it.next().expect("final_norm");
-        let lm_head = it.next().expect("lm_head");
-        assert!(it.next().is_none(), "parameter ordering drifted");
+        let final_norm = flat[flat.len() - 2];
+        let lm_head = flat[flat.len() - 1];
         WeightVars {
             flat,
             embed,
@@ -170,7 +176,9 @@ pub fn train_step(model: &mut Transformer, opt: &mut dyn Optimizer, batch: &[Vec
         });
     }
     let mean = {
-        let t = total.expect("non-empty batch");
+        let Some(t) = total else {
+            unreachable!("batch non-emptiness is asserted at entry")
+        };
         tape.scale(t, 1.0 / batch.len() as f32)
     };
     tape.backward(mean);
@@ -225,7 +233,9 @@ pub fn distill_step(
         });
     }
     let mean = {
-        let t = total.expect("non-empty batch");
+        let Some(t) = total else {
+            unreachable!("batch non-emptiness is asserted at entry")
+        };
         tape.scale(t, 1.0 / batch.len() as f32)
     };
     tape.backward(mean);

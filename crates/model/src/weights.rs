@@ -108,29 +108,49 @@ impl ModelWeights {
     /// # Panics
     ///
     /// Panics if the list length or any dims disagree with this model.
+    /// Paths loading *untrusted* data (checkpoint restore) use
+    /// [`ModelWeights::try_assign_params`] instead.
     pub fn assign_params(&mut self, params: &[Tensor]) {
+        let r = self.try_assign_params(params);
+        assert!(r.is_ok(), "parameter list mismatch: {:?}", r.err());
+    }
+
+    /// Fallible [`ModelWeights::assign_params`]: a length or dims
+    /// mismatch comes back as a description of the disagreement instead
+    /// of panicking, so checkpoint loading can surface corruption as a
+    /// typed error.
+    pub fn try_assign_params(&mut self, params: &[Tensor]) -> Result<(), &'static str> {
         let expected = 1 + self.layers.len() * 9 + 2;
-        assert_eq!(params.len(), expected, "parameter list shape changed");
-        let mut it = params.iter();
-        let mut take = |dst: &mut Tensor| {
-            let src = it.next().expect("length checked above");
-            assert_eq!(src.dims(), dst.dims(), "parameter dims changed");
-            *dst = src.clone();
-        };
-        take(&mut self.embed);
-        for l in &mut self.layers {
-            take(&mut l.attn_norm);
-            take(&mut l.wq);
-            take(&mut l.wk);
-            take(&mut l.wv);
-            take(&mut l.wo);
-            take(&mut l.ffn_norm);
-            take(&mut l.w1);
-            take(&mut l.w3);
-            take(&mut l.w2);
+        if params.len() != expected {
+            return Err("parameter list shape changed");
         }
-        take(&mut self.final_norm);
-        take(&mut self.lm_head);
+        let mut slots: Vec<&mut Tensor> = vec![&mut self.embed];
+        for l in &mut self.layers {
+            slots.extend([
+                &mut l.attn_norm,
+                &mut l.wq,
+                &mut l.wk,
+                &mut l.wv,
+                &mut l.wo,
+                &mut l.ffn_norm,
+                &mut l.w1,
+                &mut l.w3,
+                &mut l.w2,
+            ]);
+        }
+        slots.push(&mut self.final_norm);
+        slots.push(&mut self.lm_head);
+        if slots
+            .iter()
+            .zip(params)
+            .any(|(dst, src)| src.dims() != dst.dims())
+        {
+            return Err("parameter dims changed");
+        }
+        for (dst, src) in slots.into_iter().zip(params) {
+            *dst = src.clone();
+        }
+        Ok(())
     }
 
     /// Total number of scalar parameters.

@@ -1,0 +1,52 @@
+//! The workspace's one sanctioned wall-clock reader.
+//!
+//! Every token-affecting computation in this repository runs on seeded
+//! RNGs and a *simulated* clock (the cost model prices each iteration),
+//! so seeded replays are bitwise reproducible. Real elapsed time is
+//! still worth reporting — operators watch it — but it must stay
+//! *observational*: it may appear in reports, never in scheduling or
+//! decode decisions. The determinism lint (`cargo run -p specinfer-xtask
+//! -- lint`) enforces that split by forbidding `Instant::now` /
+//! `SystemTime` everywhere in library code except this module, which
+//! wraps the reads behind a stopwatch whose output feeds metrics only.
+
+use std::time::Instant;
+
+/// A started stopwatch measuring real elapsed time for reporting.
+///
+/// The reading is observational by construction: it is a plain `f64` of
+/// seconds, produced once at the end of a run and carried in
+/// [`ServeReport::wall_s`](crate::ServeReport::wall_s). Nothing
+/// downstream branches on it.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Real seconds elapsed since `start`.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_s();
+        let b = w.elapsed_s();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -40,6 +40,35 @@ enum Msg {
     Shutdown,
 }
 
+/// Errors from the daemon's client-facing surface.
+///
+/// A daemon failure must reach the submitting thread as a value — the
+/// submitter may be a request handler that has to answer *its* caller —
+/// so every handle method that can observe a dead daemon returns one of
+/// these instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonError {
+    /// The OS refused to spawn the daemon thread.
+    SpawnFailed,
+    /// The daemon is no longer running (shut down or crashed) and cannot
+    /// take this call.
+    NotRunning,
+    /// The daemon thread panicked; its report is lost.
+    Panicked,
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::SpawnFailed => write!(f, "failed to spawn the serving daemon thread"),
+            DaemonError::NotRunning => write!(f, "the serving daemon is not running"),
+            DaemonError::Panicked => write!(f, "the serving daemon panicked"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
 /// A ticket for one submitted request.
 #[derive(Debug)]
 pub struct Ticket {
@@ -49,14 +78,11 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the request completes (or is cancelled/expired — the
-    /// response's `outcome` says which).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the daemon was shut down before completing this request.
-    pub fn wait(self) -> Response {
-        self.rx.recv().expect("daemon dropped the request")
+    /// Blocks until the request completes (or is cancelled/expired/
+    /// rejected — the response's `outcome` says which). Errs only if the
+    /// daemon shut down before answering this request.
+    pub fn wait(self) -> Result<Response, DaemonError> {
+        self.rx.recv().map_err(|_| DaemonError::NotRunning)
     }
 }
 
@@ -76,25 +102,26 @@ impl ServerDaemon {
         llm: Arc<Transformer>,
         ssms: Vec<Arc<Transformer>>,
         config: ServerConfig,
-    ) -> ServerDaemon {
+    ) -> Result<ServerDaemon, DaemonError> {
         let (tx, rx) = unbounded::<Msg>();
         let join = std::thread::Builder::new()
             .name("specinfer-daemon".into())
             .spawn(move || daemon_loop(&llm, &ssms, &config, &rx))
-            .expect("failed to spawn the serving daemon");
-        ServerDaemon {
+            .map_err(|_| DaemonError::SpawnFailed)?;
+        Ok(ServerDaemon {
             tx,
             join: Some(join),
-        }
+        })
     }
 
     /// Submits a request; returns a [`Ticket`] whose `wait()` yields the
-    /// response. Callable from any thread.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the daemon has already shut down.
-    pub fn submit(&self, prompt: Vec<TokenId>, max_new_tokens: usize) -> Ticket {
+    /// response. Callable from any thread. Errs if the daemon has
+    /// already shut down.
+    pub fn submit(
+        &self,
+        prompt: Vec<TokenId>,
+        max_new_tokens: usize,
+    ) -> Result<Ticket, DaemonError> {
         self.submit_inner(prompt, max_new_tokens, None)
     }
 
@@ -107,7 +134,7 @@ impl ServerDaemon {
         prompt: Vec<TokenId>,
         max_new_tokens: usize,
         budget_s: f64,
-    ) -> Ticket {
+    ) -> Result<Ticket, DaemonError> {
         self.submit_inner(prompt, max_new_tokens, Some(budget_s))
     }
 
@@ -116,7 +143,7 @@ impl ServerDaemon {
         prompt: Vec<TokenId>,
         max_new_tokens: usize,
         budget_s: Option<f64>,
-    ) -> Ticket {
+    ) -> Result<Ticket, DaemonError> {
         let (reply_tx, reply_rx) = bounded(1);
         let (id_tx, id_rx) = bounded(1);
         self.tx
@@ -127,9 +154,9 @@ impl ServerDaemon {
                 reply: reply_tx,
                 id_reply: id_tx,
             })
-            .expect("daemon is not running");
-        let id = id_rx.recv().expect("daemon is not running");
-        Ticket { id, rx: reply_rx }
+            .map_err(|_| DaemonError::NotRunning)?;
+        let id = id_rx.recv().map_err(|_| DaemonError::NotRunning)?;
+        Ok(Ticket { id, rx: reply_rx })
     }
 
     /// Cancels an in-flight request. The request's ticket resolves with
@@ -140,14 +167,15 @@ impl ServerDaemon {
     }
 
     /// Finishes all in-flight requests, stops the daemon, and returns its
-    /// aggregate report.
-    pub fn shutdown(mut self) -> ServeReport {
+    /// aggregate report. Errs if the daemon thread panicked.
+    pub fn shutdown(mut self) -> Result<ServeReport, DaemonError> {
         let _ = self.tx.send(Msg::Shutdown);
-        self.join
-            .take()
-            .expect("shutdown called once")
-            .join()
-            .expect("the serving daemon panicked")
+        let Some(join) = self.join.take() else {
+            // `shutdown` consumes the handle and only `Drop` also takes
+            // the join handle, so it is always present here.
+            unreachable!("shutdown runs before Drop and only once")
+        };
+        join.join().map_err(|_| DaemonError::Panicked)
     }
 }
 
@@ -206,6 +234,7 @@ fn daemon_loop(
     config: &ServerConfig,
     rx: &Receiver<Msg>,
 ) -> ServeReport {
+    let wall = crate::clock::Stopwatch::start();
     let ssm_refs: Vec<&Transformer> = ssms.iter().map(Arc::as_ref).collect();
     let plan = config.faults.as_ref();
     let mut clock = 0.0f64;
@@ -222,7 +251,9 @@ fn daemon_loop(
             let msg = if active.is_empty() && !draining {
                 match rx.recv() {
                     Ok(m) => Some(m),
-                    Err(_) => return finish(responses, clock, iterations, faults),
+                    Err(_) => {
+                        return finish(responses, clock, iterations, faults, wall.elapsed_s())
+                    }
                 }
             } else {
                 rx.try_recv().ok()
@@ -240,22 +271,43 @@ fn daemon_loop(
                     let _ = id_reply.send(id);
                     let mut engine = config.engine.clone();
                     engine.max_new_tokens = max_new_tokens;
-                    let mut session =
-                        Session::new(llm, &ssm_refs, &prompt, config.seed.wrapping_add(id.0));
-                    session.set_degradation_policy(config.degradation);
-                    active.push(LiveRequest {
-                        id,
-                        prompt_len: prompt.len(),
-                        session,
-                        config: engine,
-                        reply,
-                        arrival_s: clock,
-                        deadline_s: budget_s.map(|b| clock + b),
-                        cancel_at: plan.and_then(|p| p.cancel_after(id)),
-                        client_cancelled: false,
-                        steps_taken: 0,
-                        last: None,
-                    });
+                    // An invalid prompt rejects this one request; it must
+                    // never tear down the daemon thread the rest of the
+                    // batch is running on.
+                    match Session::try_new(llm, &ssm_refs, &prompt, config.seed.wrapping_add(id.0))
+                    {
+                        Ok(mut session) => {
+                            session.set_degradation_policy(config.degradation);
+                            active.push(LiveRequest {
+                                id,
+                                prompt_len: prompt.len(),
+                                session,
+                                config: engine,
+                                reply,
+                                arrival_s: clock,
+                                deadline_s: budget_s.map(|b| clock + b),
+                                cancel_at: plan.and_then(|p| p.cancel_after(id)),
+                                client_cancelled: false,
+                                steps_taken: 0,
+                                last: None,
+                            });
+                        }
+                        Err(_) => {
+                            faults.invalid += 1;
+                            let response = Response {
+                                id,
+                                dataset: None,
+                                prompt_len: prompt.len(),
+                                generated: Vec::new(),
+                                arrival_s: clock,
+                                finish_s: clock,
+                                steps: Vec::new(),
+                                outcome: RequestOutcome::Rejected,
+                            };
+                            let _ = reply.send(response.clone());
+                            responses.push(response);
+                        }
+                    }
                 }
                 Some(Msg::Cancel(id)) => {
                     if let Some(r) = active.iter_mut().find(|r| r.id == id) {
@@ -285,7 +337,7 @@ fn daemon_loop(
 
         if active.is_empty() {
             if draining {
-                return finish(responses, clock, iterations, faults);
+                return finish(responses, clock, iterations, faults, wall.elapsed_s());
             }
             continue;
         }
@@ -363,6 +415,7 @@ fn finish(
     clock: f64,
     iterations: usize,
     faults: FaultCounters,
+    wall_s: f64,
 ) -> ServeReport {
     responses.sort_by_key(|r| r.id);
     // The daemon keeps no per-iteration log (it is a live loop; the
@@ -373,6 +426,7 @@ fn finish(
         iterations,
         iteration_log: Vec::new(),
         faults,
+        wall_s,
     }
 }
 
@@ -418,7 +472,7 @@ mod tests {
             },
             2,
         ));
-        ServerDaemon::spawn(llm, vec![ssm], config)
+        ServerDaemon::spawn(llm, vec![ssm], config).expect("daemon spawns")
     }
 
     fn daemon(batch: usize) -> ServerDaemon {
@@ -429,16 +483,19 @@ mod tests {
     fn live_submissions_complete() {
         let d = daemon(4);
         let tickets: Vec<Ticket> = (0..6)
-            .map(|i| d.submit(vec![1, 2, (i % 4) + 3], 8))
+            .map(|i| {
+                d.submit(vec![1, 2, (i % 4) + 3], 8)
+                    .expect("daemon accepts")
+            })
             .collect();
         let mut got = Vec::new();
         for t in tickets {
-            let r = t.wait();
+            let r = t.wait().expect("ticket resolves");
             assert!(r.generated.len() >= 8);
             assert_eq!(r.outcome, RequestOutcome::Completed);
             got.push(r.id);
         }
-        let report = d.shutdown();
+        let report = d.shutdown().expect("clean shutdown");
         assert_eq!(report.responses.len(), 6);
         assert!(report.iterations > 0);
         assert_eq!(got.len(), 6);
@@ -451,35 +508,40 @@ mod tests {
         for t in 0..4 {
             let d2 = Arc::clone(&d);
             joins.push(std::thread::spawn(move || {
-                d2.submit(vec![1, (t % 8) as u32 + 2], 6).wait()
+                d2.submit(vec![1, (t % 8) as u32 + 2], 6)
+                    .expect("daemon accepts")
+                    .wait()
             }));
         }
         for j in joins {
-            let r = j.join().expect("submitter thread panicked");
+            let r = j
+                .join()
+                .expect("submitter thread panicked")
+                .expect("ticket resolves");
             assert!(r.generated.len() >= 6);
         }
         let d = Arc::try_unwrap(d).expect("all submitters done");
-        let report = d.shutdown();
+        let report = d.shutdown().expect("clean shutdown");
         assert_eq!(report.responses.len(), 4);
     }
 
     #[test]
     fn shutdown_drains_in_flight_work() {
         let d = daemon(2);
-        let t1 = d.submit(vec![5, 5], 8);
-        let t2 = d.submit(vec![6, 6], 8);
-        let report = d.shutdown();
+        let t1 = d.submit(vec![5, 5], 8).expect("daemon accepts");
+        let t2 = d.submit(vec![6, 6], 8).expect("daemon accepts");
+        let report = d.shutdown().expect("clean shutdown");
         assert_eq!(report.responses.len(), 2);
         // Tickets still resolve after shutdown (responses were sent
         // before the daemon exited).
-        assert!(t1.wait().generated.len() >= 8);
-        assert!(t2.wait().generated.len() >= 8);
+        assert!(t1.wait().expect("ticket resolves").generated.len() >= 8);
+        assert!(t2.wait().expect("ticket resolves").generated.len() >= 8);
     }
 
     #[test]
     fn drop_without_shutdown_is_clean() {
         let d = daemon(2);
-        let _t = d.submit(vec![3, 3], 4);
+        let _t = d.submit(vec![3, 3], 4).expect("daemon accepts");
         drop(d); // must not hang or panic
     }
 
@@ -489,17 +551,18 @@ mod tests {
         // A long request we cancel immediately, racing the decode loop:
         // whichever wins, the ticket must resolve with a consistent
         // response.
-        let t = d.submit(vec![1, 2], 10_000);
+        let t = d.submit(vec![1, 2], 10_000).expect("daemon accepts");
         d.cancel(t.id);
-        let r = t.wait();
+        let r = t.wait().expect("ticket resolves");
         match r.outcome {
             RequestOutcome::Cancelled => {
                 assert!(r.generated.len() < 10_000, "cut mid-stream");
             }
             RequestOutcome::Completed => panic!("10k tokens cannot finish first"),
             RequestOutcome::DeadlineMissed => panic!("no deadline was set"),
+            RequestOutcome::Rejected => panic!("the prompt was valid"),
         }
-        let report = d.shutdown();
+        let report = d.shutdown().expect("clean shutdown");
         assert_eq!(report.faults.cancellations, 1);
         assert_eq!(report.responses.len(), 1);
     }
@@ -508,9 +571,12 @@ mod tests {
     fn cancelling_unknown_ids_is_a_noop() {
         let d = daemon(2);
         d.cancel(RequestId(999));
-        let t = d.submit(vec![4, 4], 6);
-        assert_eq!(t.wait().outcome, RequestOutcome::Completed);
-        d.shutdown();
+        let t = d.submit(vec![4, 4], 6).expect("daemon accepts");
+        assert_eq!(
+            t.wait().expect("ticket resolves").outcome,
+            RequestOutcome::Completed
+        );
+        d.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -518,20 +584,22 @@ mod tests {
         let d = daemon(2);
         // The cost model charges whole milliseconds per iteration; a
         // microsecond budget cannot cover even one.
-        let t = d.submit_with_deadline(vec![7, 7], 10_000, 1e-9);
-        let r = t.wait();
+        let t = d
+            .submit_with_deadline(vec![7, 7], 10_000, 1e-9)
+            .expect("daemon accepts");
+        let r = t.wait().expect("ticket resolves");
         assert_eq!(r.outcome, RequestOutcome::DeadlineMissed);
         assert!(r.generated.len() < 10_000);
-        let report = d.shutdown();
+        let report = d.shutdown().expect("clean shutdown");
         assert_eq!(report.faults.deadline_misses, 1);
     }
 
     #[test]
     fn daemon_absorbs_injected_faults_losslessly() {
         let clean = daemon(2);
-        let t = clean.submit(vec![1, 2, 3], 12);
-        let clean_out = t.wait().generated;
-        clean.shutdown();
+        let t = clean.submit(vec![1, 2, 3], 12).expect("daemon accepts");
+        let clean_out = t.wait().expect("ticket resolves").generated;
+        clean.shutdown().expect("clean shutdown");
 
         let mut config = daemon_config(2);
         config.faults = Some(FaultPlan::new(
@@ -545,9 +613,9 @@ mod tests {
             },
         ));
         let chaotic = daemon_with(config);
-        let t = chaotic.submit(vec![1, 2, 3], 12);
-        let chaos_out = t.wait().generated;
-        let report = chaotic.shutdown();
+        let t = chaotic.submit(vec![1, 2, 3], 12).expect("daemon accepts");
+        let chaos_out = t.wait().expect("ticket resolves").generated;
+        let report = chaotic.shutdown().expect("clean shutdown");
         assert!(report.faults.injected > 0, "plan must fire");
         assert_eq!(clean_out, chaos_out, "greedy output must be fault-proof");
     }

@@ -13,6 +13,7 @@
 //!   the paper reports (mean per-token latency, throughput, tokens per
 //!   decoding step).
 
+pub mod clock;
 mod daemon;
 mod fault;
 mod metrics;
@@ -20,7 +21,7 @@ mod request;
 mod scheduler;
 mod server;
 
-pub use daemon::{ServerDaemon, Ticket};
+pub use daemon::{DaemonError, ServerDaemon, Ticket};
 pub use fault::{BurstSpec, FaultPlan, FaultSpec};
 pub use metrics::{FaultCounters, IterationRecord, ServeReport};
 pub use request::{Request, RequestId, RequestOutcome, Response};

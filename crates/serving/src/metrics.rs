@@ -27,6 +27,12 @@ pub struct FaultCounters {
     pub retries: usize,
     /// Submissions dropped after exhausting their retries.
     pub rejected: usize,
+    /// Submissions rejected at admission as invalid (empty or oversized
+    /// prompt); they are answered with [`RequestOutcome::Rejected`]
+    /// without ever being decoded.
+    ///
+    /// [`RequestOutcome::Rejected`]: crate::request::RequestOutcome::Rejected
+    pub invalid: usize,
     /// Requests whose deadline passed (in queue or mid-stream).
     pub deadline_misses: usize,
     /// Requests cancelled mid-stream.
@@ -63,6 +69,11 @@ pub struct ServeReport {
     pub iteration_log: Vec<IterationRecord>,
     /// Faults injected and degradation responses taken during the run.
     pub faults: FaultCounters,
+    /// Real (wall-clock) seconds the run took, measured by the sanctioned
+    /// stopwatch in [`crate::clock`]. Observational only: simulated time
+    /// (`makespan_s`) drives every latency metric and scheduling
+    /// decision; this field exists so operators can see actual runtime.
+    pub wall_s: f64,
 }
 
 impl ServeReport {
@@ -172,6 +183,7 @@ mod tests {
             iterations: 6,
             iteration_log: Vec::new(),
             faults: FaultCounters::default(),
+            wall_s: 0.0,
         }
     }
 
@@ -203,6 +215,7 @@ mod tests {
             iterations: 0,
             iteration_log: Vec::new(),
             faults: FaultCounters::default(),
+            wall_s: 0.0,
         };
         assert_eq!(r.mean_per_token_latency_s(), 0.0);
         assert_eq!(r.throughput_tokens_per_s(), 0.0);

@@ -50,6 +50,9 @@ pub enum RequestOutcome {
     Cancelled,
     /// The per-request deadline passed (in queue or mid-stream).
     DeadlineMissed,
+    /// The request was invalid at admission (empty or oversized prompt)
+    /// and was never decoded; `generated` is empty.
+    Rejected,
 }
 
 /// A finished request — completed, cancelled, or expired.

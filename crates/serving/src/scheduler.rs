@@ -203,7 +203,9 @@ impl IterationScheduler {
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].deadline_missed(now) {
-                expired.push(self.pending.remove(i).expect("index checked"));
+                if let Some(r) = self.pending.remove(i) {
+                    expired.push(r);
+                }
             } else {
                 i += 1;
             }
@@ -249,7 +251,9 @@ impl IterationScheduler {
         while active + admitted.len() < self.max_batch_size {
             match self.pending.front() {
                 Some(r) if r.arrival_s <= now => {
-                    admitted.push(self.pending.pop_front().expect("peeked above"));
+                    if let Some(r) = self.pending.pop_front() {
+                        admitted.push(r);
+                    }
                 }
                 _ => break,
             }

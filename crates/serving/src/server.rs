@@ -304,6 +304,7 @@ impl<'m> Server<'m> {
 
     /// Runs all submitted requests to completion on the simulated clock.
     pub fn run(&self) -> ServeReport {
+        let wall = crate::clock::Stopwatch::start();
         let mut clock = 0.0f64;
         let mut active: Vec<ActiveRequest> = Vec::new();
         let mut responses: Vec<Response> = Vec::new();
@@ -333,12 +334,25 @@ impl<'m> Server<'m> {
                 for request in sched.admit(clock, active.len()) {
                     let mut config = self.config.engine.clone();
                     config.max_new_tokens = request.max_new_tokens;
-                    let mut session = Session::new(
+                    // An invalid prompt retires its own request as
+                    // `Rejected`; the rest of the trace keeps running.
+                    let mut session = match Session::try_new(
                         self.llm,
                         &self.ssms,
                         &request.prompt,
                         self.config.seed.wrapping_add(request.id.0),
-                    );
+                    ) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            faults.invalid += 1;
+                            responses.push(stub_response(
+                                &request,
+                                clock,
+                                RequestOutcome::Rejected,
+                            ));
+                            continue;
+                        }
+                    };
                     session.set_degradation_policy(self.config.degradation);
                     let cancel_at = plan.and_then(|p| p.cancel_after(request.id));
                     active.push(ActiveRequest {
@@ -473,6 +487,7 @@ impl<'m> Server<'m> {
             iterations,
             iteration_log,
             faults,
+            wall_s: wall.elapsed_s(),
         }
     }
 

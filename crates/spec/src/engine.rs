@@ -221,6 +221,42 @@ impl GenerationResult {
     }
 }
 
+/// A rejected generation request.
+///
+/// This is the *request-facing* fallible surface of the engine: bad
+/// inputs (empty or oversized prompts) come back as values so a serving
+/// daemon can retire one request instead of panicking a whole batch.
+/// Invariant violations inside a healthy session still panic loudly
+/// (`assert!`/`unreachable!`) — see ARCHITECTURE.md §8 for the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The prompt holds no tokens; there is nothing to root a tree on.
+    EmptyPrompt,
+    /// The prompt exceeds a participating model's context window.
+    PromptTooLong {
+        /// Prompt length in tokens.
+        len: usize,
+        /// The smallest `max_seq_len` across the LLM and the SSM pool.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyPrompt => write!(f, "prompt must hold at least one token"),
+            EngineError::PromptTooLong { len, max } => {
+                write!(
+                    f,
+                    "prompt of {len} tokens exceeds the context window ({max})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Per-request generation state, advanced one decoding iteration at a
 /// time.
 ///
@@ -248,12 +284,42 @@ impl Session {
     /// Starts a session: prefills the prompt (all but its last token)
     /// into the LLM cache and every SSM cache.
     ///
+    /// This is the panicking convenience constructor for trusted callers
+    /// (tests, benches, the CLI). Serving paths use [`Session::try_new`]
+    /// and retire the request on `Err` instead.
+    ///
     /// # Panics
     ///
     /// Panics if the prompt is empty or longer than a model's
     /// `max_seq_len`.
     pub fn new(llm: &Transformer, ssms: &[&Transformer], prompt: &[TokenId], seed: u64) -> Self {
-        assert!(!prompt.is_empty(), "prompt must hold at least one token");
+        match Session::try_new(llm, ssms, prompt, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid generation request: {e}"),
+        }
+    }
+
+    /// Fallible [`Session::new`]: rejects empty prompts and prompts that
+    /// cannot fit any participating model's context window.
+    pub fn try_new(
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        prompt: &[TokenId],
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        if prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let max = ssms
+            .iter()
+            .map(|s| s.config().max_seq_len)
+            .fold(llm.config().max_seq_len, usize::min);
+        if prompt.len() > max {
+            return Err(EngineError::PromptTooLong {
+                len: prompt.len(),
+                max,
+            });
+        }
         let mut llm_cache = llm.new_cache();
         if prompt.len() > 1 {
             let _ = llm.prefill(&prompt[..prompt.len() - 1], &mut llm_cache);
@@ -268,7 +334,7 @@ impl Session {
                 c
             })
             .collect();
-        Session {
+        Ok(Session {
             tokens: prompt.to_vec(),
             prompt_len: prompt.len(),
             llm_cache,
@@ -280,6 +346,16 @@ impl Session {
             degradation: DegradationStats::default(),
             accept_window: VecDeque::new(),
             fallback_until: None,
+        })
+    }
+
+    /// The root for the next speculated tree: the last token of the
+    /// sequence. [`Session::try_new`] guarantees a non-empty prompt and
+    /// decoding only appends, so the sequence can never be empty.
+    fn last_token(&self) -> TokenId {
+        match self.tokens.last() {
+            Some(&t) => t,
+            None => unreachable!("sessions always hold at least the prompt"),
         }
     }
 
@@ -452,7 +528,7 @@ impl Session {
     }
 
     fn step_incremental(&mut self, llm: &Transformer, config: &EngineConfig) -> StepStats {
-        let last = *self.tokens.last().expect("prompt is non-empty");
+        let last = self.last_token();
         let logits = llm.decode_one(last, &mut self.llm_cache);
         let next = match &config.decode {
             DecodeMode::Greedy => sampler::greedy_token(logits.data()),
@@ -484,7 +560,7 @@ impl Session {
             self.ssm_caches.len(),
             "the session was created for a different SSM pool"
         );
-        let root = *self.tokens.last().expect("prompt is non-empty");
+        let root = self.last_token();
         let exp_mode = ExpansionMode::for_decode_mode(&config.decode);
 
         // A garbage-logits fault replaces the whole pool's drafts with
@@ -543,7 +619,7 @@ impl Session {
             self.ssm_caches.len(),
             "the session was created for a different SSM pool"
         );
-        let root = *self.tokens.last().expect("prompt is non-empty");
+        let root = self.last_token();
         if let Some(seed) = garbage {
             // A garbage dynamic tree degenerates to a uniform chain no
             // deeper than the configured budget.
@@ -567,7 +643,7 @@ impl Session {
         spec: Speculation,
         config: &EngineConfig,
     ) -> StepStats {
-        let root = *self.tokens.last().expect("prompt is non-empty");
+        let root = self.last_token();
         let lin = LinearizedTree::new(&spec.tree);
         let prefix = self.llm_cache.len();
         let llm_logits = llm.decode_tree(&lin, &mut self.llm_cache);
@@ -679,12 +755,31 @@ impl<'m> SpecEngine<'m> {
     }
 
     /// Runs a full generation for `prompt`, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid request (see [`Session::new`]); serving
+    /// paths use [`SpecEngine::try_generate`].
     pub fn generate(&self, prompt: &[TokenId], seed: u64) -> GenerationResult {
         let mut session = Session::new(self.llm, &self.ssms, prompt, seed);
         while !session.is_finished() {
             let _ = session.step(self.llm, &self.ssms, &self.config);
         }
         session.into_result()
+    }
+
+    /// Fallible [`SpecEngine::generate`]: a bad request comes back as an
+    /// [`EngineError`] instead of panicking.
+    pub fn try_generate(
+        &self,
+        prompt: &[TokenId],
+        seed: u64,
+    ) -> Result<GenerationResult, EngineError> {
+        let mut session = Session::try_new(self.llm, &self.ssms, prompt, seed)?;
+        while !session.is_finished() {
+            let _ = session.step(self.llm, &self.ssms, &self.config);
+        }
+        Ok(session.into_result())
     }
 }
 

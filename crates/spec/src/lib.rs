@@ -57,8 +57,8 @@ pub use audit::{audit_greedy, AuditReport};
 pub use boost::{boost_tune_pool, BoostConfig, BoostResult};
 pub use dynamic::{speculate_dynamic, DynamicExpansionConfig};
 pub use engine::{
-    DegradationPolicy, DegradationStats, EngineConfig, GenerationResult, InferenceMode, Session,
-    SpecEngine, StepFault, StepStats,
+    DegradationPolicy, DegradationStats, EngineConfig, EngineError, GenerationResult,
+    InferenceMode, Session, SpecEngine, StepFault, StepStats,
 };
 pub use speculator::{
     expand_into, speculate_expansion, speculate_garbage, speculate_merged, speculate_pool_parallel,

@@ -468,7 +468,9 @@ pub fn speculate_pool_parallel(
     let mut tree = TokenTree::new(root_token);
     let mut dists = SsmDistTable::new();
     for (i, part) in parts.into_iter().enumerate() {
-        let (ptree, pdists) = part.expect("every SSM produces a speculation");
+        let Some((ptree, pdists)) = part else {
+            unreachable!("scope join guarantees every SSM worker filled its slot")
+        };
         graft_into(&mut tree, &mut dists, &ptree, &pdists, i, mode);
     }
     Speculation { tree, dists }

@@ -1,0 +1,141 @@
+//! Model-checked test of the data-parallel SSM pool's merge discipline.
+//!
+//! `speculator::speculate_pool` runs one worker per SSM, each filling a
+//! private slot, then grafts the partitions **in pool order** after the
+//! scope join — never in completion order. That is what makes pooled
+//! speculation bitwise identical to the serial pool walk (and to itself,
+//! run to run). This model reproduces the protocol under the loom-lite
+//! explorer (`shims/loom`) and checks both directions:
+//!
+//! * pool-order merge yields the same bits under *every* interleaving;
+//! * completion-order merge is actually schedule-dependent — the
+//!   explorer must find an interleaving that changes the result, which
+//!   proves the discipline is load-bearing, not incidental.
+
+use loom::sync::mpsc;
+use loom::thread;
+
+/// A worker's draft partition: a deterministic function of the pool
+/// index only (the real pool forks a per-SSM RNG stream the same way,
+/// so drafts never depend on scheduling).
+fn draft(pool_idx: usize) -> Vec<f32> {
+    (0..3)
+        .map(|j| 0.3 + (pool_idx as f32) * 1.7 + (j as f32) * 0.11)
+        .collect()
+}
+
+/// The graft step, modeled as a left fold that is sensitive to merge
+/// order (f32 accumulation), like grafting partitions into one tree.
+fn graft(merged: &mut Vec<f32>, acc: &mut f32, part: &[f32]) {
+    for &p in part {
+        *acc += p * 0.73;
+        merged.push(*acc);
+    }
+}
+
+fn reference_merge(workers: usize) -> Vec<f32> {
+    let mut merged = Vec::new();
+    let mut acc = 0.0f32;
+    for i in 0..workers {
+        graft(&mut merged, &mut acc, &draft(i));
+    }
+    merged
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Pool-order merge: workers finish in any order (announced over a
+/// channel), slots are filled as results arrive, and the graft walks the
+/// slots by pool index. Every schedule must reproduce the serial bits.
+#[test]
+fn pool_order_merge_is_schedule_independent() {
+    for workers in 2..=3usize {
+        let expected = bits(&reference_merge(workers));
+        let bound = if workers >= 3 { Some(3) } else { None };
+        let b = loom::Builder {
+            preemption_bound: bound,
+            max_schedules: None,
+        };
+        let report = b.explore(move || {
+            let (tx, rx) = mpsc::channel();
+            for i in 0..workers {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    tx.send((i, draft(i))).expect("merger outlives workers");
+                });
+            }
+            drop(tx);
+            // Completion order is schedule-dependent; slot placement
+            // erases it, exactly like `parts[i] = Some(..)` in the pool.
+            let mut slots: Vec<Option<Vec<f32>>> = vec![None; workers];
+            for _ in 0..workers {
+                let (i, part) = rx.recv().expect("every worker reports");
+                assert!(slots[i].is_none(), "worker {i} reported twice");
+                slots[i] = Some(part);
+            }
+            let mut merged = Vec::new();
+            let mut acc = 0.0f32;
+            for slot in &slots {
+                let part = slot.as_ref().expect("scope join filled every slot");
+                graft(&mut merged, &mut acc, part);
+            }
+            assert_eq!(
+                bits(&merged),
+                expected,
+                "pool-order graft merge must be bitwise schedule-independent"
+            );
+        });
+        assert!(
+            report.failure.is_none(),
+            "{} workers: {:?}",
+            workers,
+            report.failure
+        );
+        assert!(
+            report.completed,
+            "{} workers: exploration truncated",
+            workers
+        );
+        assert!(
+            report.schedules > 1,
+            "{} workers must admit multiple interleavings",
+            workers
+        );
+    }
+}
+
+/// The counter-model: graft in *completion* order instead. The explorer
+/// must exhibit a schedule where the merged bits differ from the
+/// reference — demonstrating that pool-order slotting is what carries
+/// the determinism guarantee (and that the explorer can tell).
+#[test]
+fn completion_order_merge_is_caught_as_nondeterministic() {
+    let workers = 2usize;
+    let expected = bits(&reference_merge(workers));
+    let report = loom::explore(move || {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..workers {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                tx.send((i, draft(i))).expect("merger outlives workers");
+            });
+        }
+        drop(tx);
+        let mut merged = Vec::new();
+        let mut acc = 0.0f32;
+        for _ in 0..workers {
+            let (_, part) = rx.recv().expect("every worker reports");
+            graft(&mut merged, &mut acc, &part);
+        }
+        assert_eq!(bits(&merged), expected, "arrival-order merge drifted");
+    });
+    let failure = report
+        .failure
+        .expect("some interleaving must reorder the arrival-order merge");
+    assert!(
+        failure.contains("arrival-order merge drifted"),
+        "unexpected failure: {failure}"
+    );
+}

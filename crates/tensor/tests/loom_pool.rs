@@ -1,0 +1,158 @@
+//! Model-checked concurrency tests for the kernel thread-pool pattern.
+//!
+//! `kernels::scoped_rows`/`scoped_cols` partition an output buffer into
+//! disjoint chunks, run one worker per chunk, and rely on the scope join
+//! as the only barrier. These models re-create that protocol under the
+//! loom-lite explorer (`shims/loom`), which enumerates every thread
+//! interleaving and reports assertion failures and deadlocks — so a lost
+//! wakeup in the join/notify protocol would fail here deterministically,
+//! on every machine, with the schedule that triggers it.
+//!
+//! The invariant under test is the one the kernels document: the
+//! partitioned result, joined in pool order, is **bitwise identical** to
+//! the serial computation, for 1–4 workers, under every schedule.
+
+use loom::sync::mpsc;
+use loom::thread;
+
+/// The per-row kernel the partition invariance argument rests on: each
+/// output row is a left-to-right f32 accumulation over `k`, so a row's
+/// bits depend only on its inputs — never on which worker computed it.
+fn rows_kernel(a: &[f32], b: &[f32], rows: std::ops::Range<usize>, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (ri, i) in rows.enumerate() {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            for j in 0..n {
+                out[ri * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic awkward-valued inputs (f32 addition is non-associative,
+/// so any ordering slip shows up in the bits).
+fn inputs(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..m * k).map(|i| 0.1 + (i as f32) * 0.37).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| -0.25 + (i as f32) * 0.19).collect();
+    (a, b)
+}
+
+fn row_ranges(m: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = m.div_ceil(workers.min(m));
+    (0..m)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(m))
+        .collect()
+}
+
+/// The scope-join barrier model: one worker per disjoint row chunk, the
+/// parent joins in pool order and concatenates. Explored exhaustively
+/// for 1–4 workers; every schedule must produce the serial bits.
+#[test]
+fn partition_join_is_bitwise_stable_for_1_to_4_workers() {
+    let (m, k, n) = (4usize, 3usize, 2usize);
+    let (a, b) = inputs(m, k, n);
+    let serial = rows_kernel(&a, &b, 0..m, k, n);
+
+    for workers in 1..=4usize {
+        let (a, b, serial) = (a.clone(), b.clone(), serial.clone());
+        let report = loom::explore(move || {
+            let handles: Vec<_> = row_ranges(m, workers)
+                .into_iter()
+                .map(|range| {
+                    let (a, b) = (a.clone(), b.clone());
+                    thread::spawn(move || rows_kernel(&a, &b, range, k, n))
+                })
+                .collect();
+            // Pool-order join: the barrier and the merge are the same
+            // step, exactly like std::thread::scope joining its workers.
+            let mut merged = Vec::new();
+            for h in handles {
+                merged.extend(h.join().expect("worker completes"));
+            }
+            assert_eq!(merged.len(), serial.len());
+            let same_bits = merged
+                .iter()
+                .zip(&serial)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same_bits, "partitioned result drifted from serial bits");
+        });
+        assert!(
+            report.failure.is_none(),
+            "{} workers: {:?}",
+            workers,
+            report.failure
+        );
+        assert!(report.completed, "exploration must cover every schedule");
+        assert!(report.schedules >= 1, "at least the baseline schedule runs");
+    }
+}
+
+/// The completion-notification variant: workers announce over a channel
+/// when their chunk is done and the parent waits for all announcements
+/// before reading any result. A lost wakeup (a send the receiver can
+/// sleep through) would strand the parent in `recv` — the explorer
+/// reports that as a deadlock, so `completed` + no failure proves the
+/// wakeup protocol sound across every interleaving.
+#[test]
+fn completion_channel_has_no_lost_wakeup() {
+    let (m, k, n) = (3usize, 2usize, 2usize);
+    let (a, b) = inputs(m, k, n);
+    let serial = rows_kernel(&a, &b, 0..m, k, n);
+
+    for workers in 2..=3usize {
+        let (a, b, serial) = (a.clone(), b.clone(), serial.clone());
+        let report = loom::explore(move || {
+            let (tx, rx) = mpsc::channel();
+            let handles: Vec<_> = row_ranges(m, workers)
+                .into_iter()
+                .enumerate()
+                .map(|(idx, range)| {
+                    let (a, b) = (a.clone(), b.clone());
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        let chunk = rows_kernel(&a, &b, range, k, n);
+                        tx.send(idx).expect("parent outlives workers");
+                        chunk
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Barrier: one announcement per worker, in completion order.
+            let mut seen = vec![false; handles.len()];
+            for _ in 0..handles.len() {
+                let idx = rx.recv().expect("every worker announces");
+                assert!(!seen[idx], "worker announced twice");
+                seen[idx] = true;
+            }
+            // Merge in pool order regardless of announcement order.
+            let mut merged = Vec::new();
+            for h in handles {
+                merged.extend(h.join().expect("worker completes"));
+            }
+            let same_bits = merged
+                .iter()
+                .zip(&serial)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same_bits, "partitioned result drifted from serial bits");
+        });
+        assert!(
+            report.failure.is_none(),
+            "{} workers: {:?}",
+            workers,
+            report.failure
+        );
+        assert!(
+            report.completed,
+            "{} workers: exploration truncated",
+            workers
+        );
+        assert!(
+            report.schedules > 1,
+            "{} workers must admit multiple interleavings",
+            workers
+        );
+    }
+}

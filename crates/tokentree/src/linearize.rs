@@ -43,6 +43,16 @@ impl TopologyMask {
         self.bits[i * self.n + j]
     }
 
+    /// Non-panicking [`TopologyMask::allowed`]: `None` when either index
+    /// is out of range, for callers handling untrusted positions.
+    pub fn try_allowed(&self, i: usize, j: usize) -> Option<bool> {
+        if i < self.n && j < self.n {
+            Some(self.bits[i * self.n + j])
+        } else {
+            None
+        }
+    }
+
     /// Number of allowed (i, j) pairs — useful for cost accounting.
     pub fn allowed_count(&self) -> usize {
         self.bits.iter().filter(|&&b| b).count()
@@ -130,6 +140,16 @@ impl LinearizedTree {
         let i = self.index_of[u.index()];
         assert!(i != usize::MAX, "node not present in linearization");
         i
+    }
+
+    /// Non-panicking [`LinearizedTree::index_of`]: `None` when `u` does
+    /// not belong to the linearized tree (including ids from another,
+    /// larger tree, which the panicking accessor would reject by bounds).
+    pub fn try_index_of(&self, u: NodeId) -> Option<usize> {
+        match self.index_of.get(u.index()) {
+            Some(&i) if i != usize::MAX => Some(i),
+            _ => None,
+        }
     }
 
     /// Depth (relative to the root) of each linear position. Added to the
@@ -242,6 +262,21 @@ mod tests {
         let lin = LinearizedTree::new(&tree);
         for (i, &u) in lin.nodes().iter().enumerate() {
             assert_eq!(lin.index_of(u), i);
+            assert_eq!(lin.try_index_of(u), Some(i));
         }
+    }
+
+    #[test]
+    fn try_accessors_reject_out_of_range_without_panicking() {
+        let tree = figure_4_tree();
+        let lin = LinearizedTree::new(&tree);
+        let n = lin.len();
+        // A node id from a larger tree is out of bounds for this one.
+        let mut big = figure_4_tree();
+        let extra = big.add_child(TokenTree::ROOT, 99, 0, 0.5);
+        assert_eq!(lin.try_index_of(extra), None);
+        assert_eq!(lin.mask().try_allowed(0, n), None);
+        assert_eq!(lin.mask().try_allowed(n, 0), None);
+        assert_eq!(lin.mask().try_allowed(0, 0), Some(true));
     }
 }

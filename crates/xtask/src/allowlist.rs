@@ -1,0 +1,158 @@
+//! Audited-exception allowlist.
+//!
+//! `crates/xtask/lint-allow.txt` holds the findings the team has audited
+//! and accepted, one per line:
+//!
+//! ```text
+//! rule | path-suffix | line-substring | justification
+//! ```
+//!
+//! A finding is suppressed when an entry's rule matches, the finding's
+//! path ends with the entry's path-suffix, and the finding's source line
+//! contains the line-substring. The justification is mandatory — an
+//! entry without one is itself a lint error, as is an entry that no
+//! longer matches anything (stale exceptions must be deleted, not
+//! accumulated).
+
+use crate::rules::Finding;
+
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_suffix: String,
+    pub line_substring: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub src_line: usize,
+}
+
+/// Parses the allowlist text. Malformed or justification-less entries are
+/// returned as findings against the allowlist file itself.
+pub fn parse_allowlist(path: &str, text: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 || parts.iter().take(3).any(|p| p.is_empty()) {
+            errors.push(Finding {
+                rule: "allowlist",
+                path: path.to_string(),
+                line: i + 1,
+                message: "malformed entry; expected `rule | path-suffix | line-substring | \
+                          justification`"
+                    .into(),
+                snippet: raw.to_string(),
+            });
+            continue;
+        }
+        if parts[3].is_empty() {
+            errors.push(Finding {
+                rule: "allowlist",
+                path: path.to_string(),
+                line: i + 1,
+                message: "entry has no justification; audited exceptions must say why".into(),
+                snippet: raw.to_string(),
+            });
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            path_suffix: parts[1].to_string(),
+            line_substring: parts[2].to_string(),
+            justification: parts[3].to_string(),
+            src_line: i + 1,
+        });
+    }
+    (entries, errors)
+}
+
+/// Removes allowlisted findings. Returns the surviving findings plus one
+/// `allowlist` finding per entry that matched nothing (stale exception).
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+    allowlist_path: &str,
+) -> Vec<Finding> {
+    let mut used = vec![false; entries.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        let mut suppressed = false;
+        for (k, e) in entries.iter().enumerate() {
+            if e.rule == f.rule
+                && f.path.ends_with(&e.path_suffix)
+                && f.snippet.contains(&e.line_substring)
+            {
+                used[k] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for (k, e) in entries.iter().enumerate() {
+        if !used[k] {
+            out.push(Finding {
+                rule: "allowlist",
+                path: allowlist_path.to_string(),
+                line: e.src_line,
+                message: format!(
+                    "stale allowlist entry (rule `{}`, path `…{}`) matches nothing; delete it",
+                    e.rule, e.path_suffix
+                ),
+                snippet: format!("{} | {} | {}", e.rule, e.path_suffix, e.line_substring),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_justification() {
+        let (entries, errors) = parse_allowlist(
+            "lint-allow.txt",
+            "# comment\n\nno_unwrap | spec/src/a.rs | .expect( | parent exists by construction\nno_unwrap | spec/src/b.rs | .unwrap() |\nbad-line\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert_eq!(errors[0].line, 4);
+        assert_eq!(errors[1].line, 5);
+    }
+
+    #[test]
+    fn apply_suppresses_and_flags_stale() {
+        let (entries, errors) = parse_allowlist(
+            "lint-allow.txt",
+            "no_unwrap | spec/src/a.rs | .expect(\"ok\") | audited\nno_unwrap | spec/src/gone.rs | .unwrap() | audited\n",
+        );
+        assert!(errors.is_empty());
+        let findings = vec![
+            finding("no_unwrap", "crates/spec/src/a.rs", "x.expect(\"ok\");"),
+            finding("no_unwrap", "crates/spec/src/a.rs", "y.unwrap();"),
+        ];
+        let out = apply_allowlist(findings, &entries, "crates/xtask/lint-allow.txt");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.snippet.contains("y.unwrap")));
+        assert!(out
+            .iter()
+            .any(|f| f.rule == "allowlist" && f.message.contains("stale")));
+    }
+}

@@ -1,0 +1,67 @@
+//! CLI for specinfer-lint.
+//!
+//! ```text
+//! cargo run -p specinfer-xtask -- lint                 # lint the workspace
+//! cargo run -p specinfer-xtask -- lint --root DIR      # lint another tree
+//! cargo run -p specinfer-xtask -- lint --strict F...   # all rules, given files
+//! ```
+//!
+//! Exit code 0 means no findings; 1 means findings; 2 means usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: specinfer-xtask lint [--root DIR]\n       specinfer-xtask lint --strict FILE..."
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let findings = if args.first().map(String::as_str) == Some("--strict") {
+        let files: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+        if files.is_empty() {
+            eprintln!("lint --strict requires at least one file");
+            return ExitCode::from(2);
+        }
+        specinfer_xtask::lint_files_strict(&files)
+    } else {
+        let root = match args {
+            [] => default_root(),
+            [flag, dir] if flag == "--root" => PathBuf::from(dir),
+            _ => {
+                eprintln!("unrecognised arguments: {args:?}");
+                return ExitCode::from(2);
+            }
+        };
+        specinfer_xtask::lint_workspace(&root)
+    };
+
+    if findings.is_empty() {
+        println!("specinfer-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("specinfer-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest dir.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

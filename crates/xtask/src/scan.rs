@@ -1,0 +1,371 @@
+//! Lexical scan of Rust sources.
+//!
+//! The lint rules need three things a regex over raw text cannot give
+//! them: (1) pattern matches restricted to *code* (a `panic!` inside a
+//! string literal or a doc comment is not a violation), (2) the comment
+//! text near each line (the `// SAFETY:` rule), and (3) whether a line
+//! sits inside a `#[cfg(test)]` region. This module implements a small
+//! token-level scanner — line comments, nested block comments, string /
+//! raw-string / byte-string / char literals, lifetimes — that classifies
+//! every line without a full parse.
+
+/// One source line, split into its lexical classes.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// The original line, verbatim (used for allowlist matching and
+    /// diagnostics).
+    pub raw: String,
+    /// The line with comments removed and literal *contents* blanked;
+    /// delimiters are kept so code structure stays visible.
+    pub code: String,
+    /// Concatenated text of all comments overlapping the line.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item (or the file is
+    /// a test/bench/example context as a whole).
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub lines: Vec<ScannedLine>,
+}
+
+impl ScannedFile {
+    /// Whether the path itself marks a test/bench/example context whose
+    /// whole content is exempt from production-code rules.
+    pub fn is_test_context(path: &str) -> bool {
+        path.contains("/tests/")
+            || path.starts_with("tests/")
+            || path.contains("/benches/")
+            || path.contains("/examples/")
+            || path.starts_with("examples/")
+    }
+}
+
+/// Scans `src`, classifying each line. `force_code` treats the file as
+/// production code even if the path looks like a test context (used for
+/// lint fixtures, which live under `tests/fixtures/`).
+pub fn scan_source(path: &str, src: &str, force_code: bool) -> ScannedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut lines: Vec<(String, String, String)> = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+
+    // Current lexical state, persisting across newlines.
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut st = St::Code;
+
+    let mut i = 0;
+    // Flushes the current line buffers.
+    macro_rules! flush {
+        () => {{
+            lines.push((
+                std::mem::take(&mut raw),
+                std::mem::take(&mut code),
+                std::mem::take(&mut comment),
+            ));
+        }};
+    }
+    while i < n {
+        let c = chars[i];
+        if c != '\n' {
+            raw.push(c);
+        }
+        match st {
+            St::Code => match c {
+                '\n' => flush!(),
+                '/' if i + 1 < n && chars[i + 1] == '/' => {
+                    // Line comment (incl. doc comments): consume to EOL.
+                    i += 1;
+                    raw.push(chars[i]);
+                    while i + 1 < n && chars[i + 1] != '\n' {
+                        i += 1;
+                        raw.push(chars[i]);
+                        comment.push(chars[i]);
+                    }
+                }
+                '/' if i + 1 < n && chars[i + 1] == '*' => {
+                    i += 1;
+                    raw.push(chars[i]);
+                    st = St::Block(1);
+                }
+                '"' => {
+                    code.push('"');
+                    st = St::Str;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) => {
+                    // Possible raw/byte string prefix: r"", r#""#, b"",
+                    // br#""#. Anything else falls through as plain code.
+                    let mut j = i + 1;
+                    let mut is_raw = c == 'r';
+                    if c == 'b' && j < n && chars[j] == 'r' {
+                        is_raw = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    if is_raw {
+                        while j < n && chars[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    if j < n && chars[j] == '"' {
+                        // Emit the prefix and delimiters; contents are
+                        // blanked by the string state.
+                        raw.extend(chars[i + 1..=j].iter());
+                        code.extend(chars[i..=j].iter());
+                        i = j;
+                        st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    } else {
+                        code.push(c);
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A char literal is '\…' or
+                    // 'x' (single char then a closing quote); anything
+                    // else is a lifetime tick.
+                    if i + 1 < n && chars[i + 1] == '\\' {
+                        code.push('\'');
+                        i += 1;
+                        raw.push(chars[i]);
+                        // Skip the escape body up to the closing quote.
+                        while i + 1 < n && chars[i + 1] != '\'' && chars[i + 1] != '\n' {
+                            i += 1;
+                            raw.push(chars[i]);
+                        }
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            i += 1;
+                            raw.push('\'');
+                            code.push('\'');
+                        }
+                    } else if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                        code.push('\'');
+                        code.push('\'');
+                        raw.push(chars[i + 1]);
+                        raw.push('\'');
+                        i += 2;
+                    } else {
+                        // Lifetime: keep the tick so `'static` stays in code.
+                        code.push('\'');
+                    }
+                }
+                _ => code.push(c),
+            },
+            St::Block(d) => match c {
+                '\n' => flush!(),
+                '*' if i + 1 < n && chars[i + 1] == '/' => {
+                    i += 1;
+                    raw.push('/');
+                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                }
+                '/' if i + 1 < n && chars[i + 1] == '*' => {
+                    i += 1;
+                    raw.push('*');
+                    st = St::Block(d + 1);
+                }
+                _ => comment.push(c),
+            },
+            St::Str => match c {
+                '\n' => flush!(), // multiline string literal
+                '\\' if i + 1 < n && chars[i + 1] != '\n' => {
+                    i += 1;
+                    raw.push(chars[i]);
+                }
+                '"' => {
+                    code.push('"');
+                    st = St::Code;
+                }
+                _ => {}
+            },
+            St::RawStr(h) => match c {
+                '\n' => flush!(),
+                '"' => {
+                    let mut ok = true;
+                    for k in 0..h as usize {
+                        if i + 1 + k >= n || chars[i + 1 + k] != '#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..h {
+                            i += 1;
+                            raw.push('#');
+                        }
+                        code.push('"');
+                        st = St::Code;
+                    }
+                }
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        flush!();
+    }
+
+    // Second pass: mark `#[cfg(test)]` regions by brace tracking. The
+    // attribute applies to the next item; its first `{` opens the region.
+    let file_is_test = !force_code && ScannedFile::is_test_context(path);
+    let mut out = Vec::with_capacity(lines.len());
+    let mut depth: i64 = 0;
+    let mut pending_cfg = false;
+    let mut regions: Vec<i64> = Vec::new();
+    for (raw, code, comment) in lines {
+        let active_before = !regions.is_empty();
+        let mut opened_here = false;
+        if code.replace(' ', "").contains("#[cfg(test)]") {
+            pending_cfg = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_cfg {
+                        regions.push(depth);
+                        pending_cfg = false;
+                        opened_here = true;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        let in_test = file_is_test || active_before || opened_here || pending_cfg;
+        out.push(ScannedLine {
+            raw,
+            code,
+            comment,
+            in_test,
+        });
+    }
+    ScannedFile {
+        path: path.to_string(),
+        lines: out,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Whether `needle` occurs in `hay` delimited by non-identifier chars on
+/// both sides — used to match keywords and macro names without catching
+/// identifiers that merely contain them.
+pub fn word_match(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle).is_some()
+}
+
+/// Byte offset of the first word-delimited occurrence of `needle`.
+pub fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1] as char;
+            !(b.is_alphanumeric() || b == '_')
+        };
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || {
+            let a = bytes[end] as char;
+            !(a.is_alphanumeric() || a == '_')
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_code() {
+        let f = scan_source(
+            "crates/x/src/a.rs",
+            "let a = \"unsafe panic!\"; // SAFETY: not really\nunsafe { x } /* unwrap() */\n",
+            false,
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert!(f.lines[1].code.contains("unsafe"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[1].comment.contains("unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan_source(
+            "crates/x/src/a.rs",
+            "let s = r#\"Instant::now()\"#; let t = b\"SystemTime\";\n",
+            false,
+        );
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(!f.lines[0].code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan_source(
+            "crates/x/src/a.rs",
+            "fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; }\n",
+            false,
+        );
+        assert!(f.lines[0].code.contains("'a str"));
+        assert!(!f.lines[0].code.contains("x';"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = scan_source("crates/x/src/a.rs", src, false);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line belongs to the region");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan_source("crates/x/src/a.rs", "/* a /* b */ still */ code()\n", false);
+        assert!(f.lines[0].code.contains("code()"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn test_context_paths_mark_whole_file() {
+        let f = scan_source("crates/x/tests/t.rs", "x.unwrap();\n", false);
+        assert!(f.lines[0].in_test);
+        let forced = scan_source("crates/x/tests/fixtures/t.rs", "x.unwrap();\n", true);
+        assert!(!forced.lines[0].in_test);
+    }
+
+    #[test]
+    fn word_match_respects_boundaries() {
+        assert!(word_match("unsafe {", "unsafe"));
+        assert!(!word_match("not_unsafe_fn()", "unsafe"));
+        assert!(word_match("core::panic!(\"x\")", "panic!"));
+    }
+}

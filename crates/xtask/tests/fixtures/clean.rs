@@ -1,0 +1,24 @@
+// Clean fixture: documented unsafe, typed errors, no clock reads, no
+// thread creation. Must produce zero findings even under --strict.
+
+#[derive(Debug)]
+pub enum HeadError {
+    Empty,
+}
+
+pub fn head(v: &[u8]) -> Result<u8, HeadError> {
+    if v.is_empty() {
+        return Err(HeadError::Empty);
+    }
+    // SAFETY: emptiness was rejected above, so index 0 is in bounds and
+    // the pointer is valid for a one-byte read.
+    Ok(unsafe { *v.as_ptr() })
+}
+
+pub fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out.sort_unstable();
+    out
+}

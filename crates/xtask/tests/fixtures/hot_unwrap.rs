@@ -1,0 +1,11 @@
+// Known-bad fixture: panic-prone calls in non-test code. Must trigger
+// exactly the `no_unwrap` rule — three findings (unwrap, expect, panic!).
+
+pub fn decode(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("decode failed");
+    if a.checked_add(b).is_none() {
+        panic!("overflowing decode");
+    }
+    a + b
+}

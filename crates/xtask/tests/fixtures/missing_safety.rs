@@ -1,0 +1,7 @@
+// Known-bad fixture: an `unsafe` block with no `// SAFETY:` comment.
+// Must trigger exactly the `safety_comment` rule, once.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() }
+}

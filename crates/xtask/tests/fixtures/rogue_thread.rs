@@ -1,0 +1,19 @@
+// Known-bad fixture: thread creation outside the sanctioned pool and
+// daemon modules. Must trigger exactly the `thread_confinement` rule —
+// two findings (thread::spawn, thread::scope).
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}
+
+pub fn sum_in_parallel(xs: &[u64]) -> u64 {
+    let mid = xs.len() / 2;
+    std::thread::scope(|scope| {
+        let left = scope.spawn(|| xs[..mid].iter().sum::<u64>());
+        let right: u64 = xs[mid..].iter().sum();
+        match left.join() {
+            Ok(l) => l + right,
+            Err(_) => right,
+        }
+    })
+}

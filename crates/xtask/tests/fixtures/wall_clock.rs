@@ -1,0 +1,13 @@
+// Known-bad fixture: wall-clock reads and unseeded randomness in
+// library code. Must trigger exactly the `determinism` rule — three
+// findings (Instant::now, SystemTime, thread_rng).
+
+pub fn stamp() -> u128 {
+    let _started = std::time::Instant::now();
+    let epoch_ms = match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_millis(),
+        Err(_) => 0,
+    };
+    let jitter = rand::thread_rng().gen_range(0..7) as u128;
+    epoch_ms + jitter
+}

@@ -1,0 +1,133 @@
+//! Self-tests for specinfer-lint: every rule has a known-bad fixture
+//! that triggers exactly that rule, a clean fixture passes all rules,
+//! and the binary's exit codes match (non-zero on findings, zero clean).
+//!
+//! Fixtures live in `tests/fixtures/`, which the workspace scan skips —
+//! they are bad *by design* and must only be seen via `--strict`.
+
+use specinfer_xtask::{lint_files_strict, lint_workspace};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("xtask lives two levels below the workspace root")
+}
+
+/// Asserts the fixture yields `count` findings, all of rule `rule`.
+fn assert_only_rule(name: &str, rule: &str, count: usize) {
+    let findings = lint_files_strict(&[fixture(name)]);
+    assert_eq!(
+        findings.len(),
+        count,
+        "{name}: expected {count} findings, got {findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(
+            f.rule, rule,
+            "{name}: expected only `{rule}` findings, got {f}"
+        );
+        assert!(f.line > 0, "{name}: findings carry a 1-based line: {f}");
+    }
+}
+
+#[test]
+fn missing_safety_fixture_triggers_only_safety_comment() {
+    assert_only_rule("missing_safety.rs", "safety_comment", 1);
+}
+
+#[test]
+fn hot_unwrap_fixture_triggers_only_no_unwrap() {
+    // One finding each for `.unwrap()`, `.expect(` and `panic!`.
+    assert_only_rule("hot_unwrap.rs", "no_unwrap", 3);
+}
+
+#[test]
+fn wall_clock_fixture_triggers_only_determinism() {
+    // One finding each for `Instant::now`, `SystemTime`, `thread_rng`.
+    assert_only_rule("wall_clock.rs", "determinism", 3);
+}
+
+#[test]
+fn rogue_thread_fixture_triggers_only_thread_confinement() {
+    // One finding each for `thread::spawn` and `thread::scope`.
+    assert_only_rule("rogue_thread.rs", "thread_confinement", 2);
+}
+
+#[test]
+fn bad_shim_fixture_triggers_only_shim_hygiene() {
+    // Bare registry string, git dep, version table, path escape — and
+    // the [package] version must not be flagged.
+    assert_only_rule("bad_shim/Cargo.toml", "shim_hygiene", 4);
+}
+
+#[test]
+fn clean_fixture_passes_every_rule_in_strict_mode() {
+    let findings = lint_files_strict(&[fixture("clean.rs")]);
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let findings = lint_workspace(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "workspace lint must stay clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The binary contract: exit 1 on each bad fixture, exit 0 on the clean
+/// fixture and on the whole workspace, exit 2 on usage errors.
+#[test]
+fn binary_exit_codes_match_findings() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+    for bad in [
+        "missing_safety.rs",
+        "hot_unwrap.rs",
+        "wall_clock.rs",
+        "rogue_thread.rs",
+        "bad_shim/Cargo.toml",
+    ] {
+        let status = Command::new(bin)
+            .args(["lint", "--strict"])
+            .arg(fixture(bad))
+            .status()
+            .expect("lint binary runs");
+        assert_eq!(status.code(), Some(1), "{bad}: expected exit 1");
+    }
+
+    let clean = Command::new(bin)
+        .args(["lint", "--strict"])
+        .arg(fixture("clean.rs"))
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(clean.code(), Some(0), "clean fixture: expected exit 0");
+
+    let workspace = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(workspace_root())
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(workspace.code(), Some(0), "workspace lint: expected exit 0");
+
+    let usage = Command::new(bin)
+        .arg("frobnicate")
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(usage.code(), Some(2), "unknown command: expected exit 2");
+}

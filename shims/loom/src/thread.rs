@@ -1,0 +1,51 @@
+//! Model threads: scheduler-registered tasks with join support.
+
+use crate::rt;
+use std::sync::{Arc, Mutex as StdMutex};
+
+pub struct JoinHandle<T> {
+    task: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model task. The spawn itself is a decision point: the child
+/// may run to completion before the parent resumes, or not start until
+/// the parent blocks — the explorer tries both.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = rt::current();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let task = rt::spawn_task(&sched, move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    });
+    sched.yield_point(me);
+    JoinHandle { task, result }
+}
+
+/// A voluntary decision point, for models that want to widen the
+/// explored interleavings around plain computation.
+pub fn yield_now() {
+    let (sched, me) = rt::current();
+    sched.yield_point(me);
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the task finishes. Returns `Err` if the task
+    /// panicked (the explorer will also record that execution as a
+    /// failure).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = rt::current();
+        sched.join_task(me, self.task);
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new(
+                "loom model task panicked before producing a value",
+            )),
+        }
+    }
+}
