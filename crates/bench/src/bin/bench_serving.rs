@@ -1,0 +1,208 @@
+//! Machine-readable serving-throughput benchmark: batched vs serial
+//! cross-request tree verification.
+//!
+//! Writes `BENCH_serving.json` into the current directory. For each
+//! batch size the same set of seeded sessions is generated twice —
+//! once stepping every session through its own LLM forward per
+//! iteration (the pre-batching daemon loop), once driving all sessions
+//! through [`BatchedVerifier::step_batch`]'s single stacked forward —
+//! and the harness asserts the two runs emit byte-identical tokens
+//! before reporting tokens/s and LLM-forward counts.
+//!
+//! Everything is seeded; numbers vary with the machine, outputs don't.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use specinfer_model::{DecodeMode, ModelConfig, Transformer};
+use specinfer_spec::{
+    BatchItem, BatchedVerifier, EngineConfig, InferenceMode, Session, StochasticVerifier,
+};
+use specinfer_tokentree::{ExpansionConfig, TokenId};
+
+#[derive(Serialize)]
+struct BatchResult {
+    batch: usize,
+    tokens: usize,
+    /// LLM forward passes of the serial run (one per live session per
+    /// iteration) and the batched run (one fused pass per iteration).
+    serial_llm_forwards: usize,
+    batched_llm_forwards: usize,
+    serial_iterations: usize,
+    batched_iterations: usize,
+    serial_tokens_per_s: f64,
+    batched_tokens_per_s: f64,
+    speedup: f64,
+    outputs_match: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    effective_threads: usize,
+    max_new_tokens: usize,
+    expansion: Vec<usize>,
+    results: Vec<BatchResult>,
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        decode: DecodeMode::Greedy,
+        verifier: StochasticVerifier::MultiStep,
+        // A depth-one chain keeps each request's verify block tiny (two
+        // rows), the regime the fused pass helps most: serial forwards
+        // pay the kernels' scalar remainder path on every row while the
+        // stacked batch fills whole 4-row register tiles.
+        mode: InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::new(vec![1]),
+        },
+        max_new_tokens: 32,
+        eos_token: None,
+    }
+}
+
+fn prompt(slot: usize) -> Vec<TokenId> {
+    vec![1 + slot as TokenId, 7, 2 + (slot % 5) as TokenId]
+}
+
+fn sessions(llm: &Transformer, ssms: &[&Transformer], batch: usize) -> Vec<Session> {
+    (0..batch)
+        .map(|b| Session::new(llm, ssms, &prompt(b), 0xbe9c_u64.wrapping_add(b as u64)))
+        .collect()
+}
+
+/// Pre-batching baseline: every live session runs its own LLM forward
+/// each iteration. Returns (outputs, llm_forwards, iterations).
+fn run_serial(
+    llm: &Transformer,
+    ssms: &[&Transformer],
+    cfg: &EngineConfig,
+    batch: usize,
+) -> (Vec<Vec<TokenId>>, usize, usize) {
+    let mut sessions = sessions(llm, ssms, batch);
+    let mut forwards = 0usize;
+    let mut iterations = 0usize;
+    while sessions.iter().any(|s| !s.is_finished()) {
+        for s in sessions.iter_mut() {
+            if s.step(llm, ssms, cfg).is_some() {
+                forwards += 1;
+            }
+        }
+        iterations += 1;
+    }
+    let outs = sessions
+        .into_iter()
+        .map(|s| s.into_result().tokens)
+        .collect();
+    (outs, forwards, iterations)
+}
+
+/// Batched verification: one stacked LLM forward per iteration.
+fn run_batched(
+    llm: &Transformer,
+    ssms: &[&Transformer],
+    cfg: &EngineConfig,
+    batch: usize,
+) -> (Vec<Vec<TokenId>>, usize, usize) {
+    let verifier = BatchedVerifier::new();
+    let mut sessions = sessions(llm, ssms, batch);
+    let mut forwards = 0usize;
+    let mut iterations = 0usize;
+    while sessions.iter().any(|s| !s.is_finished()) {
+        let mut items: Vec<BatchItem<'_>> = sessions
+            .iter_mut()
+            .map(|s| BatchItem::new(s, cfg))
+            .collect();
+        let stats = verifier.step_batch(llm, ssms, &mut items);
+        if stats.iter().any(Option::is_some) {
+            forwards += 1;
+        }
+        iterations += 1;
+    }
+    let outs = sessions
+        .into_iter()
+        .map(|s| s.into_result().tokens)
+        .collect();
+    (outs, forwards, iterations)
+}
+
+fn main() {
+    // A bench-scale LLM between `tiny_llm` and real serving shapes: big
+    // enough that verification (not per-call overhead or the SSM)
+    // dominates the iteration, small enough to finish in seconds.
+    let llm = Transformer::from_seed(
+        ModelConfig {
+            vocab_size: 256,
+            d_model: 128,
+            n_layers: 3,
+            d_ff: 384,
+            n_heads: 4,
+            max_seq_len: 256,
+        },
+        40,
+    );
+    let ssm = Transformer::from_seed(ModelConfig::tiny_ssm(), 41);
+    let ssms = [&ssm];
+    let cfg = engine_config();
+
+    let mut results = Vec::new();
+    for batch in [1usize, 4, 8] {
+        // Warm both paths (page-faults the weights, sizes the scratch),
+        // then time several alternating repetitions and keep each side's
+        // best — the allocator and scheduler noise on sub-second runs
+        // otherwise swamps the kernel-level difference under test.
+        let _ = run_serial(&llm, &ssms, &cfg, batch);
+        let _ = run_batched(&llm, &ssms, &cfg, batch);
+        let reps = 5;
+        let (mut serial_s, mut batched_s) = (f64::INFINITY, f64::INFINITY);
+        let (mut serial_out, mut serial_fw, mut serial_it) = (Vec::new(), 0, 0);
+        let (mut batched_out, mut batched_fw, mut batched_it) = (Vec::new(), 0, 0);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let (out, fw, it) = run_serial(&llm, &ssms, &cfg, batch);
+            serial_s = serial_s.min(t.elapsed().as_secs_f64());
+            (serial_out, serial_fw, serial_it) = (out, fw, it);
+
+            let t = Instant::now();
+            let (out, fw, it) = run_batched(&llm, &ssms, &cfg, batch);
+            batched_s = batched_s.min(t.elapsed().as_secs_f64());
+            (batched_out, batched_fw, batched_it) = (out, fw, it);
+        }
+
+        let outputs_match = serial_out == batched_out;
+        assert!(
+            outputs_match,
+            "batch {batch}: batched outputs diverged from serial"
+        );
+        let tokens: usize = serial_out.iter().map(Vec::len).sum();
+        results.push(BatchResult {
+            batch,
+            tokens,
+            serial_llm_forwards: serial_fw,
+            batched_llm_forwards: batched_fw,
+            serial_iterations: serial_it,
+            batched_iterations: batched_it,
+            serial_tokens_per_s: tokens as f64 / serial_s,
+            batched_tokens_per_s: tokens as f64 / batched_s,
+            speedup: serial_s / batched_s,
+            outputs_match,
+        });
+    }
+
+    let report = Report {
+        effective_threads: specinfer_tensor::effective_threads(),
+        max_new_tokens: cfg.max_new_tokens,
+        expansion: vec![1],
+        results,
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => unreachable!("report serialization cannot fail: {e}"),
+    };
+    match std::fs::write("BENCH_serving.json", &json) {
+        Ok(()) => println!("{json}"),
+        Err(e) => {
+            eprintln!("failed to write BENCH_serving.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,16 +7,43 @@
 //! [`KvCache::retain_rows`] — the paper's depth-first shared-cache scheme
 //! means rotated keys stay valid because RoPE depends on a token's
 //! *logical* position, which is fixed at append time, not on its row index.
+//!
+//! # Slab layout
+//!
+//! Storage is a contiguous head-major slab: per layer, keys and values
+//! each live in one preallocated buffer laid out `[n_heads][capacity,
+//! head_dim]`, so the rows of one head are contiguous. Attention can then
+//! score a whole query block against a head with a single blocked
+//! `matmul_nt` over [`KvCache::key_head`] instead of gathering
+//! `key_row(j)` token by token. A committed-length watermark (`len`)
+//! tracks verified rows while a per-layer `rows` counter tracks rows
+//! written by an in-flight forward pass; [`KvCache::truncate`] is a pure
+//! watermark move (no data motion) and [`KvCache::retain_rows`] is one
+//! in-place compaction memmove per head.
 
 use specinfer_tensor::Tensor;
 
-/// Per-layer key/value storage for one sequence.
+/// Per-layer key/value slabs for one sequence.
+///
+/// `k` and `v` are each `[n_heads][capacity, head_dim]`: head `h`'s rows
+/// start at `h · capacity · head_dim` and are contiguous.
 #[derive(Debug, Clone)]
 struct LayerCache {
-    /// Keys, row-major `[len, d_model]` (rotated).
     k: Vec<f32>,
-    /// Values, row-major `[len, d_model]`.
     v: Vec<f32>,
+    /// Rows written to this layer (committed rows plus any rows appended
+    /// by a forward pass that has not yet called `commit_rows`).
+    rows: usize,
+}
+
+/// A strided view of append-source rows: row `r` starts at
+/// `data[r · stride + off..]` and is `d_model` wide. Lets one scatter
+/// loop serve both separate K/V tensors and a fused QKV buffer.
+#[derive(Clone, Copy)]
+struct RowSource<'a> {
+    data: &'a [f32],
+    stride: usize,
+    off: usize,
 }
 
 /// The KV cache of one request against one model.
@@ -25,23 +52,29 @@ struct LayerCache {
 #[derive(Debug, Clone)]
 pub struct KvCache {
     layers: Vec<LayerCache>,
-    d_model: usize,
+    n_heads: usize,
+    head_dim: usize,
     len: usize,
     max_len: usize,
 }
 
 impl KvCache {
-    /// Creates an empty cache for a model with `n_layers` layers, width
-    /// `d_model` and capacity `max_len` rows.
-    pub fn new(n_layers: usize, d_model: usize, max_len: usize) -> Self {
+    /// Creates an empty cache for a model with `n_layers` layers,
+    /// `n_heads` attention heads of width `head_dim`, and capacity
+    /// `max_len` rows. The slabs are allocated up front so appends never
+    /// reallocate or shift head regions.
+    pub fn new(n_layers: usize, n_heads: usize, head_dim: usize, max_len: usize) -> Self {
+        let slab = n_heads * max_len * head_dim;
         KvCache {
             layers: (0..n_layers)
                 .map(|_| LayerCache {
-                    k: Vec::new(),
-                    v: Vec::new(),
+                    k: vec![0.0; slab],
+                    v: vec![0.0; slab],
+                    rows: 0,
                 })
                 .collect(),
-            d_model,
+            n_heads,
+            head_dim,
             len: 0,
             max_len,
         }
@@ -64,7 +97,17 @@ impl KvCache {
 
     /// Model width per row.
     pub fn d_model(&self) -> usize {
-        self.d_model
+        self.n_heads * self.head_dim
+    }
+
+    /// Number of attention heads per row.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Width of one head's slice of a row.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
     }
 
     /// Number of layers.
@@ -84,17 +127,22 @@ impl KvCache {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn append_layer_rows(&mut self, layer: usize, k: &Tensor, v: &Tensor) {
         assert_eq!(k.dims(), v.dims(), "key and value dims must agree");
-        assert_eq!(k.cols(), self.d_model, "row width must equal d_model");
-        assert!(
-            self.len + k.rows() <= self.max_len,
-            "KV cache overflow: {} + {} > {}",
-            self.len,
+        assert_eq!(k.cols(), self.d_model(), "row width must equal d_model");
+        let d = self.d_model();
+        self.append_layer_from(
+            layer,
+            RowSource {
+                data: k.data(),
+                stride: d,
+                off: 0,
+            },
+            RowSource {
+                data: v.data(),
+                stride: d,
+                off: 0,
+            },
             k.rows(),
-            self.max_len
         );
-        let lc = &mut self.layers[layer];
-        lc.k.extend_from_slice(k.data());
-        lc.v.extend_from_slice(v.data());
     }
 
     /// Appends `n` rows to layer `layer` straight from a fused
@@ -117,7 +165,7 @@ impl KvCache {
         v_off: usize,
         n: usize,
     ) {
-        let d = self.d_model;
+        let d = self.d_model();
         assert!(
             data.len() >= n * stride,
             "fused buffer too short for {n} rows"
@@ -126,48 +174,108 @@ impl KvCache {
             k_off + d <= stride && v_off + d <= stride,
             "offset overruns fused row"
         );
-        assert!(
-            self.len + n <= self.max_len,
-            "KV cache overflow: {} + {} > {}",
-            self.len,
+        self.append_layer_from(
+            layer,
+            RowSource {
+                data,
+                stride,
+                off: k_off,
+            },
+            RowSource {
+                data,
+                stride,
+                off: v_off,
+            },
             n,
-            self.max_len
         );
+    }
+
+    /// Shared scatter for both append forms: row `r` of a [`RowSource`]
+    /// starts at `data[r·stride + off..]`; each row is split per head
+    /// into the layer's head-major slabs.
+    fn append_layer_from(&mut self, layer: usize, k: RowSource<'_>, v: RowSource<'_>, n: usize) {
+        let hd = self.head_dim;
+        let cap = self.max_len;
         let lc = &mut self.layers[layer];
+        assert!(
+            lc.rows + n <= cap,
+            "KV cache overflow: {} + {} > {}",
+            lc.rows,
+            n,
+            cap
+        );
         for r in 0..n {
-            let row = &data[r * stride..(r + 1) * stride];
-            lc.k.extend_from_slice(&row[k_off..k_off + d]);
-            lc.v.extend_from_slice(&row[v_off..v_off + d]);
+            let k_row = &k.data[r * k.stride + k.off..];
+            let v_row = &v.data[r * v.stride + v.off..];
+            let dst_row = lc.rows + r;
+            for h in 0..self.n_heads {
+                let dst = h * cap * hd + dst_row * hd;
+                lc.k[dst..dst + hd].copy_from_slice(&k_row[h * hd..(h + 1) * hd]);
+                lc.v[dst..dst + hd].copy_from_slice(&v_row[h * hd..(h + 1) * hd]);
+            }
         }
+        lc.rows += n;
     }
 
     /// Declares that `n` rows were appended to every layer.
     ///
     /// # Panics
     ///
-    /// Panics (debug) if any layer's storage disagrees with the new
+    /// Panics (debug) if any layer's written rows disagree with the new
     /// length.
     pub(crate) fn commit_rows(&mut self, n: usize) {
         self.len += n;
-        debug_assert!(self
-            .layers
-            .iter()
-            .all(|l| l.k.len() == self.len * self.d_model && l.v.len() == self.len * self.d_model));
+        debug_assert!(self.layers.iter().all(|l| l.rows == self.len));
     }
 
-    /// Key row `row` of layer `layer`.
-    pub(crate) fn key_row(&self, layer: usize, row: usize) -> &[f32] {
-        let d = self.d_model;
-        &self.layers[layer].k[row * d..(row + 1) * d]
+    /// The contiguous key rows `[rows_written, head_dim]` of one head of
+    /// one layer — includes rows appended by an in-flight forward pass.
+    pub(crate) fn key_head(&self, layer: usize, head: usize) -> &[f32] {
+        let hd = self.head_dim;
+        let lc = &self.layers[layer];
+        let base = head * self.max_len * hd;
+        &lc.k[base..base + lc.rows * hd]
     }
 
-    /// Value row `row` of layer `layer`.
-    pub(crate) fn value_row(&self, layer: usize, row: usize) -> &[f32] {
-        let d = self.d_model;
-        &self.layers[layer].v[row * d..(row + 1) * d]
+    /// The contiguous value rows `[rows_written, head_dim]` of one head
+    /// of one layer — includes rows appended by an in-flight forward
+    /// pass.
+    pub(crate) fn value_head(&self, layer: usize, head: usize) -> &[f32] {
+        let hd = self.head_dim;
+        let lc = &self.layers[layer];
+        let base = head * self.max_len * hd;
+        &lc.v[base..base + lc.rows * hd]
     }
 
-    /// Drops all rows at index `new_len` and beyond.
+    /// Key row `row` of layer `layer`, re-interleaved across heads.
+    /// Gathering accessor for tests and debugging; the forward pass reads
+    /// whole heads via [`KvCache::key_head`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn key_row(&self, layer: usize, row: usize) -> Vec<f32> {
+        self.gather_row(&self.layers[layer].k, row)
+    }
+
+    /// Value row `row` of layer `layer`, re-interleaved across heads.
+    /// Gathering accessor for tests and debugging; the forward pass reads
+    /// whole heads via [`KvCache::value_head`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn value_row(&self, layer: usize, row: usize) -> Vec<f32> {
+        self.gather_row(&self.layers[layer].v, row)
+    }
+
+    fn gather_row(&self, slab: &[f32], row: usize) -> Vec<f32> {
+        let hd = self.head_dim;
+        let mut out = Vec::with_capacity(self.d_model());
+        for h in 0..self.n_heads {
+            let src = h * self.max_len * hd + row * hd;
+            out.extend_from_slice(&slab[src..src + hd]);
+        }
+        out
+    }
+
+    /// Drops all rows at index `new_len` and beyond. With the slab
+    /// layout this is a pure watermark move: no data is touched, and the
+    /// next append simply overwrites the abandoned rows.
     ///
     /// # Panics
     ///
@@ -180,8 +288,7 @@ impl KvCache {
             new_len
         );
         for l in &mut self.layers {
-            l.k.truncate(new_len * self.d_model);
-            l.v.truncate(new_len * self.d_model);
+            l.rows = new_len;
         }
         self.len = new_len;
     }
@@ -191,30 +298,56 @@ impl KvCache {
     /// else. This is how token-tree verification compacts the cache down
     /// to the accepted path (root + verified tokens).
     ///
+    /// Because DFS linearization places ancestors before descendants, the
+    /// accepted path's indices are strictly increasing, so the common
+    /// case compacts each head with one forward in-place memmove; an
+    /// arbitrary keep order falls back to a gather through scratch.
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of range or `prefix_len > self.len()`.
     pub fn retain_rows(&mut self, prefix_len: usize, keep_rel: &[usize]) {
         assert!(prefix_len <= self.len, "prefix exceeds cache length");
-        let d = self.d_model;
+        let hd = self.head_dim;
+        let cap = self.max_len;
         for rel in keep_rel {
             assert!(
                 prefix_len + rel < self.len,
                 "retained row {rel} out of range"
             );
         }
+        // Strictly increasing keeps (the DFS accepted path) can move rows
+        // forward in place: destination `prefix_len + i` never exceeds
+        // source `prefix_len + keep_rel[i]`, and each write lands at or
+        // below every source still to be read.
+        let increasing = keep_rel.windows(2).all(|w| w[0] < w[1]);
         for l in &mut self.layers {
-            let mut new_k = Vec::with_capacity((prefix_len + keep_rel.len()) * d);
-            let mut new_v = Vec::with_capacity((prefix_len + keep_rel.len()) * d);
-            new_k.extend_from_slice(&l.k[..prefix_len * d]);
-            new_v.extend_from_slice(&l.v[..prefix_len * d]);
-            for &rel in keep_rel {
-                let row = prefix_len + rel;
-                new_k.extend_from_slice(&l.k[row * d..(row + 1) * d]);
-                new_v.extend_from_slice(&l.v[row * d..(row + 1) * d]);
+            for h in 0..self.n_heads {
+                let base = h * cap * hd;
+                for slab in [&mut l.k, &mut l.v] {
+                    let head = &mut slab[base..base + cap * hd];
+                    if increasing {
+                        for (i, &rel) in keep_rel.iter().enumerate() {
+                            let src = (prefix_len + rel) * hd;
+                            let dst = (prefix_len + i) * hd;
+                            if src != dst {
+                                head.copy_within(src..src + hd, dst);
+                            }
+                        }
+                    } else {
+                        let kept: Vec<f32> = keep_rel
+                            .iter()
+                            .flat_map(|&rel| {
+                                let src = (prefix_len + rel) * hd;
+                                head[src..src + hd].to_vec()
+                            })
+                            .collect();
+                        head[prefix_len * hd..(prefix_len + keep_rel.len()) * hd]
+                            .copy_from_slice(&kept);
+                    }
+                }
             }
-            l.k = new_k;
-            l.v = new_v;
+            l.rows = prefix_len + keep_rel.len();
         }
         self.len = prefix_len + keep_rel.len();
     }
@@ -228,9 +361,10 @@ impl KvCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specinfer_tensor::rng::SeededRng;
 
     fn filled_cache() -> KvCache {
-        let mut c = KvCache::new(2, 3, 16);
+        let mut c = KvCache::new(2, 1, 3, 16);
         for row in 0..5 {
             for layer in 0..2 {
                 let base = (layer * 100 + row * 10) as f32;
@@ -282,7 +416,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow")]
     fn capacity_is_enforced() {
-        let mut c = KvCache::new(1, 2, 1);
+        let mut c = KvCache::new(1, 1, 2, 1);
         let k = Tensor::zeros(&[2, 2]);
         c.append_layer_rows(0, &k, &k);
     }
@@ -292,5 +426,153 @@ mod tests {
         let mut c = filled_cache();
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn multi_head_rows_split_into_contiguous_head_slabs() {
+        let mut c = KvCache::new(1, 2, 2, 8);
+        // Two rows of d_model = 4: head 0 owns columns 0..2, head 1 owns
+        // columns 2..4.
+        let k = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 4]);
+        let v = k.scale(10.0);
+        c.append_layer_rows(0, &k, &v);
+        c.commit_rows(2);
+        assert_eq!(c.key_head(0, 0), &[1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(c.key_head(0, 1), &[3.0, 4.0, 7.0, 8.0]);
+        assert_eq!(c.value_head(0, 1), &[30.0, 40.0, 70.0, 80.0]);
+        assert_eq!(c.key_row(0, 1), &[5.0, 6.0, 7.0, 8.0]);
+    }
+
+    /// The old row-major `[len, d_model]` layout, kept as an executable
+    /// reference model for the slab cache.
+    struct RefCache {
+        layers: Vec<(Vec<f32>, Vec<f32>)>,
+        d: usize,
+        len: usize,
+    }
+
+    impl RefCache {
+        fn new(n_layers: usize, d: usize) -> Self {
+            RefCache {
+                layers: vec![(Vec::new(), Vec::new()); n_layers],
+                d,
+                len: 0,
+            }
+        }
+
+        fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+            self.layers[layer].0.extend_from_slice(k);
+            self.layers[layer].1.extend_from_slice(v);
+        }
+
+        fn truncate(&mut self, new_len: usize) {
+            for (k, v) in &mut self.layers {
+                k.truncate(new_len * self.d);
+                v.truncate(new_len * self.d);
+            }
+            self.len = new_len;
+        }
+
+        fn retain(&mut self, prefix: usize, keep_rel: &[usize]) {
+            for (k, v) in &mut self.layers {
+                let mut nk = k[..prefix * self.d].to_vec();
+                let mut nv = v[..prefix * self.d].to_vec();
+                for &rel in keep_rel {
+                    let row = prefix + rel;
+                    nk.extend_from_slice(&k[row * self.d..(row + 1) * self.d]);
+                    nv.extend_from_slice(&v[row * self.d..(row + 1) * self.d]);
+                }
+                *k = nk;
+                *v = nv;
+            }
+            self.len = prefix + keep_rel.len();
+        }
+
+        fn key_row(&self, layer: usize, row: usize) -> &[f32] {
+            &self.layers[layer].0[row * self.d..(row + 1) * self.d]
+        }
+
+        fn value_row(&self, layer: usize, row: usize) -> &[f32] {
+            &self.layers[layer].1[row * self.d..(row + 1) * self.d]
+        }
+    }
+
+    fn caches_agree(slab: &KvCache, reference: &RefCache) {
+        assert_eq!(slab.len(), reference.len);
+        for layer in 0..slab.n_layers() {
+            for row in 0..slab.len() {
+                assert_eq!(slab.key_row(layer, row), reference.key_row(layer, row));
+                assert_eq!(slab.value_row(layer, row), reference.value_row(layer, row));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// Random interleavings of append / retain (random accept paths) /
+        /// truncate leave the slab cache row-for-row identical to the old
+        /// row-major layout.
+        #[test]
+        fn slab_round_trips_like_row_major_layout(seed in 0u64..10_000) {
+            let mut rng = SeededRng::new(seed);
+            let (n_layers, n_heads, hd, cap) = (2usize, 2usize, 3usize, 24usize);
+            let d = n_heads * hd;
+            let mut slab = KvCache::new(n_layers, n_heads, hd, cap);
+            let mut reference = RefCache::new(n_layers, d);
+            for _ in 0..12 {
+                match rng.next_u64() % 3 {
+                    0 => {
+                        let room = cap - slab.len();
+                        if room == 0 {
+                            continue;
+                        }
+                        let n = 1 + rng.below(room.min(5));
+                        for layer in 0..n_layers {
+                            let k: Vec<f32> =
+                                (0..n * d).map(|_| rng.uniform() - 0.5).collect();
+                            let v: Vec<f32> =
+                                (0..n * d).map(|_| rng.uniform() - 0.5).collect();
+                            let kt = Tensor::from_vec(k.clone(), &[n, d]);
+                            let vt = Tensor::from_vec(v.clone(), &[n, d]);
+                            slab.append_layer_rows(layer, &kt, &vt);
+                            reference.append(layer, &k, &v);
+                        }
+                        slab.commit_rows(n);
+                        reference.len += n;
+                    }
+                    1 => {
+                        let new_len = rng.below(slab.len() + 1);
+                        slab.truncate(new_len);
+                        reference.truncate(new_len);
+                    }
+                    _ => {
+                        if slab.is_empty() {
+                            continue;
+                        }
+                        let prefix = rng.below(slab.len());
+                        let spec = slab.len() - prefix;
+                        // A random strictly increasing accept path through
+                        // the speculated suffix, as DFS verification
+                        // produces.
+                        let keep: Vec<usize> =
+                            (0..spec).filter(|_| rng.next_u64().is_multiple_of(2)).collect();
+                        slab.retain_rows(prefix, &keep);
+                        reference.retain(prefix, &keep);
+                    }
+                }
+                caches_agree(&slab, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn retain_rows_accepts_arbitrary_keep_order() {
+        let mut c = filled_cache();
+        // Out-of-order keep exercises the gather fallback.
+        c.retain_rows(1, &[3, 0, 2]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.key_row(0, 1), &[40.0, 41.0, 42.0]);
+        assert_eq!(c.key_row(0, 2), &[10.0, 11.0, 12.0]);
+        assert_eq!(c.key_row(0, 3), &[30.0, 31.0, 32.0]);
     }
 }

@@ -49,5 +49,5 @@ mod weights;
 pub use config::ModelConfig;
 pub use kvcache::KvCache;
 pub use sampler::DecodeMode;
-pub use transformer::{Transformer, Visibility};
+pub use transformer::{BatchRequest, BatchVisibility, Transformer, Visibility};
 pub use weights::{LayerWeights, ModelWeights};

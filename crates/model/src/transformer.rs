@@ -43,33 +43,167 @@ impl std::fmt::Debug for Visibility<'_> {
     }
 }
 
-/// Reusable per-thread buffers for [`Transformer::forward_rows`].
+/// One request's slot in a batched forward pass: the rows to append,
+/// their absolute positions, the request's own KV cache, and its
+/// attention pattern. Requests never see each other's caches — the
+/// stacked pass is block-diagonal by construction.
+#[derive(Debug)]
+pub struct BatchRequest<'a> {
+    /// Tokens to append (for tree verification, the linearized tree).
+    pub tokens: &'a [TokenId],
+    /// Absolute sequence position of each token (RoPE input).
+    pub positions: &'a [usize],
+    /// The request's KV cache; extended by `tokens.len()` rows.
+    pub cache: &'a mut KvCache,
+    /// Attention pattern of the new rows over this request's cache.
+    pub visible: Visibility<'a>,
+}
+
+/// Writes one request's visibility block into `out`: row `i` (of `n`,
+/// at stride `stride`) against cache columns `col0..col0 + old + i`
+/// (absolute row indexing *after* the batch is appended). Everything
+/// this function does not write stays as the caller left it (`false`
+/// for a cleared buffer). Shared by the forward pass and
+/// [`BatchVisibility::build`] so the materialized batch mask is exactly
+/// what attention consumes.
+fn fill_visibility_block(
+    visible: &Visibility<'_>,
+    n: usize,
+    old: usize,
+    out: &mut [bool],
+    stride: usize,
+    col0: usize,
+) {
+    for i in 0..n {
+        for j in 0..=old + i {
+            let ok = if j == old + i {
+                true
+            } else {
+                match visible {
+                    Visibility::Causal => true,
+                    Visibility::Tree(mask) => j < old || mask.allowed(i, j - old),
+                    Visibility::Custom(f) => f(i, j),
+                }
+            };
+            out[i * stride + col0 + j] = ok;
+        }
+    }
+}
+
+/// The materialized block-diagonal visibility of one batched forward
+/// pass: per-request blocks along the diagonal, `false` everywhere
+/// else, with query rows stacked to `Σ newᵢ` and key rows stacked to
+/// `Σ (cacheᵢ + newᵢ)`.
 ///
-/// Every intermediate of the forward pass lives here, so once the
+/// The forward pass itself consumes the per-request blocks directly
+/// (each against its own cache); this type exists so tests and
+/// diagnostics can check the cross-request isolation property on the
+/// very same mask-construction code.
+#[derive(Debug)]
+pub struct BatchVisibility {
+    /// Per request, first stacked query row; one trailing total entry.
+    q_starts: Vec<usize>,
+    /// Per request, first stacked key row; one trailing total entry.
+    k_starts: Vec<usize>,
+    bits: Vec<bool>,
+    n_q: usize,
+    n_k: usize,
+}
+
+impl BatchVisibility {
+    /// Builds the stacked mask from `(cache_rows, new_rows, visibility)`
+    /// triples, one per request in batch order.
+    pub fn build(blocks: &[(usize, usize, Visibility<'_>)]) -> Self {
+        let n_q: usize = blocks.iter().map(|b| b.1).sum();
+        let n_k: usize = blocks.iter().map(|b| b.0 + b.1).sum();
+        let mut bits = vec![false; n_q * n_k];
+        let mut q_starts = Vec::with_capacity(blocks.len() + 1);
+        let mut k_starts = Vec::with_capacity(blocks.len() + 1);
+        let (mut q0, mut k0) = (0usize, 0usize);
+        for (old, n, visible) in blocks {
+            q_starts.push(q0);
+            k_starts.push(k0);
+            fill_visibility_block(visible, *n, *old, &mut bits[q0 * n_k..], n_k, k0);
+            q0 += n;
+            k0 += old + n;
+        }
+        q_starts.push(q0);
+        k_starts.push(k0);
+        BatchVisibility {
+            q_starts,
+            k_starts,
+            bits,
+            n_q,
+            n_k,
+        }
+    }
+
+    /// Number of requests in the batch.
+    pub fn requests(&self) -> usize {
+        self.q_starts.len() - 1
+    }
+
+    /// Total stacked query rows.
+    pub fn query_rows(&self) -> usize {
+        self.n_q
+    }
+
+    /// Total stacked key rows.
+    pub fn key_rows(&self) -> usize {
+        self.n_k
+    }
+
+    /// Stacked query rows belonging to request `r`.
+    pub fn query_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.q_starts[r]..self.q_starts[r + 1]
+    }
+
+    /// Stacked key rows belonging to request `r`.
+    pub fn key_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.k_starts[r]..self.k_starts[r + 1]
+    }
+
+    /// Whether stacked query row `qi` may attend to stacked key row `kj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn allowed(&self, qi: usize, kj: usize) -> bool {
+        assert!(
+            qi < self.n_q && kj < self.n_k,
+            "batch mask index out of range"
+        );
+        self.bits[qi * self.n_k + kj]
+    }
+}
+
+/// Reusable per-thread buffers for [`Transformer::forward_rows_batch`].
+///
+/// Every large intermediate of the forward pass lives here, so once the
 /// buffers have grown to steady-state size a decode step performs no
-/// heap allocation except for the returned logits tensor. One scratch
-/// per thread (not per model) is safe because `forward_rows` fully
-/// resets each buffer before use.
+/// heap allocation beyond small per-call index vectors and the returned
+/// logits tensors. One scratch per thread (not per model) is safe
+/// because the pass fully resets each buffer before use.
 #[derive(Default)]
 struct ForwardScratch {
-    /// Visibility matrix, `[n, total]` row-major.
+    /// Per-request visibility blocks `[nᵣ, totalᵣ]`, concatenated.
     vis: Vec<bool>,
-    /// Residual stream, `[n, d]`.
+    /// Residual stream, `[Σn, d]`.
     x: Tensor,
-    /// RMS-normed hidden rows, `[n, d]`.
+    /// RMS-normed hidden rows, `[Σn, d]`.
     h: Tensor,
-    /// Fused Q|K|V projections, `[n, 3·d]`.
+    /// Fused Q|K|V projections, `[Σn, 3·d]`.
     qkv: Tensor,
-    /// Attention output, `[n, d]`.
+    /// Attention output, `[Σn, d]`.
     att: Tensor,
-    /// Attention/FFN residual write, `[n, d]`.
+    /// Attention/FFN residual write, `[Σn, d]`.
     proj: Tensor,
-    /// SwiGLU gate, `[n, d_ff]`.
+    /// SwiGLU gate, `[Σn, d_ff]`.
     gate: Tensor,
-    /// SwiGLU linear branch, `[n, d_ff]`.
+    /// SwiGLU linear branch, `[Σn, d_ff]`.
     lin: Tensor,
-    /// Gathered (row, score) pairs of the serial attention path.
-    scores: Vec<(usize, f32)>,
+    /// Blocked-attention scratch of the serial path.
+    attn: AttnScratch,
     /// RoPE inverse frequencies keyed by head_dim (LLM and SSMs with
     /// different head widths may share one thread).
     inv_freqs: Vec<(usize, Vec<f32>)>,
@@ -83,56 +217,89 @@ thread_local! {
 /// the attention loop stays serial; matches the kernels' threshold.
 const PAR_MIN_ATT_FLOPS: usize = kernels::PAR_MIN_FLOPS;
 
-/// Computes attention for query rows `i0..` of one layer into
-/// `att_chunk` (`chunk_rows × d`, zeroed). Scores for each (row, head)
-/// are gathered, softmaxed and applied over cache rows in ascending-`j`
-/// order, so the result is independent of how rows are partitioned
-/// across threads.
+/// Per-worker buffers of the blocked attention path: the gathered
+/// per-head query block, the dense score matrix, and the per-head
+/// output block.
+#[derive(Default)]
+struct AttnScratch {
+    q: Vec<f32>,
+    scores: Vec<f32>,
+    out: Vec<f32>,
+}
+
+/// Computes attention for query rows `i0..` of one request into
+/// `att_chunk` (`chunk_rows × d`). Per head: one blocked `matmul_nt` of
+/// the gathered query block against the head's contiguous key slab, a
+/// masked ascending-`j` stable softmax over all `total` cache rows, and
+/// one blocked `matmul_nn` against the value slab.
+///
+/// Bitwise determinism: every score is a single ascending-`k` dot; the
+/// max and denominator fold over columns in ascending-`j` order; masked
+/// columns contribute an exact `0.0` weight, and adding `0.0` (or a
+/// `0.0 · v` product) to a non-negative running sum leaves it bitwise
+/// unchanged — so the result per output element is identical to a
+/// visible-columns-only gather, independent of how query rows are
+/// partitioned across threads.
 #[allow(clippy::too_many_arguments)]
-fn attention_rows(
+fn attention_block(
     att_chunk: &mut [f32],
     i0: usize,
     qkv: &Tensor,
+    q_row0: usize,
     vis: &[bool],
     cache: &KvCache,
     layer_idx: usize,
-    old: usize,
     total: usize,
     n_heads: usize,
     hd: usize,
     scale: f32,
-    scores: &mut Vec<(usize, f32)>,
+    s: &mut AttnScratch,
 ) {
     let d = n_heads * hd;
-    for (r, out_row) in att_chunk.chunks_mut(d).enumerate() {
-        let i = i0 + r;
-        for head in 0..n_heads {
-            let hcol = head * hd;
-            let q_slice = &qkv.row(i)[hcol..hcol + hd];
-            scores.clear();
-            for j in 0..=old + i {
-                if !vis[i * total + j] {
-                    continue;
-                }
-                let key = &cache.key_row(layer_idx, j)[hcol..hcol + hd];
-                let dot: f32 = q_slice.iter().zip(key).map(|(a, b)| a * b).sum();
-                scores.push((j, dot * scale));
-            }
-            // Stable softmax over the gathered scores.
-            let max = scores.iter().map(|s| s.1).fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for s in scores.iter_mut() {
-                s.1 = (s.1 - max).exp();
-                denom += s.1;
-            }
-            let out = &mut out_row[hcol..hcol + hd];
-            for &(j, w) in scores.iter() {
-                let val = &cache.value_row(layer_idx, j)[hcol..hcol + hd];
-                let wn = w / denom;
-                for (o, vv) in out.iter_mut().zip(val) {
-                    *o += wn * vv;
+    let rows = att_chunk.len() / d;
+    s.q.resize(rows * hd, 0.0);
+    s.scores.resize(rows * total, 0.0);
+    s.out.resize(rows * hd, 0.0);
+    for head in 0..n_heads {
+        let hcol = head * hd;
+        for r in 0..rows {
+            let src = &qkv.row(q_row0 + i0 + r)[hcol..hcol + hd];
+            s.q[r * hd..(r + 1) * hd].copy_from_slice(src);
+        }
+        let k_head = cache.key_head(layer_idx, head);
+        debug_assert_eq!(k_head.len(), total * hd, "key slab rows mismatch");
+        kernels::matmul_nt_block(&s.q, k_head, &mut s.scores, rows, hd, total);
+        for r in 0..rows {
+            let i = i0 + r;
+            let srow = &mut s.scores[r * total..(r + 1) * total];
+            let vrow = &vis[i * total..(i + 1) * total];
+            // Stable softmax over visible columns; masked columns become
+            // exactly 0.0 so the blocked probs×V matmul skips them
+            // arithmetically without skipping them structurally.
+            let mut max = f32::NEG_INFINITY;
+            for (sv, &ok) in srow.iter_mut().zip(vrow.iter()) {
+                if ok {
+                    *sv *= scale;
+                    max = max.max(*sv);
                 }
             }
+            let mut denom = 0.0f32;
+            for (sv, &ok) in srow.iter_mut().zip(vrow.iter()) {
+                let w = if ok { (*sv - max).exp() } else { 0.0 };
+                denom += w;
+                *sv = w;
+            }
+            for sv in srow.iter_mut() {
+                *sv /= denom;
+            }
+        }
+        let v_head = cache.value_head(layer_idx, head);
+        debug_assert_eq!(v_head.len(), total * hd, "value slab rows mismatch");
+        s.out.fill(0.0);
+        kernels::matmul_nn_block(&s.scores, v_head, &mut s.out, rows, total, hd);
+        for r in 0..rows {
+            att_chunk[r * d + hcol..r * d + hcol + hd]
+                .copy_from_slice(&s.out[r * hd..(r + 1) * hd]);
         }
     }
 }
@@ -234,7 +401,8 @@ impl Transformer {
     pub fn new_cache(&self) -> KvCache {
         KvCache::new(
             self.config.n_layers,
-            self.config.d_model,
+            self.config.n_heads,
+            self.config.head_dim(),
             self.config.max_seq_len,
         )
     }
@@ -260,42 +428,95 @@ impl Transformer {
         cache: &mut KvCache,
         visible: Visibility<'_>,
     ) -> Tensor {
-        let n = tokens.len();
-        assert!(n > 0, "forward_rows requires at least one token");
-        assert_eq!(positions.len(), n, "one position per token required");
+        let mut reqs = [BatchRequest {
+            tokens,
+            positions,
+            cache,
+            visible,
+        }];
+        match self.forward_rows_batch(&mut reqs).pop() {
+            Some(logits) => logits,
+            None => unreachable!("one request in yields one logits tensor out"),
+        }
+    }
+
+    /// Runs several independent requests through one stacked forward
+    /// pass (§5's iteration-level batched verification): the new rows of
+    /// all requests are concatenated into one `[Σnᵢ, d]` activation
+    /// batch for the dense layers, while attention stays block-diagonal
+    /// — each request's query rows attend only to that request's own
+    /// cache. Returns per-request logits `[nᵢ, vocab]`, in batch order.
+    ///
+    /// Every dense op reduces per output element over the same
+    /// ascending-`k` order regardless of how many rows are stacked, and
+    /// attention sees per request exactly the cache and mask a solo
+    /// [`Transformer::forward_rows`] call would, so each request's
+    /// logits are bitwise identical to running it alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` is empty, a request is malformed (no tokens,
+    /// length mismatch, wrong cache geometry, out-of-vocabulary token),
+    /// or a cache would overflow. A [`Visibility::Custom`] closure must
+    /// not itself call back into a forward pass (the pass borrows a
+    /// per-thread scratch buffer for its whole duration).
+    pub fn forward_rows_batch(&self, reqs: &mut [BatchRequest<'_>]) -> Vec<Tensor> {
+        assert!(!reqs.is_empty(), "batched forward requires a request");
         let d = self.config.d_model;
         let n_heads = self.config.n_heads;
         let hd = self.config.head_dim();
-        let old = cache.len();
-        let total = old + n;
+        let vocab = self.config.vocab_size;
         let qkv_pack = self.qkv_packed();
+
+        // Per-request geometry: row counts, stacked row offsets, cache
+        // lengths before/after, and offsets into the concatenated
+        // visibility buffer.
+        let ns: Vec<usize> = reqs.iter().map(|q| q.tokens.len()).collect();
+        let olds: Vec<usize> = reqs.iter().map(|q| q.cache.len()).collect();
+        let totals: Vec<usize> = ns.iter().zip(&olds).map(|(n, o)| n + o).collect();
+        let mut offs = Vec::with_capacity(reqs.len());
+        let mut vis_offs = Vec::with_capacity(reqs.len());
+        let (mut off, mut vis_off) = (0usize, 0usize);
+        for (r, q) in reqs.iter().enumerate() {
+            assert!(
+                ns[r] > 0,
+                "request {r}: forward requires at least one token"
+            );
+            assert_eq!(
+                q.positions.len(),
+                ns[r],
+                "request {r}: one position per token required"
+            );
+            assert_eq!(
+                (q.cache.n_heads(), q.cache.head_dim()),
+                (n_heads, hd),
+                "request {r}: cache geometry does not match the model"
+            );
+            offs.push(off);
+            vis_offs.push(vis_off);
+            off += ns[r];
+            vis_off += ns[r] * totals[r];
+        }
+        let big_n = off;
+        let vis_len = vis_off;
 
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
 
-            // Materialize the visibility matrix once: vis[i][j] for
-            // absolute row j (cache layout after this batch is appended).
+            // Materialize each request's visibility block once:
+            // vis[i][j] for absolute row j of that request's cache
+            // (layout after this batch is appended).
             s.vis.clear();
-            s.vis.resize(n * total, false);
-            for i in 0..n {
-                for j in 0..=old + i {
-                    let ok = if j == old + i {
-                        true
-                    } else {
-                        match &visible {
-                            Visibility::Causal => true,
-                            Visibility::Tree(mask) => {
-                                if j < old {
-                                    true
-                                } else {
-                                    mask.allowed(i, j - old)
-                                }
-                            }
-                            Visibility::Custom(f) => f(i, j),
-                        }
-                    };
-                    s.vis[i * total + j] = ok;
-                }
+            s.vis.resize(vis_len, false);
+            for (r, q) in reqs.iter().enumerate() {
+                fill_visibility_block(
+                    &q.visible,
+                    ns[r],
+                    olds[r],
+                    &mut s.vis[vis_offs[r]..vis_offs[r] + ns[r] * totals[r]],
+                    totals[r],
+                    0,
+                );
             }
 
             // RoPE inverse frequencies for this head width.
@@ -308,77 +529,115 @@ impl Transformer {
                 }
             };
 
-            // Embedding gather straight into the residual buffer.
-            s.x.reset(&[n, d]);
-            for (i, &t) in tokens.iter().enumerate() {
-                assert!(
-                    (t as usize) < self.config.vocab_size,
-                    "token {t} outside vocabulary {}",
-                    self.config.vocab_size
-                );
-                s.x.row_mut(i)
-                    .copy_from_slice(self.weights.embed.row(t as usize));
+            // Embedding gather straight into the stacked residual buffer.
+            s.x.reset(&[big_n, d]);
+            for (r, q) in reqs.iter().enumerate() {
+                for (i, &t) in q.tokens.iter().enumerate() {
+                    assert!((t as usize) < vocab, "token {t} outside vocabulary {vocab}");
+                    s.x.row_mut(offs[r] + i)
+                        .copy_from_slice(self.weights.embed.row(t as usize));
+                }
             }
 
             let scale = 1.0 / (hd as f32).sqrt();
             for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
                 ops::rmsnorm_rows_into(&s.x, &layer.attn_norm, ModelConfig::RMS_EPS, &mut s.h);
-                // One fused matmul computes Q|K|V side by side.
+                // One fused matmul computes Q|K|V side by side for the
+                // whole stacked batch.
                 s.h.matmul_into(&qkv_pack[layer_idx], &mut s.qkv);
-                for (i, &pos) in positions.iter().enumerate() {
-                    let row = s.qkv.row_mut(i);
-                    let inv = &s.inv_freqs[fi].1;
-                    ops::rope_rotate_row_cached(&mut row[..d], pos, inv);
-                    ops::rope_rotate_row_cached(&mut row[d..2 * d], pos, inv);
+                for (r, q) in reqs.iter().enumerate() {
+                    for (i, &pos) in q.positions.iter().enumerate() {
+                        let row = s.qkv.row_mut(offs[r] + i);
+                        let inv = &s.inv_freqs[fi].1;
+                        ops::rope_rotate_row_cached(&mut row[..d], pos, inv);
+                        ops::rope_rotate_row_cached(&mut row[d..2 * d], pos, inv);
+                    }
                 }
-                cache.append_layer_fused_rows(layer_idx, s.qkv.data(), 3 * d, d, 2 * d, n);
+                for (r, q) in reqs.iter_mut().enumerate() {
+                    q.cache.append_layer_fused_rows(
+                        layer_idx,
+                        &s.qkv.data()[offs[r] * 3 * d..],
+                        3 * d,
+                        d,
+                        2 * d,
+                        ns[r],
+                    );
+                }
 
-                // Attention over visible rows, partitioned by query row
-                // when the work justifies threads; scores are reduced in
-                // the same ascending-j order either way, so the output
-                // is bitwise independent of the partitioning.
-                s.att.reset(&[n, d]);
-                let threads = kernels::effective_threads().min(n);
-                if threads > 1 && n * total * d >= PAR_MIN_ATT_FLOPS {
-                    let cache_ref: &KvCache = cache;
-                    let (att, qkv, vis) = (&mut s.att, &s.qkv, &s.vis);
-                    let chunk_rows = n.div_ceil(threads);
+                // Blocked attention, request by request (block-diagonal:
+                // request r's queries score only request r's cache).
+                // Partitioned by query row when the work justifies
+                // threads; every reduction runs in the same ascending
+                // order either way, so the output is bitwise independent
+                // of the partitioning.
+                s.att.reset(&[big_n, d]);
+                let flops: usize = ns
+                    .iter()
+                    .zip(&totals)
+                    .map(|(&n_r, &t_r)| n_r * t_r * d)
+                    .sum();
+                let threads = kernels::effective_threads().min(big_n);
+                let (att, qkv, vis, attn) = (&mut s.att, &s.qkv, &s.vis, &mut s.attn);
+                if threads > 1 && flops >= PAR_MIN_ATT_FLOPS {
+                    let caches: Vec<&KvCache> = reqs.iter().map(|q| &*q.cache).collect();
+                    // Split the stacked rows into per-request slices,
+                    // then chunk each request proportionally to its share
+                    // of the score-matrix work.
+                    let mut tasks: Vec<(usize, usize, &mut [f32])> = Vec::new();
+                    let mut rest = att.data_mut();
+                    for r in 0..caches.len() {
+                        let (mine, tail) = rest.split_at_mut(ns[r] * d);
+                        rest = tail;
+                        let weight = ns[r] * totals[r] * d;
+                        let chunks = (threads * weight).div_ceil(flops).clamp(1, ns[r]);
+                        let chunk_rows = ns[r].div_ceil(chunks);
+                        for (ci, chunk) in mine.chunks_mut(chunk_rows * d).enumerate() {
+                            tasks.push((r, ci * chunk_rows, chunk));
+                        }
+                    }
                     std::thread::scope(|scope| {
-                        for (ci, chunk) in att.data_mut().chunks_mut(chunk_rows * d).enumerate() {
+                        for (r, i0, chunk) in tasks {
+                            let cache_ref = caches[r];
+                            let vis_r = &vis[vis_offs[r]..vis_offs[r] + ns[r] * totals[r]];
+                            let (q_row0, total) = (offs[r], totals[r]);
                             scope.spawn(move || {
-                                let mut scores = Vec::with_capacity(total);
-                                attention_rows(
+                                let mut scratch = AttnScratch::default();
+                                attention_block(
                                     chunk,
-                                    ci * chunk_rows,
+                                    i0,
                                     qkv,
-                                    vis,
+                                    q_row0,
+                                    vis_r,
                                     cache_ref,
                                     layer_idx,
-                                    old,
                                     total,
                                     n_heads,
                                     hd,
                                     scale,
-                                    &mut scores,
+                                    &mut scratch,
                                 );
                             });
                         }
                     });
                 } else {
-                    attention_rows(
-                        s.att.data_mut(),
-                        0,
-                        &s.qkv,
-                        &s.vis,
-                        cache,
-                        layer_idx,
-                        old,
-                        total,
-                        n_heads,
-                        hd,
-                        scale,
-                        &mut s.scores,
-                    );
+                    let att_data = att.data_mut();
+                    for (r, q) in reqs.iter().enumerate() {
+                        let chunk = &mut att_data[offs[r] * d..(offs[r] + ns[r]) * d];
+                        attention_block(
+                            chunk,
+                            0,
+                            qkv,
+                            offs[r],
+                            &vis[vis_offs[r]..vis_offs[r] + ns[r] * totals[r]],
+                            &*q.cache,
+                            layer_idx,
+                            totals[r],
+                            n_heads,
+                            hd,
+                            scale,
+                            attn,
+                        );
+                    }
                 }
                 s.att.matmul_into(&layer.wo, &mut s.proj);
                 s.x.add_assign(&s.proj);
@@ -391,7 +650,9 @@ impl Transformer {
                 s.gate.matmul_into(&layer.w2, &mut s.proj);
                 s.x.add_assign(&s.proj);
             }
-            cache.commit_rows(n);
+            for (r, q) in reqs.iter_mut().enumerate() {
+                q.cache.commit_rows(ns[r]);
+            }
 
             ops::rmsnorm_rows_into(
                 &s.x,
@@ -399,8 +660,20 @@ impl Transformer {
                 ModelConfig::RMS_EPS,
                 &mut s.h,
             );
-            // The returned logits are the one per-call allocation.
-            s.h.matmul(&self.weights.lm_head)
+            let logits = s.h.matmul(&self.weights.lm_head);
+            if reqs.len() == 1 {
+                vec![logits]
+            } else {
+                reqs.iter()
+                    .enumerate()
+                    .map(|(r, _)| {
+                        Tensor::from_vec(
+                            logits.data()[offs[r] * vocab..(offs[r] + ns[r]) * vocab].to_vec(),
+                            &[ns[r], vocab],
+                        )
+                    })
+                    .collect()
+            }
         })
     }
 
@@ -702,6 +975,139 @@ mod tests {
     fn out_of_vocab_token_rejected() {
         let m = model();
         let _ = m.logits_for_sequence(&[1000]);
+    }
+
+    #[test]
+    fn batched_forward_matches_solo_forwards_bitwise() {
+        let m = model();
+        let lin = LinearizedTree::new(&spec_tree());
+        let prompts: [&[TokenId]; 3] = [&[9, 8, 7], &[1, 2], &[4, 4, 4, 4]];
+
+        // Solo reference: each request decoded alone.
+        let mut solo_caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| {
+                let mut c = m.new_cache();
+                let _ = m.prefill(p, &mut c);
+                c
+            })
+            .collect();
+        let solo: Vec<Tensor> = solo_caches
+            .iter_mut()
+            .map(|c| m.decode_tree(&lin, c))
+            .collect();
+
+        // Batched: same three requests in one stacked pass, mixing a
+        // tree request with causal ones.
+        let mut caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| {
+                let mut c = m.new_cache();
+                let _ = m.prefill(p, &mut c);
+                c
+            })
+            .collect();
+        let positions: Vec<Vec<usize>> = caches
+            .iter()
+            .map(|c| lin.depths().iter().map(|d| c.len() + d).collect())
+            .collect();
+        let mut reqs: Vec<BatchRequest<'_>> = caches
+            .iter_mut()
+            .zip(&positions)
+            .map(|(cache, pos)| BatchRequest {
+                tokens: lin.tokens(),
+                positions: pos,
+                cache,
+                visible: Visibility::Tree(lin.mask()),
+            })
+            .collect();
+        let batched = m.forward_rows_batch(&mut reqs);
+
+        assert_eq!(batched.len(), solo.len());
+        for (r, (b, s)) in batched.iter().zip(&solo).enumerate() {
+            assert_eq!(b.data(), s.data(), "request {r} diverged in batch");
+            assert_eq!(caches[r].len(), solo_caches[r].len());
+        }
+        // Caches must also agree row for row (the retained path is read
+        // by later steps).
+        for (r, (bc, sc)) in caches.iter().zip(&solo_caches).enumerate() {
+            for layer in 0..bc.n_layers() {
+                for row in 0..bc.len() {
+                    assert_eq!(
+                        bc.key_row(layer, row),
+                        sc.key_row(layer, row),
+                        "request {r} cache diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Block-diagonal isolation: no query row of request i may attend
+        /// to a key row of request j ≠ i, and within a request the block
+        /// equals prefix-visibility plus the single-tree topology mask.
+        #[test]
+        fn batch_visibility_is_block_diagonal(seed in 0u64..10_000) {
+            let mut rng = specinfer_tensor::rng::SeededRng::new(seed);
+            let n_req = 2 + rng.below(3);
+            let mut lins = Vec::new();
+            let mut olds = Vec::new();
+            for _ in 0..n_req {
+                // A random small tree: each node's parent is any earlier
+                // node, which covers chains, stars and mixed shapes.
+                let mut tree = TokenTree::new(1);
+                let mut nodes = vec![TokenTree::ROOT];
+                for t in 0..rng.below(6) {
+                    let parent = nodes[rng.below(nodes.len())];
+                    nodes.push(tree.add_child(parent, t as TokenId, 0, 0.5));
+                }
+                lins.push(LinearizedTree::new(&tree));
+                olds.push(1 + rng.below(7));
+            }
+            let blocks: Vec<(usize, usize, Visibility<'_>)> = lins
+                .iter()
+                .zip(&olds)
+                .map(|(lin, &old)| (old, lin.len(), Visibility::Tree(lin.mask())))
+                .collect();
+            let mask = BatchVisibility::build(&blocks);
+
+            proptest::prop_assert_eq!(mask.requests(), n_req);
+            for i in 0..n_req {
+                let qr = mask.query_range(i);
+                for j in 0..n_req {
+                    let kr = mask.key_range(j);
+                    for qi in qr.clone() {
+                        for kj in kr.clone() {
+                            if i != j {
+                                proptest::prop_assert!(
+                                    !mask.allowed(qi, kj),
+                                    "request {} query {} leaked into request {} key {}",
+                                    i, qi, j, kj
+                                );
+                            } else {
+                                let li = qi - qr.start;
+                                let lj = kj - kr.start;
+                                let want = if lj < olds[i] {
+                                    // Verified prefix: always visible.
+                                    true
+                                } else if lj - olds[i] > li {
+                                    // Future batch rows: never visible.
+                                    false
+                                } else {
+                                    lins[i].mask().allowed(li, lj - olds[i])
+                                };
+                                proptest::prop_assert_eq!(
+                                    mask.allowed(qi, kj), want,
+                                    "request {} block ({}, {}) mismatch", i, li, lj
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

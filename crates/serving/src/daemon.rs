@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use specinfer_model::Transformer;
-use specinfer_spec::{Session, StepStats};
+use specinfer_spec::{BatchItem, BatchedVerifier, Session, StepStats};
 use specinfer_tokentree::TokenId;
 
 use crate::metrics::{FaultCounters, ServeReport};
@@ -236,6 +236,7 @@ fn daemon_loop(
 ) -> ServeReport {
     let wall = crate::clock::Stopwatch::start();
     let ssm_refs: Vec<&Transformer> = ssms.iter().map(Arc::as_ref).collect();
+    let verifier = BatchedVerifier::new();
     let plan = config.faults.as_ref();
     let mut clock = 0.0f64;
     let mut next_id = 0u64;
@@ -343,8 +344,12 @@ fn daemon_loop(
         }
 
         // One decoding iteration over the live batch (bounded by the
-        // admission limit; extra submissions wait in the channel).
+        // admission limit; extra submissions wait in the channel). All
+        // non-faulted sessions are verified by the LLM in a single
+        // batched tree-parallel forward; a stalled/OOM request drops out
+        // to the serial incremental path without touching batch-mates.
         let batch: usize = active.len().min(config.max_batch_size);
+        let mut items: Vec<BatchItem<'_>> = Vec::with_capacity(batch);
         for r in active.iter_mut().take(batch) {
             let fault = plan
                 .and_then(|p| p.step_fault(r.id, r.steps_taken))
@@ -355,7 +360,16 @@ fn daemon_loop(
             faults.injected += usize::from(fault.ssm_garbage.is_some())
                 + usize::from(fault.ssm_stall)
                 + usize::from(fault.kv_oom);
-            r.last = r.session.step_faulted(llm, &ssm_refs, &r.config, fault);
+            items.push(BatchItem {
+                session: &mut r.session,
+                config: &r.config,
+                fault,
+            });
+        }
+        let stats = verifier.step_batch(llm, &ssm_refs, &mut items);
+        drop(items);
+        for (r, last) in active.iter_mut().take(batch).zip(stats) {
+            r.last = last;
             r.steps_taken += 1;
         }
         iterations += 1;

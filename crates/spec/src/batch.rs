@@ -1,0 +1,166 @@
+//! Cross-request batched tree verification (§5's iteration-level
+//! scheduling): all sessions of a continuous-batching iteration are
+//! verified by the LLM in **one** stacked tree-parallel forward.
+//!
+//! Each iteration splits into three phases. Speculation
+//! ([`crate::Session::propose`]) stays strictly per-session — the SSM
+//! pool, RNG streams and degradation ladder are untouched. The LLM
+//! forwards then fuse: the linearized trees (or single incremental rows)
+//! of every participating session stack into one `[Σnᵢ, d]` batch with a
+//! block-diagonal visibility mask and per-request KV-cache handles, so
+//! the model crate's blocked kernels see one tall matrix instead of N
+//! tiny ones. Finally verification/commit runs per-session again, in
+//! item order.
+//!
+//! Faulted requests (SSM stall, simulated KV OOM) drop out of the fused
+//! pass and take the serial incremental path — a fault degrades one
+//! request without poisoning its batch-mates. Because every row of the
+//! stacked forward is computed with bitwise-identical reduction order to
+//! a solo forward (see `specinfer-model`), batched stepping emits
+//! exactly the tokens serial stepping does, seed for seed.
+
+use specinfer_model::{BatchRequest, Transformer, Visibility};
+use specinfer_tensor::Tensor;
+use specinfer_tokentree::TokenId;
+
+use crate::engine::{EngineConfig, Proposal, Session, StepFault, StepStats};
+
+/// One session's slot in a batched iteration.
+#[derive(Debug)]
+pub struct BatchItem<'a> {
+    /// The session to advance.
+    pub session: &'a mut Session,
+    /// Its engine configuration (per-request, Orca-style).
+    pub config: &'a EngineConfig,
+    /// The fault injected into this session's iteration.
+    pub fault: StepFault,
+}
+
+impl<'a> BatchItem<'a> {
+    /// A fault-free slot.
+    pub fn new(session: &'a mut Session, config: &'a EngineConfig) -> Self {
+        BatchItem {
+            session,
+            config,
+            fault: StepFault::default(),
+        }
+    }
+}
+
+/// Stacked rows of one proposal, staged for the fused forward.
+struct Prep {
+    /// Index into `items` of the session these rows belong to.
+    idx: usize,
+    tokens: Vec<TokenId>,
+    positions: Vec<usize>,
+}
+
+/// Drives N sessions through one LLM verification pass per iteration.
+#[derive(Debug, Default)]
+pub struct BatchedVerifier;
+
+impl BatchedVerifier {
+    /// Creates a verifier (stateless; exists for API symmetry).
+    pub fn new() -> Self {
+        BatchedVerifier
+    }
+
+    /// Advances every item by one decoding iteration, fusing all
+    /// non-faulted LLM forwards into a single stacked pass.
+    ///
+    /// Returns one `Option<StepStats>` per item, in order — `None` for
+    /// sessions that were already finished (exactly what
+    /// [`crate::Session::step_faulted`] returns). Stall/OOM-faulted
+    /// items fall out of the batch and are served serially on the
+    /// incremental path.
+    pub fn step_batch(
+        &self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        items: &mut [BatchItem<'_>],
+    ) -> Vec<Option<StepStats>> {
+        // Phase 1: propose per-session, in item order. Each session owns
+        // its RNG stream, so per-item sequencing matches serial stepping.
+        let mut proposals: Vec<Option<Proposal>> = items
+            .iter_mut()
+            .map(|it| it.session.propose(llm, ssms, it.config, it.fault))
+            .collect();
+
+        // Stage the stacked rows of every batch participant. Faulted
+        // (forced-incremental) proposals are excluded: they run serially
+        // below so a fault cannot perturb the fused pass.
+        let mut preps: Vec<Prep> = Vec::with_capacity(items.len());
+        for (idx, proposal) in proposals.iter().enumerate() {
+            let Some(p) = proposal else { continue };
+            if p.forced_incremental() {
+                continue;
+            }
+            let base = items[idx].session.llm_cache_len();
+            let (tokens, positions) = match p.tree() {
+                Some(lin) => (
+                    lin.tokens().to_vec(),
+                    lin.depths().iter().map(|d| base + d).collect(),
+                ),
+                None => (vec![items[idx].session.last_token()], vec![base]),
+            };
+            preps.push(Prep {
+                idx,
+                tokens,
+                positions,
+            });
+        }
+
+        // Phase 2: one fused forward over all participants. The borrow
+        // walk pairs each prep with its item's cache handle in order.
+        let mut batched_logits: Vec<Tensor> = Vec::new();
+        if !preps.is_empty() {
+            let mut reqs: Vec<BatchRequest<'_>> = Vec::with_capacity(preps.len());
+            let mut pi = 0usize;
+            for (idx, item) in items.iter_mut().enumerate() {
+                if pi == preps.len() || preps[pi].idx != idx {
+                    continue;
+                }
+                let prep = &preps[pi];
+                let visible = match proposals[idx].as_ref().and_then(|p| p.tree()) {
+                    Some(lin) => Visibility::Tree(lin.mask()),
+                    None => Visibility::Causal,
+                };
+                reqs.push(BatchRequest {
+                    tokens: &prep.tokens,
+                    positions: &prep.positions,
+                    cache: item.session.llm_cache_mut(),
+                    visible,
+                });
+                pi += 1;
+            }
+            batched_logits = llm.forward_rows_batch(&mut reqs);
+        }
+
+        // Phase 3: commit per-session, in item order. Batched items
+        // consume their logits slice; faulted items run the serial
+        // incremental forward here, after the fused pass.
+        let mut stats: Vec<Option<StepStats>> = Vec::with_capacity(items.len());
+        let mut batched_iter = batched_logits.into_iter();
+        for (idx, item) in items.iter_mut().enumerate() {
+            let Some(proposal) = proposals[idx].take() else {
+                stats.push(None);
+                continue;
+            };
+            let logits = if proposal.forced_incremental() {
+                item.session.forward_proposal(llm, &proposal)
+            } else {
+                match batched_iter.next() {
+                    Some(l) => l,
+                    None => unreachable!("every batch participant has a logits tensor"),
+                }
+            };
+            stats.push(Some(item.session.commit(
+                ssms,
+                item.config,
+                proposal,
+                &logits,
+            )));
+        }
+        stats
+    }
+}

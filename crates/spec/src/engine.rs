@@ -8,8 +8,9 @@
 
 use std::collections::VecDeque;
 
-use specinfer_model::{sampler, DecodeMode, KvCache, Transformer};
+use specinfer_model::{sampler, DecodeMode, KvCache, Transformer, Visibility};
 use specinfer_tensor::rng::SeededRng;
+use specinfer_tensor::Tensor;
 use specinfer_tokentree::{ExpansionConfig, LinearizedTree, TokenId, TokenTree};
 
 use crate::speculator::{
@@ -257,6 +258,61 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// One proposed decoding iteration, produced by [`Session::propose`].
+///
+/// Splitting the old monolithic step at the LLM-forward boundary is what
+/// lets [`crate::BatchedVerifier`] fuse the verification forwards of
+/// many sessions into one stacked pass: speculation (phase 1) and
+/// sampling/commit (phase 3) stay per-session, while phase 2 — the only
+/// part that touches the LLM — batches.
+#[derive(Debug)]
+pub(crate) struct Proposal {
+    kind: ProposalKind,
+    speculative_mode: bool,
+    forced_incremental: bool,
+    in_fallback: bool,
+}
+
+#[derive(Debug)]
+enum ProposalKind {
+    /// One ordinary causal row: the sequence's last token.
+    Incremental,
+    /// A speculated token tree awaiting tree-parallel verification.
+    /// Boxed so the dataless `Incremental` variant doesn't inflate every
+    /// `Proposal` to the tree payload's size.
+    Tree(Box<TreeProposal>),
+}
+
+#[derive(Debug)]
+struct TreeProposal {
+    spec: Speculation,
+    lin: LinearizedTree,
+}
+
+impl ProposalKind {
+    fn tree(spec: Speculation) -> Self {
+        let lin = LinearizedTree::new(&spec.tree);
+        ProposalKind::Tree(Box::new(TreeProposal { spec, lin }))
+    }
+}
+
+impl Proposal {
+    /// The linearized tree to verify, or `None` for an incremental row.
+    pub(crate) fn tree(&self) -> Option<&LinearizedTree> {
+        match &self.kind {
+            ProposalKind::Tree(t) => Some(&t.lin),
+            ProposalKind::Incremental => None,
+        }
+    }
+
+    /// Whether a fault (stall/OOM) forced this proposal incremental.
+    /// The batched verifier routes such proposals through the serial
+    /// path so a faulted request never poisons its batch-mates.
+    pub(crate) fn forced_incremental(&self) -> bool {
+        self.forced_incremental
+    }
+}
+
 /// Per-request generation state, advanced one decoding iteration at a
 /// time.
 ///
@@ -352,11 +408,21 @@ impl Session {
     /// The root for the next speculated tree: the last token of the
     /// sequence. [`Session::try_new`] guarantees a non-empty prompt and
     /// decoding only appends, so the sequence can never be empty.
-    fn last_token(&self) -> TokenId {
+    pub(crate) fn last_token(&self) -> TokenId {
         match self.tokens.last() {
             Some(&t) => t,
             None => unreachable!("sessions always hold at least the prompt"),
         }
+    }
+
+    /// Committed length of the LLM KV cache (rows of verified context).
+    pub(crate) fn llm_cache_len(&self) -> usize {
+        self.llm_cache.len()
+    }
+
+    /// The LLM KV cache, for the batched verifier's stacked forward.
+    pub(crate) fn llm_cache_mut(&mut self) -> &mut KvCache {
+        &mut self.llm_cache
     }
 
     /// Enables (or replaces) the acceptance-collapse degradation ladder.
@@ -422,6 +488,27 @@ impl Session {
         config: &EngineConfig,
         fault: StepFault,
     ) -> Option<StepStats> {
+        let proposal = self.propose(llm, ssms, config, fault)?;
+        let logits = self.forward_proposal(llm, &proposal);
+        Some(self.commit(ssms, config, proposal, &logits))
+    }
+
+    /// Phase 1 of an iteration: decide what the LLM must verify.
+    ///
+    /// Runs the fault/fallback bookkeeping and — for speculative modes —
+    /// the whole SSM expansion, consuming the session's RNG stream
+    /// exactly as [`Session::step_faulted`] always has. Returns `None`
+    /// when the session is finished (or just exhausted its context).
+    /// The returned [`Proposal`] must be carried through
+    /// [`Session::forward_proposal`] and [`Session::commit`] before the
+    /// session can step again.
+    pub(crate) fn propose(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+        fault: StepFault,
+    ) -> Option<Proposal> {
         if self.finished {
             return None;
         }
@@ -448,52 +535,87 @@ impl Session {
         let forced_incremental = speculative_mode && (fault.ssm_stall || fault.kv_oom);
         let in_fallback = speculative_mode && self.fallback_until.is_some();
 
-        let stats = if forced_incremental {
+        let kind = if forced_incremental {
             self.degradation.forced_incremental += 1;
-            self.step_incremental(llm, config)
+            ProposalKind::Incremental
         } else if in_fallback {
             self.degradation.fallback_steps += 1;
-            self.step_incremental(llm, config)
+            ProposalKind::Incremental
         } else {
             match &config.mode {
-                InferenceMode::Incremental => self.step_incremental(llm, config),
+                InferenceMode::Incremental => ProposalKind::Incremental,
                 InferenceMode::SequenceSpeculative { depth } => {
                     let expansion = ExpansionConfig::sequence(*depth);
                     if self.speculation_fits(ssms, expansion.node_count()) {
-                        self.step_speculative(llm, ssms, &expansion, config, fault.ssm_garbage)
+                        self.propose_speculative(llm, ssms, &expansion, config, fault.ssm_garbage)
                     } else {
-                        self.step_incremental(llm, config)
+                        ProposalKind::Incremental
                     }
                 }
                 InferenceMode::TreeSpeculative { expansion } => {
                     if self.speculation_fits(ssms, expansion.node_count()) {
-                        self.step_speculative(
-                            llm,
-                            ssms,
-                            &expansion.clone(),
-                            config,
-                            fault.ssm_garbage,
-                        )
+                        self.propose_speculative(llm, ssms, expansion, config, fault.ssm_garbage)
                     } else {
                         // Near the context limit a full tree no longer fits;
                         // degrade to incremental decoding for the tail.
-                        self.step_incremental(llm, config)
+                        ProposalKind::Incremental
                     }
                 }
                 InferenceMode::DynamicTree { config: dyn_cfg } => {
                     if self.speculation_fits(ssms, dyn_cfg.max_nodes) {
-                        self.step_dynamic(llm, ssms, &dyn_cfg.clone(), config, fault.ssm_garbage)
+                        self.propose_dynamic(llm, ssms, dyn_cfg, fault.ssm_garbage)
                     } else {
-                        self.step_incremental(llm, config)
+                        ProposalKind::Incremental
                     }
                 }
             }
         };
+        Some(Proposal {
+            kind,
+            speculative_mode,
+            forced_incremental,
+            in_fallback,
+        })
+    }
+
+    /// Phase 2: the single LLM forward pass verifying `proposal` —
+    /// either one incremental row or a whole linearized tree. This is the
+    /// only phase [`crate::BatchedVerifier`] replaces: it fuses the
+    /// forwards of many sessions into one stacked pass.
+    pub(crate) fn forward_proposal(&mut self, llm: &Transformer, proposal: &Proposal) -> Tensor {
+        match &proposal.kind {
+            ProposalKind::Incremental => {
+                let last = self.last_token();
+                let pos = self.llm_cache.len();
+                llm.forward_rows(&[last], &[pos], &mut self.llm_cache, Visibility::Causal)
+            }
+            ProposalKind::Tree(t) => llm.decode_tree(&t.lin, &mut self.llm_cache),
+        }
+    }
+
+    /// Phase 3: consume the LLM logits for `proposal` — sample or
+    /// verify, compact the KV cache to the accepted path, replay the SSM
+    /// caches, feed the degradation ladder and record the step.
+    pub(crate) fn commit(
+        &mut self,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+        proposal: Proposal,
+        logits: &Tensor,
+    ) -> StepStats {
+        let idx = self.steps.len();
+        let stats = match proposal.kind {
+            ProposalKind::Incremental => self.commit_incremental(config, logits),
+            ProposalKind::Tree(t) => {
+                let TreeProposal { spec, lin } = *t;
+                self.commit_tree(ssms, config, spec, lin, logits)
+            }
+        };
         // Feed the ladder with the acceptance of speculative iterations.
         if self.policy.is_enabled()
-            && speculative_mode
-            && !forced_incremental
-            && !in_fallback
+            && proposal.speculative_mode
+            && !proposal.forced_incremental
+            && !proposal.in_fallback
             && stats.tree_size > 0
         {
             self.accept_window
@@ -511,7 +633,7 @@ impl Session {
             }
         }
         self.steps.push(stats);
-        Some(stats)
+        stats
     }
 
     /// Whether a speculated tree of up to `worst_nodes` nodes (plus the
@@ -527,9 +649,7 @@ impl Session {
             .all(|c| c.len() + need <= c.max_len())
     }
 
-    fn step_incremental(&mut self, llm: &Transformer, config: &EngineConfig) -> StepStats {
-        let last = self.last_token();
-        let logits = llm.decode_one(last, &mut self.llm_cache);
+    fn commit_incremental(&mut self, config: &EngineConfig, logits: &Tensor) -> StepStats {
         let next = match &config.decode {
             DecodeMode::Greedy => sampler::greedy_token(logits.data()),
             mode => {
@@ -546,14 +666,14 @@ impl Session {
         }
     }
 
-    fn step_speculative(
+    fn propose_speculative(
         &mut self,
         llm: &Transformer,
         ssms: &[&Transformer],
         expansion: &ExpansionConfig,
         config: &EngineConfig,
         garbage: Option<u64>,
-    ) -> StepStats {
+    ) -> ProposalKind {
         assert!(!ssms.is_empty(), "speculative modes need at least one SSM");
         assert_eq!(
             ssms.len(),
@@ -567,7 +687,7 @@ impl Session {
         // uniform draws; the SSMs (and their caches) are not consulted.
         if let Some(seed) = garbage {
             let spec = speculate_garbage(root, expansion, llm.config().vocab_size, seed);
-            return self.verify_and_commit(llm, ssms, spec, config);
+            return ProposalKind::tree(spec);
         }
 
         // Speculate (§3). A single SSM expands inline on the session's
@@ -589,7 +709,7 @@ impl Session {
             );
             Speculation { tree, dists }
         } else {
-            let configs = vec![expansion.clone(); ssms.len()];
+            let configs: Vec<&ExpansionConfig> = vec![expansion; ssms.len()];
             speculate_pool_parallel(
                 ssms,
                 &mut self.ssm_caches,
@@ -599,17 +719,16 @@ impl Session {
                 &mut self.rng,
             )
         };
-        self.verify_and_commit(llm, ssms, spec, config)
+        ProposalKind::tree(spec)
     }
 
-    fn step_dynamic(
+    fn propose_dynamic(
         &mut self,
         llm: &Transformer,
         ssms: &[&Transformer],
         dyn_cfg: &crate::dynamic::DynamicExpansionConfig,
-        config: &EngineConfig,
         garbage: Option<u64>,
-    ) -> StepStats {
+    ) -> ProposalKind {
         assert!(
             !ssms.is_empty(),
             "dynamic speculation needs at least one SSM"
@@ -626,40 +745,42 @@ impl Session {
             let depth = dyn_cfg.max_depth.clamp(1, dyn_cfg.max_nodes.max(1));
             let expansion = ExpansionConfig::sequence(depth);
             let spec = speculate_garbage(root, &expansion, llm.config().vocab_size, seed);
-            return self.verify_and_commit(llm, ssms, spec, config);
+            return ProposalKind::tree(spec);
         }
         let spec =
             crate::dynamic::speculate_dynamic(ssms[0], &mut self.ssm_caches[0], root, dyn_cfg);
-        self.verify_and_commit(llm, ssms, spec, config)
+        ProposalKind::tree(spec)
     }
 
-    /// Verifies a speculation against the LLM in one tree-parallel pass,
-    /// commits the accepted path to every cache and the token sequence,
-    /// and returns the iteration's stats.
-    fn verify_and_commit(
+    /// Verifies a speculation whose tree forward already ran (the rows
+    /// sit uncompacted at the tail of the LLM cache), commits the
+    /// accepted path to every cache and the token sequence, and returns
+    /// the iteration's stats.
+    fn commit_tree(
         &mut self,
-        llm: &Transformer,
         ssms: &[&Transformer],
-        spec: Speculation,
         config: &EngineConfig,
+        spec: Speculation,
+        lin: LinearizedTree,
+        llm_logits: &Tensor,
     ) -> StepStats {
         let root = self.last_token();
-        let lin = LinearizedTree::new(&spec.tree);
-        let prefix = self.llm_cache.len();
-        let llm_logits = llm.decode_tree(&lin, &mut self.llm_cache);
+        // The forward appended one cache row per tree node; everything
+        // before those rows is the verified prefix to compact onto.
+        let prefix = self.llm_cache.len() - lin.len();
         let outcome = match &config.decode {
-            DecodeMode::Greedy => verify_greedy(&spec.tree, &lin, &llm_logits),
+            DecodeMode::Greedy => verify_greedy(&spec.tree, &lin, llm_logits),
             mode => match config.verifier {
                 StochasticVerifier::MultiStep => verify_stochastic(
                     &spec.tree,
                     &lin,
-                    &llm_logits,
+                    llm_logits,
                     &spec.dists,
                     mode,
                     &mut self.rng,
                 ),
                 StochasticVerifier::Naive => {
-                    verify_naive(&spec.tree, &lin, &llm_logits, mode, &mut self.rng)
+                    verify_naive(&spec.tree, &lin, llm_logits, mode, &mut self.rng)
                 }
             },
         };

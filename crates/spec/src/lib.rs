@@ -47,6 +47,7 @@
 //! ```
 
 pub mod audit;
+mod batch;
 pub mod boost;
 pub mod dynamic;
 mod engine;
@@ -54,6 +55,7 @@ mod speculator;
 mod verifier;
 
 pub use audit::{audit_greedy, AuditReport};
+pub use batch::{BatchItem, BatchedVerifier};
 pub use boost::{boost_tune_pool, BoostConfig, BoostResult};
 pub use dynamic::{speculate_dynamic, DynamicExpansionConfig};
 pub use engine::{

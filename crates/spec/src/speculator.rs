@@ -414,7 +414,7 @@ pub fn speculate_pool_parallel(
     ssms: &[&Transformer],
     caches: &mut [KvCache],
     root_token: TokenId,
-    configs: &[ExpansionConfig],
+    configs: &[&ExpansionConfig],
     mode: ExpansionMode,
     rng: &mut SeededRng,
 ) -> Speculation {
@@ -438,7 +438,7 @@ pub fn speculate_pool_parallel(
                 .zip(rngs.iter_mut())
                 .zip(parts.iter_mut())
             {
-                let config = &configs[i];
+                let config = configs[i];
                 scope.spawn(move || {
                     let mut tree = TokenTree::new(root_token);
                     let mut dists = SsmDistTable::new();
@@ -457,7 +457,7 @@ pub fn speculate_pool_parallel(
                 ssm,
                 i,
                 &mut caches[i],
-                &configs[i],
+                configs[i],
                 mode,
                 &mut rngs[i],
             );
@@ -623,7 +623,7 @@ mod tests {
             &[&m1, &m2],
             &mut fresh_caches(),
             7,
-            &cfgs,
+            &[&cfgs[0], &cfgs[1]],
             ExpansionMode::TopK,
             &mut SeededRng::new(1),
         );
@@ -658,7 +658,7 @@ mod tests {
                 &[&m1, &m2],
                 &mut [c1, c2],
                 5,
-                &cfgs,
+                &[&cfgs[0], &cfgs[1]],
                 ExpansionMode::Sampled,
                 &mut SeededRng::new(9),
             );

@@ -1,0 +1,241 @@
+//! Bitwise-equivalence battery for cross-request batched verification:
+//! for every tested seed and batch size, [`BatchedVerifier::step_batch`]
+//! must emit exactly the per-token outputs of serial per-session
+//! stepping — greedy and stochastic (MSS) alike — and faulted items must
+//! drop out of the batch without perturbing their batch-mates.
+
+use specinfer_model::{DecodeMode, ModelConfig, Transformer};
+use specinfer_spec::{
+    BatchItem, BatchedVerifier, EngineConfig, InferenceMode, Session, StepFault, StepStats,
+    StochasticVerifier,
+};
+use specinfer_tokentree::{ExpansionConfig, TokenId};
+
+fn models() -> (Transformer, Transformer) {
+    let llm = Transformer::from_seed(ModelConfig::smoke(), 100);
+    let ssm = Transformer::from_seed(
+        ModelConfig {
+            d_model: 8,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 16,
+            ..ModelConfig::smoke()
+        },
+        101,
+    );
+    (llm, ssm)
+}
+
+fn config(decode: DecodeMode) -> EngineConfig {
+    EngineConfig {
+        decode,
+        verifier: StochasticVerifier::MultiStep,
+        mode: InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::new(vec![2, 1, 1]),
+        },
+        max_new_tokens: 12,
+        eos_token: None,
+    }
+}
+
+/// Distinct prompts, one per batch slot.
+fn prompt(slot: usize) -> Vec<TokenId> {
+    vec![1 + slot as TokenId, 2, 3 + (slot % 5) as TokenId]
+}
+
+/// Runs `batch` sessions serially (one `step_faulted` each per
+/// iteration) and returns their token sequences and step stats.
+fn run_serial(
+    llm: &Transformer,
+    ssm: &Transformer,
+    cfg: &EngineConfig,
+    seed: u64,
+    batch: usize,
+    faults: impl Fn(usize, usize) -> StepFault,
+) -> Vec<(Vec<TokenId>, Vec<StepStats>)> {
+    let ssms = [ssm];
+    let mut sessions: Vec<Session> = (0..batch)
+        .map(|b| Session::new(llm, &ssms, &prompt(b), seed.wrapping_add(b as u64)))
+        .collect();
+    let mut iter = 0usize;
+    while sessions.iter().any(|s| !s.is_finished()) {
+        for (b, s) in sessions.iter_mut().enumerate() {
+            let _ = s.step_faulted(llm, &ssms, cfg, faults(b, iter));
+        }
+        iter += 1;
+    }
+    sessions
+        .into_iter()
+        .map(|s| {
+            let steps = s.steps().to_vec();
+            (s.into_result().tokens, steps)
+        })
+        .collect()
+}
+
+/// Runs `batch` sessions through the batched verifier and returns their
+/// token sequences and step stats.
+fn run_batched(
+    llm: &Transformer,
+    ssm: &Transformer,
+    cfg: &EngineConfig,
+    seed: u64,
+    batch: usize,
+    faults: impl Fn(usize, usize) -> StepFault,
+) -> Vec<(Vec<TokenId>, Vec<StepStats>)> {
+    let ssms = [ssm];
+    let verifier = BatchedVerifier::new();
+    let mut sessions: Vec<Session> = (0..batch)
+        .map(|b| Session::new(llm, &ssms, &prompt(b), seed.wrapping_add(b as u64)))
+        .collect();
+    let mut iter = 0usize;
+    while sessions.iter().any(|s| !s.is_finished()) {
+        let mut items: Vec<BatchItem<'_>> = sessions
+            .iter_mut()
+            .enumerate()
+            .map(|(b, s)| BatchItem {
+                session: s,
+                config: cfg,
+                fault: faults(b, iter),
+            })
+            .collect();
+        let _ = verifier.step_batch(llm, &ssms, &mut items);
+        iter += 1;
+    }
+    sessions
+        .into_iter()
+        .map(|s| {
+            let steps = s.steps().to_vec();
+            (s.into_result().tokens, steps)
+        })
+        .collect()
+}
+
+fn no_faults(_: usize, _: usize) -> StepFault {
+    StepFault::default()
+}
+
+#[test]
+fn batched_equals_serial_greedy_across_seeds_and_batch_sizes() {
+    let (llm, ssm) = models();
+    let cfg = config(DecodeMode::Greedy);
+    for seed in [0u64, 7, 42] {
+        for batch in [1usize, 2, 4, 8] {
+            let serial = run_serial(&llm, &ssm, &cfg, seed, batch, no_faults);
+            let batched = run_batched(&llm, &ssm, &cfg, seed, batch, no_faults);
+            assert_eq!(serial, batched, "seed {seed}, batch {batch}");
+        }
+    }
+}
+
+#[test]
+fn batched_equals_serial_stochastic_mss_across_seeds_and_batch_sizes() {
+    let (llm, ssm) = models();
+    let cfg = config(DecodeMode::stochastic());
+    for seed in [3u64, 19] {
+        for batch in [1usize, 2, 4, 8] {
+            let serial = run_serial(&llm, &ssm, &cfg, seed, batch, no_faults);
+            let batched = run_batched(&llm, &ssm, &cfg, seed, batch, no_faults);
+            assert_eq!(serial, batched, "seed {seed}, batch {batch}");
+        }
+    }
+}
+
+#[test]
+fn faulted_items_drop_out_without_perturbing_batch_mates() {
+    // Request 1 stalls every other iteration and request 2 hits a
+    // simulated KV OOM on every third; both must degrade to incremental
+    // exactly as under serial stepping, and requests 0 and 3 must emit
+    // byte-identical outputs either way.
+    let (llm, ssm) = models();
+    let cfg = config(DecodeMode::Greedy);
+    let faults = |b: usize, iter: usize| match b {
+        1 => StepFault {
+            ssm_stall: iter.is_multiple_of(2),
+            ..StepFault::default()
+        },
+        2 => StepFault {
+            kv_oom: iter.is_multiple_of(3),
+            ..StepFault::default()
+        },
+        _ => StepFault::default(),
+    };
+    let serial = run_serial(&llm, &ssm, &cfg, 5, 4, faults);
+    let batched = run_batched(&llm, &ssm, &cfg, 5, 4, faults);
+    assert_eq!(serial, batched);
+    // And the fault-free batch-mates match a run with no faults at all.
+    let clean = run_serial(&llm, &ssm, &cfg, 5, 4, no_faults);
+    assert_eq!(clean[0], batched[0], "request 0 must not see the faults");
+    assert_eq!(clean[3], batched[3], "request 3 must not see the faults");
+}
+
+#[test]
+fn garbage_faults_flow_through_the_batch_losslessly() {
+    // Garbage drafts stay *in* the batch (only stall/OOM drop out); the
+    // greedy verifier rejects them and outputs must match a clean run.
+    let (llm, ssm) = models();
+    let cfg = config(DecodeMode::Greedy);
+    let faults = |b: usize, iter: usize| StepFault {
+        ssm_garbage: (b == 1).then_some(0xfa017 ^ iter as u64),
+        ..StepFault::default()
+    };
+    let clean = run_serial(&llm, &ssm, &cfg, 9, 3, no_faults);
+    let batched = run_batched(&llm, &ssm, &cfg, 9, 3, faults);
+    for b in 0..3 {
+        assert_eq!(
+            clean[b].0, batched[b].0,
+            "request {b}: greedy output must be fault-proof"
+        );
+    }
+}
+
+#[test]
+fn already_finished_sessions_yield_none_in_the_batch() {
+    let (llm, ssm) = models();
+    let ssms = [&ssm];
+    let mut cfg = config(DecodeMode::Greedy);
+    cfg.max_new_tokens = 2;
+    let verifier = BatchedVerifier::new();
+    let mut short = Session::new(&llm, &ssms, &prompt(0), 0);
+    let mut long = Session::new(&llm, &ssms, &prompt(1), 1);
+    let long_cfg = config(DecodeMode::Greedy);
+    for _ in 0..6 {
+        let mut items = [
+            BatchItem {
+                session: &mut short,
+                config: &cfg,
+                fault: StepFault::default(),
+            },
+            BatchItem {
+                session: &mut long,
+                config: &long_cfg,
+                fault: StepFault::default(),
+            },
+        ];
+        let stats = verifier.step_batch(&llm, &ssms, &mut items);
+        assert_eq!(stats.len(), 2);
+        if short.is_finished() {
+            break;
+        }
+    }
+    assert!(short.is_finished());
+    // One more iteration: the finished session contributes None, the
+    // live one keeps stepping.
+    let before = long.tokens().len();
+    let mut items = [
+        BatchItem {
+            session: &mut short,
+            config: &cfg,
+            fault: StepFault::default(),
+        },
+        BatchItem {
+            session: &mut long,
+            config: &long_cfg,
+            fault: StepFault::default(),
+        },
+    ];
+    let stats = verifier.step_batch(&llm, &ssms, &mut items);
+    assert!(stats[0].is_none());
+    assert!(stats[1].is_some());
+    assert!(long.tokens().len() > before);
+}

@@ -50,12 +50,63 @@ pub fn effective_threads() -> usize {
 
 /// `out[i0+r, :] = A[i0+r, :] × B` for each row of `out`, in i-k-j order.
 ///
-/// The inner j-loop is a branch-free fused multiply–add sweep over the
-/// output row, which LLVM autovectorizes; per element the `k` reduction
-/// is ascending. `out` must be zero-filled.
+/// Rows are processed in register blocks of four, tiled eight columns
+/// wide: a 4×8 tile of scalar accumulators lives in registers across the
+/// whole `k` reduction and is stored once, so each loaded `B` element
+/// feeds four fused multiply–adds and the output rows are written once
+/// instead of once per `k` step. Leftover rows fall back to a one-row
+/// sweep, leftover columns to the in-place accumulation. Tiling only
+/// regroups *independent* output elements: every element still
+/// accumulates its `k` products one at a time in ascending order from
+/// zero, so results are bitwise identical to the naive triple loop.
+/// `out` must be zero-filled.
 fn nn_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
     let rows = out.len() / n;
-    for r in 0..rows {
+    let mut r = 0;
+    while r + 4 <= rows {
+        let a0 = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 2) * k];
+        let a2 = &a[(i0 + r + 2) * k..(i0 + r + 3) * k];
+        let a3 = &a[(i0 + r + 3) * k..(i0 + r + 4) * k];
+        let block = &mut out[r * n..(r + 4) * n];
+        let (o0, rest) = block.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut t = [[0.0f32; 8]; 4];
+            for kk in 0..k {
+                let b_seg = &b[kk * n + j..kk * n + j + 8];
+                let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for (c, &bv) in b_seg.iter().enumerate() {
+                    t[0][c] += v0 * bv;
+                    t[1][c] += v1 * bv;
+                    t[2][c] += v2 * bv;
+                    t[3][c] += v3 * bv;
+                }
+            }
+            o0[j..j + 8].copy_from_slice(&t[0]);
+            o1[j..j + 8].copy_from_slice(&t[1]);
+            o2[j..j + 8].copy_from_slice(&t[2]);
+            o3[j..j + 8].copy_from_slice(&t[3]);
+            j += 8;
+        }
+        if j < n {
+            for kk in 0..k {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for c in j..n {
+                    let bv = b_row[c];
+                    o0[c] += v0 * bv;
+                    o1[c] += v1 * bv;
+                    o2[c] += v2 * bv;
+                    o3[c] += v3 * bv;
+                }
+            }
+        }
+        r += 4;
+    }
+    while r < rows {
         let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
         let o_row = &mut out[r * n..(r + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
@@ -64,6 +115,7 @@ fn nn_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize)
                 *o += av * bv;
             }
         }
+        r += 1;
     }
 }
 
@@ -79,45 +131,105 @@ fn nn_cols(a: &[f32], b: &[f32], out: &mut [f32], j0: usize, k: usize, n: usize)
     }
 }
 
-/// `out[i0+r, :] = A[i0+r, :] × Bᵀ` for each row of `out`, with four
+/// One row of `A × Bᵀ`: `o_row[j] = A[row] · B[j]`, with four
 /// independent accumulator lanes across adjacent columns.
 ///
 /// Each lane owns one output element and reduces over `k` in ascending
 /// order, so the lanes change instruction-level parallelism but not the
 /// per-element reduction order.
+fn nt_one_row(a_row: &[f32], b: &[f32], o_row: &mut [f32], k: usize, n: usize) {
+    let mut j = 0;
+    while j + 4 <= n {
+        let b0 = &b[j * k..(j + 1) * k];
+        let b1 = &b[(j + 1) * k..(j + 2) * k];
+        let b2 = &b[(j + 2) * k..(j + 3) * k];
+        let b3 = &b[(j + 3) * k..(j + 4) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (t, &av) in a_row.iter().enumerate() {
+            s0 += av * b0[t];
+            s1 += av * b1[t];
+            s2 += av * b2[t];
+            s3 += av * b3[t];
+        }
+        o_row[j] = s0;
+        o_row[j + 1] = s1;
+        o_row[j + 2] = s2;
+        o_row[j + 3] = s3;
+        j += 4;
+    }
+    while j < n {
+        let b_row = &b[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (x, y) in a_row.iter().zip(b_row) {
+            acc += x * y;
+        }
+        o_row[j] = acc;
+        j += 1;
+    }
+}
+
+/// `out[i0+r, :] = A[i0+r, :] × Bᵀ` for each row of `out`.
+///
+/// Rows are processed in register blocks of four (a 4×4 tile of scalar
+/// accumulators against the four-column lanes) so each loaded `A`/`B`
+/// element feeds four multiplies; leftover rows and columns fall back to
+/// the one-row lanes. Every output element is a single scalar
+/// accumulator reduced over `k` in ascending order in all paths, so the
+/// tiling changes instruction-level parallelism but not the per-element
+/// reduction order.
 fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
     let rows = out.len() / n;
-    for r in 0..rows {
-        let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
-        let o_row = &mut out[r * n..(r + 1) * n];
+    let mut r = 0;
+    while r + 4 <= rows {
+        let a0 = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 2) * k];
+        let a2 = &a[(i0 + r + 2) * k..(i0 + r + 3) * k];
+        let a3 = &a[(i0 + r + 3) * k..(i0 + r + 4) * k];
         let mut j = 0;
         while j + 4 <= n {
             let b0 = &b[j * k..(j + 1) * k];
             let b1 = &b[(j + 1) * k..(j + 2) * k];
             let b2 = &b[(j + 2) * k..(j + 3) * k];
             let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for (t, &av) in a_row.iter().enumerate() {
-                s0 += av * b0[t];
-                s1 += av * b1[t];
-                s2 += av * b2[t];
-                s3 += av * b3[t];
+            let mut s = [[0.0f32; 4]; 4];
+            for t in 0..k {
+                let (bv0, bv1, bv2, bv3) = (b0[t], b1[t], b2[t], b3[t]);
+                let (av0, av1, av2, av3) = (a0[t], a1[t], a2[t], a3[t]);
+                s[0][0] += av0 * bv0;
+                s[0][1] += av0 * bv1;
+                s[0][2] += av0 * bv2;
+                s[0][3] += av0 * bv3;
+                s[1][0] += av1 * bv0;
+                s[1][1] += av1 * bv1;
+                s[1][2] += av1 * bv2;
+                s[1][3] += av1 * bv3;
+                s[2][0] += av2 * bv0;
+                s[2][1] += av2 * bv1;
+                s[2][2] += av2 * bv2;
+                s[2][3] += av2 * bv3;
+                s[3][0] += av3 * bv0;
+                s[3][1] += av3 * bv1;
+                s[3][2] += av3 * bv2;
+                s[3][3] += av3 * bv3;
             }
-            o_row[j] = s0;
-            o_row[j + 1] = s1;
-            o_row[j + 2] = s2;
-            o_row[j + 3] = s3;
+            for (dr, row_acc) in s.iter().enumerate() {
+                out[(r + dr) * n + j..(r + dr) * n + j + 4].copy_from_slice(row_acc);
+            }
             j += 4;
         }
-        while j < n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
+        if j < n {
+            for (dr, a_row) in [a0, a1, a2, a3].into_iter().enumerate() {
+                let o_row = &mut out[(r + dr) * n..(r + dr + 1) * n];
+                nt_one_row(a_row, &b[j * k..], &mut o_row[j..], k, n - j);
             }
-            o_row[j] = acc;
-            j += 1;
         }
+        r += 4;
+    }
+    while r < rows {
+        let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let o_row = &mut out[r * n..(r + 1) * n];
+        nt_one_row(a_row, b, o_row, k, n);
+        r += 1;
     }
 }
 
@@ -228,6 +340,36 @@ pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     }
 }
 
+/// Serial slice-level `out = A × B` (`a` is `[m, k]`, `b` is `[k, n]`,
+/// `out` is `[m, n]` and must be zero-filled).
+///
+/// Entry point for higher layers that compose blocked kernels inside
+/// their own (already partitioned) work items — e.g. the model's
+/// per-head attention blocks. Never spawns threads; per output element
+/// the `k` reduction is ascending, identical to [`matmul_nn`].
+pub fn matmul_nn_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k, "A must be m×k");
+    debug_assert_eq!(b.len(), k * n, "B must be k×n");
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    nn_rows(a, b, out, 0, k, n);
+}
+
+/// Serial slice-level `out = A × Bᵀ` (`a` is `[m, k]`, `b` is `[n, k]`
+/// row-major — i.e. `n` contiguous length-`k` rows — and `out` is
+/// `[m, n]`, fully overwritten).
+///
+/// Entry point for higher layers that compose blocked kernels inside
+/// their own (already partitioned) work items — e.g. scoring a query
+/// block against a contiguous per-head KV slab. Never spawns threads;
+/// per output element the `k` reduction is ascending, identical to
+/// [`matmul_nt`].
+pub fn matmul_nt_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k, "A must be m×k");
+    debug_assert_eq!(b.len(), k * n, "B must be n×k row-major");
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    nt_rows(a, b, out, 0, k, n);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +442,24 @@ mod tests {
                 at.matmul_tn_ref(&b).data(),
                 "tn {m}x{k}x{n}"
             );
+        }
+    }
+
+    #[test]
+    fn slice_block_kernels_match_tensor_kernels_bitwise() {
+        // Shapes cover full 4×4 tiles, row/column remainders, and the
+        // degenerate single-row case used by incremental decoding.
+        let shapes = [(1, 8, 5), (3, 24, 7), (4, 16, 4), (7, 24, 10), (56, 24, 19)];
+        for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = randn(&[m, k], 40 + idx as u64);
+            let b = randn(&[k, n], 140 + idx as u64);
+            let bt = b.transpose();
+            let mut nn = vec![0.0f32; m * n];
+            matmul_nn_block(a.data(), b.data(), &mut nn, m, k, n);
+            assert_eq!(nn, a.matmul_ref(&b).data(), "nn {m}x{k}x{n}");
+            let mut nt = vec![1.0f32; m * n]; // overwritten, no zero-fill needed
+            matmul_nt_block(a.data(), bt.data(), &mut nt, m, k, n);
+            assert_eq!(nt, a.matmul_nt_ref(&bt).data(), "nt {m}x{k}x{n}");
         }
     }
 

@@ -39,12 +39,15 @@ impl std::fmt::Display for Finding {
 
 /// Crates whose non-test code must not contain `unwrap`/`expect`/`panic!`.
 /// These are the crates on the serving hot path, where a panic tears down
-/// a daemon thread instead of failing one request.
+/// a daemon thread instead of failing one request. The tensor kernels are
+/// listed file-by-file: they sit under every forward pass (including the
+/// cross-request batched verify), so a panic there kills the whole batch.
 pub const NO_UNWRAP_SCOPE: &[&str] = &[
     "crates/serving/src/",
     "crates/spec/src/",
     "crates/model/src/",
     "crates/tokentree/src/",
+    "crates/tensor/src/kernels.rs",
 ];
 
 /// The one module allowed to read the wall clock: the serving layer's
@@ -353,6 +356,28 @@ mod tests {
         assert_eq!(lint_all("crates/workloads/src/text.rs", src).len(), 1);
         assert!(lint_all("crates/serving/src/daemon.rs", src).is_empty());
         assert!(lint_all("crates/tensor/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_thread_rules_cover_the_batch_and_kernel_surfaces() {
+        // `spec/src/batch.rs` (the cross-request batched verifier) is in
+        // the hot-path unwrap scope via its crate prefix, and it is NOT
+        // a sanctioned thread module: batching gets its parallelism from
+        // the blocked kernels, never from threads of its own.
+        let unwrap_src = "fn f() { x.unwrap(); }\n";
+        let scope_src = "fn f() { std::thread::scope(|s| {}); }\n";
+        let f = lint_all("crates/spec/src/batch.rs", unwrap_src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no_unwrap");
+        let f = lint_all("crates/spec/src/batch.rs", scope_src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "thread_confinement");
+        // The tensor kernels may spawn (sanctioned pool module) but may
+        // not panic — they run under every batched forward.
+        let f = lint_all("crates/tensor/src/kernels.rs", unwrap_src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no_unwrap");
+        assert!(lint_all("crates/tensor/src/kernels.rs", scope_src).is_empty());
     }
 
     #[test]

@@ -65,6 +65,17 @@ fn rogue_thread_fixture_triggers_only_thread_confinement() {
 }
 
 #[test]
+fn batched_verify_fixture_triggers_unwrap_and_thread_confinement() {
+    // The two rules the batched-verification surfaces must obey: no
+    // panics under the stacked forward, no thread creation outside the
+    // sanctioned pool modules. One finding each.
+    let findings = lint_files_strict(&[fixture("batched_verify_bad.rs")]);
+    let mut rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    assert_eq!(rules, ["no_unwrap", "thread_confinement"], "{findings:#?}");
+}
+
+#[test]
 fn bad_shim_fixture_triggers_only_shim_hygiene() {
     // Bare registry string, git dep, version table, path escape — and
     // the [package] version must not be flagged.
@@ -101,6 +112,7 @@ fn binary_exit_codes_match_findings() {
         "hot_unwrap.rs",
         "wall_clock.rs",
         "rogue_thread.rs",
+        "batched_verify_bad.rs",
         "bad_shim/Cargo.toml",
     ] {
         let status = Command::new(bin)
