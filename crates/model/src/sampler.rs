@@ -61,15 +61,10 @@ pub fn probs_from_logits(logits: &[f32], mode: &DecodeMode) -> Vec<f32> {
     );
     match mode {
         DecodeMode::Greedy => {
-            let mut best = 0;
-            for (i, &v) in logits.iter().enumerate() {
-                if v > logits[best] {
-                    best = i;
-                }
-            }
-            let mut probs = vec![0.0; logits.len()];
-            probs[best] = 1.0;
-            probs
+            let best = argmax(logits);
+            (0..logits.len())
+                .map(|i| if i == best { 1.0 } else { 0.0 })
+                .collect()
         }
         DecodeMode::Stochastic {
             temperature,
@@ -98,10 +93,13 @@ fn apply_top_k(probs: &mut [f32], k: usize) {
     let kept = ops::topk(probs, k);
     let mut keep = vec![false; probs.len()];
     for (i, _) in kept {
-        keep[i] = true;
+        match keep.get_mut(i) {
+            Some(b) => *b = true,
+            None => unreachable!("topk index {i} beyond vocab of {}", probs.len()),
+        }
     }
-    for (i, p) in probs.iter_mut().enumerate() {
-        if !keep[i] {
+    for (p, &kept) in probs.iter_mut().zip(keep.iter()) {
+        if !kept {
             *p = 0.0;
         }
     }
@@ -115,14 +113,17 @@ fn apply_top_p(probs: &mut [f32], p: f32) {
     let mut cum = 0.0;
     let mut keep = vec![false; probs.len()];
     for (i, prob) in order {
-        keep[i] = true;
+        match keep.get_mut(i) {
+            Some(b) => *b = true,
+            None => unreachable!("topk index {i} beyond vocab of {}", probs.len()),
+        }
         cum += prob;
         if cum >= p {
             break;
         }
     }
-    for (i, prob) in probs.iter_mut().enumerate() {
-        if !keep[i] {
+    for (prob, &kept) in probs.iter_mut().zip(keep.iter()) {
+        if !kept {
             *prob = 0.0;
         }
     }
@@ -144,13 +145,20 @@ fn renormalize(probs: &mut [f32]) {
 /// Panics if `logits` is empty.
 pub fn greedy_token(logits: &[f32]) -> TokenId {
     assert!(!logits.is_empty(), "no logits to pick from");
+    argmax(logits) as TokenId
+}
+
+/// Index of the largest value, lowest index winning ties.
+fn argmax(values: &[f32]) -> usize {
     let mut best = 0;
-    for (i, &v) in logits.iter().enumerate() {
-        if v > logits[best] {
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
             best = i;
+            best_v = v;
         }
     }
-    best as TokenId
+    best
 }
 
 /// Samples a token index from a probability distribution.

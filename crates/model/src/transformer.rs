@@ -474,9 +474,6 @@ impl Transformer {
         let ns: Vec<usize> = reqs.iter().map(|q| q.tokens.len()).collect();
         let olds: Vec<usize> = reqs.iter().map(|q| q.cache.len()).collect();
         let totals: Vec<usize> = ns.iter().zip(&olds).map(|(n, o)| n + o).collect();
-        let mut offs = Vec::with_capacity(reqs.len());
-        let mut vis_offs = Vec::with_capacity(reqs.len());
-        let (mut off, mut vis_off) = (0usize, 0usize);
         for (r, q) in reqs.iter().enumerate() {
             assert!(
                 ns[r] > 0,
@@ -492,13 +489,26 @@ impl Transformer {
                 (n_heads, hd),
                 "request {r}: cache geometry does not match the model"
             );
-            offs.push(off);
-            vis_offs.push(vis_off);
-            off += ns[r];
-            vis_off += ns[r] * totals[r];
         }
-        let big_n = off;
-        let vis_len = vis_off;
+        let offs: Vec<usize> = ns
+            .iter()
+            .scan(0usize, |acc, &n| {
+                let o = *acc;
+                *acc += n;
+                Some(o)
+            })
+            .collect();
+        let vis_offs: Vec<usize> = ns
+            .iter()
+            .zip(&totals)
+            .scan(0usize, |acc, (&n, &t)| {
+                let o = *acc;
+                *acc += n * t;
+                Some(o)
+            })
+            .collect();
+        let big_n: usize = ns.iter().sum();
+        let vis_len: usize = ns.iter().zip(&totals).map(|(&n, &t)| n * t).sum();
 
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
@@ -579,44 +589,40 @@ impl Transformer {
                 let threads = kernels::effective_threads().min(big_n);
                 let (att, qkv, vis, attn) = (&mut s.att, &s.qkv, &s.vis, &mut s.attn);
                 if threads > 1 && flops >= PAR_MIN_ATT_FLOPS {
-                    let caches: Vec<&KvCache> = reqs.iter().map(|q| &*q.cache).collect();
                     // Split the stacked rows into per-request slices,
                     // then chunk each request proportionally to its share
-                    // of the score-matrix work.
-                    let mut tasks: Vec<(usize, usize, &mut [f32])> = Vec::new();
-                    let mut rest = att.data_mut();
-                    for r in 0..caches.len() {
-                        let (mine, tail) = rest.split_at_mut(ns[r] * d);
-                        rest = tail;
-                        let weight = ns[r] * totals[r] * d;
-                        let chunks = (threads * weight).div_ceil(flops).clamp(1, ns[r]);
-                        let chunk_rows = ns[r].div_ceil(chunks);
-                        for (ci, chunk) in mine.chunks_mut(chunk_rows * d).enumerate() {
-                            tasks.push((r, ci * chunk_rows, chunk));
-                        }
-                    }
+                    // of the score-matrix work, spawning as we go — no
+                    // per-layer task or cache-ref vectors.
                     std::thread::scope(|scope| {
-                        for (r, i0, chunk) in tasks {
-                            let cache_ref = caches[r];
+                        let mut rest = att.data_mut();
+                        for (r, q) in reqs.iter().enumerate() {
+                            let cache_ref: &KvCache = &*q.cache;
+                            let (mine, tail) = rest.split_at_mut(ns[r] * d);
+                            rest = tail;
+                            let weight = ns[r] * totals[r] * d;
+                            let chunks = (threads * weight).div_ceil(flops).clamp(1, ns[r]);
+                            let chunk_rows = ns[r].div_ceil(chunks);
                             let vis_r = &vis[vis_offs[r]..vis_offs[r] + ns[r] * totals[r]];
                             let (q_row0, total) = (offs[r], totals[r]);
-                            scope.spawn(move || {
-                                let mut scratch = AttnScratch::default();
-                                attention_block(
-                                    chunk,
-                                    i0,
-                                    qkv,
-                                    q_row0,
-                                    vis_r,
-                                    cache_ref,
-                                    layer_idx,
-                                    total,
-                                    n_heads,
-                                    hd,
-                                    scale,
-                                    &mut scratch,
-                                );
-                            });
+                            for (ci, chunk) in mine.chunks_mut(chunk_rows * d).enumerate() {
+                                scope.spawn(move || {
+                                    let mut scratch = AttnScratch::default();
+                                    attention_block(
+                                        chunk,
+                                        ci * chunk_rows,
+                                        qkv,
+                                        q_row0,
+                                        vis_r,
+                                        cache_ref,
+                                        layer_idx,
+                                        total,
+                                        n_heads,
+                                        hd,
+                                        scale,
+                                        &mut scratch,
+                                    );
+                                });
+                            }
                         }
                     });
                 } else {

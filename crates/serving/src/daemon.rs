@@ -326,8 +326,8 @@ fn daemon_loop(
         // Retire client-cancelled requests before spending an iteration
         // on them.
         let mut i = 0;
-        while i < active.len() {
-            if active[i].client_cancelled {
+        while let Some(r) = active.get(i) {
+            if r.client_cancelled {
                 faults.cancellations += 1;
                 let done = active.swap_remove(i);
                 responses.push(done.retire(clock, RequestOutcome::Cancelled, &mut faults));
@@ -398,16 +398,16 @@ fn daemon_loop(
         // Retire finished, plan-cancelled and expired requests and answer
         // their tickets.
         let mut i = 0;
-        while i < active.len() {
-            let outcome = if active[i].session.is_finished() {
+        while let Some(r) = active.get(i) {
+            let outcome = if r.session.is_finished() {
                 Some(RequestOutcome::Completed)
-            } else if active[i]
+            } else if r
                 .cancel_at
-                .is_some_and(|n| active[i].session.generated().len() >= n)
+                .is_some_and(|n| r.session.generated().len() >= n)
             {
                 faults.cancellations += 1;
                 Some(RequestOutcome::Cancelled)
-            } else if active[i].deadline_s.is_some_and(|d| d <= clock) {
+            } else if r.deadline_s.is_some_and(|d| d <= clock) {
                 faults.deadline_misses += 1;
                 Some(RequestOutcome::DeadlineMissed)
             } else {

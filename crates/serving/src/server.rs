@@ -276,8 +276,10 @@ impl<'m> Server<'m> {
     /// is configured) and runs it to completion.
     pub fn serve_trace(&self, trace: &Trace) -> ServeReport {
         {
-            let mut sched = self.scheduler.lock();
+            // Global lock order: next_id before scheduler (matches
+            // submit_with_deadline; checked by the lock_order lint).
             let mut n = self.next_id.lock();
+            let mut sched = self.scheduler.lock();
             for r in &trace.requests {
                 sched.submit(Request {
                     id: RequestId(*n),

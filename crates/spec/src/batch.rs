@@ -90,18 +90,18 @@ impl BatchedVerifier {
         // (forced-incremental) proposals are excluded: they run serially
         // below so a fault cannot perturb the fused pass.
         let mut preps: Vec<Prep> = Vec::with_capacity(items.len());
-        for (idx, proposal) in proposals.iter().enumerate() {
+        for (idx, (proposal, item)) in proposals.iter().zip(items.iter()).enumerate() {
             let Some(p) = proposal else { continue };
             if p.forced_incremental() {
                 continue;
             }
-            let base = items[idx].session.llm_cache_len();
+            let base = item.session.llm_cache_len();
             let (tokens, positions) = match p.tree() {
                 Some(lin) => (
                     lin.tokens().to_vec(),
                     lin.depths().iter().map(|d| base + d).collect(),
                 ),
-                None => (vec![items[idx].session.last_token()], vec![base]),
+                None => (vec![item.session.last_token()], vec![base]),
             };
             preps.push(Prep {
                 idx,
@@ -115,13 +115,16 @@ impl BatchedVerifier {
         let mut batched_logits: Vec<Tensor> = Vec::new();
         if !preps.is_empty() {
             let mut reqs: Vec<BatchRequest<'_>> = Vec::with_capacity(preps.len());
-            let mut pi = 0usize;
-            for (idx, item) in items.iter_mut().enumerate() {
-                if pi == preps.len() || preps[pi].idx != idx {
+            let mut preps_it = preps.iter().peekable();
+            for (idx, (item, proposal)) in items.iter_mut().zip(proposals.iter()).enumerate() {
+                if preps_it.peek().is_none_or(|p| p.idx != idx) {
                     continue;
                 }
-                let prep = &preps[pi];
-                let visible = match proposals[idx].as_ref().and_then(|p| p.tree()) {
+                let prep = match preps_it.next() {
+                    Some(p) => p,
+                    None => unreachable!("peek above guarantees a prep"),
+                };
+                let visible = match proposal.as_ref().and_then(|p| p.tree()) {
                     Some(lin) => Visibility::Tree(lin.mask()),
                     None => Visibility::Causal,
                 };
@@ -131,7 +134,6 @@ impl BatchedVerifier {
                     cache: item.session.llm_cache_mut(),
                     visible,
                 });
-                pi += 1;
             }
             batched_logits = llm.forward_rows_batch(&mut reqs);
         }
@@ -141,8 +143,8 @@ impl BatchedVerifier {
         // incremental forward here, after the fused pass.
         let mut stats: Vec<Option<StepStats>> = Vec::with_capacity(items.len());
         let mut batched_iter = batched_logits.into_iter();
-        for (idx, item) in items.iter_mut().enumerate() {
-            let Some(proposal) = proposals[idx].take() else {
+        for (item, proposal) in items.iter_mut().zip(proposals.iter_mut()) {
+            let Some(proposal) = proposal.take() else {
                 stats.push(None);
                 continue;
             };

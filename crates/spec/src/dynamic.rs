@@ -118,15 +118,24 @@ pub fn speculate_dynamic(
         let row = cache.len();
         let rows = match tree.parent(u) {
             Some(p) => {
-                let mut r = ancestor_rows[&p.index()].clone();
+                let mut r = match ancestor_rows.get(&p.index()) {
+                    Some(r) => r.clone(),
+                    // Best-first expansion only materializes children of
+                    // already-processed nodes.
+                    None => unreachable!("parent rows recorded before child expands"),
+                };
                 r.push(row);
                 r
             }
             None => vec![row],
         };
         ancestor_rows.insert(u.index(), rows);
-        let visible =
-            |_i: usize, j: usize| -> bool { j < prefix || ancestor_rows[&u.index()].contains(&j) };
+        let visible = |_i: usize, j: usize| -> bool {
+            j < prefix
+                || ancestor_rows
+                    .get(&u.index())
+                    .is_some_and(|rows| rows.contains(&j))
+        };
         let logits = ssm.forward_rows(&[token], &[pos], cache, Visibility::Custom(&visible));
         let q = sampler::probs_from_logits(logits.row(0), &DecodeMode::stochastic());
         let parent_prob = path_prob.get(&u.index()).copied().unwrap_or(1.0);

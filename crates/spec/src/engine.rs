@@ -203,7 +203,7 @@ pub struct GenerationResult {
 impl GenerationResult {
     /// The generated tokens (everything after the prompt).
     pub fn generated(&self) -> &[TokenId] {
-        &self.tokens[self.prompt_len..]
+        self.tokens.get(self.prompt_len..).unwrap_or(&[])
     }
 
     /// Number of LLM decoding iterations used.
@@ -376,16 +376,19 @@ impl Session {
                 max,
             });
         }
+        // Everything but the last token is prefilled; the last token
+        // roots the first speculated tree.
+        let head = prompt.split_last().map(|(_, h)| h).unwrap_or(&[]);
         let mut llm_cache = llm.new_cache();
-        if prompt.len() > 1 {
-            let _ = llm.prefill(&prompt[..prompt.len() - 1], &mut llm_cache);
+        if !head.is_empty() {
+            let _ = llm.prefill(head, &mut llm_cache);
         }
         let ssm_caches = ssms
             .iter()
             .map(|ssm| {
                 let mut c = ssm.new_cache();
-                if prompt.len() > 1 {
-                    let _ = ssm.prefill(&prompt[..prompt.len() - 1], &mut c);
+                if !head.is_empty() {
+                    let _ = ssm.prefill(head, &mut c);
                 }
                 c
             })
@@ -449,7 +452,7 @@ impl Session {
 
     /// Tokens generated so far.
     pub fn generated(&self) -> &[TokenId] {
-        &self.tokens[self.prompt_len..]
+        self.tokens.get(self.prompt_len..).unwrap_or(&[])
     }
 
     /// Whether generation has hit EOS or its budget.
@@ -694,30 +697,33 @@ impl Session {
         // RNG stream; a pool expands data-parallel — one thread, private
         // tree and forked RNG stream per SSM — and the private trees are
         // merged deterministically in pool order.
-        let spec = if ssms.len() == 1 {
-            let mut tree = TokenTree::new(root);
-            let mut dists = SsmDistTable::new();
-            expand_into(
-                &mut tree,
-                &mut dists,
-                ssms[0],
-                0,
-                &mut self.ssm_caches[0],
-                expansion,
-                exp_mode,
-                &mut self.rng,
-            );
-            Speculation { tree, dists }
-        } else {
-            let configs: Vec<&ExpansionConfig> = vec![expansion; ssms.len()];
-            speculate_pool_parallel(
-                ssms,
-                &mut self.ssm_caches,
-                root,
-                &configs,
-                exp_mode,
-                &mut self.rng,
-            )
+        let spec = match (ssms, self.ssm_caches.as_mut_slice()) {
+            ([ssm], [cache]) => {
+                let mut tree = TokenTree::new(root);
+                let mut dists = SsmDistTable::new();
+                expand_into(
+                    &mut tree,
+                    &mut dists,
+                    ssm,
+                    0,
+                    cache,
+                    expansion,
+                    exp_mode,
+                    &mut self.rng,
+                );
+                Speculation { tree, dists }
+            }
+            _ => {
+                let configs: Vec<&ExpansionConfig> = vec![expansion; ssms.len()];
+                speculate_pool_parallel(
+                    ssms,
+                    &mut self.ssm_caches,
+                    root,
+                    &configs,
+                    exp_mode,
+                    &mut self.rng,
+                )
+            }
         };
         ProposalKind::tree(spec)
     }
@@ -747,8 +753,11 @@ impl Session {
             let spec = speculate_garbage(root, &expansion, llm.config().vocab_size, seed);
             return ProposalKind::tree(spec);
         }
-        let spec =
-            crate::dynamic::speculate_dynamic(ssms[0], &mut self.ssm_caches[0], root, dyn_cfg);
+        let (ssm0, cache0) = match (ssms.first(), self.ssm_caches.first_mut()) {
+            (Some(&s), Some(c)) => (s, c),
+            _ => unreachable!("non-empty SSM pool asserted above"),
+        };
+        let spec = crate::dynamic::speculate_dynamic(ssm0, cache0, root, dyn_cfg);
         ProposalKind::tree(spec)
     }
 
@@ -796,9 +805,11 @@ impl Session {
         let accepted = outcome.accepted_speculated();
         let mut replay = Vec::with_capacity(1 + accepted);
         replay.push(root);
-        replay.extend_from_slice(&outcome.tokens[..accepted]);
-        for (i, ssm) in ssms.iter().enumerate() {
-            let _ = ssm.prefill(&replay, &mut self.ssm_caches[i]);
+        // The verifier emits accepted tokens first, bonus last, so the
+        // first `accepted` entries always exist.
+        replay.extend_from_slice(outcome.tokens.get(..accepted).unwrap_or(&[]));
+        for (ssm, cache) in ssms.iter().zip(self.ssm_caches.iter_mut()) {
+            let _ = ssm.prefill(&replay, cache);
         }
 
         self.tokens.extend_from_slice(&outcome.tokens);

@@ -174,7 +174,9 @@ pub fn expand_into(
                 ExpansionMode::Sampled => (0..k).map(|_| sampler::sample_token(&q, rng)).collect(),
             };
             for tok in children {
-                let prob = q[tok as usize];
+                // Children are drawn from q, so the lookup only misses if
+                // the SSM emitted an out-of-vocab token — record zero.
+                let prob = q.get(tok as usize).copied().unwrap_or(0.0);
                 let child = match mode {
                     // Top-k children are distinct by construction, but the
                     // tree may already contain the sequence from another
@@ -205,14 +207,27 @@ pub fn expand_into(
             .collect();
         let base = cache.len();
         for (i, u) in new_nodes.iter().enumerate() {
-            let parent = tree.parent(*u).expect("expanded node has a parent");
-            let mut rows = ancestor_rows[&parent.index()].clone();
+            let parent = match tree.parent(*u) {
+                Some(p) => p,
+                // Every expanded node was created via add_child above.
+                None => unreachable!("expanded node must have a parent"),
+            };
+            let mut rows = match ancestor_rows.get(&parent.index()) {
+                Some(r) => r.clone(),
+                None => unreachable!("parent rows recorded before children expand"),
+            };
             rows.push(base + i);
             node_row.insert(u.index(), base + i);
             ancestor_rows.insert(u.index(), rows);
         }
         let visible = |i: usize, j: usize| -> bool {
-            j < prefix || ancestor_rows[&new_nodes[i].index()].contains(&j)
+            if j < prefix {
+                return true;
+            }
+            new_nodes
+                .get(i)
+                .and_then(|u| ancestor_rows.get(&u.index()))
+                .is_some_and(|rows| rows.contains(&j))
         };
         let logits = ssm.forward_rows(&tokens, &positions, cache, Visibility::Custom(&visible));
 
@@ -274,7 +289,8 @@ pub fn speculate_garbage(
     let mut rng = SeededRng::new(seed);
     let mut tree = TokenTree::new(root_token);
     let mut dists = SsmDistTable::new();
-    let uniform = vec![1.0 / vocab as f32; vocab];
+    let uniform_p = 1.0 / vocab as f32;
+    let uniform = vec![uniform_p; vocab];
     let mut frontier = vec![TokenTree::ROOT];
     for step in 0..config.depth() {
         let k = config.width(step);
@@ -288,7 +304,7 @@ pub fn speculate_garbage(
                 // Uniform draws may collide; dedup like top-k expansion.
                 let child = match tree.child_with_token(u, tok) {
                     Some(existing) => existing,
-                    None => tree.add_child(u, tok, 0, uniform[0]),
+                    None => tree.add_child(u, tok, 0, uniform_p),
                 };
                 if !next.contains(&child) {
                     next.push(child);
@@ -373,7 +389,11 @@ fn graft_into(
         let mu = match part.parent(u) {
             None => TokenTree::ROOT,
             Some(p) => {
-                let mp = map[p.index()];
+                let mp = match map.get(p.index()) {
+                    Some(&m) => m,
+                    // Arena order visits parents before children.
+                    None => unreachable!("parent must be mapped before its child"),
+                };
                 let tok = part.token(u);
                 match mode {
                     ExpansionMode::TopK => match tree.child_with_token(mp, tok) {
@@ -431,14 +451,14 @@ pub fn speculate_pool_parallel(
     let mut parts: Vec<Option<(TokenTree, SsmDistTable)>> = ssms.iter().map(|_| None).collect();
     if specinfer_tensor::effective_threads() > 1 && ssms.len() > 1 {
         std::thread::scope(|scope| {
-            for ((((i, &ssm), cache), prng), slot) in ssms
+            for (((((i, &ssm), cache), prng), slot), &config) in ssms
                 .iter()
                 .enumerate()
                 .zip(caches.iter_mut())
                 .zip(rngs.iter_mut())
                 .zip(parts.iter_mut())
+                .zip(configs.iter())
             {
-                let config = configs[i];
                 scope.spawn(move || {
                     let mut tree = TokenTree::new(root_token);
                     let mut dists = SsmDistTable::new();
@@ -448,20 +468,18 @@ pub fn speculate_pool_parallel(
             }
         });
     } else {
-        for (i, ssm) in ssms.iter().enumerate() {
+        for (((((i, &ssm), cache), prng), slot), &config) in ssms
+            .iter()
+            .enumerate()
+            .zip(caches.iter_mut())
+            .zip(rngs.iter_mut())
+            .zip(parts.iter_mut())
+            .zip(configs.iter())
+        {
             let mut tree = TokenTree::new(root_token);
             let mut dists = SsmDistTable::new();
-            expand_into(
-                &mut tree,
-                &mut dists,
-                ssm,
-                i,
-                &mut caches[i],
-                configs[i],
-                mode,
-                &mut rngs[i],
-            );
-            parts[i] = Some((tree, dists));
+            expand_into(&mut tree, &mut dists, ssm, i, cache, config, mode, prng);
+            *slot = Some((tree, dists));
         }
     }
     // Deterministic pool-order merge.

@@ -108,12 +108,22 @@ pub fn verify_stochastic(
         let mut descended = false;
         while !candidates.is_empty() {
             let pick = rng.below(candidates.len());
-            let v = candidates[pick];
+            let v = match candidates.get(pick) {
+                Some(&v) => v,
+                None => unreachable!("rng.below({}) returned {pick}", candidates.len()),
+            };
             let x = tree.token(v) as usize;
-            let q = dists
-                .get(u, tree.ssm_id(v))
-                .expect("speculator records a distribution for every expanded node");
-            let ratio = if q[x] > 0.0 { p[x] / q[x] } else { 0.0 };
+            let q = match dists.get(u, tree.ssm_id(v)) {
+                Some(q) => q,
+                // The speculator records a distribution for every node it
+                // expands; a miss means the table and tree diverged.
+                None => unreachable!("no SSM distribution recorded for an expanded node"),
+            };
+            // Tokens outside either distribution's support carry zero
+            // probability: the candidate is simply rejected.
+            let px = p.get(x).copied().unwrap_or(0.0);
+            let qx = q.get(x).copied().unwrap_or(0.0);
+            let ratio = if qx > 0.0 { px / qx } else { 0.0 };
             if f64::from(rng.uniform()) <= f64::from(ratio) {
                 tokens.push(x as TokenId);
                 nodes.push(v);

@@ -111,7 +111,16 @@ impl Tensor {
     ///
     /// Panics if `data.len()` does not equal the product of `dims`.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
-        Self::try_from_vec(data, dims).expect("tensor data length must match dims")
+        let expected: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "tensor data length must match dims {dims:?}"
+        );
+        match Self::try_from_vec(data, dims) {
+            Ok(t) => t,
+            Err(_) => unreachable!("length checked against dims above"),
+        }
     }
 
     /// Fallible version of [`Tensor::from_vec`].

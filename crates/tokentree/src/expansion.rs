@@ -82,7 +82,13 @@ impl ExpansionConfig {
     ///
     /// Panics if `step >= self.depth()`.
     pub fn width(&self, step: usize) -> usize {
-        self.widths[step]
+        match self.widths.get(step) {
+            Some(&k) => k,
+            None => unreachable!(
+                "expansion step {step} beyond schedule depth {}",
+                self.depth()
+            ),
+        }
     }
 
     /// Per-step widths as a slice.

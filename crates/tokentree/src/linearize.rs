@@ -39,18 +39,20 @@ impl TopologyMask {
     ///
     /// Panics if `i` or `j` is out of range.
     pub fn allowed(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "mask index out of range");
-        self.bits[i * self.n + j]
+        match self.try_allowed(i, j) {
+            Some(b) => b,
+            None => unreachable!("mask index ({i},{j}) out of range for {} positions", self.n),
+        }
     }
 
     /// Non-panicking [`TopologyMask::allowed`]: `None` when either index
     /// is out of range, for callers handling untrusted positions.
     pub fn try_allowed(&self, i: usize, j: usize) -> Option<bool> {
-        if i < self.n && j < self.n {
-            Some(self.bits[i * self.n + j])
-        } else {
-            None
+        if i >= self.n || j >= self.n {
+            return None;
         }
+        // In range by the check above: i*n + j < n*n == bits.len().
+        self.bits.get(i * self.n + j).copied()
     }
 
     /// Number of allowed (i, j) pairs — useful for cost accounting.
@@ -81,24 +83,39 @@ impl LinearizedTree {
         let n = order.len();
         let mut index_of = vec![usize::MAX; n];
         for (i, u) in order.iter().enumerate() {
-            index_of[u.index()] = i;
+            match index_of.get_mut(u.index()) {
+                Some(slot) => *slot = i,
+                None => unreachable!("DFS node id {} outside arena of {n} nodes", u.index()),
+            }
         }
         let tokens: Vec<TokenId> = order.iter().map(|&u| tree.token(u)).collect();
         let depths: Vec<usize> = order.iter().map(|&u| tree.depth(u)).collect();
         let parents: Vec<Option<usize>> = order
             .iter()
-            .map(|&u| tree.parent(u).map(|p| index_of[p.index()]))
+            .map(|&u| {
+                tree.parent(u).map(|p| match index_of.get(p.index()) {
+                    Some(&i) if i != usize::MAX => i,
+                    _ => unreachable!("parent of a DFS-visited node must be indexed"),
+                })
+            })
             .collect();
 
         // Because parents precede children in DFS order, each row of the
         // ancestor mask is its parent's row plus the diagonal bit.
         let mut bits = vec![false; n * n];
-        for i in 0..n {
-            if let Some(p) = parents[i] {
+        for (i, par) in parents.iter().enumerate() {
+            if let Some(p) = *par {
+                // Parent rows precede child rows, so p*n + n <= i*n.
                 let (head, tail) = bits.split_at_mut(i * n);
-                tail[..n].copy_from_slice(&head[p * n..p * n + n]);
+                match (head.get(p * n..p * n + n), tail.get_mut(..n)) {
+                    (Some(src), Some(dst)) => dst.copy_from_slice(src),
+                    _ => unreachable!("mask rows lie inside the n*n buffer"),
+                }
             }
-            bits[i * n + i] = true;
+            match bits.get_mut(i * n + i) {
+                Some(b) => *b = true,
+                None => unreachable!("diagonal bit lies inside the n*n buffer"),
+            }
         }
 
         LinearizedTree {
@@ -137,9 +154,10 @@ impl LinearizedTree {
     ///
     /// Panics if `u` does not belong to the linearized tree.
     pub fn index_of(&self, u: NodeId) -> usize {
-        let i = self.index_of[u.index()];
-        assert!(i != usize::MAX, "node not present in linearization");
-        i
+        match self.try_index_of(u) {
+            Some(i) => i,
+            None => unreachable!("node {} not present in linearization", u.index()),
+        }
     }
 
     /// Non-panicking [`LinearizedTree::index_of`]: `None` when `u` does

@@ -77,6 +77,29 @@ impl TokenTree {
         self.nodes.len() - 1
     }
 
+    /// Resolves a node id against the arena. Ids are only mintable by
+    /// the owning tree (the inner index is `pub(crate)`), so a miss
+    /// means a handle crossed trees — a caller bug worth stopping
+    /// loudly rather than an anonymous bounds panic.
+    fn node(&self, u: NodeId) -> &Node {
+        match self.nodes.get(u.0) {
+            Some(n) => n,
+            None => unreachable!(
+                "NodeId {} used against a tree with {} nodes",
+                u.0,
+                self.nodes.len()
+            ),
+        }
+    }
+
+    fn node_mut(&mut self, u: NodeId) -> &mut Node {
+        let n = self.nodes.len();
+        match self.nodes.get_mut(u.0) {
+            Some(node) => node,
+            None => unreachable!("NodeId {} used against a tree with {n} nodes", u.0),
+        }
+    }
+
     /// Adds a speculated child of `parent` and returns its id.
     ///
     /// `ssm_id` identifies the proposing SSM, `ssm_prob` is that SSM's
@@ -94,7 +117,7 @@ impl TokenTree {
     ) -> NodeId {
         assert!(parent.0 < self.nodes.len(), "parent node out of range");
         let id = NodeId(self.nodes.len());
-        let depth = self.nodes[parent.0].depth + 1;
+        let depth = self.node(parent).depth + 1;
         self.nodes.push(Node {
             token,
             parent: Some(parent),
@@ -103,48 +126,48 @@ impl TokenTree {
             ssm_id,
             ssm_prob,
         });
-        self.nodes[parent.0].children.push(id);
+        self.node_mut(parent).children.push(id);
         id
     }
 
     /// The token at `u`.
     pub fn token(&self, u: NodeId) -> TokenId {
-        self.nodes[u.0].token
+        self.node(u).token
     }
 
     /// The parent of `u`, or `None` for the root.
     pub fn parent(&self, u: NodeId) -> Option<NodeId> {
-        self.nodes[u.0].parent
+        self.node(u).parent
     }
 
     /// The children of `u`, in insertion order.
     pub fn children(&self, u: NodeId) -> &[NodeId] {
-        &self.nodes[u.0].children
+        &self.node(u).children
     }
 
     /// Depth of `u` (root has depth 0).
     pub fn depth(&self, u: NodeId) -> usize {
-        self.nodes[u.0].depth
+        self.node(u).depth
     }
 
     /// The id of the SSM that proposed `u` (`usize::MAX` for the root).
     pub fn ssm_id(&self, u: NodeId) -> usize {
-        self.nodes[u.0].ssm_id
+        self.node(u).ssm_id
     }
 
     /// The proposing SSM's conditional probability for `u`'s token.
     pub fn ssm_prob(&self, u: NodeId) -> f32 {
-        self.nodes[u.0].ssm_prob
+        self.node(u).ssm_prob
     }
 
     /// The candidate sequence `S_u`: tokens on the root→`u` path, root
     /// first.
     pub fn sequence(&self, u: NodeId) -> Vec<TokenId> {
-        let mut rev = Vec::with_capacity(self.nodes[u.0].depth + 1);
+        let mut rev = Vec::with_capacity(self.node(u).depth + 1);
         let mut cur = Some(u);
         while let Some(c) = cur {
-            rev.push(self.nodes[c.0].token);
-            cur = self.nodes[c.0].parent;
+            rev.push(self.node(c).token);
+            cur = self.node(c).parent;
         }
         rev.reverse();
         rev
@@ -158,21 +181,21 @@ impl TokenTree {
                 return true;
             }
             // Depth check lets us stop early on long chains.
-            if self.nodes[c.0].depth < self.nodes[a.0].depth {
+            if self.node(c).depth < self.node(a).depth {
                 return false;
             }
-            cur = self.nodes[c.0].parent;
+            cur = self.node(c).parent;
         }
         false
     }
 
     /// Looks up the child of `parent` carrying `token`, if any.
     pub fn child_with_token(&self, parent: NodeId, token: TokenId) -> Option<NodeId> {
-        self.nodes[parent.0]
+        self.node(parent)
             .children
             .iter()
             .copied()
-            .find(|&c| self.nodes[c.0].token == token)
+            .find(|&c| self.node(c).token == token)
     }
 
     /// Iterates over all node ids in arena order (root first).
@@ -183,7 +206,7 @@ impl TokenTree {
     /// All leaf nodes (nodes without children).
     pub fn leaves(&self) -> Vec<NodeId> {
         self.node_ids()
-            .filter(|&u| self.nodes[u.0].children.is_empty())
+            .filter(|&u| self.node(u).children.is_empty())
             .collect()
     }
 
@@ -203,7 +226,7 @@ impl TokenTree {
         while let Some(u) = stack.pop() {
             order.push(u);
             // Push children reversed so the first child is visited first.
-            for &c in self.nodes[u.0].children.iter().rev() {
+            for &c in self.node(u).children.iter().rev() {
                 stack.push(c);
             }
         }
@@ -281,7 +304,11 @@ impl TokenTree {
                 if u == Self::ROOT {
                     continue;
                 }
-                let parent_src = t.parent(u).expect("non-root has a parent");
+                let parent_src = match t.parent(u) {
+                    Some(p) => p,
+                    // DFS order visits the root first and skips it above.
+                    None => unreachable!("non-root node {} must have a parent", u.0),
+                };
                 let parent_dst = map[parent_src.0];
                 let token = t.token(u);
                 let dst = match merged.child_with_token(parent_dst, token) {

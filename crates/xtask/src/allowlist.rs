@@ -46,6 +46,7 @@ pub fn parse_allowlist(path: &str, text: &str) -> (Vec<AllowEntry>, Vec<Finding>
                           justification`"
                     .into(),
                 snippet: raw.to_string(),
+                call_path: Vec::new(),
             });
             continue;
         }
@@ -56,6 +57,7 @@ pub fn parse_allowlist(path: &str, text: &str) -> (Vec<AllowEntry>, Vec<Finding>
                 line: i + 1,
                 message: "entry has no justification; audited exceptions must say why".into(),
                 snippet: raw.to_string(),
+                call_path: Vec::new(),
             });
             continue;
         }
@@ -105,6 +107,7 @@ pub fn apply_allowlist(
                     e.rule, e.path_suffix
                 ),
                 snippet: format!("{} | {} | {}", e.rule, e.path_suffix, e.line_substring),
+                call_path: Vec::new(),
             });
         }
     }
@@ -122,6 +125,7 @@ mod tests {
             line: 1,
             message: String::new(),
             snippet: snippet.to_string(),
+            call_path: Vec::new(),
         }
     }
 

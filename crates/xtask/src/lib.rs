@@ -6,8 +6,11 @@
 //! toolchain, because it is the thing that polices the shim boundary.
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod semantic;
 
 use rules::Finding;
 use std::path::{Path, PathBuf};
@@ -27,6 +30,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     rs_files.sort();
     manifests.sort();
 
+    let mut parsed: Vec<parse::ParsedFile> = Vec::new();
     for rel in &rs_files {
         match std::fs::read_to_string(root.join(rel)) {
             Ok(src) => {
@@ -35,10 +39,17 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
                 rules::rule_no_unwrap(&file, false, &mut findings);
                 rules::rule_determinism(&file, false, &mut findings);
                 rules::rule_thread_confinement(&file, false, &mut findings);
+                // The semantic pass wants the whole workspace at once —
+                // parse now, analyze after the walk. Shims stand in for
+                // external crates and stay outside the graph.
+                if rel.starts_with("crates/") {
+                    parsed.push(parse::parse_file(&file));
+                }
             }
             Err(e) => findings.push(io_finding(rel, &e)),
         }
     }
+    semantic::semantic_findings(&parsed, false, &mut findings);
     for rel in &manifests {
         match std::fs::read_to_string(root.join(rel)) {
             Ok(text) => rules::rule_shim_hygiene(rel, &text, &mut findings),
@@ -63,6 +74,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
 /// the fixture happens to live.
 pub fn lint_files_strict(paths: &[PathBuf]) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut parsed: Vec<parse::ParsedFile> = Vec::new();
     for p in paths {
         let rel = p.to_string_lossy().replace('\\', "/");
         match std::fs::read_to_string(p) {
@@ -75,11 +87,15 @@ pub fn lint_files_strict(paths: &[PathBuf]) -> Vec<Finding> {
                     rules::rule_no_unwrap(&file, true, &mut findings);
                     rules::rule_determinism(&file, true, &mut findings);
                     rules::rule_thread_confinement(&file, true, &mut findings);
+                    parsed.push(parse::parse_file(&file));
                 }
             }
             Err(e) => findings.push(io_finding(&rel, &e)),
         }
     }
+    // Semantic rules run over the given files as a mini-workspace, with
+    // all path scoping disabled and entry points matched by name.
+    semantic::semantic_findings(&parsed, true, &mut findings);
     findings
 }
 
@@ -90,6 +106,7 @@ fn io_finding(rel: &str, e: &std::io::Error) -> Finding {
         line: 0,
         message: format!("could not read file: {e}"),
         snippet: String::new(),
+        call_path: Vec::new(),
     }
 }
 

@@ -21,6 +21,29 @@ pub struct Finding {
     pub message: String,
     /// The raw source line (for allowlist matching and context).
     pub snippet: String,
+    /// For call-graph rules: the evidence chain `entry → … → function`.
+    /// Empty for lexical rules.
+    pub call_path: Vec<String>,
+}
+
+impl Finding {
+    /// A finding with no call-path evidence (every lexical rule).
+    pub fn lexical(
+        rule: &'static str,
+        path: String,
+        line: usize,
+        message: String,
+        snippet: String,
+    ) -> Self {
+        Finding {
+            rule,
+            path,
+            line,
+            message,
+            snippet,
+            call_path: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -33,7 +56,11 @@ impl std::fmt::Display for Finding {
             self.rule,
             self.message,
             self.snippet.trim()
-        )
+        )?;
+        if !self.call_path.is_empty() {
+            write!(f, "\n    call path: {}", self.call_path.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -91,6 +118,7 @@ pub fn rule_safety(file: &ScannedFile, out: &mut Vec<Finding>) {
                           argument (within 3 lines above)"
                     .into(),
                 snippet: line.raw.clone(),
+                call_path: Vec::new(),
             });
         }
     }
@@ -127,6 +155,7 @@ pub fn rule_no_unwrap(file: &ScannedFile, strict: bool, out: &mut Vec<Finding>) 
                         "{what}; return a typed error (or add an audited allowlist entry)"
                     ),
                     snippet: line.raw.clone(),
+                    call_path: Vec::new(),
                 });
             }
         }
@@ -164,6 +193,7 @@ pub fn rule_determinism(file: &ScannedFile, strict: bool, out: &mut Vec<Finding>
                         "{what} outside bench and the clock module breaks seeded replay"
                     ),
                     snippet: line.raw.clone(),
+                    call_path: Vec::new(),
                 });
             }
         }
@@ -199,6 +229,7 @@ pub fn rule_thread_confinement(file: &ScannedFile, strict: bool, out: &mut Vec<F
                         THREAD_SANCTIONED.join(", ")
                     ),
                     snippet: line.raw.clone(),
+                    call_path: Vec::new(),
                 });
             }
         }
@@ -236,6 +267,7 @@ pub fn rule_shim_hygiene(path: &str, manifest: &str, out: &mut Vec<Finding>) {
                 line: i + 1,
                 message,
                 snippet: raw.to_string(),
+                call_path: Vec::new(),
             })
         };
         if line.contains("git =") || line.contains("git=") {

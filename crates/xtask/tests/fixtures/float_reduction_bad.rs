@@ -1,0 +1,28 @@
+//! Known-bad fixture: float reductions whose association order is
+//! hidden or reversed — iterator `.sum()`, iterator `.fold(…)`, and a
+//! `.rev()` loop feeding `+=`. The `float_reduction_order` rule must
+//! flag all three; the integer reduction at the end stays clean.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub fn total(a: &[f32]) -> f32 {
+    a.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn reversed(a: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in a.iter().rev() {
+        acc += x;
+    }
+    acc
+}
+
+pub fn int_count(a: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in a {
+        acc += x;
+    }
+    acc
+}

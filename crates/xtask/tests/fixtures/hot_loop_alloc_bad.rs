@@ -1,0 +1,18 @@
+//! Known-bad fixture: allocations on the allocation-free decode path —
+//! a `vec!` directly inside `decode_one`'s loop, and a `Vec::new` in a
+//! helper that the loop calls every iteration. The `hot_loop_alloc`
+//! rule must flag both (and not the setup allocation before the loop).
+
+pub fn decode_one(n: usize) -> usize {
+    let mut acc = Vec::with_capacity(n).len();
+    for i in 0..n {
+        let tmp = vec![0u8; 4];
+        acc = acc.max(tmp.len()).max(helper(i));
+    }
+    acc
+}
+
+fn helper(i: usize) -> usize {
+    let scratch: Vec<usize> = Vec::new();
+    scratch.len().max(i)
+}

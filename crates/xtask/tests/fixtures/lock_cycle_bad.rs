@@ -1,0 +1,22 @@
+//! Known-bad fixture: classic ABBA deadlock shape — `ab` acquires `a`
+//! then `b`, `ba` acquires `b` then `a`. The `lock_order` rule must
+//! report exactly one canonical cycle between `Pair.a` and `Pair.b`.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let x = self.a.lock();
+        let y = self.b.lock();
+        *x + *y
+    }
+
+    pub fn ba(&self) -> u32 {
+        let y = self.b.lock();
+        let x = self.a.lock();
+        *x + *y
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture: a serving entry reaches a function that indexes a
+//! slice with an unchecked subscript two calls down. The
+//! `panic_reachability` rule must flag `leaf` and carry the full call
+//! path `daemon_loop -> mid -> leaf` as evidence.
+
+pub fn daemon_loop(xs: &[u32]) -> u32 {
+    mid(xs)
+}
+
+fn mid(xs: &[u32]) -> u32 {
+    leaf(xs, 1)
+}
+
+fn leaf(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}

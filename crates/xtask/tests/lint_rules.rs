@@ -66,13 +66,62 @@ fn rogue_thread_fixture_triggers_only_thread_confinement() {
 
 #[test]
 fn batched_verify_fixture_triggers_unwrap_and_thread_confinement() {
-    // The two rules the batched-verification surfaces must obey: no
-    // panics under the stacked forward, no thread creation outside the
-    // sanctioned pool modules. One finding each.
+    // The rules the batched-verification surfaces must obey: no panics
+    // under the stacked forward (lexically and via the call graph —
+    // the fixture's `step_batch` is a serving entry, so its `.unwrap()`
+    // also trips panic_reachability), no thread creation outside the
+    // sanctioned pool modules.
     let findings = lint_files_strict(&[fixture("batched_verify_bad.rs")]);
     let mut rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
     rules.sort_unstable();
-    assert_eq!(rules, ["no_unwrap", "thread_confinement"], "{findings:#?}");
+    assert_eq!(
+        rules,
+        ["no_unwrap", "panic_reachability", "thread_confinement"],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_reach_fixture_triggers_only_panic_reachability() {
+    // `leaf` indexes a slice and is reachable from the `daemon_loop`
+    // entry; the callers themselves are clean.
+    assert_only_rule("panic_reach_bad.rs", "panic_reachability", 1);
+}
+
+#[test]
+fn panic_reach_fixture_reports_the_full_call_path() {
+    let findings = lint_files_strict(&[fixture("panic_reach_bad.rs")]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(
+        findings[0].call_path,
+        vec!["daemon_loop", "mid", "leaf"],
+        "evidence must spell out the whole entry-to-panic chain"
+    );
+    assert!(
+        findings[0].message.contains("daemon_loop"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_triggers_only_lock_order() {
+    // `ab` takes a→b, `ba` takes b→a: one canonical ABBA cycle.
+    assert_only_rule("lock_cycle_bad.rs", "lock_order", 1);
+}
+
+#[test]
+fn hot_loop_alloc_fixture_triggers_only_hot_loop_alloc() {
+    // `vec!` inside `decode_one`'s loop + `Vec::new` in the helper the
+    // loop calls; the pre-loop `with_capacity` stays clean.
+    assert_only_rule("hot_loop_alloc_bad.rs", "hot_loop_alloc", 2);
+}
+
+#[test]
+fn float_reduction_fixture_triggers_only_float_reduction_order() {
+    // Iterator `.sum()`, iterator `.fold(…)`, and a `.rev()` loop
+    // feeding `+=`; the integer loop stays clean.
+    assert_only_rule("float_reduction_bad.rs", "float_reduction_order", 3);
 }
 
 #[test]
@@ -86,6 +135,49 @@ fn bad_shim_fixture_triggers_only_shim_hygiene() {
 fn clean_fixture_passes_every_rule_in_strict_mode() {
     let findings = lint_files_strict(&[fixture("clean.rs")]);
     assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn serving_and_spec_lock_graph_is_cycle_free() {
+    // Acceptance criterion for the concurrency layer: the lock-ordering
+    // graph over the serving and spec crates must be acyclic *before*
+    // the allowlist is applied — an audited exception must never be the
+    // only thing standing between the daemon and an ABBA deadlock.
+    use specinfer_xtask::{parse, scan, semantic};
+    let root = workspace_root();
+    let mut parsed = Vec::new();
+    for krate in ["serving", "spec"] {
+        let dir = root.join("crates").join(krate).join("src");
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).expect("readable crate dir").flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let rel = p
+                        .strip_prefix(&root)
+                        .expect("under root")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    let src = std::fs::read_to_string(&p).expect("readable source");
+                    parsed.push(parse::parse_file(&scan::scan_source(&rel, &src, false)));
+                }
+            }
+        }
+    }
+    assert!(
+        parsed.len() > 5,
+        "walk looks broken: {} files",
+        parsed.len()
+    );
+    let mut findings = Vec::new();
+    semantic::semantic_findings(&parsed, false, &mut findings);
+    let cycles: Vec<_> = findings.iter().filter(|f| f.rule == "lock_order").collect();
+    assert!(
+        cycles.is_empty(),
+        "lock-order cycle in serving/spec: {cycles:#?}"
+    );
 }
 
 #[test]
@@ -113,6 +205,10 @@ fn binary_exit_codes_match_findings() {
         "wall_clock.rs",
         "rogue_thread.rs",
         "batched_verify_bad.rs",
+        "panic_reach_bad.rs",
+        "lock_cycle_bad.rs",
+        "hot_loop_alloc_bad.rs",
+        "float_reduction_bad.rs",
         "bad_shim/Cargo.toml",
     ] {
         let status = Command::new(bin)
@@ -142,4 +238,55 @@ fn binary_exit_codes_match_findings() {
         .status()
         .expect("lint binary runs");
     assert_eq!(usage.code(), Some(2), "unknown command: expected exit 2");
+}
+
+/// `--json` reports carry the rule/path/line/call-path fields the CI
+/// annotation step consumes, and keep the text mode's exit codes.
+#[test]
+fn json_mode_reports_findings_and_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+
+    let bad = Command::new(bin)
+        .args(["lint", "--json", "--strict"])
+        .arg(fixture("panic_reach_bad.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(bad.status.code(), Some(1), "findings must still exit 1");
+    let report = String::from_utf8(bad.stdout).expect("utf-8 report");
+    for needle in [
+        "\"rule\": \"panic_reachability\"",
+        "\"line\": 14",
+        "\"call_path\": [\"daemon_loop\", \"mid\", \"leaf\"]",
+        "\"count\": 1",
+    ] {
+        assert!(report.contains(needle), "missing {needle} in:\n{report}");
+    }
+
+    let clean = Command::new(bin)
+        .args(["lint", "--json", "--strict"])
+        .arg(fixture("clean.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(clean.status.code(), Some(0), "clean must exit 0");
+    let report = String::from_utf8(clean.stdout).expect("utf-8 report");
+    assert!(report.contains("\"count\": 0"), "{report}");
+}
+
+/// `--github` emits one `::error` workflow annotation per finding.
+#[test]
+fn github_mode_emits_workflow_annotations() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+    let out = Command::new(bin)
+        .args(["lint", "--github", "--strict"])
+        .arg(fixture("lock_cycle_bad.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert!(
+        text.lines().any(
+            |l| l.starts_with("::error file=") && l.contains("title=specinfer-lint lock_order")
+        ),
+        "{text}"
+    );
 }
