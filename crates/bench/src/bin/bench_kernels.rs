@@ -2,10 +2,14 @@
 //!
 //! Writes `BENCH_kernels.json` into the current directory:
 //!
-//! * `kernels` — GFLOP/s of the blocked matmul kernels at several shapes
-//!   alongside the naive reference kernels, with the measured speedup.
+//! * `kernels` — GFLOP/s of the blocked matmul kernels (and the
+//!   packed-panel decode matvec) at several shapes alongside the naive
+//!   reference kernels, with the measured speedup.
 //! * `end_to_end` — tokens/step and tokens/s of incremental vs
 //!   tree-speculative generation on the smoke-scale trained suite.
+//! * `simd_backend` / `cpu_features` — which ISA backend the kernels
+//!   dispatched to and what the host CPU reports, so numbers are
+//!   attributable (set `SPECINFER_SIMD=scalar` to bench the reference).
 //!
 //! Everything is seeded; numbers vary with the machine, shapes don't.
 
@@ -16,7 +20,7 @@ use specinfer_bench::{Scale, Suite};
 use specinfer_model::DecodeMode;
 use specinfer_spec::{EngineConfig, InferenceMode, SpecEngine, StochasticVerifier};
 use specinfer_tensor::rng::SeededRng;
-use specinfer_tensor::Tensor;
+use specinfer_tensor::{simd, PackedPanels, Tensor};
 use specinfer_tokentree::ExpansionConfig;
 
 #[derive(Serialize)]
@@ -42,6 +46,8 @@ struct EndToEnd {
 #[derive(Serialize)]
 struct Report {
     effective_threads: usize,
+    simd_backend: String,
+    cpu_features: Vec<String>,
     kernels: Vec<KernelResult>,
     end_to_end: Vec<EndToEnd>,
 }
@@ -67,7 +73,18 @@ fn time_per_iter(mut f: impl FnMut()) -> f64 {
 fn bench_kernels() -> Vec<KernelResult> {
     let mut rng = SeededRng::new(1);
     let mut results = Vec::new();
-    for &(m, k, n) in &[(96usize, 96usize, 96usize), (256, 256, 256), (1, 96, 288)] {
+    // Square shapes stress the blocked/parallel path; the m=1 shapes are
+    // the decode-time matvecs the SIMD backends exist for: fused QKV
+    // (1,96,288), attention score against an L=256 key block (1,24,256),
+    // and the value gather back down to head_dim (1,256,24).
+    let shapes = &[
+        (96usize, 96usize, 96usize),
+        (256, 256, 256),
+        (1, 96, 288),
+        (1, 24, 256),
+        (1, 256, 24),
+    ];
+    for &(m, k, n) in shapes {
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
         let bt = b.transpose();
@@ -99,6 +116,21 @@ fn bench_kernels() -> Vec<KernelResult> {
             ref_gflops: flops / ref_nt / 1e9,
             speedup: ref_nt / fast_nt,
         });
+        // Decode shapes also run the packed-panel matvec — the path the
+        // model's dense layers take for m ≤ PACKED_SMALL_M_MAX.
+        if m <= specinfer_tensor::PACKED_SMALL_M_MAX {
+            let panels = PackedPanels::from_nn(b.data(), k, n);
+            let fast_packed = time_per_iter(|| a.matmul_packed_into(&panels, &mut out));
+            results.push(KernelResult {
+                op: "nn_packed".into(),
+                m,
+                k,
+                n,
+                fast_gflops: flops / fast_packed / 1e9,
+                ref_gflops: flops / ref_nn / 1e9,
+                speedup: ref_nn / fast_packed,
+            });
+        }
     }
     results
 }
@@ -170,6 +202,11 @@ fn main() {
     ];
     let report = Report {
         effective_threads: specinfer_tensor::effective_threads(),
+        simd_backend: simd::backend().name().to_string(),
+        cpu_features: simd::detected_features()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
         kernels,
         end_to_end,
     };

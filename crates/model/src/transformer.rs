@@ -5,7 +5,7 @@
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
 
-use specinfer_tensor::{kernels, ops, Tensor};
+use specinfer_tensor::{kernels, ops, PackedPanels, Tensor, PACKED_SMALL_M_MAX};
 use specinfer_tokentree::{LinearizedTree, NodeId, TokenId, TokenTree, TopologyMask};
 
 use crate::config::ModelConfig;
@@ -304,6 +304,42 @@ fn attention_block(
     }
 }
 
+/// Derived decode-time weight representations, built once and reused
+/// every step: the fused `[d, 3·d]` Q|K|V projection per layer, plus
+/// packed column panels (see [`specinfer_tensor::pack`]) of every dense
+/// weight the decode path multiplies against. Lifetime mirrors the old
+/// fused-QKV pack: built lazily on first forward, dropped by
+/// [`Transformer::weights_mut`] so training always sees fresh weights.
+#[derive(Debug)]
+struct DecodePacks {
+    /// Fused `[d, 3·d]` Q|K|V projection per layer (large-batch path).
+    qkv: Vec<Tensor>,
+    /// Panel-packed fused QKV per layer (small-batch matvec path).
+    qkv_panels: Vec<PackedPanels>,
+    /// Panel-packed attention output projection per layer.
+    wo: Vec<PackedPanels>,
+    /// Panel-packed SwiGLU gate / up / down projections per layer.
+    w1: Vec<PackedPanels>,
+    w3: Vec<PackedPanels>,
+    w2: Vec<PackedPanels>,
+    /// Panel-packed output head.
+    lm_head: PackedPanels,
+}
+
+/// Dense `x × w`, dispatching on batch size alone: decode-shaped blocks
+/// (`rows ≤ PACKED_SMALL_M_MAX`) stream the packed panels, larger
+/// blocks run the blocked matmul. Within a backend both paths produce
+/// bitwise-identical elements (packing changes layout, not reduction
+/// order), so this threshold is pure performance — stacked batches and
+/// solo rows still agree bitwise.
+fn dense_into(x: &Tensor, w: &Tensor, panels: &PackedPanels, out: &mut Tensor) {
+    if x.rows() <= PACKED_SMALL_M_MAX {
+        x.matmul_packed_into(panels, out);
+    } else {
+        x.matmul_into(w, out);
+    }
+}
+
 /// A decoder-only Transformer (RMSNorm + RoPE + SwiGLU) with explicit KV
 /// cache management.
 ///
@@ -324,13 +360,15 @@ fn attention_block(
 pub struct Transformer {
     config: ModelConfig,
     weights: ModelWeights,
-    /// Per-layer fused `[d, 3·d]` Q|K|V projection matrices: row `r` is
-    /// `wq.row(r) ‖ wk.row(r) ‖ wv.row(r)`, so one matmul per layer
-    /// replaces three. Columns of the pack reduce over `k` in the same
-    /// ascending order as the separate matmuls, so the projected values
-    /// are bitwise identical. Built lazily on first use; dropped by
+    /// Decode-time weight representations (fused QKV + packed panels):
+    /// row `r` of the fused pack is `wq.row(r) ‖ wk.row(r) ‖ wv.row(r)`,
+    /// so one matmul per layer replaces three, and every dense weight is
+    /// additionally panel-packed for the small-batch matvec path.
+    /// Columns reduce over `k` in the same ascending order as the
+    /// separate matmuls, so the projected values are bitwise identical.
+    /// Built lazily on first use; dropped by
     /// [`Transformer::weights_mut`] so training sees fresh weights.
-    qkv_pack: OnceLock<Arc<Vec<Tensor>>>,
+    packs: OnceLock<Arc<DecodePacks>>,
 }
 
 impl Transformer {
@@ -344,7 +382,7 @@ impl Transformer {
         Transformer {
             config,
             weights,
-            qkv_pack: OnceLock::new(),
+            packs: OnceLock::new(),
         }
     }
 
@@ -354,7 +392,7 @@ impl Transformer {
         Transformer {
             config,
             weights,
-            qkv_pack: OnceLock::new(),
+            packs: OnceLock::new(),
         }
     }
 
@@ -370,30 +408,40 @@ impl Transformer {
 
     /// Mutable access to the weights (used by training).
     pub fn weights_mut(&mut self) -> &mut ModelWeights {
-        // The fused pack mirrors wq/wk/wv; any mutation invalidates it.
-        self.qkv_pack.take();
+        // The decode packs mirror the dense weights; any mutation
+        // invalidates them.
+        self.packs.take();
         &mut self.weights
     }
 
-    /// The fused per-layer `[d, 3·d]` QKV projection matrices.
-    fn qkv_packed(&self) -> Arc<Vec<Tensor>> {
-        Arc::clone(self.qkv_pack.get_or_init(|| {
+    /// The decode-time weight representations: fused `[d, 3·d]` QKV
+    /// projections plus packed panels of every dense weight.
+    fn decode_packs(&self) -> Arc<DecodePacks> {
+        Arc::clone(self.packs.get_or_init(|| {
             let d = self.config.d_model;
-            Arc::new(
-                self.weights
-                    .layers
-                    .iter()
-                    .map(|layer| {
-                        let mut data = Vec::with_capacity(d * 3 * d);
-                        for r in 0..d {
-                            data.extend_from_slice(layer.wq.row(r));
-                            data.extend_from_slice(layer.wk.row(r));
-                            data.extend_from_slice(layer.wv.row(r));
-                        }
-                        Tensor::from_vec(data, &[d, 3 * d])
-                    })
-                    .collect(),
-            )
+            let layers = &self.weights.layers;
+            let qkv: Vec<Tensor> = layers
+                .iter()
+                .map(|layer| {
+                    let mut data = Vec::with_capacity(d * 3 * d);
+                    for r in 0..d {
+                        data.extend_from_slice(layer.wq.row(r));
+                        data.extend_from_slice(layer.wk.row(r));
+                        data.extend_from_slice(layer.wv.row(r));
+                    }
+                    Tensor::from_vec(data, &[d, 3 * d])
+                })
+                .collect();
+            let pack_nn = |w: &Tensor| PackedPanels::from_nn(w.data(), w.rows(), w.cols());
+            Arc::new(DecodePacks {
+                qkv_panels: qkv.iter().map(pack_nn).collect(),
+                qkv,
+                wo: layers.iter().map(|l| pack_nn(&l.wo)).collect(),
+                w1: layers.iter().map(|l| pack_nn(&l.w1)).collect(),
+                w3: layers.iter().map(|l| pack_nn(&l.w3)).collect(),
+                w2: layers.iter().map(|l| pack_nn(&l.w2)).collect(),
+                lm_head: pack_nn(&self.weights.lm_head),
+            })
         }))
     }
 
@@ -466,7 +514,7 @@ impl Transformer {
         let n_heads = self.config.n_heads;
         let hd = self.config.head_dim();
         let vocab = self.config.vocab_size;
-        let qkv_pack = self.qkv_packed();
+        let packs = self.decode_packs();
 
         // Per-request geometry: row counts, stacked row offsets, cache
         // lengths before/after, and offsets into the concatenated
@@ -553,8 +601,14 @@ impl Transformer {
             for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
                 ops::rmsnorm_rows_into(&s.x, &layer.attn_norm, ModelConfig::RMS_EPS, &mut s.h);
                 // One fused matmul computes Q|K|V side by side for the
-                // whole stacked batch.
-                s.h.matmul_into(&qkv_pack[layer_idx], &mut s.qkv);
+                // whole stacked batch; decode-shaped batches stream the
+                // packed panels instead of the row-major weights.
+                dense_into(
+                    &s.h,
+                    &packs.qkv[layer_idx],
+                    &packs.qkv_panels[layer_idx],
+                    &mut s.qkv,
+                );
                 for (r, q) in reqs.iter().enumerate() {
                     for (i, &pos) in q.positions.iter().enumerate() {
                         let row = s.qkv.row_mut(offs[r] + i);
@@ -645,15 +699,15 @@ impl Transformer {
                         );
                     }
                 }
-                s.att.matmul_into(&layer.wo, &mut s.proj);
+                dense_into(&s.att, &layer.wo, &packs.wo[layer_idx], &mut s.proj);
                 s.x.add_assign(&s.proj);
 
                 ops::rmsnorm_rows_into(&s.x, &layer.ffn_norm, ModelConfig::RMS_EPS, &mut s.h);
-                s.h.matmul_into(&layer.w1, &mut s.gate);
+                dense_into(&s.h, &layer.w1, &packs.w1[layer_idx], &mut s.gate);
                 ops::silu_inplace(&mut s.gate);
-                s.h.matmul_into(&layer.w3, &mut s.lin);
+                dense_into(&s.h, &layer.w3, &packs.w3[layer_idx], &mut s.lin);
                 s.gate.mul_assign(&s.lin);
-                s.gate.matmul_into(&layer.w2, &mut s.proj);
+                dense_into(&s.gate, &layer.w2, &packs.w2[layer_idx], &mut s.proj);
                 s.x.add_assign(&s.proj);
             }
             for (r, q) in reqs.iter_mut().enumerate() {
@@ -666,7 +720,8 @@ impl Transformer {
                 ModelConfig::RMS_EPS,
                 &mut s.h,
             );
-            let logits = s.h.matmul(&self.weights.lm_head);
+            let mut logits = Tensor::default();
+            dense_into(&s.h, &self.weights.lm_head, &packs.lm_head, &mut logits);
             if reqs.len() == 1 {
                 vec![logits]
             } else {
@@ -906,9 +961,9 @@ mod tests {
     fn fused_qkv_projection_matches_separate_matmuls_bitwise() {
         let m = model();
         let d = m.config().d_model;
-        let packs = m.qkv_packed();
+        let packs = m.decode_packs();
         let h = Tensor::randn(&[5, d], 1.0, &mut specinfer_tensor::rng::SeededRng::new(11));
-        for (layer, pack) in m.weights().layers.iter().zip(packs.iter()) {
+        for (layer, pack) in m.weights().layers.iter().zip(packs.qkv.iter()) {
             assert_eq!(pack.dims(), &[d, 3 * d]);
             let q = h.matmul(&layer.wq);
             let k = h.matmul(&layer.wk);
@@ -932,6 +987,30 @@ mod tests {
         let after = m.logits_for_sequence(&seq);
         // A stale pack would keep producing `before`.
         assert!(before.max_abs_diff(&after) > 0.0);
+    }
+
+    #[test]
+    fn packed_and_unpacked_dense_paths_agree_bitwise() {
+        // `dense_into` switches representation at PACKED_SMALL_M_MAX
+        // rows; both sides of the threshold must produce identical bits
+        // for the rows they share, or batch size would leak into logits.
+        let m = model();
+        let d = m.config().d_model;
+        let packs = m.decode_packs();
+        let small = Tensor::randn(&[1, d], 1.0, &mut specinfer_tensor::rng::SeededRng::new(12));
+        let mut big_data = small.data().to_vec();
+        let filler = Tensor::randn(
+            &[PACKED_SMALL_M_MAX + 3, d],
+            1.0,
+            &mut specinfer_tensor::rng::SeededRng::new(13),
+        );
+        big_data.extend_from_slice(filler.data());
+        let big = Tensor::from_vec(big_data, &[PACKED_SMALL_M_MAX + 4, d]);
+        let mut out_small = Tensor::default();
+        let mut out_big = Tensor::default();
+        dense_into(&small, &packs.qkv[0], &packs.qkv_panels[0], &mut out_small);
+        dense_into(&big, &packs.qkv[0], &packs.qkv_panels[0], &mut out_big);
+        assert_eq!(out_small.row(0), out_big.row(0));
     }
 
     #[test]

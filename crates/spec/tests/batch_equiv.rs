@@ -239,3 +239,21 @@ fn already_finished_sessions_yield_none_in_the_batch() {
     assert!(stats[1].is_some());
     assert!(long.tokens().len() > before);
 }
+
+/// Every bitwise gate in this file runs under whichever SIMD backend the
+/// process latched at startup. CI re-runs the suite with
+/// `SPECINFER_SIMD=scalar` and again natively; this test pins the
+/// env-to-backend mapping so a forced run genuinely exercises the forced
+/// backend instead of silently falling back.
+#[test]
+fn forced_simd_env_maps_to_latched_backend() {
+    use specinfer_tensor::{simd, SimdBackend};
+    let be = simd::backend();
+    match std::env::var("SPECINFER_SIMD").as_deref() {
+        Ok("scalar") => assert_eq!(be, SimdBackend::Scalar),
+        // Forcing an ISA the host lacks documents a scalar fallback.
+        Ok("avx2") => assert!(matches!(be, SimdBackend::Avx2Fma | SimdBackend::Scalar)),
+        Ok("neon") => assert!(matches!(be, SimdBackend::Neon | SimdBackend::Scalar)),
+        _ => assert!(simd::available_backends().contains(&be)),
+    }
+}

@@ -5,12 +5,22 @@
 //! shapes stay on a single-threaded fast path. The partitioning is
 //! always over *output elements* (rows, or columns when there is a
 //! single output row), never over the shared `k` dimension, so every
-//! output element accumulates its products in exactly the same
-//! ascending-`k` order as the naive serial triple loop. Results are
-//! therefore bitwise identical no matter the thread count — see
-//! `ARCHITECTURE.md` ("Threading model & determinism").
+//! output element accumulates its products in a fixed order regardless
+//! of the thread count.
+//!
+//! Each partition runs on the process-selected [`SimdBackend`]
+//! (see [`crate::simd`]): the scalar kernels below are the
+//! cross-platform reference — bitwise identical to the naive triple
+//! loop — while the AVX2/NEON kernels keep their own fixed per-element
+//! reduction order (fused ascending-`k` chains plus a deterministic
+//! lane-reduction tree for `nt`). Within a backend, results are
+//! bitwise identical no matter the thread count — see `ARCHITECTURE.md`
+//! ("Threading model & determinism" and "SIMD dispatch & packed
+//! panels").
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::simd::{self, SimdBackend};
 
 /// Configured thread cap; 0 means "use available parallelism".
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -35,15 +45,31 @@ pub fn max_threads() -> usize {
 /// small sizes thread spawn/join costs more than the arithmetic.
 pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 
+/// Row count below which `matmul_nt` skips the 4×4 blocked tile and
+/// takes the per-row lane kernel directly. The blocked tile amortises
+/// `B` loads across four `A` rows; with fewer rows there is nothing to
+/// amortise and the tile's staging overhead made `nt m=1` *slower* than
+/// the naive reference, so decode-shaped calls dispatch straight to
+/// [`nt_one_row`] (whose bounds checks are hoisted so the four column
+/// lanes actually pipeline).
+pub const NT_BLOCK_MIN_M: usize = 4;
+
 /// The thread count kernels will actually use: the configured cap, or
 /// the machine's available parallelism when the cap is 0. Exposed so
 /// higher layers (e.g. the model's attention loop) can make the same
 /// serial-vs-parallel decision the kernels do.
+///
+/// `available_parallelism` is a syscall (~10 µs); querying it on every
+/// kernel call used to dominate decode-shaped matvecs outright, so the
+/// answer is latched once per process.
 pub fn effective_threads() -> usize {
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     match max_threads() {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => *AUTO.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
         n => n,
     }
 }
@@ -131,21 +157,76 @@ fn nn_cols(a: &[f32], b: &[f32], out: &mut [f32], j0: usize, k: usize, n: usize)
     }
 }
 
+/// [`nn_rows`] on an explicit backend: scalar stays the reference
+/// triple-loop order; AVX2/NEON vectorise over output columns, which
+/// keeps one (fused) ascending-`k` chain per element.
+fn nn_rows_with(
+    be: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    match be {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only ever selected after runtime
+        // detection of AVX2+FMA, and the caller passes the same shape
+        // contract the scalar kernel relies on.
+        SimdBackend::Avx2Fma => unsafe { simd::avx2::nn_rows(a, b, out, i0, k, n) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; shape contract as above.
+        SimdBackend::Neon => unsafe { simd::neon::nn_rows(a, b, out, i0, k, n) },
+        _ => nn_rows(a, b, out, i0, k, n),
+    }
+}
+
+/// [`nn_cols`] on an explicit backend; same per-element chains as
+/// [`nn_rows_with`], so column-chunk boundaries are bitwise-inert.
+fn nn_cols_with(
+    be: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    j0: usize,
+    k: usize,
+    n: usize,
+) {
+    match be {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only ever selected after runtime
+        // detection of AVX2+FMA, and the caller passes the same shape
+        // contract the scalar kernel relies on.
+        SimdBackend::Avx2Fma => unsafe { simd::avx2::nn_cols(a, b, out, j0, k, n) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; shape contract as above.
+        SimdBackend::Neon => unsafe { simd::neon::nn_cols(a, b, out, j0, k, n) },
+        _ => nn_cols(a, b, out, j0, k, n),
+    }
+}
+
 /// One row of `A × Bᵀ`: `o_row[j] = A[row] · B[j]`, with four
 /// independent accumulator lanes across adjacent columns.
 ///
 /// Each lane owns one output element and reduces over `k` in ascending
 /// order, so the lanes change instruction-level parallelism but not the
-/// per-element reduction order.
+/// per-element reduction order. The slices are re-bounded to exactly
+/// `k` elements up front so the indexed inner loop compiles without
+/// bounds checks — this is the `nt m=1` fix: the previous version
+/// re-checked four slice bounds per `k` step, which made it slower
+/// than the naive reference at decode shapes.
 fn nt_one_row(a_row: &[f32], b: &[f32], o_row: &mut [f32], k: usize, n: usize) {
+    let a_row = &a_row[..k];
     let mut j = 0;
     while j + 4 <= n {
-        let b0 = &b[j * k..(j + 1) * k];
-        let b1 = &b[(j + 1) * k..(j + 2) * k];
-        let b2 = &b[(j + 2) * k..(j + 3) * k];
-        let b3 = &b[(j + 3) * k..(j + 4) * k];
+        let b0 = &b[j * k..][..k];
+        let b1 = &b[(j + 1) * k..][..k];
+        let b2 = &b[(j + 2) * k..][..k];
+        let b3 = &b[(j + 3) * k..][..k];
         let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for (t, &av) in a_row.iter().enumerate() {
+        for t in 0..k {
+            let av = a_row[t];
             s0 += av * b0[t];
             s1 += av * b1[t];
             s2 += av * b2[t];
@@ -170,66 +251,94 @@ fn nt_one_row(a_row: &[f32], b: &[f32], o_row: &mut [f32], k: usize, n: usize) {
 
 /// `out[i0+r, :] = A[i0+r, :] × Bᵀ` for each row of `out`.
 ///
-/// Rows are processed in register blocks of four (a 4×4 tile of scalar
-/// accumulators against the four-column lanes) so each loaded `A`/`B`
-/// element feeds four multiplies; leftover rows and columns fall back to
-/// the one-row lanes. Every output element is a single scalar
-/// accumulator reduced over `k` in ascending order in all paths, so the
-/// tiling changes instruction-level parallelism but not the per-element
+/// Row blocks below [`NT_BLOCK_MIN_M`] go straight to the per-row lane
+/// kernel; four-row blocks use a 4×4 tile of scalar accumulators
+/// against the four-column lanes so each loaded `A`/`B` element feeds
+/// four multiplies. Every output element is a single scalar accumulator
+/// reduced over `k` in ascending order in all paths, so the tiling
+/// changes instruction-level parallelism but not the per-element
 /// reduction order.
 fn nt_rows(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
     let rows = out.len() / n;
     let mut r = 0;
-    while r + 4 <= rows {
-        let a0 = &a[(i0 + r) * k..(i0 + r + 1) * k];
-        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 2) * k];
-        let a2 = &a[(i0 + r + 2) * k..(i0 + r + 3) * k];
-        let a3 = &a[(i0 + r + 3) * k..(i0 + r + 4) * k];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let mut s = [[0.0f32; 4]; 4];
-            for t in 0..k {
-                let (bv0, bv1, bv2, bv3) = (b0[t], b1[t], b2[t], b3[t]);
-                let (av0, av1, av2, av3) = (a0[t], a1[t], a2[t], a3[t]);
-                s[0][0] += av0 * bv0;
-                s[0][1] += av0 * bv1;
-                s[0][2] += av0 * bv2;
-                s[0][3] += av0 * bv3;
-                s[1][0] += av1 * bv0;
-                s[1][1] += av1 * bv1;
-                s[1][2] += av1 * bv2;
-                s[1][3] += av1 * bv3;
-                s[2][0] += av2 * bv0;
-                s[2][1] += av2 * bv1;
-                s[2][2] += av2 * bv2;
-                s[2][3] += av2 * bv3;
-                s[3][0] += av3 * bv0;
-                s[3][1] += av3 * bv1;
-                s[3][2] += av3 * bv2;
-                s[3][3] += av3 * bv3;
+    if rows >= NT_BLOCK_MIN_M {
+        while r + 4 <= rows {
+            let a0 = &a[(i0 + r) * k..(i0 + r + 1) * k];
+            let a1 = &a[(i0 + r + 1) * k..(i0 + r + 2) * k];
+            let a2 = &a[(i0 + r + 2) * k..(i0 + r + 3) * k];
+            let a3 = &a[(i0 + r + 3) * k..(i0 + r + 4) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut s = [[0.0f32; 4]; 4];
+                for t in 0..k {
+                    let (bv0, bv1, bv2, bv3) = (b0[t], b1[t], b2[t], b3[t]);
+                    let (av0, av1, av2, av3) = (a0[t], a1[t], a2[t], a3[t]);
+                    s[0][0] += av0 * bv0;
+                    s[0][1] += av0 * bv1;
+                    s[0][2] += av0 * bv2;
+                    s[0][3] += av0 * bv3;
+                    s[1][0] += av1 * bv0;
+                    s[1][1] += av1 * bv1;
+                    s[1][2] += av1 * bv2;
+                    s[1][3] += av1 * bv3;
+                    s[2][0] += av2 * bv0;
+                    s[2][1] += av2 * bv1;
+                    s[2][2] += av2 * bv2;
+                    s[2][3] += av2 * bv3;
+                    s[3][0] += av3 * bv0;
+                    s[3][1] += av3 * bv1;
+                    s[3][2] += av3 * bv2;
+                    s[3][3] += av3 * bv3;
+                }
+                for (dr, row_acc) in s.iter().enumerate() {
+                    out[(r + dr) * n + j..(r + dr) * n + j + 4].copy_from_slice(row_acc);
+                }
+                j += 4;
             }
-            for (dr, row_acc) in s.iter().enumerate() {
-                out[(r + dr) * n + j..(r + dr) * n + j + 4].copy_from_slice(row_acc);
+            if j < n {
+                for (dr, a_row) in [a0, a1, a2, a3].into_iter().enumerate() {
+                    let o_row = &mut out[(r + dr) * n..(r + dr + 1) * n];
+                    nt_one_row(a_row, &b[j * k..], &mut o_row[j..], k, n - j);
+                }
             }
-            j += 4;
+            r += 4;
         }
-        if j < n {
-            for (dr, a_row) in [a0, a1, a2, a3].into_iter().enumerate() {
-                let o_row = &mut out[(r + dr) * n..(r + dr + 1) * n];
-                nt_one_row(a_row, &b[j * k..], &mut o_row[j..], k, n - j);
-            }
-        }
-        r += 4;
     }
     while r < rows {
         let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
         let o_row = &mut out[r * n..(r + 1) * n];
         nt_one_row(a_row, b, o_row, k, n);
         r += 1;
+    }
+}
+
+/// [`nt_rows`] on an explicit backend: scalar keeps the single
+/// ascending-`k` chain per element; AVX2/NEON reduce each dot product
+/// as fixed per-lane ascending-`k` chains folded by a deterministic
+/// lane-reduction tree (see `crate::simd`).
+fn nt_rows_with(
+    be: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    match be {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only ever selected after runtime
+        // detection of AVX2+FMA, and the caller passes the same shape
+        // contract the scalar kernel relies on.
+        SimdBackend::Avx2Fma => unsafe { simd::avx2::nt_rows(a, b, out, i0, k, n) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; shape contract as above.
+        SimdBackend::Neon => unsafe { simd::neon::nt_rows(a, b, out, i0, k, n) },
+        _ => nt_rows(a, b, out, i0, k, n),
     }
 }
 
@@ -286,44 +395,77 @@ fn scoped_cols(
     });
 }
 
-/// `out = A × B`; `out` must be zero-filled, length `m·n`.
-pub(crate) fn matmul_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out = A × B` on an explicit backend; `out` must be zero-filled,
+/// length `m·n`. Public so the bitwise test batteries can pin each
+/// backend regardless of which one the process latched.
+pub fn matmul_nn_with(
+    be: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(out.len(), m * n);
     let threads = effective_threads();
     if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
-        nn_rows(a, b, out, 0, k, n);
+        nn_rows_with(be, a, b, out, 0, k, n);
     } else if m == 1 {
-        scoped_cols(out, n, threads, |chunk, j0| nn_cols(a, b, chunk, j0, k, n));
+        scoped_cols(out, n, threads, |chunk, j0| {
+            nn_cols_with(be, a, b, chunk, j0, k, n)
+        });
     } else {
         scoped_rows(out, m, n, threads, |chunk, i0| {
-            nn_rows(a, b, chunk, i0, k, n)
+            nn_rows_with(be, a, b, chunk, i0, k, n)
         });
     }
 }
 
-/// `out = A × Bᵀ` (`b` stored `[n, k]`); `out` has length `m·n` and is
-/// fully overwritten.
-pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out = A × B` on the process-selected backend.
+pub(crate) fn matmul_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_nn_with(simd::backend(), a, b, out, m, k, n);
+}
+
+/// `out = A × Bᵀ` (`b` stored `[n, k]`) on an explicit backend; `out`
+/// has length `m·n` and is fully overwritten. Public for the bitwise
+/// test batteries.
+pub fn matmul_nt_with(
+    be: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(out.len(), m * n);
     let threads = effective_threads();
     if threads <= 1 || m * k * n < PAR_MIN_FLOPS {
-        nt_rows(a, b, out, 0, k, n);
+        nt_rows_with(be, a, b, out, 0, k, n);
     } else if m == 1 {
         // Columns of the single output row are rows of `b`, so each
         // chunk sees a contiguous slice of `b`.
         scoped_cols(out, n, threads, |chunk, j0| {
             let b_chunk = &b[j0 * k..(j0 + chunk.len()) * k];
-            nt_rows(a, b_chunk, chunk, 0, k, chunk.len());
+            nt_rows_with(be, a, b_chunk, chunk, 0, k, chunk.len());
         });
     } else {
         scoped_rows(out, m, n, threads, |chunk, i0| {
-            nt_rows(a, b, chunk, i0, k, n)
+            nt_rows_with(be, a, b, chunk, i0, k, n)
         });
     }
 }
 
+/// `out = A × Bᵀ` on the process-selected backend.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_nt_with(simd::backend(), a, b, out, m, k, n);
+}
+
 /// `out = Aᵀ × B` (`a` stored `[k, m]`); `out` must be zero-filled,
-/// length `m·n`.
+/// length `m·n`. The `tn` variant only runs on the training path, so it
+/// stays on the scalar reference kernels on every backend — gradients
+/// are bitwise reproducible across machines.
 pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), m * n);
     let threads = effective_threads();
@@ -345,13 +487,15 @@ pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
 ///
 /// Entry point for higher layers that compose blocked kernels inside
 /// their own (already partitioned) work items — e.g. the model's
-/// per-head attention blocks. Never spawns threads; per output element
-/// the `k` reduction is ascending, identical to [`matmul_nn`].
+/// per-head attention blocks. Never spawns threads; runs on the
+/// process-selected backend, with the same per-element reduction order
+/// as [`matmul_nn`], so composing it under a caller's partition is
+/// bitwise-inert.
 pub fn matmul_nn_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "A must be m×k");
     debug_assert_eq!(b.len(), k * n, "B must be k×n");
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
-    nn_rows(a, b, out, 0, k, n);
+    nn_rows_with(simd::backend(), a, b, out, 0, k, n);
 }
 
 /// Serial slice-level `out = A × Bᵀ` (`a` is `[m, k]`, `b` is `[n, k]`
@@ -361,13 +505,13 @@ pub fn matmul_nn_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize
 /// Entry point for higher layers that compose blocked kernels inside
 /// their own (already partitioned) work items — e.g. scoring a query
 /// block against a contiguous per-head KV slab. Never spawns threads;
-/// per output element the `k` reduction is ascending, identical to
-/// [`matmul_nt`].
+/// runs on the process-selected backend with the same per-element
+/// reduction order as [`matmul_nt`].
 pub fn matmul_nt_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "A must be m×k");
     debug_assert_eq!(b.len(), k * n, "B must be n×k row-major");
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
-    nt_rows(a, b, out, 0, k, n);
+    nt_rows_with(simd::backend(), a, b, out, 0, k, n);
 }
 
 #[cfg(test)]
@@ -413,7 +557,35 @@ mod tests {
     }
 
     #[test]
-    fn kernels_match_naive_reference_bitwise() {
+    fn every_backend_is_thread_count_invariant_bitwise() {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let shapes = [(1, 96, 288), (96, 96, 96), (3, 300, 301), (1, 4096, 7)];
+        for be in simd::available_backends() {
+            for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+                let a = randn(&[m, k], 20 + idx as u64);
+                let b = randn(&[k, n], 120 + idx as u64);
+                let bt = b.transpose();
+                let mut base_nn = vec![0.0f32; m * n];
+                let mut base_nt = vec![0.0f32; m * n];
+                set_max_threads(1);
+                matmul_nn_with(be, a.data(), b.data(), &mut base_nn, m, k, n);
+                matmul_nt_with(be, a.data(), bt.data(), &mut base_nt, m, k, n);
+                for threads in 2..=8 {
+                    set_max_threads(threads);
+                    let mut nn = vec![0.0f32; m * n];
+                    let mut nt = vec![0.0f32; m * n];
+                    matmul_nn_with(be, a.data(), b.data(), &mut nn, m, k, n);
+                    matmul_nt_with(be, a.data(), bt.data(), &mut nt, m, k, n);
+                    assert_eq!(base_nn, nn, "{be:?} nn {m}x{k}x{n} @ {threads} threads");
+                    assert_eq!(base_nt, nt, "{be:?} nt {m}x{k}x{n} @ {threads} threads");
+                }
+                set_max_threads(0);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_backend_matches_naive_reference_bitwise() {
         let shapes = [
             (1, 5, 9),
             (7, 8, 9),
@@ -425,17 +597,14 @@ mod tests {
         for (idx, &(m, k, n)) in shapes.iter().enumerate() {
             let a = randn(&[m, k], 7 + idx as u64);
             let b = randn(&[k, n], 70 + idx as u64);
-            assert_eq!(
-                a.matmul(&b).data(),
-                a.matmul_ref(&b).data(),
-                "nn {m}x{k}x{n}"
-            );
+            let mut nn = vec![0.0f32; m * n];
+            matmul_nn_with(SimdBackend::Scalar, a.data(), b.data(), &mut nn, m, k, n);
+            assert_eq!(nn, a.matmul_ref(&b).data(), "nn {m}x{k}x{n}");
             let bt = b.transpose();
-            assert_eq!(
-                a.matmul_nt(&bt).data(),
-                a.matmul_nt_ref(&bt).data(),
-                "nt {m}x{k}x{n}"
-            );
+            let mut nt = vec![0.0f32; m * n];
+            matmul_nt_with(SimdBackend::Scalar, a.data(), bt.data(), &mut nt, m, k, n);
+            assert_eq!(nt, a.matmul_nt_ref(&bt).data(), "nt {m}x{k}x{n}");
+            // `tn` runs the scalar reference kernels on every backend.
             let at = a.transpose();
             assert_eq!(
                 at.matmul_tn(&b).data(),
@@ -446,9 +615,35 @@ mod tests {
     }
 
     #[test]
+    fn simd_backends_stay_close_to_reference() {
+        // FMA contracts mul+add into one rounding, so SIMD backends are
+        // not bitwise-equal to the scalar reference — but they compute
+        // the same sums, so the drift is bounded by rounding noise.
+        let shapes = [(1, 96, 288), (7, 33, 47), (96, 96, 96), (1, 4096, 7)];
+        for be in simd::available_backends() {
+            for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+                let a = randn(&[m, k], 30 + idx as u64);
+                let b = randn(&[k, n], 130 + idx as u64);
+                let refv = a.matmul_ref(&b);
+                let mut nn = vec![0.0f32; m * n];
+                matmul_nn_with(be, a.data(), b.data(), &mut nn, m, k, n);
+                let tol = 1e-4 * (k as f32).sqrt();
+                for (got, want) in nn.iter().zip(refv.data()) {
+                    assert!(
+                        (got - want).abs() <= tol.max(1e-4 * want.abs()),
+                        "{be:?} nn {m}x{k}x{n}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn slice_block_kernels_match_tensor_kernels_bitwise() {
         // Shapes cover full 4×4 tiles, row/column remainders, and the
-        // degenerate single-row case used by incremental decoding.
+        // degenerate single-row case used by incremental decoding. Both
+        // sides run the process-selected backend; equality is exact
+        // because block composition never changes per-element order.
         let shapes = [(1, 8, 5), (3, 24, 7), (4, 16, 4), (7, 24, 10), (56, 24, 19)];
         for (idx, &(m, k, n)) in shapes.iter().enumerate() {
             let a = randn(&[m, k], 40 + idx as u64);
@@ -456,10 +651,10 @@ mod tests {
             let bt = b.transpose();
             let mut nn = vec![0.0f32; m * n];
             matmul_nn_block(a.data(), b.data(), &mut nn, m, k, n);
-            assert_eq!(nn, a.matmul_ref(&b).data(), "nn {m}x{k}x{n}");
+            assert_eq!(nn, a.matmul(&b).data(), "nn {m}x{k}x{n}");
             let mut nt = vec![1.0f32; m * n]; // overwritten, no zero-fill needed
             matmul_nt_block(a.data(), bt.data(), &mut nt, m, k, n);
-            assert_eq!(nt, a.matmul_nt_ref(&bt).data(), "nt {m}x{k}x{n}");
+            assert_eq!(nt, a.matmul_nt(&bt).data(), "nt {m}x{k}x{n}");
         }
     }
 

@@ -284,6 +284,28 @@ impl Tensor {
         crate::kernels::matmul_nn(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
+    /// `self × B` against a pre-packed weight operand, writing into a
+    /// caller-owned tensor. Within a backend the result is bitwise
+    /// identical to [`Tensor::matmul_into`] (or [`Tensor::matmul_nt_into`])
+    /// against the tensor the panels were packed from — packing changes
+    /// memory layout, never per-element reduction order — so callers
+    /// may dispatch on `m` for performance alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared dimension disagrees or `self` is not 2-D.
+    pub fn matmul_packed_into(&self, panels: &crate::pack::PackedPanels, out: &mut Tensor) {
+        let (m, k) = (self.rows(), self.cols());
+        assert_eq!(
+            k,
+            panels.k(),
+            "matmul_packed inner dimensions must agree ({k} vs {})",
+            panels.k()
+        );
+        out.reset(&[m, panels.n()]);
+        panels.matvec_into(&self.data, &mut out.data);
+    }
+
     /// Matrix multiplication with the second operand transposed:
     /// `self × otherᵀ`, where `other` is stored as `[n, k]`.
     ///

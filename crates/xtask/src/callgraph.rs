@@ -136,7 +136,7 @@ const STD_COLLIDING_METHODS: &[&str] = &[
     "iter", "iter_mut", "next", "last", "first", "contains", "sum", "fold", "map", "filter",
     "take", "spawn", "join", "send", "recv", "lock", "read", "write", "split", "swap", "sort",
     "min", "max", "abs", "sqrt", "into", "from", "new", "default", "drain", "to_vec", "as_ref",
-    "as_mut", "unwrap", "expect", "collect",
+    "as_mut", "unwrap", "expect", "collect", "add",
 ];
 
 /// Whether layering permits a call from `caller`'s crate into

@@ -64,9 +64,34 @@ pub const HOT_LOOP_ROOTS: &[(&str, &str)] = &[
 ];
 
 /// Files where float reduction order is load-bearing: the blocked
-/// kernels, whose single-ascending-`k` addition chain is what makes
-/// blocking bitwise-inert.
-pub const FLOAT_REDUCTION_SCOPE: &[&str] = &["crates/tensor/src/kernels.rs"];
+/// kernels (single ascending-`k` addition chain makes blocking
+/// bitwise-inert) and the SIMD/packed-panel kernels (fixed per-lane
+/// ascending-`k` chains plus a deterministic lane-reduction tree make
+/// each backend bitwise-reproducible across runs and thread counts).
+pub const FLOAT_REDUCTION_SCOPE: &[&str] = &[
+    "crates/tensor/src/kernels.rs",
+    "crates/tensor/src/simd.rs",
+    "crates/tensor/src/pack.rs",
+];
+
+/// Horizontal-reduction intrinsics whose in-register association order
+/// is an ISA artifact, not a documented contract of ours. The sanctioned
+/// SIMD reduction pattern spills the lanes and folds them with an
+/// explicit pairwise tree (`((l0+l1)+(l2+l3)) + …`), so the order is
+/// visible in source and identical on every run. A `hadd`/`addv`-style
+/// intrinsic hides that order and invites backend-dependent drift.
+const HORIZONTAL_REDUCE_INTRINSICS: &[&str] = &[
+    "_mm_hadd_ps",
+    "_mm_hadd_pd",
+    "_mm256_hadd_ps",
+    "_mm256_hadd_pd",
+    "_mm512_reduce_add_ps",
+    "_mm512_reduce_add_pd",
+    "vaddv_f32",
+    "vaddvq_f32",
+    "vpadd_f32",
+    "vpaddq_f32",
+];
 
 /// Method names that allocate (receiver-typed allocation sites).
 const ALLOC_METHODS: &[&str] = &[
@@ -547,10 +572,13 @@ fn rule_hot_loop_alloc(
 
 /// Rule 9 — `float_reduction_order`: bitwise-inert blocking needs one
 /// ascending-`k` addition chain per output. Iterator `sum`/`fold` hide
-/// their association order behind the iterator, and reversed/stepped
-/// accumulation loops change it outright. Only functions whose
-/// signature mentions `f32`/`f64` are checked — integer reductions are
-/// exact in any order.
+/// their association order behind the iterator, reversed/stepped
+/// accumulation loops change it outright, and horizontal-add intrinsics
+/// (`_mm256_hadd_ps`, `vaddvq_f32`, …) bury it inside the ISA. SIMD
+/// kernels must use fixed per-lane ascending-`k` chains folded by an
+/// explicit pairwise lane tree instead. Only functions whose signature
+/// mentions `f32`/`f64` are checked — integer reductions are exact in
+/// any order.
 fn rule_float_reduction_order(files: &[ParsedFile], strict: bool, out: &mut Vec<Finding>) {
     for f in files {
         if !strict && !FLOAT_REDUCTION_SCOPE.iter().any(|p| f.path.ends_with(p)) {
@@ -572,6 +600,17 @@ fn rule_float_reduction_order(files: &[ParsedFile], strict: bool, out: &mut Vec<
                         *line,
                         "non-ascending accumulation (`.rev()`/`.step_by(…)` feeding `+=`)",
                     ),
+                    Fact::Call { path, line, .. }
+                        if path.last().is_some_and(|f| {
+                            HORIZONTAL_REDUCE_INTRINSICS.contains(&f.as_str())
+                        }) =>
+                    {
+                        (
+                            *line,
+                            "horizontal-reduce intrinsic hides the lane association order; \
+                             spill lanes and fold them with an explicit pairwise tree",
+                        )
+                    }
                     _ => continue,
                 };
                 out.push(Finding {
@@ -758,6 +797,27 @@ mod tests {
         assert_eq!(f.len(), 1, "integer sum is exact in any order: {out:#?}");
         // Same code outside the kernel file: out of scope.
         let out = run(&[("crates/model/src/sampler.rs", kernels)], false);
+        assert!(
+            out.iter().all(|f| f.rule != "float_reduction_order"),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn horizontal_reduce_intrinsics_flagged_in_simd_scope() {
+        // `hadd`-style intrinsics hide the lane association order: flagged,
+        // whether called bare or through a fully-qualified path.
+        let bad = "pub fn tail(acc: f32) -> f32 { let h = _mm256_hadd_ps(acc, acc); core::arch::aarch64::vaddvq_f32(h) }\n";
+        let out = run(&[("crates/tensor/src/simd.rs", bad)], false);
+        let f: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "float_reduction_order")
+            .collect();
+        assert_eq!(f.len(), 2, "{out:#?}");
+        // The sanctioned pattern — spill lanes, fold with an explicit
+        // pairwise tree, ascending mul_add tail — stays clean.
+        let good = "pub fn tree(lanes: &[f32; 8]) -> f32 { ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])) }\n";
+        let out = run(&[("crates/tensor/src/pack.rs", good)], false);
         assert!(
             out.iter().all(|f| f.rule != "float_reduction_order"),
             "{out:#?}"

@@ -1,0 +1,18 @@
+//! Known-bad fixture: SIMD reductions folded with horizontal-add
+//! intrinsics. `hadd`/`addv` bury the lane association order inside the
+//! ISA, so the `float_reduction_order` rule must flag every call here —
+//! kernels spill the lanes and fold them with an explicit pairwise tree
+//! instead. The integer helper at the end stays clean.
+
+pub fn dot_tail_avx(acc: f32) -> f32 {
+    let folded = _mm256_hadd_ps(acc, acc);
+    _mm_hadd_ps(folded, folded)
+}
+
+pub fn dot_tail_neon(acc: f32) -> f32 {
+    core::arch::aarch64::vaddvq_f32(acc)
+}
+
+pub fn int_tail(acc: u32) -> u32 {
+    acc
+}

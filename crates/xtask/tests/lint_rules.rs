@@ -125,6 +125,14 @@ fn float_reduction_fixture_triggers_only_float_reduction_order() {
 }
 
 #[test]
+fn simd_hadd_fixture_triggers_only_float_reduction_order() {
+    // Two x86 `hadd` calls plus one NEON `vaddvq_f32` (fully qualified);
+    // the integer helper stays clean. Horizontal-add intrinsics hide the
+    // lane association order the SIMD determinism contract depends on.
+    assert_only_rule("simd_hadd_bad.rs", "float_reduction_order", 3);
+}
+
+#[test]
 fn bad_shim_fixture_triggers_only_shim_hygiene() {
     // Bare registry string, git dep, version table, path escape — and
     // the [package] version must not be flagged.
