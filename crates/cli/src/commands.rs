@@ -295,6 +295,7 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             faults: None,
             degradation: DegradationPolicy::serving_default(),
             queue: QueuePolicy::unbounded(),
+            slab_rows: None,
         },
     )
     .map_err(|e| e.to_string())?;

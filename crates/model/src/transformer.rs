@@ -455,6 +455,19 @@ impl Transformer {
         )
     }
 
+    /// Creates an empty KV cache with a capacity of `rows`, clamped to
+    /// `[1, max_seq_len]`. Ragged serving sizes each session's slab to
+    /// `prompt + max_new + speculation_rows` instead of the model-wide
+    /// maximum, so hundreds of short requests fit in memory at once.
+    pub fn new_cache_with_capacity(&self, rows: usize) -> KvCache {
+        KvCache::new(
+            self.config.n_layers,
+            self.config.n_heads,
+            self.config.head_dim(),
+            rows.clamp(1, self.config.max_seq_len),
+        )
+    }
+
     /// Runs a batch of `tokens` at sequence `positions` on top of `cache`,
     /// appending their keys/values, and returns logits `[n, vocab]`.
     ///
@@ -845,6 +858,31 @@ mod tests {
         let logits = m.prefill(&[1, 2, 3, 4], &mut cache);
         assert_eq!(logits.dims(), &[4, m.config().vocab_size]);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn budgeted_cache_is_bitwise_identical_to_full_capacity() {
+        let m = model();
+        let seq: Vec<TokenId> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+
+        let mut full = m.new_cache();
+        let mut tight = m.new_cache_with_capacity(seq.len());
+        assert_eq!(tight.max_len(), seq.len());
+
+        let a = m.prefill(&seq[..3], &mut full);
+        let b = m.prefill(&seq[..3], &mut tight);
+        assert_eq!(a.data(), b.data());
+        for &t in &seq[3..] {
+            let a = m.decode_one(t, &mut full);
+            let b = m.decode_one(t, &mut tight);
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(full.len(), tight.len());
+
+        // Requested capacities clamp to [1, max_seq_len].
+        let huge = m.new_cache_with_capacity(usize::MAX);
+        assert_eq!(huge.max_len(), m.config().max_seq_len);
+        assert_eq!(m.new_cache_with_capacity(0).max_len(), 1);
     }
 
     #[test]

@@ -3,10 +3,16 @@
 //!
 //! [`Server`](crate::Server) replays a whole trace on a simulated clock;
 //! [`ServerDaemon`] instead accepts submissions *while running* (from any
-//! thread, via channels) and continuously executes decoding iterations
-//! with iteration-level scheduling, completing requests as they finish.
+//! thread, via channels) and continuously executes **ragged** decoding
+//! iterations: every iteration, finished requests retire, and queued
+//! submissions join mid-flight through the
+//! [`IterationScheduler`](crate::IterationScheduler)'s
+//! occupancy-maximizing admission — the batch never runs in lockstep.
 //! Simulated time is still used for the latency metrics (the cost model
 //! prices each iteration); wall-clock arrival order drives admission.
+//! The per-iteration audit trail ([`ServeReport::iteration_log`]) and
+//! batch/slab occupancy ([`ServeReport::occupancy`]) are reported on
+//! shutdown.
 //!
 //! The daemon honours the same [`FaultPlan`](crate::FaultPlan) as the
 //! trace-driven server, plus *client-initiated* cancellation: any thread
@@ -14,6 +20,7 @@
 //! [`ServerDaemon::cancel`], and the partial output is returned through
 //! the request's [`Ticket`].
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -22,8 +29,9 @@ use specinfer_model::Transformer;
 use specinfer_spec::{BatchItem, BatchedVerifier, Session, StepStats};
 use specinfer_tokentree::TokenId;
 
-use crate::metrics::{FaultCounters, ServeReport};
-use crate::request::{RequestId, RequestOutcome, Response};
+use crate::metrics::{FaultCounters, IterationRecord, OccupancyStats, ServeReport};
+use crate::request::{Request, RequestId, RequestOutcome, Response};
+use crate::scheduler::IterationScheduler;
 use crate::server::ServerConfig;
 
 enum Msg {
@@ -228,6 +236,38 @@ impl LiveRequest {
     }
 }
 
+/// A submission parked in the scheduler queue: the ticket's reply
+/// channel and whether the client already cancelled it while queued.
+struct Waiting {
+    reply: Sender<Response>,
+    cancelled: bool,
+}
+
+/// Answers a never-decoded request's ticket with a stub response and
+/// records it in the run's response list.
+fn stub_reply(
+    waiting: &mut HashMap<u64, Waiting>,
+    responses: &mut Vec<Response>,
+    request: &Request,
+    clock: f64,
+    outcome: RequestOutcome,
+) {
+    let response = Response {
+        id: request.id,
+        dataset: request.dataset,
+        prompt_len: request.prompt.len(),
+        generated: Vec::new(),
+        arrival_s: request.arrival_s,
+        finish_s: clock,
+        steps: Vec::new(),
+        outcome,
+    };
+    if let Some(w) = waiting.remove(&request.id.0) {
+        let _ = w.reply.send(response.clone());
+    }
+    responses.push(response);
+}
+
 fn daemon_loop(
     llm: &Transformer,
     ssms: &[Arc<Transformer>],
@@ -238,22 +278,48 @@ fn daemon_loop(
     let ssm_refs: Vec<&Transformer> = ssms.iter().map(Arc::as_ref).collect();
     let verifier = BatchedVerifier::new();
     let plan = config.faults.as_ref();
+    // The join half of the ragged lifecycle: arrivals queue here and are
+    // admitted mid-flight, every iteration, under the same FIFO/
+    // backpressure semantics as the trace-driven server.
+    let mut scheduler =
+        IterationScheduler::with_policy(config.max_batch_size, config.queue.clone());
+    let mut waiting: HashMap<u64, Waiting> = HashMap::new();
+    let spec_rows = config.engine.speculation_rows();
+    let max_ctx = llm.config().max_seq_len;
+    let session_rows = move |r: &Request| (r.kv_rows() + spec_rows).min(max_ctx);
     let mut clock = 0.0f64;
     let mut next_id = 0u64;
     let mut active: Vec<LiveRequest> = Vec::new();
     let mut responses: Vec<Response> = Vec::new();
     let mut iterations = 0usize;
+    let mut iteration_log: Vec<IterationRecord> = Vec::new();
+    let mut batch_fill_sum = 0.0f64;
+    let mut slab_fill_sum = 0.0f64;
+    let mut peak_batch = 0usize;
     let mut faults = FaultCounters::default();
     let mut draining = false;
 
     loop {
-        // Admission: block when idle, poll otherwise.
+        // Message pump: block only when there is truly nothing to do —
+        // no live batch and no queued work — otherwise drain whatever
+        // has arrived and get back to decoding.
         loop {
-            let msg = if active.is_empty() && !draining {
+            let msg = if active.is_empty() && !scheduler.has_pending() && !draining {
                 match rx.recv() {
                     Ok(m) => Some(m),
                     Err(_) => {
-                        return finish(responses, clock, iterations, faults, wall.elapsed_s())
+                        let q = scheduler.stats();
+                        faults.retries = q.retries;
+                        faults.rejected = q.rejected;
+                        return finish(
+                            responses,
+                            clock,
+                            iterations,
+                            iteration_log,
+                            occupancy(batch_fill_sum, slab_fill_sum, peak_batch, iterations),
+                            faults,
+                            wall.elapsed_s(),
+                        );
                     }
                 }
             } else {
@@ -270,57 +336,129 @@ fn daemon_loop(
                     let id = RequestId(next_id);
                     next_id += 1;
                     let _ = id_reply.send(id);
-                    let mut engine = config.engine.clone();
-                    engine.max_new_tokens = max_new_tokens;
-                    // An invalid prompt rejects this one request; it must
-                    // never tear down the daemon thread the rest of the
-                    // batch is running on.
-                    match Session::try_new(llm, &ssm_refs, &prompt, config.seed.wrapping_add(id.0))
-                    {
-                        Ok(mut session) => {
-                            session.set_degradation_policy(config.degradation);
-                            active.push(LiveRequest {
-                                id,
-                                prompt_len: prompt.len(),
-                                session,
-                                config: engine,
-                                reply,
-                                arrival_s: clock,
-                                deadline_s: budget_s.map(|b| clock + b),
-                                cancel_at: plan.and_then(|p| p.cancel_after(id)),
-                                client_cancelled: false,
-                                steps_taken: 0,
-                                last: None,
-                            });
-                        }
-                        Err(_) => {
-                            faults.invalid += 1;
-                            let response = Response {
-                                id,
-                                dataset: None,
-                                prompt_len: prompt.len(),
-                                generated: Vec::new(),
-                                arrival_s: clock,
-                                finish_s: clock,
-                                steps: Vec::new(),
-                                outcome: RequestOutcome::Rejected,
-                            };
-                            let _ = reply.send(response.clone());
-                            responses.push(response);
-                        }
-                    }
+                    waiting.insert(
+                        id.0,
+                        Waiting {
+                            reply,
+                            cancelled: false,
+                        },
+                    );
+                    scheduler.submit(Request {
+                        id,
+                        prompt,
+                        max_new_tokens,
+                        arrival_s: clock,
+                        deadline_s: budget_s.map(|b| clock + b),
+                        dataset: None,
+                    });
                 }
                 Some(Msg::Cancel(id)) => {
                     if let Some(r) = active.iter_mut().find(|r| r.id == id) {
                         r.client_cancelled = true;
+                    } else if let Some(w) = waiting.get_mut(&id.0) {
+                        w.cancelled = true;
                     }
                 }
                 Some(Msg::Shutdown) => draining = true,
                 None => break,
             }
-            if active.len() >= config.max_batch_size {
-                break;
+        }
+
+        // Join: shed expired/dropped queue entries, then admit as many
+        // arrivals as fit the free slots (and, under a slab budget, the
+        // free KV rows — the occupancy-maximizing first-fit scan).
+        for request in scheduler.expire(clock) {
+            faults.deadline_misses += 1;
+            stub_reply(
+                &mut waiting,
+                &mut responses,
+                &request,
+                clock,
+                RequestOutcome::DeadlineMissed,
+            );
+        }
+        let admitted = match config.slab_rows {
+            Some(budget) => {
+                let used: usize = active.iter().map(|a| a.session.kv_capacity()).sum();
+                scheduler.admit_budgeted(
+                    clock,
+                    active.len(),
+                    budget.saturating_sub(used),
+                    session_rows,
+                )
             }
+            None => scheduler.admit(clock, active.len()),
+        };
+        for request in admitted {
+            if waiting.get(&request.id.0).is_none_or(|w| w.cancelled) {
+                faults.cancellations += 1;
+                stub_reply(
+                    &mut waiting,
+                    &mut responses,
+                    &request,
+                    clock,
+                    RequestOutcome::Cancelled,
+                );
+                continue;
+            }
+            let mut engine = config.engine.clone();
+            engine.max_new_tokens = request.max_new_tokens;
+            let kv_rows = match config.slab_rows {
+                Some(_) => session_rows(&request),
+                None => usize::MAX,
+            };
+            // An invalid prompt rejects this one request; it must never
+            // tear down the daemon thread the rest of the batch is
+            // running on.
+            match Session::try_new_budgeted(
+                llm,
+                &ssm_refs,
+                &request.prompt,
+                config.seed.wrapping_add(request.id.0),
+                kv_rows,
+            ) {
+                Ok(mut session) => {
+                    session.set_degradation_policy(config.degradation);
+                    let reply = match waiting.remove(&request.id.0) {
+                        Some(w) => w.reply,
+                        None => continue, // checked present above
+                    };
+                    active.push(LiveRequest {
+                        id: request.id,
+                        prompt_len: request.prompt.len(),
+                        session,
+                        config: engine,
+                        reply,
+                        arrival_s: request.arrival_s,
+                        deadline_s: request.deadline_s,
+                        cancel_at: plan.and_then(|p| p.cancel_after(request.id)),
+                        client_cancelled: false,
+                        steps_taken: 0,
+                        last: None,
+                    });
+                }
+                Err(_) => {
+                    faults.invalid += 1;
+                    stub_reply(
+                        &mut waiting,
+                        &mut responses,
+                        &request,
+                        clock,
+                        RequestOutcome::Rejected,
+                    );
+                }
+            }
+        }
+        // Backpressure drops (retries exhausted) leave as cancelled
+        // stubs.
+        for request in scheduler.take_rejected() {
+            stub_reply(
+                &mut waiting,
+                &mut responses,
+                &request,
+                clock,
+                RequestOutcome::Cancelled,
+            );
         }
 
         // Retire client-cancelled requests before spending an iteration
@@ -337,20 +475,40 @@ fn daemon_loop(
         }
 
         if active.is_empty() {
+            if scheduler.has_pending() {
+                // Deferred submissions backing off: advance the simulated
+                // clock to their retry time so admission can make
+                // progress (the starvation guard ensures it does).
+                if let Some(next) = scheduler.next_arrival_s() {
+                    clock = clock.max(next);
+                }
+                continue;
+            }
             if draining {
-                return finish(responses, clock, iterations, faults, wall.elapsed_s());
+                let q = scheduler.stats();
+                faults.retries = q.retries;
+                faults.rejected = q.rejected;
+                return finish(
+                    responses,
+                    clock,
+                    iterations,
+                    iteration_log,
+                    occupancy(batch_fill_sum, slab_fill_sum, peak_batch, iterations),
+                    faults,
+                    wall.elapsed_s(),
+                );
             }
             continue;
         }
 
-        // One decoding iteration over the live batch (bounded by the
-        // admission limit; extra submissions wait in the channel). All
+        // One ragged decoding iteration over whatever is live right now
+        // (admission above caps `active` at the batch limit). All
         // non-faulted sessions are verified by the LLM in a single
         // batched tree-parallel forward; a stalled/OOM request drops out
         // to the serial incremental path without touching batch-mates.
-        let batch: usize = active.len().min(config.max_batch_size);
+        let batch: usize = active.len();
         let mut items: Vec<BatchItem<'_>> = Vec::with_capacity(batch);
-        for r in active.iter_mut().take(batch) {
+        for r in active.iter_mut() {
             let fault = plan
                 .and_then(|p| p.step_fault(r.id, r.steps_taken))
                 .unwrap_or_default();
@@ -368,20 +526,18 @@ fn daemon_loop(
         }
         let stats = verifier.step_batch(llm, &ssm_refs, &mut items);
         drop(items);
-        for (r, last) in active.iter_mut().take(batch).zip(stats) {
+        for (r, last) in active.iter_mut().zip(stats) {
             r.last = last;
             r.steps_taken += 1;
         }
         iterations += 1;
         let mean_tree = active
             .iter()
-            .take(batch)
             .filter_map(|r| r.last.map(|s| s.tree_size as f64))
             .sum::<f64>()
             / batch as f64;
         let mean_ctx = active
             .iter()
-            .take(batch)
             .map(|r| r.session.tokens().len())
             .sum::<usize>()
             / batch;
@@ -393,10 +549,29 @@ fn daemon_loop(
             faults.injected += 1;
             dt *= factor;
         }
+        iteration_log.push(IterationRecord {
+            start_s: clock,
+            duration_s: dt,
+            batch,
+            mean_tree_size: mean_tree,
+            emitted: active
+                .iter()
+                .filter_map(|r| r.last.map(|s| s.emitted))
+                .sum(),
+        });
+        batch_fill_sum += batch as f64 / config.max_batch_size as f64;
+        let cap: usize = active.iter().map(|r| r.session.kv_capacity()).sum();
+        if cap > 0 {
+            let rows: usize = active.iter().map(|r| r.session.kv_rows()).sum();
+            slab_fill_sum += rows as f64 / cap as f64;
+        }
+        peak_batch = peak_batch.max(batch);
         clock += dt;
 
         // Retire finished, plan-cancelled and expired requests and answer
-        // their tickets.
+        // their tickets — the other half of the ragged lifecycle; the
+        // freed slots and slab rows are re-filled by the next
+        // iteration's admission.
         let mut i = 0;
         while let Some(r) = active.get(i) {
             let outcome = if r.session.is_finished() {
@@ -424,21 +599,36 @@ fn daemon_loop(
     }
 }
 
+fn occupancy(
+    batch_fill_sum: f64,
+    slab_fill_sum: f64,
+    peak_batch: usize,
+    iterations: usize,
+) -> OccupancyStats {
+    let denom = iterations.max(1) as f64;
+    OccupancyStats {
+        mean_batch_fill: batch_fill_sum / denom,
+        mean_slab_fill: slab_fill_sum / denom,
+        peak_batch,
+    }
+}
+
 fn finish(
     mut responses: Vec<Response>,
     clock: f64,
     iterations: usize,
+    iteration_log: Vec<IterationRecord>,
+    occupancy: OccupancyStats,
     faults: FaultCounters,
     wall_s: f64,
 ) -> ServeReport {
     responses.sort_by_key(|r| r.id);
-    // The daemon keeps no per-iteration log (it is a live loop; the
-    // trace-driven `Server` provides the audit trail).
     ServeReport {
         responses,
         makespan_s: clock,
         iterations,
-        iteration_log: Vec::new(),
+        iteration_log,
+        occupancy,
         faults,
         wall_s,
     }
@@ -471,6 +661,7 @@ mod tests {
             faults: None,
             degradation: DegradationPolicy::serving_default(),
             queue: QueuePolicy::unbounded(),
+            slab_rows: None,
         }
     }
 

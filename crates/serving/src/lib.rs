@@ -23,7 +23,7 @@ mod server;
 
 pub use daemon::{DaemonError, ServerDaemon, Ticket};
 pub use fault::{BurstSpec, FaultPlan, FaultSpec};
-pub use metrics::{FaultCounters, IterationRecord, ServeReport};
+pub use metrics::{FaultCounters, IterationRecord, OccupancyStats, ServeReport};
 pub use request::{Request, RequestId, RequestOutcome, Response};
 pub use scheduler::{IterationScheduler, QueuePolicy, QueueStats};
 pub use server::{Server, ServerConfig, TimingConfig};

@@ -55,6 +55,21 @@ pub struct IterationRecord {
     pub emitted: usize,
 }
 
+/// Occupancy of the ragged batch over a run — how full the engine
+/// actually was, iteration-weighted.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OccupancyStats {
+    /// Mean of `batch / max_batch_size` across iterations: slot
+    /// occupancy. 1.0 means every iteration ran a full batch.
+    pub mean_batch_fill: f64,
+    /// Mean of `Σ committed KV rows / Σ slab capacities` across
+    /// iterations, over the sessions live that iteration: how full the
+    /// right-sized slabs ran.
+    pub mean_slab_fill: f64,
+    /// Largest batch any single iteration ran.
+    pub peak_batch: usize,
+}
+
 /// The outcome of serving a trace to completion.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -67,6 +82,8 @@ pub struct ServeReport {
     pub iterations: usize,
     /// Per-iteration execution log, in order.
     pub iteration_log: Vec<IterationRecord>,
+    /// Batch and slab occupancy across the run.
+    pub occupancy: OccupancyStats,
     /// Faults injected and degradation responses taken during the run.
     pub faults: FaultCounters,
     /// Real (wall-clock) seconds the run took, measured by the sanctioned
@@ -137,6 +154,18 @@ impl ServeReport {
         self.completed().map(Response::latency_s).sum::<f64>() / n as f64
     }
 
+    /// Per-request decoding iteration counts `(id, iterations)`, in
+    /// response order — the ragged path's audit trail: two requests with
+    /// equal budgets may take different iteration counts depending on
+    /// acceptance, and a request's count must not depend on its
+    /// batch-mates (asserted by the chaos battery).
+    pub fn per_request_iterations(&self) -> Vec<(crate::request::RequestId, usize)> {
+        self.responses
+            .iter()
+            .map(|r| (r.id, r.steps.len()))
+            .collect()
+    }
+
     /// The `q`-quantile (0..=1) of end-to-end latency over completed
     /// requests — e.g. `latency_quantile_s(0.99)` for the p99 SLO view.
     pub fn latency_quantile_s(&self, q: f64) -> f64 {
@@ -182,6 +211,7 @@ mod tests {
             makespan_s: 2.0,
             iterations: 6,
             iteration_log: Vec::new(),
+            occupancy: OccupancyStats::default(),
             faults: FaultCounters::default(),
             wall_s: 0.0,
         }
@@ -214,6 +244,7 @@ mod tests {
             makespan_s: 0.0,
             iterations: 0,
             iteration_log: Vec::new(),
+            occupancy: OccupancyStats::default(),
             faults: FaultCounters::default(),
             wall_s: 0.0,
         };

@@ -38,6 +38,14 @@ impl Request {
     pub fn deadline_missed(&self, now: f64) -> bool {
         self.deadline_s.is_some_and(|d| d <= now)
     }
+
+    /// Committed KV rows this request needs if it runs to its budget:
+    /// the whole prompt plus every generated token. Speculation headroom
+    /// is the scheduler's concern (it adds the engine's
+    /// `speculation_rows()` on top before admitting against the slab).
+    pub fn kv_rows(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens
+    }
 }
 
 /// How a request left the system.

@@ -134,6 +134,14 @@ pub struct ServerConfig {
     pub degradation: DegradationPolicy,
     /// Admission-queue capacity and retry/backoff behaviour.
     pub queue: QueuePolicy,
+    /// Total KV-slab budget in rows shared by all live sessions, or
+    /// `None` for unbudgeted admission (every session gets a
+    /// full-`max_seq_len` slab and admission only counts slots). With a
+    /// budget, each session's slab is right-sized to
+    /// `prompt + max_new + speculation_rows` and admission is the
+    /// occupancy-maximizing first-fit scan
+    /// ([`IterationScheduler::admit_budgeted`]).
+    pub slab_rows: Option<usize>,
 }
 
 struct ActiveRequest {
@@ -180,6 +188,7 @@ struct ActiveRequest {
 ///     faults: None,
 ///     degradation: DegradationPolicy::serving_default(),
 ///     queue: QueuePolicy::unbounded(),
+///     slab_rows: None,
 /// };
 /// let server = Server::new(&llm, vec![&ssm], config);
 /// let grammar = Grammar::synthetic(256, 7);
@@ -314,6 +323,14 @@ impl<'m> Server<'m> {
         let mut iteration_log: Vec<crate::metrics::IterationRecord> = Vec::new();
         let mut faults = FaultCounters::default();
         let plan = self.config.faults.as_ref();
+        // Per-session slab budget: committed context plus one iteration's
+        // worst-case speculation, clamped to the model's context window.
+        let spec_rows = self.config.engine.speculation_rows();
+        let max_ctx = self.llm.config().max_seq_len;
+        let session_rows = move |r: &Request| (r.kv_rows() + spec_rows).min(max_ctx);
+        let mut batch_fill_sum = 0.0f64;
+        let mut slab_fill_sum = 0.0f64;
+        let mut peak_batch = 0usize;
 
         loop {
             // Admission (iteration-level scheduling).
@@ -333,16 +350,33 @@ impl<'m> Server<'m> {
                         RequestOutcome::DeadlineMissed,
                     ));
                 }
-                for request in sched.admit(clock, active.len()) {
+                let admitted = match self.config.slab_rows {
+                    Some(budget) => {
+                        let used: usize = active.iter().map(|a| a.session.kv_capacity()).sum();
+                        sched.admit_budgeted(
+                            clock,
+                            active.len(),
+                            budget.saturating_sub(used),
+                            session_rows,
+                        )
+                    }
+                    None => sched.admit(clock, active.len()),
+                };
+                for request in admitted {
                     let mut config = self.config.engine.clone();
                     config.max_new_tokens = request.max_new_tokens;
+                    let kv_rows = match self.config.slab_rows {
+                        Some(_) => session_rows(&request),
+                        None => usize::MAX,
+                    };
                     // An invalid prompt retires its own request as
                     // `Rejected`; the rest of the trace keeps running.
-                    let mut session = match Session::try_new(
+                    let mut session = match Session::try_new_budgeted(
                         self.llm,
                         &self.ssms,
                         &request.prompt,
                         self.config.seed.wrapping_add(request.id.0),
+                        kv_rows,
                     ) {
                         Ok(s) => s,
                         Err(_) => {
@@ -435,6 +469,13 @@ impl<'m> Server<'m> {
                     .filter_map(|a| a.last_stats.map(|s| s.emitted))
                     .sum(),
             });
+            batch_fill_sum += batch as f64 / self.config.max_batch_size as f64;
+            let cap: usize = active.iter().map(|a| a.session.kv_capacity()).sum();
+            if cap > 0 {
+                let rows: usize = active.iter().map(|a| a.session.kv_rows()).sum();
+                slab_fill_sum += rows as f64 / cap as f64;
+            }
+            peak_batch = peak_batch.max(batch);
             clock += dt;
 
             // Retire finished, cancelled and expired requests.
@@ -483,11 +524,17 @@ impl<'m> Server<'m> {
         faults.rejected = queue_stats.rejected;
 
         responses.sort_by_key(|r| r.id);
+        let denom = iterations.max(1) as f64;
         ServeReport {
             responses,
             makespan_s: clock,
             iterations,
             iteration_log,
+            occupancy: crate::metrics::OccupancyStats {
+                mean_batch_fill: batch_fill_sum / denom,
+                mean_slab_fill: slab_fill_sum / denom,
+                peak_batch,
+            },
             faults,
             wall_s: wall.elapsed_s(),
         }
@@ -555,6 +602,7 @@ mod tests {
             faults: None,
             degradation: DegradationPolicy::serving_default(),
             queue: QueuePolicy::unbounded(),
+            slab_rows: None,
         }
     }
 

@@ -69,6 +69,7 @@ fn config(seed: u64) -> ServerConfig {
         faults: None,
         degradation: DegradationPolicy::serving_default(),
         queue: QueuePolicy::unbounded(),
+        slab_rows: None,
     }
 }
 
@@ -222,6 +223,210 @@ fn fault_and_degradation_counters_are_visible() {
             "scheduled disruptions must surface in some counter"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Ragged daemon-path chaos: requests join and retire mid-flight, and a
+// faulted item must drop to serial incremental *inside* a live batch
+// without perturbing its batch-mates' outputs or iteration counts.
+// ---------------------------------------------------------------------
+
+use specinfer_serving::{RequestId, Response, ServerDaemon};
+use std::sync::Arc;
+
+fn arc_models() -> (Arc<Transformer>, Arc<Transformer>) {
+    let (llm, ssm) = models();
+    (Arc::new(llm), Arc::new(ssm))
+}
+
+/// Heterogeneous prompt/budget mix for the ragged daemon runs: lengths
+/// and budgets differ so requests retire at different iterations and
+/// fresh ones join mid-flight. Prompt tokens stay inside the smoke
+/// vocabulary.
+fn ragged_jobs() -> Vec<(Vec<u32>, usize)> {
+    (0..7usize)
+        .map(|i| {
+            let plen = 2 + i % 4;
+            let prompt = (0..plen)
+                .map(|p| ((1 + i * 5 + p * 3) % 31 + 1) as u32)
+                .collect();
+            (prompt, 4 + (i * 5) % 12)
+        })
+        .collect()
+}
+
+/// Spawns a daemon, submits every job in order (so request `i` gets id
+/// `i` in every run), optionally pins a deadline budget on one job, and
+/// returns the per-ticket responses plus the shutdown report.
+fn run_daemon(
+    cfg: ServerConfig,
+    jobs: &[(Vec<u32>, usize)],
+    deadline: Option<(usize, f64)>,
+) -> (Vec<Response>, ServeReport) {
+    let (llm, ssm) = arc_models();
+    let daemon = ServerDaemon::spawn(llm, vec![ssm], cfg).expect("daemon must spawn");
+    let mut tickets = Vec::new();
+    for (i, (prompt, max_new)) in jobs.iter().enumerate() {
+        let ticket = match deadline {
+            Some((idx, budget_s)) if idx == i => {
+                daemon.submit_with_deadline(prompt.clone(), *max_new, budget_s)
+            }
+            _ => daemon.submit(prompt.clone(), *max_new),
+        };
+        tickets.push(ticket.expect("daemon must accept the submission"));
+    }
+    let responses = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("daemon must answer every ticket"))
+        .collect();
+    let report = daemon.shutdown().expect("daemon must shut down cleanly");
+    (responses, report)
+}
+
+#[test]
+fn ragged_faulted_items_drop_to_serial_without_perturbing_batchmates() {
+    let jobs = ragged_jobs();
+    for seed in seeds() {
+        // A right-sized slab budget forces the occupancy-maximizing
+        // admission path; the clean and chaos runs share it.
+        let mut clean_cfg = config(seed);
+        clean_cfg.slab_rows = Some(96);
+        let spec = FaultSpec {
+            ssm_garbage_rate: 0.4,
+            ssm_stall_rate: 0.3,
+            kv_oom_rate: 0.2,
+            ..FaultSpec::none()
+        };
+        let mut chaos_cfg = clean_cfg.clone();
+        chaos_cfg.faults = Some(FaultPlan::new(seed ^ 0xfeed, spec.clone()));
+
+        let (clean, clean_report) = run_daemon(clean_cfg, &jobs, None);
+        let (chaos, chaos_report) = run_daemon(chaos_cfg, &jobs, None);
+        let plan = FaultPlan::new(seed ^ 0xfeed, spec);
+
+        let mut scheduled = 0usize;
+        for (c, f) in clean.iter().zip(&chaos) {
+            assert_eq!(c.id, f.id, "ids are issued in submission order");
+            assert_eq!(c.outcome, RequestOutcome::Completed);
+            assert_eq!(f.outcome, RequestOutcome::Completed);
+            // Every engine-level fault is lossless under greedy: equal
+            // streams up to speculative overshoot of the budget.
+            let n = c.generated.len().min(f.generated.len());
+            assert_eq!(
+                c.generated[..n],
+                f.generated[..n],
+                "seed {seed}: request {} diverged under faults",
+                c.id.0
+            );
+            // A request the plan never touches must take exactly the
+            // clean run's iteration count: a batch-mate's fault drops
+            // *that mate* to serial incremental, never this request.
+            let faulted = (0..f.steps.len()).any(|s| plan.step_fault(c.id, s).is_some());
+            if faulted {
+                scheduled += 1;
+            } else {
+                assert_eq!(
+                    c.steps.len(),
+                    f.steps.len(),
+                    "seed {seed}: unfaulted request {} changed iteration count",
+                    c.id.0
+                );
+            }
+        }
+        if scheduled > 0 {
+            assert!(
+                chaos_report.faults.injected > 0,
+                "seed {seed}: scheduled faults must surface in the counters"
+            );
+        }
+        // The ragged lifecycle reports per-request iteration counts and
+        // occupancy for every run.
+        assert_eq!(clean_report.per_request_iterations().len(), jobs.len());
+        assert!(clean_report.occupancy.peak_batch <= 3);
+        assert!(clean_report.occupancy.peak_batch > 0);
+        assert!(clean_report.occupancy.mean_batch_fill > 0.0);
+        assert!(chaos_report.occupancy.mean_slab_fill > 0.0);
+    }
+}
+
+#[test]
+fn ragged_midstream_cancellation_spares_batchmates() {
+    // Give the victim a long budget so the cancel usually lands while it
+    // is still decoding inside a live batch; every assertion below also
+    // holds if the race resolves before admission or after completion.
+    let mut jobs = ragged_jobs();
+    jobs[0].1 = 48;
+    let cfg = config(17);
+
+    let (clean, _) = run_daemon(cfg.clone(), &jobs, None);
+
+    let (llm, ssm) = arc_models();
+    let daemon = ServerDaemon::spawn(llm, vec![ssm], cfg).expect("daemon must spawn");
+    let mut tickets = Vec::new();
+    for (prompt, max_new) in &jobs {
+        tickets.push(
+            daemon
+                .submit(prompt.clone(), *max_new)
+                .expect("daemon must accept the submission"),
+        );
+    }
+    let victim = tickets[0].id;
+    daemon.cancel(victim);
+    let chaos: Vec<Response> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("daemon must answer every ticket"))
+        .collect();
+    daemon.shutdown().expect("daemon must shut down cleanly");
+
+    for (c, f) in clean.iter().zip(&chaos) {
+        assert_eq!(c.id, f.id);
+        if f.id == victim {
+            // The victim holds a prefix of its clean stream: the cut
+            // never corrupts what was already emitted.
+            let n = c.generated.len().min(f.generated.len());
+            assert_eq!(c.generated[..n], f.generated[..n]);
+        } else {
+            // Batch-mates are bitwise untouched: same tokens, same
+            // iteration count, regardless of when the cancel landed.
+            assert_eq!(f.outcome, RequestOutcome::Completed);
+            assert_eq!(c.generated, f.generated, "mate {} diverged", c.id.0);
+            assert_eq!(c.steps.len(), f.steps.len(), "mate {} step count", c.id.0);
+        }
+    }
+}
+
+#[test]
+fn ragged_deadline_expiry_sheds_only_the_budgeted_item() {
+    // Request 2 gets an impossible budget and must shed mid-flight (or
+    // in queue); every batch-mate still completes with its clean-run
+    // stream and iteration count.
+    let mut jobs = ragged_jobs();
+    jobs[2].1 = 32;
+    let cfg = config(23);
+
+    let (clean, _) = run_daemon(cfg.clone(), &jobs, None);
+    let (chaos, report) = run_daemon(cfg, &jobs, Some((2, 1e-6)));
+
+    let victim = RequestId(2);
+    let mut saw_miss = false;
+    for (c, f) in clean.iter().zip(&chaos) {
+        assert_eq!(c.id, f.id);
+        if f.id == victim {
+            saw_miss = f.outcome == RequestOutcome::DeadlineMissed;
+            assert!(
+                f.generated.len() < c.generated.len(),
+                "an impossible budget cannot run to completion"
+            );
+            let n = f.generated.len();
+            assert_eq!(c.generated[..n], f.generated[..n]);
+        } else {
+            assert_eq!(f.outcome, RequestOutcome::Completed);
+            assert_eq!(c.generated, f.generated, "mate {} diverged", c.id.0);
+            assert_eq!(c.steps.len(), f.steps.len(), "mate {} step count", c.id.0);
+        }
+    }
+    assert!(saw_miss, "the budgeted item must miss its deadline");
+    assert_eq!(report.faults.deadline_misses, 1);
 }
 
 #[test]

@@ -3,14 +3,25 @@
 //! verified by the LLM in **one** stacked tree-parallel forward.
 //!
 //! Each iteration splits into three phases. Speculation
-//! ([`crate::Session::propose`]) stays strictly per-session — the SSM
-//! pool, RNG streams and degradation ladder are untouched. The LLM
-//! forwards then fuse: the linearized trees (or single incremental rows)
-//! of every participating session stack into one `[Σnᵢ, d]` batch with a
-//! block-diagonal visibility mask and per-request KV-cache handles, so
-//! the model crate's blocked kernels see one tall matrix instead of N
-//! tiny ones. Finally verification/commit runs per-session again, in
-//! item order.
+//! ([`crate::Session::propose`]) is *logically* per-session — the SSM
+//! pool, RNG streams and degradation ladder are untouched — but runs as
+//! one data-parallel pass across the batch: sessions are sharded over
+//! the tensor crate's effective thread count and speculate concurrently,
+//! which is bitwise-safe because each session owns its caches and RNG
+//! stream and every kernel is bitwise-identical at any thread count.
+//! The LLM forwards then fuse: the linearized trees (or single
+//! incremental rows) of every participating session stack into one
+//! `[Σnᵢ, d]` batch with a block-diagonal visibility mask and
+//! per-request KV-cache handles, so the model crate's blocked kernels
+//! see one tall matrix instead of N tiny ones. Finally
+//! verification/commit runs per-session again, in item order.
+//!
+//! The caller decides *which* sessions participate each iteration — the
+//! batch is **ragged**: `step_batch` takes whatever set is currently
+//! live, so requests join and retire mid-flight and the block-diagonal
+//! mask is re-packed from scratch every call. Nothing here assumes two
+//! consecutive iterations saw the same items (see ARCHITECTURE.md §12
+//! for the join/retire lifecycle driven by the serving daemon).
 //!
 //! Faulted requests (SSM stall, simulated KV OOM) drop out of the fused
 //! pass and take the serial incremental path — a fault degrades one
@@ -79,12 +90,32 @@ impl BatchedVerifier {
         ssms: &[&Transformer],
         items: &mut [BatchItem<'_>],
     ) -> Vec<Option<StepStats>> {
-        // Phase 1: propose per-session, in item order. Each session owns
-        // its RNG stream, so per-item sequencing matches serial stepping.
-        let mut proposals: Vec<Option<Proposal>> = items
-            .iter_mut()
-            .map(|it| it.session.propose(llm, ssms, it.config, it.fault))
-            .collect();
+        // Phase 1: fused speculation — propose for all sessions in one
+        // data-parallel pass. Each session owns its caches and RNG
+        // stream and the kernels are bitwise-identical at any thread
+        // count, so sharding sessions over threads emits exactly the
+        // proposals serial per-item sequencing would.
+        let n = items.len();
+        let mut proposals: Vec<Option<Proposal>> = Vec::with_capacity(n);
+        proposals.resize_with(n, || None);
+        let threads = specinfer_tensor::effective_threads().min(n).max(1);
+        if threads > 1 {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (items_chunk, slots) in items.chunks_mut(chunk).zip(proposals.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (it, slot) in items_chunk.iter_mut().zip(slots.iter_mut()) {
+                            *slot = it.session.propose(llm, ssms, it.config, it.fault);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (it, slot) in items.iter_mut().zip(proposals.iter_mut()) {
+                *slot = it.session.propose(llm, ssms, it.config, it.fault);
+            }
+        }
 
         // Stage the stacked rows of every batch participant. Faulted
         // (forced-incremental) proposals are excluded: they run serially

@@ -75,6 +75,26 @@ impl EngineConfig {
             eos_token: Some(specinfer_workload_eos()),
         }
     }
+
+    /// Worst-case KV rows one decoding iteration appends before commit
+    /// compacts back to the accepted path: the speculated node count
+    /// plus the tree root, or a single row when incremental.
+    ///
+    /// A session whose LLM cache holds
+    /// `prompt_len + max_new_tokens + speculation_rows()` rows can never
+    /// hit a capacity guard that a full-capacity session would not also
+    /// hit, so budgeted sessions stay bitwise-identical to unbudgeted
+    /// ones (see [`Session::try_new_budgeted`]).
+    pub fn speculation_rows(&self) -> usize {
+        match &self.mode {
+            InferenceMode::Incremental => 1,
+            InferenceMode::SequenceSpeculative { depth } => {
+                ExpansionConfig::sequence(*depth).node_count() + 1
+            }
+            InferenceMode::TreeSpeculative { expansion } => expansion.node_count() + 1,
+            InferenceMode::DynamicTree { config } => config.max_nodes + 1,
+        }
+    }
 }
 
 // The EOS convention of the workloads crate, duplicated here to avoid a
@@ -363,6 +383,29 @@ impl Session {
         prompt: &[TokenId],
         seed: u64,
     ) -> Result<Self, EngineError> {
+        Session::try_new_budgeted(llm, ssms, prompt, seed, usize::MAX)
+    }
+
+    /// [`Session::try_new`] with the LLM KV slab sized to `kv_rows`
+    /// instead of the model's full `max_seq_len`.
+    ///
+    /// Ragged serving right-sizes each session's slab so hundreds of
+    /// short requests fit in memory at once. A budget of at least
+    /// `prompt.len() + max_new_tokens +`
+    /// [`EngineConfig::speculation_rows`] is provably sufficient for
+    /// bitwise-identical behavior to the full-capacity session: the last
+    /// decoding iteration starts with at most `prompt + max_new − 2`
+    /// committed rows, so neither the context-exhaustion guard nor the
+    /// speculation-fits check can trigger before generation finishes.
+    /// Smaller budgets are accepted but degrade to incremental decoding
+    /// (and eventually early termination) near the capacity limit.
+    pub fn try_new_budgeted(
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        prompt: &[TokenId],
+        seed: u64,
+        kv_rows: usize,
+    ) -> Result<Self, EngineError> {
         if prompt.is_empty() {
             return Err(EngineError::EmptyPrompt);
         }
@@ -379,7 +422,7 @@ impl Session {
         // Everything but the last token is prefilled; the last token
         // roots the first speculated tree.
         let head = prompt.split_last().map(|(_, h)| h).unwrap_or(&[]);
-        let mut llm_cache = llm.new_cache();
+        let mut llm_cache = llm.new_cache_with_capacity(kv_rows.max(prompt.len()));
         if !head.is_empty() {
             let _ = llm.prefill(head, &mut llm_cache);
         }
@@ -421,6 +464,19 @@ impl Session {
     /// Committed length of the LLM KV cache (rows of verified context).
     pub(crate) fn llm_cache_len(&self) -> usize {
         self.llm_cache.len()
+    }
+
+    /// Committed KV rows of verified context (public mirror of
+    /// [`Session::llm_cache_len`], for occupancy accounting).
+    pub fn kv_rows(&self) -> usize {
+        self.llm_cache.len()
+    }
+
+    /// Capacity of the LLM KV slab in rows — `max_seq_len` for
+    /// [`Session::try_new`], the clamped budget for
+    /// [`Session::try_new_budgeted`].
+    pub fn kv_capacity(&self) -> usize {
+        self.llm_cache.max_len()
     }
 
     /// The LLM KV cache, for the batched verifier's stacked forward.

@@ -240,6 +240,220 @@ fn already_finished_sessions_yield_none_in_the_batch() {
     assert!(long.tokens().len() > before);
 }
 
+// ---------------------------------------------------------------------
+// Ragged battery: requests join and retire mid-flight. Every request's
+// output must still be bitwise-identical to its own serial run — the
+// equivalence gate behind the continuous-batching daemon.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// One request of a ragged run: `(prompt, generation budget, iteration
+/// at which it becomes eligible to join)`.
+#[derive(Clone, Debug)]
+struct RaggedSpec {
+    prompt: Vec<TokenId>,
+    max_new: usize,
+    arrival: usize,
+}
+
+impl RaggedSpec {
+    fn from_shape(idx: usize, prompt_len: usize, max_new: usize, arrival: usize) -> Self {
+        // Heterogeneous in-vocabulary prompts (smoke vocab is 32).
+        let prompt = (0..prompt_len.max(1))
+            .map(|p| (1 + idx * 5 + p * 3) as TokenId % 31 + 1)
+            .collect();
+        RaggedSpec {
+            prompt,
+            max_new: max_new.max(1),
+            arrival,
+        }
+    }
+
+    fn config(&self, decode: DecodeMode) -> EngineConfig {
+        let mut cfg = config(decode);
+        cfg.max_new_tokens = self.max_new;
+        cfg
+    }
+}
+
+/// Serial reference: each request decoded alone, full-capacity slab.
+fn run_specs_serial(
+    llm: &Transformer,
+    ssm: &Transformer,
+    decode: DecodeMode,
+    seed: u64,
+    specs: &[RaggedSpec],
+) -> Vec<(Vec<TokenId>, Vec<StepStats>)> {
+    let ssms = [ssm];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(idx, spec)| {
+            let cfg = spec.config(decode.clone());
+            let mut s = Session::new(llm, &ssms, &spec.prompt, seed.wrapping_add(idx as u64));
+            while !s.is_finished() {
+                let _ = s.step_faulted(llm, &ssms, &cfg, StepFault::default());
+            }
+            let steps = s.steps().to_vec();
+            (s.into_result().tokens, steps)
+        })
+        .collect()
+}
+
+/// Ragged driver: FIFO admission into at most `cap` live slots, one
+/// `step_batch` per iteration over whoever is live, retirement as each
+/// request finishes. Sessions are **budget-slabbed** to
+/// `prompt + max_new + speculation_rows` rows, so this also gates the
+/// right-sized-slab path the serving daemon uses.
+fn run_specs_ragged(
+    llm: &Transformer,
+    ssm: &Transformer,
+    decode: DecodeMode,
+    seed: u64,
+    cap: usize,
+    specs: &[RaggedSpec],
+) -> Vec<(Vec<TokenId>, Vec<StepStats>)> {
+    let ssms = [ssm];
+    let verifier = BatchedVerifier::new();
+    let configs: Vec<EngineConfig> = specs.iter().map(|s| s.config(decode.clone())).collect();
+    // FIFO queue of request indices, ordered by (arrival, index).
+    let mut queue: Vec<usize> = (0..specs.len()).collect();
+    queue.sort_by_key(|&i| (specs[i].arrival, i));
+    let mut next = 0usize;
+    let mut live: Vec<(usize, Session)> = Vec::new();
+    let mut results: Vec<Option<(Vec<TokenId>, Vec<StepStats>)>> = vec![None; specs.len()];
+    let mut iter = 0usize;
+    while next < queue.len() || !live.is_empty() {
+        // Join mid-flight: everything that has arrived, oldest first,
+        // while a slot is free.
+        while next < queue.len() && live.len() < cap {
+            let idx = queue[next];
+            if specs[idx].arrival > iter {
+                break;
+            }
+            let budget =
+                specs[idx].prompt.len() + specs[idx].max_new + configs[idx].speculation_rows();
+            let session = Session::try_new_budgeted(
+                llm,
+                &ssms,
+                &specs[idx].prompt,
+                seed.wrapping_add(idx as u64),
+                budget,
+            )
+            .expect("ragged specs are valid prompts");
+            live.push((idx, session));
+            next += 1;
+        }
+        if !live.is_empty() {
+            let mut items: Vec<BatchItem<'_>> = live
+                .iter_mut()
+                .map(|(idx, s)| BatchItem {
+                    session: s,
+                    config: &configs[*idx],
+                    fault: StepFault::default(),
+                })
+                .collect();
+            let _ = verifier.step_batch(llm, &ssms, &mut items);
+            drop(items);
+            // Retire mid-flight; freed slots are refilled next iteration.
+            let mut i = 0;
+            while i < live.len() {
+                if live[i].1.is_finished() {
+                    let (idx, s) = live.remove(i);
+                    let steps = s.steps().to_vec();
+                    results[idx] = Some((s.into_result().tokens, steps));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        iter += 1;
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every request retires"))
+        .collect()
+}
+
+/// A mixed workload: heterogeneous prompt lengths (2–6), budgets (1–14)
+/// and staggered arrivals, patterned off `idx` so every slot differs.
+fn staggered_specs(n: usize) -> Vec<RaggedSpec> {
+    (0..n)
+        .map(|i| RaggedSpec::from_shape(i, 2 + i % 5, 1 + (i * 7) % 14, (i / 3) * 2))
+        .collect()
+}
+
+#[test]
+fn ragged_interleavings_match_serial_greedy_at_batch_2_8_32() {
+    let (llm, ssm) = models();
+    for seed in [0u64, 42] {
+        let specs = staggered_specs(40);
+        let serial = run_specs_serial(&llm, &ssm, DecodeMode::Greedy, seed, &specs);
+        for cap in [2usize, 8, 32] {
+            let ragged = run_specs_ragged(&llm, &ssm, DecodeMode::Greedy, seed, cap, &specs);
+            assert_eq!(serial, ragged, "seed {seed}, cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn ragged_interleavings_match_serial_mss_at_batch_2_8_32() {
+    let (llm, ssm) = models();
+    let specs = staggered_specs(33);
+    let serial = run_specs_serial(&llm, &ssm, DecodeMode::stochastic(), 19, &specs);
+    for cap in [2usize, 8, 32] {
+        let ragged = run_specs_ragged(&llm, &ssm, DecodeMode::stochastic(), 19, cap, &specs);
+        assert_eq!(serial, ragged, "cap {cap}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random arrival/retire interleavings with heterogeneous lengths:
+    /// greedy ragged decoding is bitwise-identical to serial, at every
+    /// batch cap.
+    #[test]
+    fn ragged_random_interleavings_match_serial_greedy(
+        shapes in prop::collection::vec((2usize..7, 1usize..13, 0usize..9), 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let (llm, ssm) = models();
+        let specs: Vec<RaggedSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(plen, max_new, arrival))| RaggedSpec::from_shape(i, plen, max_new, arrival))
+            .collect();
+        let serial = run_specs_serial(&llm, &ssm, DecodeMode::Greedy, seed, &specs);
+        for cap in [2usize, 8, 32] {
+            let ragged = run_specs_ragged(&llm, &ssm, DecodeMode::Greedy, seed, cap, &specs);
+            prop_assert_eq!(&serial, &ragged, "cap {}", cap);
+        }
+    }
+
+    /// Same property under stochastic (MSS) decoding: per-session RNG
+    /// streams make the sampled outputs deterministic and identical in
+    /// any interleaving.
+    #[test]
+    fn ragged_random_interleavings_match_serial_mss(
+        shapes in prop::collection::vec((2usize..7, 1usize..11, 0usize..7), 1..9),
+        seed in 0u64..1_000,
+    ) {
+        let (llm, ssm) = models();
+        let specs: Vec<RaggedSpec> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(plen, max_new, arrival))| RaggedSpec::from_shape(i, plen, max_new, arrival))
+            .collect();
+        let serial = run_specs_serial(&llm, &ssm, DecodeMode::stochastic(), seed, &specs);
+        for cap in [2usize, 8] {
+            let ragged = run_specs_ragged(&llm, &ssm, DecodeMode::stochastic(), seed, cap, &specs);
+            prop_assert_eq!(&serial, &ragged, "cap {}", cap);
+        }
+    }
+}
+
 /// Every bitwise gate in this file runs under whichever SIMD backend the
 /// process latched at startup. CI re-runs the suite with
 /// `SPECINFER_SIMD=scalar` and again natively; this test pins the

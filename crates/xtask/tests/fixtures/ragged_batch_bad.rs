@@ -1,0 +1,26 @@
+// Known-bad fixture: a ragged batched-verification loop that retires a
+// finished request but never re-packs the block-diagonal visibility
+// mask, then reads the stale row back by index on the next iteration.
+// The slice index and the `.unwrap()` are both panics reachable from
+// the `step_batch` serving entry: `no_unwrap` flags the unwrap
+// lexically, and `panic_reachability` walks the call graph to both
+// sites — the ragged contract is that the mask is rebuilt from the
+// currently-live set every iteration, never patched in place.
+
+pub fn step_batch(mask: &mut Vec<Vec<f32>>, live: &mut Vec<usize>) -> f32 {
+    retire_finished(live);
+    stale_row_weight(mask, live)
+}
+
+fn retire_finished(live: &mut Vec<usize>) {
+    // Drops the finished request from the live set without shrinking
+    // the mask it owned a row of.
+    live.pop();
+}
+
+fn stale_row_weight(mask: &[Vec<f32>], live: &[usize]) -> f32 {
+    // Indexes the mask by the *pre-retirement* batch size: one row past
+    // the live set once a request has retired mid-flight.
+    let row = &mask[live.len() + 1];
+    *row.last().unwrap()
+}

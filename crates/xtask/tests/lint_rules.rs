@@ -82,6 +82,29 @@ fn batched_verify_fixture_triggers_unwrap_and_thread_confinement() {
 }
 
 #[test]
+fn ragged_batch_fixture_triggers_unwrap_and_panic_reachability() {
+    // The ragged-batching contract: the visibility mask is re-packed
+    // from the currently-live set every iteration, never indexed by a
+    // stale pre-retirement batch size. The fixture's stale-row read
+    // carries an `.unwrap()` (lexical `no_unwrap`) and a slice index —
+    // both reachable from the `step_batch` serving entry, folded into
+    // one `panic_reachability` finding on the offending function.
+    let findings = lint_files_strict(&[fixture("ragged_batch_bad.rs")]);
+    let mut rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    assert_eq!(rules, ["no_unwrap", "panic_reachability"], "{findings:#?}");
+    let reach = findings
+        .iter()
+        .find(|f| f.rule == "panic_reachability")
+        .expect("checked above");
+    assert_eq!(
+        reach.call_path,
+        vec!["step_batch", "stale_row_weight"],
+        "evidence must walk from the serving entry to the stale read"
+    );
+}
+
+#[test]
 fn panic_reach_fixture_triggers_only_panic_reachability() {
     // `leaf` indexes a slice and is reachable from the `daemon_loop`
     // entry; the callers themselves are clean.
@@ -213,6 +236,7 @@ fn binary_exit_codes_match_findings() {
         "wall_clock.rs",
         "rogue_thread.rs",
         "batched_verify_bad.rs",
+        "ragged_batch_bad.rs",
         "panic_reach_bad.rs",
         "lock_cycle_bad.rs",
         "hot_loop_alloc_bad.rs",

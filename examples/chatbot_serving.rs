@@ -78,6 +78,7 @@ fn main() {
                 faults: None,
                 degradation: DegradationPolicy::serving_default(),
                 queue: QueuePolicy::unbounded(),
+                slab_rows: None,
             },
         );
         let report = server.serve_trace(&trace);

@@ -60,6 +60,7 @@ fn full_stack_speculative_serving() {
             faults: None,
             degradation: DegradationPolicy::serving_default(),
             queue: QueuePolicy::unbounded(),
+            slab_rows: None,
         },
     );
     let report = server.serve_trace(&trace);
@@ -103,6 +104,7 @@ fn serving_is_deterministic() {
                 faults: None,
                 degradation: DegradationPolicy::serving_default(),
                 queue: QueuePolicy::unbounded(),
+                slab_rows: None,
             },
         );
         let report = server.serve_trace(&trace);
