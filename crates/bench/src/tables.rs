@@ -174,6 +174,12 @@ pub fn width_sweep(
         params.gen_tokens,
         params.seed,
     );
+    // Admission check: the prompt count sizes per-width result buffers
+    // below, so pin it to the requested workload before allocating.
+    assert!(
+        prompts.len() <= params.n_prompts,
+        "dataset returned more prompts than requested"
+    );
     widths
         .iter()
         .map(|&w| {

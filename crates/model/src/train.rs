@@ -81,10 +81,8 @@ impl WeightVars {
 /// pairs, −∞ elsewhere), per Equation 4 of the paper.
 fn causal_mask(len: usize) -> Tensor {
     let mut m = Tensor::full(&[len, len], f32::NEG_INFINITY);
-    for i in 0..len {
-        for j in 0..=i {
-            m.data_mut()[i * len + j] = 0.0;
-        }
+    for (i, row) in m.data_mut().chunks_exact_mut(len).enumerate() {
+        row[..=i].fill(0.0);
     }
     m
 }

@@ -23,8 +23,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use specinfer_model::Transformer;
 use specinfer_spec::{BatchItem, BatchedVerifier, Session, StepStats};
 use specinfer_tokentree::TokenId;
@@ -268,6 +269,11 @@ fn stub_reply(
     responses.push(response);
 }
 
+/// Upper bound on a single idle wait in [`daemon_loop`]'s message pump.
+/// A timeout is not an event — the loop just re-checks its state — so
+/// the value only trades shutdown latency against idle wakeups.
+const IDLE_HEARTBEAT: Duration = Duration::from_millis(50);
+
 fn daemon_loop(
     llm: &Transformer,
     ssms: &[Arc<Transformer>],
@@ -305,9 +311,14 @@ fn daemon_loop(
         // has arrived and get back to decoding.
         loop {
             let msg = if active.is_empty() && !scheduler.has_pending() && !draining {
-                match rx.recv() {
+                // Idle wait with a deadline: the heartbeat bounds every
+                // blocking wait on the serving path (unbounded_wait lint)
+                // and keeps the loop responsive to shutdown even if a
+                // sender wedges without disconnecting.
+                match rx.recv_timeout(IDLE_HEARTBEAT) {
                     Ok(m) => Some(m),
-                    Err(_) => {
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
                         let q = scheduler.stats();
                         faults.retries = q.retries;
                         faults.rejected = q.rejected;

@@ -34,6 +34,15 @@ pub struct AuditReport {
 ///
 /// Panics if the result's prompt is empty.
 pub fn audit_greedy(llm: &Transformer, result: &GenerationResult) -> AuditReport {
+    // Admission check: `prompt_len` arrives inside a caller-built result,
+    // so bound it explicitly before it sizes slices and buffers below
+    // (and fail with a better message than the slice panic would give).
+    assert!(
+        result.prompt_len <= result.tokens.len(),
+        "malformed GenerationResult: prompt_len {} exceeds token count {}",
+        result.prompt_len,
+        result.tokens.len()
+    );
     let prompt = &result.tokens[..result.prompt_len];
     assert!(!prompt.is_empty(), "cannot audit an empty prompt");
     let generated = &result.tokens[result.prompt_len..];

@@ -1,0 +1,1224 @@
+//! Per-function control-flow graphs over the [`crate::parse`] token
+//! stream.
+//!
+//! The builder recognises exactly the control constructs the dataflow
+//! rules need — `if`/`else if`/`else`, `match` arms, `for`/`while`/
+//! `loop` with `break`/`continue`, and early `return` — and collapses
+//! everything else into straight-line statements summarised by
+//! [`Stmt`]: definitions, uses, call sites with per-argument detail,
+//! index expressions, and taint-source reads. Statements that the
+//! builder cannot split (closures, nested struct literals) are absorbed
+//! whole, which only ever *unions* behaviour into one program point —
+//! a sound over-approximation for the forward analyses in
+//! [`crate::taint`].
+//!
+//! Invariants (pinned by the `cfg_battery` proptest suite):
+//! - exactly one entry block, index 0, with no predecessors created by
+//!   the builder (back edges from loops may target it only if the
+//!   function body *starts* with a loop header — the battery allows
+//!   entry preds but requires entry reachability trivially);
+//! - every block is reachable from the entry (unreachable blocks are
+//!   pruned after construction);
+//! - the iterative dominator computation agrees with a naive O(n²)
+//!   set-intersection reference.
+
+use crate::parse::{Tok, TokKind};
+
+/// How a statement participates in control flow — used by the taint
+/// rules to recognise validation guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// Straight-line statement (let, assignment, expression).
+    Plain,
+    /// An `if`/`else if` condition.
+    Cond,
+    /// A `while`/`for` loop header.
+    LoopHeader,
+    /// A `match` scrutinee.
+    MatchHead,
+    /// A `match` arm pattern (including any `if` guard tokens).
+    Pattern,
+    /// A `return`/`break`/`continue` statement.
+    Jump,
+}
+
+/// One call site inside a statement.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub line: usize,
+    /// Path segments for `a::b::f(…)` (callee last); `[name]` for
+    /// method calls.
+    pub path: Vec<String>,
+    pub is_method: bool,
+    /// Receiver identifier chain for method calls (`["self","rx"]`).
+    pub recv: Vec<String>,
+    /// Per-argument summaries, split at depth-0 commas.
+    pub args: Vec<ArgInfo>,
+}
+
+impl CallSite {
+    /// The bare callee name.
+    pub fn name(&self) -> &str {
+        self.path.last().map_or("", |s| s.as_str())
+    }
+}
+
+/// One argument of a call: the identifiers it reads plus its joined
+/// token text (for sanitizer pattern checks like `.min(`).
+#[derive(Debug, Clone, Default)]
+pub struct ArgInfo {
+    pub idents: Vec<String>,
+    pub text: String,
+}
+
+/// A slice/array index expression and the tokens inside the brackets.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    pub line: usize,
+    /// Joined text of the tokens between `[` and `]`.
+    pub expr: String,
+    /// Depth-0 operator tokens inside the brackets.
+    pub ops: Vec<String>,
+}
+
+/// An untrusted-size source read inside a statement (field read, method
+/// on a request-ish receiver, env parse). The taint rule decides which
+/// reads count; the CFG only records the raw observations.
+#[derive(Debug, Clone)]
+pub struct SourceRead {
+    pub line: usize,
+    /// What was read: field or method name (`max_new_tokens`, `len`).
+    pub what: String,
+    /// Receiver chain for the read, empty for path calls.
+    pub recv: Vec<String>,
+}
+
+/// A straight-line statement summary.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    pub line: usize,
+    pub kind: StmtKind,
+    /// Binding names this statement (re)defines.
+    pub defs: Vec<String>,
+    /// True when the definition is a field/index write (`x.f = …`):
+    /// the base binding becomes tainted but is never *killed*.
+    pub weak_def: bool,
+    /// Identifier reads (locals/params; path segments and callee names
+    /// excluded).
+    pub uses: Vec<String>,
+    pub calls: Vec<CallSite>,
+    /// Macro invocations (`assert`, `vec`, …).
+    pub macros: Vec<String>,
+    pub indexes: Vec<IndexSite>,
+    pub sources: Vec<SourceRead>,
+    /// Whether the statement contains a comparison operator at any
+    /// depth — combined with `kind` to recognise bounds guards.
+    pub has_comparison: bool,
+    /// Whitespace-joined token text, for sanitizer substring checks.
+    pub text: String,
+}
+
+/// A basic block: straight-line statements plus successor edges.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Source line of the first token that entered the block (0 for
+    /// synthetic join/exit blocks until a statement lands).
+    pub line: usize,
+    pub stmts: Vec<Stmt>,
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+    /// Always 0 after construction.
+    pub entry: usize,
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Predecessor lists derived from `succs`.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Reverse postorder over successor edges from the entry.
+    pub fn rpo(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit phase marker to emit postorder.
+        let mut stack = vec![(self.entry, 0usize)];
+        seen[self.entry] = true;
+        while let Some((b, child)) = stack.pop() {
+            let succs = &self.blocks[b].succs;
+            if child < succs.len() {
+                stack.push((b, child + 1));
+                let s = succs[child];
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Builds the CFG for one function body (tokens exclusive of the outer
+/// braces). Total: any token sequence produces a well-formed graph.
+pub fn build(body: &[Tok], fn_line: usize) -> Cfg {
+    let mut b = Builder {
+        toks: body,
+        blocks: vec![Block::default(), Block::default()],
+    };
+    b.blocks[ENTRY].line = fn_line;
+    b.blocks[EXIT].line = fn_line;
+    let mut loops = Vec::new();
+    let mut i = 0usize;
+    let last = b.seq(&mut i, body.len(), ENTRY, &mut loops);
+    b.edge(last, EXIT);
+    prune(Cfg {
+        blocks: b.blocks,
+        entry: ENTRY,
+        exit: EXIT,
+    })
+}
+
+const ENTRY: usize = 0;
+const EXIT: usize = 1;
+
+/// Drops blocks unreachable from the entry and remaps edge indices.
+/// The exit always survives: the builder gives it an in-edge from the
+/// final fallthrough block and from every `return`.
+fn prune(cfg: Cfg) -> Cfg {
+    let n = cfg.blocks.len();
+    let mut reach = vec![false; n];
+    let mut stack = vec![cfg.entry];
+    reach[cfg.entry] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.blocks[b].succs {
+            if !reach[s] {
+                reach[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    reach[cfg.exit] = true; // keep exit even for `loop {}` bodies
+    let mut remap = vec![usize::MAX; n];
+    let mut blocks = Vec::new();
+    for (i, keep) in reach.iter().enumerate() {
+        if *keep {
+            remap[i] = blocks.len();
+            blocks.push(cfg.blocks[i].clone());
+        }
+    }
+    for blk in &mut blocks {
+        blk.succs = blk
+            .succs
+            .iter()
+            .filter(|s| reach[**s])
+            .map(|s| remap[*s])
+            .collect();
+        blk.succs.sort_unstable();
+        blk.succs.dedup();
+    }
+    Cfg {
+        blocks,
+        entry: remap[cfg.entry],
+        exit: remap[cfg.exit],
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    blocks: Vec<Block>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self, line: usize) -> usize {
+        self.blocks.push(Block {
+            line,
+            ..Block::default()
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push_stmt(&mut self, block: usize, stmt: Stmt) {
+        if self.blocks[block].line == 0 {
+            self.blocks[block].line = stmt.line;
+        }
+        self.blocks[block].stmts.push(stmt);
+    }
+
+    fn line_at(&self, i: usize) -> usize {
+        self.toks.get(i).map_or(1, |t| t.line)
+    }
+
+    /// Parses statements from `toks[*i..end]` into `cur`, returning the
+    /// block that control falls out of. `loops` is the enclosing
+    /// (header, after) stack for `continue`/`break`.
+    fn seq(
+        &mut self,
+        i: &mut usize,
+        end: usize,
+        mut cur: usize,
+        loops: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        while *i < end {
+            let text = self.toks[*i].text.as_str();
+            match text {
+                ";" => *i += 1,
+                "#" => {
+                    // Statement attribute: `#` `!`? `[…]`.
+                    *i += 1;
+                    if *i < end && self.toks[*i].text == "!" {
+                        *i += 1;
+                    }
+                    if *i < end && self.toks[*i].text == "[" {
+                        *i = skip_group(self.toks, *i, end);
+                    }
+                }
+                "if" => cur = self.if_stmt(i, end, cur, loops),
+                "match" => cur = self.match_stmt(i, end, cur, loops),
+                "for" | "while" | "loop" => cur = self.loop_stmt(i, end, cur, loops),
+                "unsafe" if *i + 1 < end && self.toks[*i + 1].text == "{" => {
+                    *i += 1; // fall through to the nested block
+                }
+                "{" => {
+                    let inner_end = skip_group(self.toks, *i, end);
+                    let mut j = *i + 1;
+                    cur = self.seq(&mut j, inner_end.saturating_sub(1), cur, loops);
+                    *i = inner_end;
+                }
+                "return" | "break" | "continue" => {
+                    let start = *i;
+                    let stop = scan_simple_stmt(self.toks, *i, end);
+                    let stmt = stmt_info(&self.toks[start..stop], StmtKind::Jump);
+                    let line = stmt.line;
+                    self.push_stmt(cur, stmt);
+                    let target = match text {
+                        "return" => EXIT,
+                        "break" => loops.last().map_or(EXIT, |l| l.1),
+                        _ => loops.last().map_or(EXIT, |l| l.0),
+                    };
+                    self.edge(cur, target);
+                    // Anything after the jump is dead until a join point.
+                    cur = self.new_block(line);
+                    *i = stop;
+                }
+                "else" => {
+                    // Stray `else` (builder tolerance): skip keyword and
+                    // its block so progress is guaranteed.
+                    *i += 1;
+                    if *i < end && self.toks[*i].text == "{" {
+                        *i = skip_group(self.toks, *i, end);
+                    }
+                }
+                _ => {
+                    let start = *i;
+                    let stop = scan_simple_stmt(self.toks, *i, end);
+                    if stop == start {
+                        *i += 1; // guarantee progress on stray closers
+                        continue;
+                    }
+                    let stmt = stmt_info(&self.toks[start..stop], StmtKind::Plain);
+                    self.push_stmt(cur, stmt);
+                    *i = stop;
+                }
+            }
+        }
+        cur
+    }
+
+    /// `if cond { … } [else if …]* [else { … }]` → diamond.
+    fn if_stmt(
+        &mut self,
+        i: &mut usize,
+        end: usize,
+        cur: usize,
+        loops: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let line = self.line_at(*i);
+        *i += 1; // `if`
+        let cond_start = *i;
+        let cond_end = scan_to_block(self.toks, *i, end);
+        self.push_stmt(
+            cur,
+            stmt_info(&self.toks[cond_start..cond_end], StmtKind::Cond),
+        );
+        *i = cond_end;
+        let join = self.new_block(0);
+        // Then branch.
+        if *i < end && self.toks[*i].text == "{" {
+            let inner_end = skip_group(self.toks, *i, end);
+            let then_entry = self.new_block(self.line_at(*i));
+            self.edge(cur, then_entry);
+            let mut j = *i + 1;
+            let then_exit = self.seq(&mut j, inner_end.saturating_sub(1), then_entry, loops);
+            self.edge(then_exit, join);
+            *i = inner_end;
+        } else {
+            self.edge(cur, join); // malformed: degrade to fallthrough
+        }
+        // Else / else-if chain.
+        if *i < end && self.toks[*i].text == "else" {
+            *i += 1;
+            if *i < end && self.toks[*i].text == "if" {
+                let else_entry = self.new_block(self.line_at(*i));
+                self.edge(cur, else_entry);
+                let else_exit = self.if_stmt(i, end, else_entry, loops);
+                self.edge(else_exit, join);
+            } else if *i < end && self.toks[*i].text == "{" {
+                let inner_end = skip_group(self.toks, *i, end);
+                let else_entry = self.new_block(self.line_at(*i));
+                self.edge(cur, else_entry);
+                let mut j = *i + 1;
+                let else_exit = self.seq(&mut j, inner_end.saturating_sub(1), else_entry, loops);
+                self.edge(else_exit, join);
+                *i = inner_end;
+            } else {
+                self.edge(cur, join);
+            }
+        } else {
+            self.edge(cur, join); // no else: condition may fall through
+        }
+        if self.blocks[join].line == 0 {
+            self.blocks[join].line = line;
+        }
+        join
+    }
+
+    /// `match scrutinee { pat => body, … }` → fan-out/fan-in.
+    fn match_stmt(
+        &mut self,
+        i: &mut usize,
+        end: usize,
+        cur: usize,
+        loops: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let line = self.line_at(*i);
+        *i += 1; // `match`
+        let scrut_start = *i;
+        let scrut_end = scan_to_block(self.toks, *i, end);
+        self.push_stmt(
+            cur,
+            stmt_info(&self.toks[scrut_start..scrut_end], StmtKind::MatchHead),
+        );
+        *i = scrut_end;
+        let join = self.new_block(line);
+        if *i >= end || self.toks[*i].text != "{" {
+            self.edge(cur, join);
+            return join;
+        }
+        let body_end = skip_group(self.toks, *i, end); // index past `}`
+        let inner_end = body_end.saturating_sub(1);
+        let mut j = *i + 1;
+        let mut any_arm = false;
+        while j < inner_end {
+            // Pattern (incl. any `if` guard): tokens up to `=>` at depth 0.
+            let pat_start = j;
+            let mut depth = 0usize;
+            while j < inner_end {
+                match self.toks[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= inner_end {
+                break; // no arrow: done (trailing tokens tolerated)
+            }
+            if j > pat_start {
+                self.push_stmt(cur, stmt_info(&self.toks[pat_start..j], StmtKind::Pattern));
+            }
+            j += 1; // `=>`
+                    // Arm body: a braced block, or tokens to the depth-0 comma.
+            let arm_entry = self.new_block(self.line_at(j));
+            self.edge(cur, arm_entry);
+            let arm_exit;
+            if j < inner_end && self.toks[j].text == "{" {
+                let arm_end = skip_group(self.toks, j, inner_end);
+                let mut k = j + 1;
+                arm_exit = self.seq(&mut k, arm_end.saturating_sub(1), arm_entry, loops);
+                j = arm_end;
+            } else {
+                let body_start = j;
+                let mut depth = 0usize;
+                while j < inner_end {
+                    match self.toks[j].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut k = body_start;
+                arm_exit = self.seq(&mut k, j, arm_entry, loops);
+            }
+            self.edge(arm_exit, join);
+            any_arm = true;
+            if j < inner_end && self.toks[j].text == "," {
+                j += 1;
+            }
+        }
+        if !any_arm {
+            self.edge(cur, join); // `match x {}` — diverges, but stay total
+        }
+        *i = body_end;
+        join
+    }
+
+    /// `for`/`while`/`loop` → header, body with back edge, after-block.
+    /// Bare `loop` still gets a header→after edge: the analyses are
+    /// over-approximate and an infinite loop without `break` would
+    /// otherwise disconnect the exit.
+    fn loop_stmt(
+        &mut self,
+        i: &mut usize,
+        end: usize,
+        cur: usize,
+        loops: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let line = self.line_at(*i);
+        let kw = self.toks[*i].text.clone();
+        let header = self.new_block(line);
+        self.edge(cur, header);
+        *i += 1; // keyword
+        if kw != "loop" {
+            let h_start = *i;
+            let h_end = scan_to_block(self.toks, *i, end);
+            self.push_stmt(
+                header,
+                stmt_info(&self.toks[h_start..h_end], StmtKind::LoopHeader),
+            );
+            *i = h_end;
+        }
+        let after = self.new_block(line);
+        if *i < end && self.toks[*i].text == "{" {
+            let body_end = skip_group(self.toks, *i, end);
+            let body_entry = self.new_block(self.line_at(*i));
+            self.edge(header, body_entry);
+            loops.push((header, after));
+            let mut j = *i + 1;
+            let body_exit = self.seq(&mut j, body_end.saturating_sub(1), body_entry, loops);
+            loops.pop();
+            self.edge(body_exit, header);
+            *i = body_end;
+        }
+        self.edge(header, after);
+        after
+    }
+}
+
+/// Index just past the balanced group opening at `open` (`toks[open]`
+/// must be `(`/`[`/`{`). Clamped to `end` on imbalance.
+fn skip_group(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Scans a simple statement starting at `i`: consumes balanced groups
+/// and stops past a depth-0 `;`, or before a stray closer / `end`.
+fn scan_simple_stmt(toks: &[Tok], mut i: usize, end: usize) -> usize {
+    while i < end {
+        match toks[i].text.as_str() {
+            ";" => return i + 1,
+            "(" | "[" | "{" => {
+                i = skip_group(toks, i, end);
+            }
+            ")" | "]" | "}" => return i,
+            _ => i += 1,
+        }
+    }
+    end
+}
+
+/// Scans a condition/header/scrutinee: stops before the depth-0 `{`
+/// that opens the construct's body. Parenthesised/bracketed groups are
+/// consumed whole so struct-literal braces inside them don't confuse
+/// the scan (Rust bans bare struct literals in these positions).
+fn scan_to_block(toks: &[Tok], mut i: usize, end: usize) -> usize {
+    while i < end {
+        match toks[i].text.as_str() {
+            "{" => return i,
+            "(" | "[" => {
+                i = skip_group(toks, i, end);
+            }
+            ")" | "]" | "}" | ";" => return i,
+            _ => i += 1,
+        }
+    }
+    end
+}
+
+/// Identifier-read predicate shared by `uses` and argument summaries:
+/// a local/param read, not a callee name, path segment, field/method
+/// name, or macro name.
+fn is_use_at(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || is_stmt_keyword(&t.text) {
+        return false;
+    }
+    // Uppercase-initial identifiers are types/variants, not locals.
+    if t.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return false;
+    }
+    if let Some(n) = toks.get(i + 1) {
+        if matches!(n.text.as_str(), "(" | "!" | "::") {
+            return false;
+        }
+    }
+    if i > 0 {
+        let p = &toks[i - 1];
+        if matches!(p.text.as_str(), "." | "::") {
+            return false;
+        }
+    }
+    true
+}
+
+fn is_stmt_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "where"
+            | "unsafe"
+            | "await"
+            | "true"
+            | "false"
+    )
+}
+
+/// Summarises a token slice into a [`Stmt`]. Pure token-level analysis;
+/// no recursion into control flow (the builder already split that out).
+pub fn stmt_info(toks: &[Tok], kind: StmtKind) -> Stmt {
+    let line = toks.first().map_or(0, |t| t.line);
+    let mut stmt = Stmt {
+        line,
+        kind,
+        defs: Vec::new(),
+        weak_def: false,
+        uses: Vec::new(),
+        calls: Vec::new(),
+        macros: Vec::new(),
+        indexes: Vec::new(),
+        sources: Vec::new(),
+        has_comparison: false,
+        text: toks
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" "),
+    };
+
+    // Definitions: `let` bindings and depth-0 assignments.
+    let mut use_from = 0usize; // uses are read from here on
+    let mut assign_eq = None; // position of a plain `=`, if any
+    if toks.first().is_some_and(|t| t.text == "let") {
+        let mut k = 1;
+        while toks
+            .get(k)
+            .is_some_and(|t| matches!(t.text.as_str(), "mut" | "ref"))
+        {
+            k += 1;
+        }
+        // First identifier after `let [mut]` is always a binding
+        // (`let x`, `let x: T`, `let Some(x)` handled below).
+        let eq = find_depth0(toks, "=");
+        let pat_end = eq.unwrap_or(toks.len());
+        let mut depth = 0usize;
+        let mut angle = 0usize;
+        for j in k..pat_end {
+            let t = &toks[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                _ => {}
+            }
+            if t.kind != TokKind::Ident || is_stmt_keyword(&t.text) || angle > 0 {
+                continue;
+            }
+            if t.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+                continue; // enum/struct pattern constructors
+            }
+            // Inside the pattern: binding unless it's a struct field
+            // name (`Foo { a: x }` — `a` is followed by `:` at depth 1
+            // with an identifier after it) or a type-position name.
+            let after_colon = j >= 1 && toks[j - 1].text == ":";
+            let first = stmt.defs.is_empty() && depth == 0;
+            let followed_by_colon = toks.get(j + 1).is_some_and(|n| n.text == ":");
+            if first || after_colon || !followed_by_colon {
+                if j + 1 < pat_end && toks.get(j + 1).is_some_and(|n| n.text == "::") {
+                    continue; // path segment in a pattern
+                }
+                stmt.defs.push(t.text.clone());
+            }
+        }
+        // Type ascription names leak through the heuristic above only
+        // when lowercase (e.g. `let x: usize`) — `usize` et al. are
+        // filtered here.
+        stmt.defs.retain(|d| !is_primitive(d));
+        stmt.defs.dedup();
+        use_from = eq.map_or(toks.len(), |e| e + 1);
+    } else if let Some(eq) = find_depth0_assign(toks) {
+        // `target = rhs` / `target += rhs`.
+        let lhs = &toks[..eq];
+        let base = lhs.iter().find(|t| {
+            t.kind == TokKind::Ident
+                && !is_stmt_keyword(&t.text)
+                && !t.text.chars().next().is_some_and(|c| c.is_uppercase())
+        });
+        if let Some(b) = base {
+            stmt.defs.push(b.text.clone());
+            // Field or index writes taint the base without killing it.
+            stmt.weak_def =
+                lhs.iter().any(|t| matches!(t.text.as_str(), "." | "[")) || toks[eq].text != "=";
+        }
+        use_from = 0; // LHS index expressions are still reads
+        if toks[eq].text == "=" {
+            // A plain store's target is written, not read; only nested
+            // index/call subexpressions on the LHS count as uses.
+            assign_eq = Some(eq);
+        }
+    }
+
+    let mut depth0 = Vec::new(); // depth per token, for arg splitting
+    let mut depth = 0usize;
+    for t in toks {
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                depth0.push(depth);
+                depth += 1;
+            }
+            ")" | "]" | "}" => {
+                depth = depth.saturating_sub(1);
+                depth0.push(depth);
+            }
+            _ => depth0.push(depth),
+        }
+    }
+
+    for (j, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "<" | ">" | "<=" | ">=" | "==" | "!=" => stmt.has_comparison = true,
+            "[" if j > 0 && tok_ends_expr_at(toks, j - 1) => {
+                let close = skip_group(toks, j, toks.len());
+                let inner = &toks[j + 1..close.saturating_sub(1)];
+                let base = depth0[j];
+                let ops = inner
+                    .iter()
+                    .enumerate()
+                    .zip(&depth0[j + 1..close.saturating_sub(1)])
+                    .filter(|((k, t), d)| {
+                        // Binary only: `*`/`-`/`&` are also prefix
+                        // operators (deref, negation), which don't make
+                        // an arithmetic index expression.
+                        **d == base + 1
+                            && matches!(t.text.as_str(), "*" | "+" | "-" | "/" | "%")
+                            && *k > 0
+                            && tok_ends_expr_at(inner, k - 1)
+                    })
+                    .map(|((_, t), _)| t.text.clone())
+                    .collect();
+                stmt.indexes.push(IndexSite {
+                    line: t.line,
+                    expr: inner
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    ops,
+                });
+            }
+            _ => {}
+        }
+        let lhs_target = assign_eq.is_some_and(|eq| j < eq && depth0[j] == depth0[eq]);
+        if j >= use_from && !lhs_target && is_use_at(toks, j) {
+            stmt.uses.push(t.text.clone());
+        }
+        // Macro invocation: `name !`.
+        if t.kind == TokKind::Ident && toks.get(j + 1).is_some_and(|n| n.text == "!") {
+            stmt.macros.push(t.text.clone());
+        }
+        // Call site: `name (` — method if preceded by `.`.
+        if t.kind == TokKind::Ident
+            && !is_stmt_keyword(&t.text)
+            && toks.get(j + 1).is_some_and(|n| n.text == "(")
+        {
+            let is_method = j > 0 && toks[j - 1].text == ".";
+            let mut path = vec![t.text.clone()];
+            let mut recv = Vec::new();
+            if is_method {
+                // Receiver chain: ident (`.` ident)* before the dot.
+                let mut k = j - 1;
+                while k >= 1 {
+                    let p = &toks[k - 1];
+                    if p.kind == TokKind::Ident && !is_stmt_keyword(&p.text) {
+                        recv.push(p.text.clone());
+                        if k >= 2 && toks[k - 2].text == "." {
+                            k -= 2;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                recv.reverse();
+            } else {
+                // Path prefix: (ident `::`)* name.
+                let mut k = j;
+                while k >= 2 && toks[k - 1].text == "::" && toks[k - 2].kind == TokKind::Ident {
+                    path.insert(0, toks[k - 2].text.clone());
+                    k -= 2;
+                }
+            }
+            let close = skip_group(toks, j + 1, toks.len());
+            let inner = &toks[j + 2..close.saturating_sub(1)];
+            let inner_depths = &depth0[j + 2..close.saturating_sub(1)];
+            let base = depth0[j + 1] + 1;
+            let mut args = Vec::new();
+            let mut arg = ArgInfo::default();
+            let mut any = false;
+            for (k, (it, d)) in inner.iter().zip(inner_depths).enumerate() {
+                if it.text == "," && *d == base {
+                    args.push(std::mem::take(&mut arg));
+                    continue;
+                }
+                any = true;
+                if !arg.text.is_empty() {
+                    arg.text.push(' ');
+                }
+                arg.text.push_str(&it.text);
+                if is_use_at(inner, k) {
+                    arg.idents.push(it.text.clone());
+                }
+            }
+            if any || !args.is_empty() {
+                args.push(arg);
+            }
+            stmt.calls.push(CallSite {
+                line: t.line,
+                path,
+                is_method,
+                recv,
+                args,
+            });
+        }
+        // Source reads: `.field` (no call parens) and receiver methods
+        // are recorded generically; the taint rule filters by name.
+        if t.kind == TokKind::Ident
+            && j > 0
+            && toks[j - 1].text == "."
+            && toks.get(j + 1).is_none_or(|n| n.text != "(")
+        {
+            let mut recv = Vec::new();
+            let mut k = j - 1;
+            while k >= 1 {
+                let p = &toks[k - 1];
+                if p.kind == TokKind::Ident && !is_stmt_keyword(&p.text) {
+                    recv.push(p.text.clone());
+                    if k >= 2 && toks[k - 2].text == "." {
+                        k -= 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            recv.reverse();
+            stmt.sources.push(SourceRead {
+                line: t.line,
+                what: t.text.clone(),
+                recv,
+            });
+        }
+    }
+    // Method calls double as potential source reads (`r.kv_rows()`,
+    // `prompt.len()`).
+    for c in &stmt.calls {
+        if c.is_method {
+            stmt.sources.push(SourceRead {
+                line: c.line,
+                what: c.name().to_string(),
+                recv: c.recv.clone(),
+            });
+        }
+    }
+    stmt
+}
+
+fn is_primitive(s: &str) -> bool {
+    matches!(
+        s,
+        "usize"
+            | "isize"
+            | "u8"
+            | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "char"
+            | "str"
+    )
+}
+
+/// Whether token `i` can end an indexable expression (mirrors the
+/// parser's array-literal/index disambiguation).
+fn tok_ends_expr_at(toks: &[Tok], i: usize) -> bool {
+    match toks.get(i) {
+        Some(t) => match t.kind {
+            TokKind::Ident => !is_stmt_keyword(&t.text),
+            TokKind::Number | TokKind::Str => true,
+            TokKind::Tick => false,
+            TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "?"),
+        },
+        None => false,
+    }
+}
+
+/// Index of the first depth-0 occurrence of `what`.
+fn find_depth0(toks: &[Tok], what: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            s if s == what && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of a depth-0 assignment operator (`=`, `+=`, …), skipping
+/// closure bodies is unnecessary: depth-0 in a *statement* slice means
+/// the assignment really is the statement's top level.
+fn find_depth0_assign(toks: &[Tok]) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "=" | "+=" | "-=" | "*=" | "/=" | "%=" if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Dominators.
+// ---------------------------------------------------------------------
+
+/// Immediate dominators via the iterative RPO intersection algorithm
+/// (Cooper/Harvey/Kennedy). `idom[entry] == entry`; unreachable blocks
+/// cannot occur (the builder prunes them).
+pub fn dominators(cfg: &Cfg) -> Vec<usize> {
+    let n = cfg.blocks.len();
+    let rpo = cfg.rpo();
+    let mut order = vec![usize::MAX; n]; // block -> rpo position
+    for (pos, &b) in rpo.iter().enumerate() {
+        order[b] = pos;
+    }
+    let preds = cfg.preds();
+    let mut idom = vec![usize::MAX; n];
+    idom[cfg.entry] = cfg.entry;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = usize::MAX;
+            for &p in &preds[b] {
+                if idom[p] == usize::MAX {
+                    continue; // not yet processed
+                }
+                new_idom = if new_idom == usize::MAX {
+                    p
+                } else {
+                    intersect(&idom, &order, p, new_idom)
+                };
+            }
+            if new_idom != usize::MAX && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(idom: &[usize], order: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order[a] > order[b] {
+            a = idom[a];
+        }
+        while order[b] > order[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+/// Whether block `a` dominates block `b` under `idom`.
+pub fn dominates(idom: &[usize], a: usize, mut b: usize) -> bool {
+    loop {
+        if a == b {
+            return true;
+        }
+        let up = idom[b];
+        if up == b || up == usize::MAX {
+            return false;
+        }
+        b = up;
+    }
+}
+
+/// Naive O(n²) dominator sets by fixpoint over
+/// `dom(b) = {b} ∪ ⋂_{p∈preds(b)} dom(p)` — the reference the battery
+/// checks the iterative computation against.
+pub fn dominators_naive(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.blocks.len();
+    let preds = cfg.preds();
+    let mut dom = vec![vec![true; n]; n];
+    dom[cfg.entry] = vec![false; n];
+    dom[cfg.entry][cfg.entry] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if b == cfg.entry {
+                continue;
+            }
+            let mut new = vec![!preds[b].is_empty(); n];
+            for &p in &preds[b] {
+                for (k, nk) in new.iter_mut().enumerate() {
+                    *nk = *nk && dom[p][k];
+                }
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scan::scan_source;
+
+    fn cfg_of(body_src: &str) -> Cfg {
+        let src = format!("fn f(n: usize, v: Vec<usize>) {{\n{body_src}\n}}\n");
+        let p = parse_file(&scan_source("crates/x/src/a.rs", &src, true));
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        build(&p.fns[0].body, p.fns[0].line)
+    }
+
+    #[test]
+    fn straight_line_body_is_two_blocks() {
+        let c = cfg_of("let a = n + 1;\nlet b = a * 2;\nhelper(b);");
+        assert_eq!(c.entry, 0);
+        assert_eq!(c.blocks[c.entry].stmts.len(), 3);
+        assert_eq!(c.blocks[c.entry].succs, vec![c.exit]);
+    }
+
+    #[test]
+    fn if_else_forms_a_diamond_and_dominators_agree() {
+        let c = cfg_of("if n > 3 { helper(n); } else { other(n); }\ntail(n);");
+        // entry (cond), then, else, join — plus exit.
+        assert_eq!(c.blocks.len(), 5);
+        let idom = dominators(&c);
+        let naive = dominators_naive(&c);
+        for (b, row) in naive.iter().enumerate() {
+            for (a, &expected) in row.iter().enumerate() {
+                assert_eq!(
+                    dominates(&idom, a, b),
+                    expected,
+                    "dominates({a},{b}) mismatch"
+                );
+            }
+        }
+        // The condition block dominates the join; neither branch does.
+        let join = c.blocks[c.exit]
+            .stmts
+            .first()
+            .map(|_| c.exit)
+            .unwrap_or(c.exit);
+        assert!(dominates(&idom, c.entry, join));
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_after_blocks() {
+        let c = cfg_of("while n > 0 { step(n); }\ntail(n);");
+        // Some block has an edge back to the header (the block holding
+        // the `while` condition).
+        let header = (0..c.blocks.len())
+            .find(|b| {
+                c.blocks[*b]
+                    .stmts
+                    .iter()
+                    .any(|s| s.kind == StmtKind::LoopHeader)
+            })
+            .expect("loop header block");
+        assert!(
+            c.blocks
+                .iter()
+                .enumerate()
+                .any(|(b, blk)| b != header && blk.succs.contains(&header)),
+            "{c:#?}"
+        );
+    }
+
+    #[test]
+    fn break_and_continue_target_the_loop_frames() {
+        let c = cfg_of("loop {\n    if n == 0 { break; }\n    n = step(n);\n}\ntail(n);");
+        let idom = dominators(&c);
+        let naive = dominators_naive(&c);
+        for (b, row) in naive.iter().enumerate() {
+            for (a, &expected) in row.iter().enumerate() {
+                assert_eq!(dominates(&idom, a, b), expected);
+            }
+        }
+        // `tail` runs in a block reachable only through the loop.
+        assert!(c
+            .blocks
+            .iter()
+            .any(|blk| blk.stmts.iter().any(|s| s.text.contains("tail"))));
+    }
+
+    #[test]
+    fn match_arms_fan_out_and_rejoin() {
+        let c = cfg_of(
+            "match v.len() {\n    0 => helper(n),\n    1 => { other(n); }\n    _ => return,\n}\ntail(n);",
+        );
+        // Arm bodies live in separate blocks; `return` edges to exit.
+        assert!(c.blocks[c.exit].succs.is_empty());
+        let arm_blocks = c
+            .blocks
+            .iter()
+            .filter(|b| b.stmts.iter().any(|s| s.kind == StmtKind::Jump))
+            .count();
+        assert_eq!(arm_blocks, 1, "{c:#?}");
+        assert!(c
+            .blocks
+            .iter()
+            .any(|b| b.stmts.iter().any(|s| s.text.contains("tail"))));
+    }
+
+    #[test]
+    fn early_return_keeps_the_exit_reachable_and_tail_dead_code_pruned() {
+        let c = cfg_of("if n > 9 { return; }\ntail(n);");
+        let idom = dominators(&c);
+        // Every block reachable (prune guarantees it) and entry
+        // dominates everything.
+        for b in 0..c.blocks.len() {
+            assert!(dominates(&idom, c.entry, b), "entry must dominate {b}");
+        }
+    }
+
+    #[test]
+    fn stmt_info_records_defs_uses_calls_and_sources() {
+        let src = "fn f(r: Req) {\n    let rows = r.max_new_tokens + 1;\n    let capped = rows.min(64);\n    engine.max_new_tokens = rows;\n    let v = data[i * stride + j];\n}\n";
+        let p = parse_file(&scan_source("crates/x/src/a.rs", src, true));
+        let c = build(&p.fns[0].body, p.fns[0].line);
+        let stmts: Vec<&Stmt> = c.blocks.iter().flat_map(|b| &b.stmts).collect();
+        assert_eq!(stmts.len(), 4, "{stmts:#?}");
+        assert_eq!(stmts[0].defs, vec!["rows"]);
+        assert!(stmts[0]
+            .sources
+            .iter()
+            .any(|s| s.what == "max_new_tokens" && s.recv == vec!["r"]));
+        assert_eq!(stmts[1].defs, vec!["capped"]);
+        assert!(stmts[1].calls.iter().any(|c| c.name() == "min"));
+        assert_eq!(stmts[2].defs, vec!["engine"]);
+        assert!(stmts[2].weak_def);
+        assert!(stmts[2].uses.contains(&"rows".to_string()));
+        let idx = &stmts[3].indexes[0];
+        assert!(idx.ops.contains(&"*".to_string()));
+        assert!(idx.ops.contains(&"+".to_string()));
+    }
+
+    #[test]
+    fn tuple_let_defines_every_binding() {
+        let src = "fn f() {\n    let (tx, rx) = bounded(1);\n    rx.recv();\n}\n";
+        let p = parse_file(&scan_source("crates/x/src/a.rs", src, true));
+        let c = build(&p.fns[0].body, p.fns[0].line);
+        let s = &c.blocks[c.entry].stmts[0];
+        assert_eq!(s.defs, vec!["tx", "rx"]);
+        assert!(s.calls.iter().any(|c| c.name() == "bounded"));
+    }
+
+    #[test]
+    fn call_arguments_split_at_depth0_commas() {
+        let src = "fn f(a: usize, b: usize) {\n    g(a + 1, h(b, 2), b);\n}\n";
+        let p = parse_file(&scan_source("crates/x/src/a.rs", src, true));
+        let c = build(&p.fns[0].body, p.fns[0].line);
+        let s = &c.blocks[c.entry].stmts[0];
+        let g = s.calls.iter().find(|c| c.name() == "g").expect("g");
+        assert_eq!(g.args.len(), 3, "{g:#?}");
+        assert_eq!(g.args[0].idents, vec!["a"]);
+        assert!(g.args[1].text.contains("h ( b , 2 )"));
+        assert_eq!(g.args[2].idents, vec!["b"]);
+    }
+}

@@ -6,20 +6,24 @@
 //! cargo run -p specinfer-xtask -- lint --strict F...   # all rules, given files
 //! cargo run -p specinfer-xtask -- lint --json          # machine-readable report
 //! cargo run -p specinfer-xtask -- lint --github        # CI workflow annotations
+//! cargo run -p specinfer-xtask -- lint --rule NAME     # only this rule's findings
 //! ```
 //!
-//! `--json` emits one object with a `findings` array (rule, path, line,
-//! message, call_path) — the CI lint job uploads it as a report
-//! artifact. `--github` prints GitHub Actions `::error` annotation
-//! lines so findings land on the PR diff. Both compose with `--root`
-//! and `--strict`.
+//! `--json` emits one object with a `findings` array (rule, severity,
+//! path, line, message, call_path) — the CI lint job uploads it as a
+//! report artifact. `--github` prints GitHub Actions `::error` /
+//! `::warning` annotation lines so findings land on the PR diff. Both
+//! compose with `--root`, `--strict`, and `--rule` (repeatable; keeps
+//! only the named rules' findings).
 //!
-//! Exit code 0 means no findings; 1 means findings; 2 means usage error.
+//! Exit code 0 means no error-severity findings (warnings alone don't
+//! fail the build); 1 means at least one error finding; 2 means usage
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use specinfer_xtask::rules::Finding;
+use specinfer_xtask::rules::{Finding, Severity};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: specinfer-xtask lint [--json|--github] [--root DIR]\n       specinfer-xtask lint [--json|--github] --strict FILE..."
+                "usage: specinfer-xtask lint [--json|--github] [--rule NAME]... [--root DIR]\n       specinfer-xtask lint [--json|--github] [--rule NAME]... --strict FILE..."
             );
             ExitCode::from(2)
         }
@@ -43,23 +47,26 @@ fn main() -> ExitCode {
 
 fn run_lint(args: &[String]) -> ExitCode {
     let mut format = Format::Text;
-    let args: Vec<String> = args
-        .iter()
-        .filter(|a| match a.as_str() {
-            "--json" => {
-                format = Format::Json;
-                false
-            }
-            "--github" => {
-                format = Format::Github;
-                false
-            }
-            _ => true,
-        })
-        .cloned()
-        .collect();
+    let mut rule_filter: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
+            "--rule" => match it.next() {
+                Some(name) => rule_filter.push(name.clone()),
+                None => {
+                    eprintln!("--rule requires a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    let args = rest;
 
-    let findings = if args.first().map(String::as_str) == Some("--strict") {
+    let mut findings = if args.first().map(String::as_str) == Some("--strict") {
         let files: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
         if files.is_empty() {
             eprintln!("lint --strict requires at least one file");
@@ -77,6 +84,9 @@ fn run_lint(args: &[String]) -> ExitCode {
         };
         specinfer_xtask::lint_workspace(&root)
     };
+    if !rule_filter.is_empty() {
+        findings.retain(|f| rule_filter.iter().any(|r| r == f.rule));
+    }
 
     match format {
         Format::Text => {
@@ -91,11 +101,17 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
         Format::Json => println!("{}", render_json(&findings)),
         Format::Github => {
-            // One `::error` annotation per finding; Actions attaches it
-            // to the file/line in the PR diff view.
+            // One annotation per finding; Actions attaches it to the
+            // file/line in the PR diff view. Warnings annotate without
+            // failing the job (the exit code below agrees).
             for f in &findings {
+                let kind = match f.severity {
+                    Severity::Error => "error",
+                    Severity::Warn => "warning",
+                };
                 println!(
-                    "::error file={},line={},title=specinfer-lint {}::{}",
+                    "::{} file={},line={},title=specinfer-lint {}::{}",
+                    kind,
                     f.path,
                     f.line.max(1),
                     f.rule,
@@ -104,10 +120,10 @@ fn run_lint(args: &[String]) -> ExitCode {
             }
         }
     }
-    if findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if findings.iter().any(|f| f.severity == Severity::Error) {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -121,6 +137,10 @@ fn render_json(findings: &[Finding]) -> String {
         }
         out.push_str("\n    {");
         out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+        out.push_str(&format!(
+            "\"severity\": {}, ",
+            json_str(f.severity.as_str())
+        ));
         out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
         out.push_str(&format!("\"line\": {}, ", f.line));
         out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));

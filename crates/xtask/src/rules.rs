@@ -8,12 +8,34 @@
 
 use crate::scan::{find_word, ScannedFile};
 
+/// How severe a finding is: `Error` findings fail the build (exit 1),
+/// `Warn` findings are reported but exit 0. Only advisory rules emit
+/// warnings — today that is `unbounded_wait` on `lock` sinks, whose
+/// deadlock-freedom the `lock_order` rule already proves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warn,
+}
+
+impl Severity {
+    /// The wire name used by the `--json` and `--github` reporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Stable rule id (`safety_comment`, `no_unwrap`, `determinism`,
     /// `thread_confinement`, `shim_hygiene`, `allowlist`).
     pub rule: &'static str,
+    /// Build-failing (`Error`) or advisory (`Warn`).
+    pub severity: Severity,
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line number.
@@ -37,6 +59,7 @@ impl Finding {
     ) -> Self {
         Finding {
             rule,
+            severity: Severity::Error,
             path,
             line,
             message,
@@ -50,10 +73,14 @@ impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}\n    {}",
+            "{}:{}: [{}{}] {}\n    {}",
             self.path,
             self.line,
             self.rule,
+            match self.severity {
+                Severity::Error => "",
+                Severity::Warn => ":warn",
+            },
             self.message,
             self.snippet.trim()
         )?;
@@ -113,6 +140,7 @@ pub fn rule_safety(file: &ScannedFile, out: &mut Vec<Finding>) {
         if !documented {
             out.push(Finding {
                 rule: "safety_comment",
+                severity: Severity::Error,
                 path: file.path.clone(),
                 line: i + 1,
                 message: "`unsafe` without a `// SAFETY:` comment stating the aliasing/bounds \
@@ -150,6 +178,7 @@ pub fn rule_no_unwrap(file: &ScannedFile, strict: bool, out: &mut Vec<Finding>) 
             if hit {
                 out.push(Finding {
                     rule: "no_unwrap",
+                    severity: Severity::Error,
                     path: file.path.clone(),
                     line: i + 1,
                     message: format!(
@@ -188,6 +217,7 @@ pub fn rule_determinism(file: &ScannedFile, strict: bool, out: &mut Vec<Finding>
             if line.code.contains(pat) {
                 out.push(Finding {
                     rule: "determinism",
+                    severity: Severity::Error,
                     path: file.path.clone(),
                     line: i + 1,
                     message: format!(
@@ -222,6 +252,7 @@ pub fn rule_thread_confinement(file: &ScannedFile, strict: bool, out: &mut Vec<F
             if line.code.contains(pat) {
                 out.push(Finding {
                     rule: "thread_confinement",
+                    severity: Severity::Error,
                     path: file.path.clone(),
                     line: i + 1,
                     message: format!(
@@ -264,6 +295,7 @@ pub fn rule_shim_hygiene(path: &str, manifest: &str, out: &mut Vec<Finding>) {
         let mut flag = |message: String| {
             out.push(Finding {
                 rule: "shim_hygiene",
+                severity: Severity::Error,
                 path: path.to_string(),
                 line: i + 1,
                 message,

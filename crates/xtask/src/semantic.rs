@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::callgraph::{self, CallGraph, FnNode};
 use crate::parse::{Fact, ParsedFile};
-use crate::rules::Finding;
+use crate::rules::{Finding, Severity};
 
 /// Serving entry points for `panic_reachability` (path suffix, fn name).
 /// In strict mode (fixtures) matching is by name alone.
@@ -118,13 +118,30 @@ const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Runs the four semantic rules plus parser diagnostics over parsed
 /// files. `strict` disables all path-based scoping (fixture mode).
+///
+/// Convenience wrapper that builds its own call graph; the lint driver
+/// builds the graph once (shared with the dataflow rules in
+/// [`crate::taint`]) and calls [`semantic_findings_with_graph`] instead.
 pub fn semantic_findings(files: &[ParsedFile], strict: bool, out: &mut Vec<Finding>) {
+    let graph = callgraph::build(files);
+    semantic_findings_with_graph(files, &graph, strict, out);
+}
+
+/// The semantic rules over a caller-supplied call graph (built once per
+/// lint run and shared across all graph-consuming rules).
+pub fn semantic_findings_with_graph(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    strict: bool,
+    out: &mut Vec<Finding>,
+) {
     // Parser diagnostics first: a file the parser cannot follow is a
     // file the graph rules silently under-cover, which must be loud.
     for f in files {
         for e in &f.errors {
             out.push(Finding {
                 rule: "parse",
+                severity: Severity::Error,
                 path: f.path.clone(),
                 line: e.line,
                 message: format!("semantic-lint parser lost sync: {}", e.message),
@@ -134,17 +151,16 @@ pub fn semantic_findings(files: &[ParsedFile], strict: bool, out: &mut Vec<Findi
         }
     }
 
-    let graph = callgraph::build(files);
     let by_path: HashMap<&str, &ParsedFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
-    rule_panic_reachability(&graph, strict, out);
-    rule_lock_order(&graph, &by_path, out);
-    rule_hot_loop_alloc(&graph, &by_path, strict, out);
+    rule_panic_reachability(graph, strict, out);
+    rule_lock_order(graph, &by_path, out);
+    rule_hot_loop_alloc(graph, &by_path, strict, out);
     rule_float_reduction_order(files, strict, out);
 }
 
 /// Resolves configured (path-suffix, name) roots against the graph; in
 /// strict mode any function with a matching name counts.
-fn resolve_roots(graph: &CallGraph, roots: &[(&str, &str)], strict: bool) -> Vec<usize> {
+pub fn resolve_roots(graph: &CallGraph, roots: &[(&str, &str)], strict: bool) -> Vec<usize> {
     let mut out = Vec::new();
     if strict {
         for (_, name) in roots {
@@ -225,6 +241,7 @@ fn rule_panic_reachability(graph: &CallGraph, strict: bool, out: &mut Vec<Findin
         let entry_label = call_path.first().cloned().unwrap_or_default();
         out.push(Finding {
             rule: "panic_reachability",
+            severity: Severity::Error,
             path: node.path.clone(),
             line: node.line,
             message: format!(
@@ -442,6 +459,7 @@ fn dfs_cycles(
             call_path.push(canon[0].clone());
             out.push(Finding {
                 rule: "lock_order",
+                severity: Severity::Error,
                 path: node.path.clone(),
                 line,
                 message: format!(
@@ -550,6 +568,7 @@ fn rule_hot_loop_alloc(
             let call_path = graph.path_to(&parents, i);
             out.push(Finding {
                 rule: "hot_loop_alloc",
+                severity: Severity::Error,
                 path: node.path.clone(),
                 line,
                 message: format!(
@@ -615,6 +634,7 @@ fn rule_float_reduction_order(files: &[ParsedFile], strict: bool, out: &mut Vec<
                 };
                 out.push(Finding {
                     rule: "float_reduction_order",
+                    severity: Severity::Error,
                     path: f.path.clone(),
                     line,
                     message: format!(

@@ -1,0 +1,190 @@
+//! The CFG invariant battery pinned by `cfg.rs`'s module doc:
+//!
+//! 1. every function in the workspace builds a CFG with a single entry
+//!    (block 0), every block reachable from it, and the iterative
+//!    dominator computation agreeing with the naive O(n²) reference;
+//! 2. the same invariants hold on proptest-generated nested control
+//!    flow (if/else, match, loops with break/continue, early returns),
+//!    which reaches shapes the workspace happens not to contain.
+
+use proptest::prelude::*;
+use specinfer_xtask::cfg::{self, Cfg};
+use specinfer_xtask::{parse, scan};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("xtask lives two levels below the workspace root")
+}
+
+/// Asserts the three battery invariants on one CFG. Returns an error
+/// string (rather than panicking) so the proptest wrapper can minimise.
+fn check_invariants(cfg: &Cfg, label: &str) -> Result<(), String> {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return Err(format!("{label}: CFG has no blocks"));
+    }
+    if cfg.entry != 0 {
+        return Err(format!("{label}: entry is block {}, not 0", cfg.entry));
+    }
+
+    // Reachability: the builder prunes unreachable blocks, so a plain
+    // BFS from the entry must visit everything.
+    let mut seen = vec![false; n];
+    let mut queue = vec![cfg.entry];
+    seen[cfg.entry] = true;
+    while let Some(b) = queue.pop() {
+        for &s in &cfg.blocks[b].succs {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+    }
+    if let Some(dead) = seen.iter().position(|&r| !r) {
+        return Err(format!("{label}: block {dead} unreachable from entry"));
+    }
+
+    // Dominators: for every pair (a, b), walking the idom chain must
+    // agree with the naive set-intersection fixpoint.
+    let idom = cfg::dominators(cfg);
+    let naive = cfg::dominators_naive(cfg);
+    for (b, row) in naive.iter().enumerate() {
+        for (a, &expected) in row.iter().enumerate() {
+            let fast = cfg::dominates(&idom, a, b);
+            if fast != expected {
+                return Err(format!(
+                    "{label}: dominates({a}, {b}) = {fast}, naive says {expected}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every function in every workspace crate satisfies the invariants —
+/// the real corpus, not just synthetic shapes.
+#[test]
+fn every_workspace_function_satisfies_cfg_invariants() {
+    let root = workspace_root();
+    let mut stack = vec![root.join("crates")];
+    let mut checked = 0usize;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir").flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if p.is_dir() {
+                if name == "target" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(p);
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let rel = p
+                .strip_prefix(&root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&p).expect("readable source");
+            let parsed = parse::parse_file(&scan::scan_source(&rel, &src, false));
+            for f in &parsed.fns {
+                let g = cfg::build(&f.body, f.line);
+                let label = format!("{rel}:{} fn {}", f.line, f.name);
+                if let Err(e) = check_invariants(&g, &label) {
+                    panic!("{e}");
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 200,
+        "battery looks broken: only {checked} functions checked"
+    );
+}
+
+/// Grammar for generated bodies: each pick emits one statement-level
+/// construct, recursing into nested blocks with the remaining depth.
+fn gen_body(picks: &[u8], depth: usize, out: &mut String, indent: usize) {
+    let pad = "    ".repeat(indent + 1);
+    for (i, &p) in picks.iter().enumerate() {
+        // Shrink the recursion budget as we go so nesting terminates.
+        let rest = &picks[(i + 1).min(picks.len())..];
+        let sub = &rest[..rest.len().min(3)];
+        match p % 10 {
+            0 => out.push_str(&format!("{pad}let a = n + {i};\n")),
+            1 if depth > 0 => {
+                out.push_str(&format!("{pad}if n > {i} {{\n"));
+                gen_body(sub, depth - 1, out, indent + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                gen_body(sub, depth - 1, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            2 if depth > 0 => {
+                out.push_str(&format!("{pad}while n < {i} {{\n"));
+                gen_body(sub, depth - 1, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            3 if depth > 0 => {
+                out.push_str(&format!("{pad}for k in 0..{i} {{\n"));
+                gen_body(sub, depth - 1, out, indent + 1);
+                if p % 2 == 0 {
+                    out.push_str(&format!("{pad}    continue;\n"));
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            4 if depth > 0 => {
+                out.push_str(&format!("{pad}loop {{\n"));
+                gen_body(sub, depth - 1, out, indent + 1);
+                out.push_str(&format!("{pad}    break;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            5 if depth > 0 => {
+                out.push_str(&format!("{pad}match n {{\n"));
+                out.push_str(&format!("{pad}    0 => {{\n"));
+                gen_body(sub, depth - 1, out, indent + 2);
+                out.push_str(&format!("{pad}    }}\n"));
+                out.push_str(&format!("{pad}    {i} => {{}}\n"));
+                out.push_str(&format!("{pad}    _ => {{}}\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            6 if depth > 0 => {
+                out.push_str(&format!("{pad}if n == {i} {{\n"));
+                out.push_str(&format!("{pad}    return;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            7 => out.push_str(&format!("{pad}f(a, {i});\n")),
+            8 => out.push_str(&format!("{pad}let b = v[{i} % v.len()];\n")),
+            _ => out.push_str(&format!("{pad}a += {i};\n")),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_nested_control_flow_satisfies_cfg_invariants(
+        picks in prop::collection::vec(0u8..60, 0..24),
+        depth in 0usize..4,
+    ) {
+        let mut body = String::new();
+        gen_body(&picks, depth, &mut body, 0);
+        let src = format!("fn f(n: usize, v: Vec<usize>) {{\n{body}}}\n");
+        let parsed = parse::parse_file(&scan::scan_source("crates/x/src/gen.rs", &src, false));
+        prop_assert!(parsed.errors.is_empty(), "{:?}\n{src}", parsed.errors);
+        prop_assert_eq!(parsed.fns.len(), 1, "{}", &src);
+        let f = &parsed.fns[0];
+        let g = cfg::build(&f.body, f.line);
+        let checked = check_invariants(&g, "generated fn");
+        prop_assert!(checked.is_ok(), "{}\n{}", checked.unwrap_err(), src);
+    }
+}

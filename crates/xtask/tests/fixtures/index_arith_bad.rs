@@ -1,0 +1,8 @@
+// Known-bad fixture: unguarded multiply-add index arithmetic — the
+// classic flattened-2D hot-path pattern where `row * stride` can wrap
+// before the bounds check the indexing itself performs. Must trigger
+// `index_arith_overflow` (exactly one finding) and nothing else.
+
+pub fn scatter(data: &mut [f32], stride: usize, row: usize, col: usize) {
+    data[row * stride + col] = 1.0;
+}

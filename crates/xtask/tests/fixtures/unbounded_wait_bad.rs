@@ -1,0 +1,10 @@
+// Known-bad fixture: a serving entry blocks on a caller-supplied channel
+// with no deadline and no bounded-capacity proof. Must trigger
+// `unbounded_wait` (exactly one finding, the `recv()`) and nothing else.
+
+pub fn submit_with_deadline(ch: &Receiver<u32>) -> Option<u32> {
+    match ch.recv() {
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}

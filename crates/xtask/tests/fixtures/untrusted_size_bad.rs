@@ -1,0 +1,9 @@
+// Known-bad fixture: a request-supplied size flows straight into an
+// allocation with no clamp and no dominating bounds check. Must trigger
+// `untrusted_size_flow` (exactly one finding, the `with_capacity`) and
+// nothing else.
+
+pub fn admit(request: &Request) -> Vec<u32> {
+    let rows = request.max_new_tokens;
+    Vec::with_capacity(rows)
+}

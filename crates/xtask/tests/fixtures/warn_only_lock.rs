@@ -1,0 +1,9 @@
+// Warn-severity fixture: a serving entry takes a lock with no deadline.
+// `unbounded_wait` reports this at `warn` severity — the lock graph is
+// proven acyclic by `lock_order`, so the wait is bounded by critical
+// sections — and warn-only runs must exit 0.
+
+pub fn submit_with_deadline(&self) -> u64 {
+    let guard = self.state.lock();
+    *guard
+}

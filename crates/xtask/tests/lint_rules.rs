@@ -163,6 +163,40 @@ fn bad_shim_fixture_triggers_only_shim_hygiene() {
 }
 
 #[test]
+fn untrusted_size_fixture_triggers_only_untrusted_size_flow() {
+    // `request.max_new_tokens` → `rows` → `Vec::with_capacity(rows)`
+    // with no clamp and no dominating bounds check.
+    assert_only_rule("untrusted_size_bad.rs", "untrusted_size_flow", 1);
+}
+
+#[test]
+fn unbounded_wait_fixture_triggers_only_unbounded_wait() {
+    // A serving entry blocking on `ch.recv()` where `ch` is a parameter:
+    // no deadline dominates it and no local `bounded(…)` proof exists.
+    assert_only_rule("unbounded_wait_bad.rs", "unbounded_wait", 1);
+}
+
+#[test]
+fn index_arith_fixture_triggers_only_index_arith_overflow() {
+    // `data[row * stride + col]` with no assert guard naming an operand.
+    assert_only_rule("index_arith_bad.rs", "index_arith_overflow", 1);
+}
+
+#[test]
+fn warn_only_fixture_reports_warn_severity() {
+    use specinfer_xtask::rules::Severity;
+    let findings = lint_files_strict(&[fixture("warn_only_lock.rs")]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "unbounded_wait");
+    assert_eq!(findings[0].severity, Severity::Warn);
+    assert!(
+        findings[0].to_string().contains("[unbounded_wait:warn]"),
+        "text mode spells out warn severity: {}",
+        findings[0]
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule_in_strict_mode() {
     let findings = lint_files_strict(&[fixture("clean.rs")]);
     assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
@@ -242,6 +276,9 @@ fn binary_exit_codes_match_findings() {
         "hot_loop_alloc_bad.rs",
         "float_reduction_bad.rs",
         "bad_shim/Cargo.toml",
+        "untrusted_size_bad.rs",
+        "unbounded_wait_bad.rs",
+        "index_arith_bad.rs",
     ] {
         let status = Command::new(bin)
             .args(["lint", "--strict"])
@@ -320,5 +357,119 @@ fn github_mode_emits_workflow_annotations() {
             |l| l.starts_with("::error file=") && l.contains("title=specinfer-lint lock_order")
         ),
         "{text}"
+    );
+}
+
+/// Warn-severity findings annotate (`::warning`), report (`"severity":
+/// "warn"`), and exit 0 — only error findings fail the build.
+#[test]
+fn warn_only_findings_exit_zero_in_every_format() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+
+    let text = Command::new(bin)
+        .args(["lint", "--strict"])
+        .arg(fixture("warn_only_lock.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(text.status.code(), Some(0), "warn-only text run exits 0");
+    let out = String::from_utf8(text.stdout).expect("utf-8 output");
+    assert!(out.contains("[unbounded_wait:warn]"), "{out}");
+
+    let json = Command::new(bin)
+        .args(["lint", "--json", "--strict"])
+        .arg(fixture("warn_only_lock.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(json.status.code(), Some(0), "warn-only json run exits 0");
+    let out = String::from_utf8(json.stdout).expect("utf-8 output");
+    assert!(out.contains("\"severity\": \"warn\""), "{out}");
+
+    let gh = Command::new(bin)
+        .args(["lint", "--github", "--strict"])
+        .arg(fixture("warn_only_lock.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(gh.status.code(), Some(0), "warn-only github run exits 0");
+    let out = String::from_utf8(gh.stdout).expect("utf-8 output");
+    assert!(
+        out.lines().any(|l| l.starts_with("::warning file=")
+            && l.contains("title=specinfer-lint unbounded_wait")),
+        "{out}"
+    );
+}
+
+/// Error findings carry `"severity": "error"` in the JSON report.
+#[test]
+fn json_mode_reports_error_severity() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+    let out = Command::new(bin)
+        .args(["lint", "--json", "--strict"])
+        .arg(fixture("unbounded_wait_bad.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let report = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(report.contains("\"severity\": \"error\""), "{report}");
+    assert!(report.contains("\"rule\": \"unbounded_wait\""), "{report}");
+}
+
+/// `--rule` keeps only the named rules' findings — and with them gone,
+/// the exit code reflects what is left.
+#[test]
+fn rule_filter_selects_a_single_rule() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+
+    // batched_verify_bad.rs trips three rules; filtering to one keeps
+    // exactly its finding.
+    let out = Command::new(bin)
+        .args(["lint", "--json", "--rule", "thread_confinement", "--strict"])
+        .arg(fixture("batched_verify_bad.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let report = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(report.contains("\"count\": 1"), "{report}");
+    assert!(
+        report.contains("\"rule\": \"thread_confinement\""),
+        "{report}"
+    );
+    assert!(!report.contains("no_unwrap"), "{report}");
+
+    // Filtering to a rule the fixture does not trip leaves nothing and
+    // exits 0.
+    let none = Command::new(bin)
+        .args(["lint", "--rule", "determinism", "--strict"])
+        .arg(fixture("batched_verify_bad.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(none.status.code(), Some(0), "filtered-out findings exit 0");
+
+    // A missing rule name is a usage error.
+    let usage = Command::new(bin)
+        .args(["lint", "--rule"])
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(usage.code(), Some(2));
+}
+
+/// The parse-once fact cache keeps the whole-workspace lint fast: one
+/// parse pass shared by the lexical, call-graph, and dataflow rules.
+/// Generous 10s budget (debug build, cold file cache) — the point is to
+/// catch an accidental return to per-rule re-parsing, which multiplies
+/// wall time by the rule count.
+#[test]
+fn workspace_lint_finishes_within_budget() {
+    let bin = env!("CARGO_BIN_EXE_specinfer-xtask");
+    let started = std::time::Instant::now();
+    let status = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(workspace_root())
+        .status()
+        .expect("lint binary runs");
+    let elapsed = started.elapsed();
+    assert_eq!(status.code(), Some(0));
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "workspace lint took {elapsed:?}; the parse-once fact cache regressed"
     );
 }

@@ -97,6 +97,24 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
@@ -184,6 +202,40 @@ pub mod channel {
                     .recv_ready
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks for at most `timeout`, then gives the caller the floor
+        /// back. The serving loop uses this as its idle heartbeat so no
+        /// blocking wait on the daemon path is unbounded.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                // Re-check the deadline ourselves on wake: Condvar wakes
+                // can be spurious, and `timed_out()` alone would extend
+                // the wait by a full `remaining` each time.
+                state = self
+                    .shared
+                    .recv_ready
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         }
 
