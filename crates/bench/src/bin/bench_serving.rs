@@ -1,13 +1,25 @@
 //! Machine-readable serving-throughput benchmark: batched vs serial
-//! cross-request tree verification.
+//! cross-request tree verification, plus the adaptive-controller mode
+//! sweep.
 //!
-//! Writes `BENCH_serving.json` into the current directory. For each
-//! batch size the same set of seeded sessions is generated twice —
-//! once stepping every session through its own LLM forward per
-//! iteration (the pre-batching daemon loop), once driving all sessions
-//! through [`BatchedVerifier::step_batch`]'s single stacked forward —
-//! and the harness asserts the two runs emit byte-identical tokens
-//! before reporting tokens/s and LLM-forward counts.
+//! Writes `BENCH_serving.json` into the current directory. Four phases:
+//!
+//! 1. **Batched vs serial** — for each batch size the same seeded
+//!    sessions run once stepping each session through its own LLM
+//!    forward (the pre-batching daemon loop) and once through
+//!    [`BatchedVerifier::step_batch`]'s single stacked forward;
+//!    byte-identical outputs are asserted before reporting tokens/s.
+//! 2. **Mode sweep** — {incremental, expansion ⟨1⟩, sequence(4),
+//!    `paper_default`, adaptive} at a fixed batch; every greedy mode is
+//!    lossless, so each one's outputs must equal the incremental
+//!    reference. `adaptive_speedup_vs_best_static` compares adaptive
+//!    against the best *static expansion* (incremental excluded — it
+//!    speculates nothing).
+//! 3. **Ragged mode sweep** — the same five modes through ragged
+//!    continuous batching with heterogeneous prompts/budgets.
+//! 4. **Hierarchical vs single-pass** — `paper_default` trees through
+//!    the two-phase verifier and the legacy single-pass one: equal
+//!    outputs, fewer forwarded verify rows.
 //!
 //! Everything is seeded; numbers vary with the machine, outputs don't.
 
@@ -16,7 +28,8 @@ use std::time::Instant;
 use serde::Serialize;
 use specinfer_model::{DecodeMode, ModelConfig, Transformer};
 use specinfer_spec::{
-    BatchItem, BatchedVerifier, EngineConfig, InferenceMode, Session, StochasticVerifier,
+    AdaptiveConfig, BatchItem, BatchRowStats, BatchedVerifier, ControllerSnapshot, EngineConfig,
+    InferenceMode, Session, StochasticVerifier,
 };
 use specinfer_tokentree::{ExpansionConfig, TokenId};
 
@@ -63,6 +76,61 @@ struct RaggedResult {
     outputs_match: bool,
 }
 
+/// One speculation mode's fixed-batch run through the (hierarchical)
+/// batched verifier.
+#[derive(Serialize)]
+struct ModeResult {
+    mode: String,
+    batch: usize,
+    tokens: usize,
+    iterations: usize,
+    /// Verify rows a single-pass layout would have forwarded.
+    verify_rows_single_pass: usize,
+    /// Verify rows the hierarchical verifier actually forwarded.
+    verify_rows_forwarded: usize,
+    tokens_per_s: f64,
+    speedup_vs_incremental: f64,
+    /// Greedy losslessness: this mode's outputs equal the incremental
+    /// reference byte-for-byte.
+    outputs_match: bool,
+}
+
+/// One speculation mode's run through ragged continuous batching.
+#[derive(Serialize)]
+struct RaggedModeResult {
+    mode: String,
+    batch: usize,
+    requests: usize,
+    tokens: usize,
+    tokens_per_s: f64,
+    speedup_vs_incremental: f64,
+    outputs_match: bool,
+}
+
+/// Controller telemetry summed over the adaptive mode-sweep sessions.
+#[derive(Serialize)]
+struct ControllerTelemetry {
+    rung_decisions: Vec<usize>,
+    ssm_routes: Vec<usize>,
+    probes: usize,
+}
+
+/// Hierarchical two-phase verification vs the legacy single pass at
+/// `paper_default` — same outputs, fewer forwarded rows.
+#[derive(Serialize)]
+struct HierarchicalResult {
+    expansion: Vec<usize>,
+    batch: usize,
+    single_pass_rows: usize,
+    hierarchical_rows: usize,
+    rows_pruned: usize,
+    fewer_rows_than_single_pass: bool,
+    single_pass_tokens_per_s: f64,
+    hierarchical_tokens_per_s: f64,
+    speedup: f64,
+    outputs_match: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     effective_threads: usize,
@@ -72,6 +140,20 @@ struct Report {
     /// Ragged continuous batching over heterogeneous prompt/output
     /// lengths: requests join and retire mid-flight.
     ragged: Vec<RaggedResult>,
+    /// Fixed-batch speculation-mode sweep (phase 2).
+    modes: Vec<ModeResult>,
+    /// Ragged speculation-mode sweep (phase 3).
+    ragged_modes: Vec<RaggedModeResult>,
+    /// Adaptive tokens/s over the best static *expansion* (incremental
+    /// excluded), fixed-batch phase.
+    adaptive_speedup_vs_best_static: f64,
+    /// Adaptive outputs matched the incremental reference in both the
+    /// fixed-batch and ragged sweeps — the field CI greps before
+    /// uploading artifacts.
+    adaptive_outputs_match: bool,
+    controller: ControllerTelemetry,
+    /// Hierarchical vs single-pass verification (phase 4).
+    hierarchical: HierarchicalResult,
 }
 
 fn engine_config() -> EngineConfig {
@@ -155,6 +237,78 @@ fn run_batched(
     (outs, forwards, iterations)
 }
 
+/// The speculation-mode sweep: the paper's static regimes plus the
+/// adaptive controller. Order matters — incremental first (it is the
+/// losslessness reference), adaptive last.
+fn sweep_modes() -> Vec<(&'static str, InferenceMode)> {
+    vec![
+        ("incremental", InferenceMode::Incremental),
+        (
+            "expansion_1",
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::new(vec![1]),
+            },
+        ),
+        (
+            "sequence_4",
+            InferenceMode::SequenceSpeculative { depth: 4 },
+        ),
+        (
+            "paper_default",
+            InferenceMode::TreeSpeculative {
+                expansion: ExpansionConfig::paper_default(),
+            },
+        ),
+        (
+            "adaptive",
+            InferenceMode::Adaptive {
+                config: AdaptiveConfig::default(),
+            },
+        ),
+    ]
+}
+
+fn mode_config(mode: InferenceMode) -> EngineConfig {
+    EngineConfig {
+        mode,
+        ..engine_config()
+    }
+}
+
+/// Fixed-batch run of one mode through the batched verifier. Returns
+/// (outputs, row accounting, iterations, controller telemetry).
+fn run_mode(
+    llm: &Transformer,
+    ssms: &[&Transformer],
+    cfg: &EngineConfig,
+    verifier: &BatchedVerifier,
+    batch: usize,
+) -> (Vec<Vec<TokenId>>, BatchRowStats, usize, ControllerSnapshot) {
+    let mut sessions = sessions(llm, ssms, batch);
+    let mut rows = BatchRowStats::default();
+    let mut iterations = 0usize;
+    while sessions.iter().any(|s| !s.is_finished()) {
+        let mut items: Vec<BatchItem<'_>> = sessions
+            .iter_mut()
+            .map(|s| BatchItem::new(s, cfg))
+            .collect();
+        let (_, r) = verifier.step_batch_counted(llm, ssms, &mut items);
+        rows.absorb(&r);
+        iterations += 1;
+    }
+    let mut telemetry = ControllerSnapshot::default();
+    let outs = sessions
+        .into_iter()
+        .map(|s| {
+            if let Some(snap) = s.controller_snapshot() {
+                telemetry.absorb(&snap);
+            }
+            s.into_result().tokens
+        })
+        .collect();
+    (outs, rows, iterations, telemetry)
+}
+
 /// Heterogeneous workload for the ragged phase: prompt lengths 2–6 and
 /// generation budgets 8–40 cycle deterministically, so sessions retire
 /// at very different iterations. Tokens stay inside the bench vocab.
@@ -184,14 +338,14 @@ fn run_ragged_serial(
     llm: &Transformer,
     ssms: &[&Transformer],
     jobs: &[(Vec<TokenId>, usize)],
+    base: &EngineConfig,
 ) -> (Vec<Vec<TokenId>>, usize, Vec<f64>) {
-    let base = engine_config();
     let mut outs = Vec::with_capacity(jobs.len());
     let mut latencies = Vec::with_capacity(jobs.len());
     let mut forwards = 0usize;
     let t0 = Instant::now();
     for (idx, (prompt, max_new)) in jobs.iter().enumerate() {
-        let cfg = job_config(&base, *max_new);
+        let cfg = job_config(base, *max_new);
         let mut s = Session::new(llm, ssms, prompt, 0xbe9c_u64.wrapping_add(idx as u64));
         while !s.is_finished() {
             if s.step(llm, ssms, &cfg).is_some() {
@@ -221,10 +375,10 @@ fn run_ragged(
     ssms: &[&Transformer],
     jobs: &[(Vec<TokenId>, usize)],
     cap: usize,
+    base: &EngineConfig,
 ) -> RaggedRun {
-    let base = engine_config();
     let spec_rows = base.speculation_rows();
-    let configs: Vec<EngineConfig> = jobs.iter().map(|(_, m)| job_config(&base, *m)).collect();
+    let configs: Vec<EngineConfig> = jobs.iter().map(|(_, m)| job_config(base, *m)).collect();
     let verifier = BatchedVerifier::new();
     let mut queue: std::collections::VecDeque<usize> = (0..jobs.len()).collect();
     let mut live: Vec<(usize, Session)> = Vec::new();
@@ -372,7 +526,7 @@ fn main() {
         // Warm once, then keep each side's best of several alternating
         // repetitions — single-core scheduler noise swings sub-second
         // runs by >10%, and the gate compares a ratio of the two bests.
-        let _ = run_ragged(&llm, &ssms, &jobs, cap);
+        let _ = run_ragged(&llm, &ssms, &jobs, cap, &cfg);
         let reps = 4;
         let mut serial_s = f64::INFINITY;
         let (mut serial_out, mut serial_fw, mut serial_lat) = (Vec::new(), 0, Vec::new());
@@ -380,12 +534,12 @@ fn main() {
         let mut best: Option<RaggedRun> = None;
         for _ in 0..reps {
             let t = Instant::now();
-            let (out, fw, lat) = run_ragged_serial(&llm, &ssms, &jobs);
+            let (out, fw, lat) = run_ragged_serial(&llm, &ssms, &jobs, &cfg);
             serial_s = serial_s.min(t.elapsed().as_secs_f64());
             (serial_out, serial_fw, serial_lat) = (out, fw, lat);
 
             let t = Instant::now();
-            let run = run_ragged(&llm, &ssms, &jobs, cap);
+            let run = run_ragged(&llm, &ssms, &jobs, cap, &cfg);
             ragged_s = ragged_s.min(t.elapsed().as_secs_f64());
             best = Some(run);
         }
@@ -421,12 +575,206 @@ fn main() {
         });
     }
 
+    // Phase 2: fixed-batch speculation-mode sweep. Every mode is greedy,
+    // so every mode's outputs must equal the incremental reference.
+    let verifier = BatchedVerifier::new();
+    let mode_batch = 8usize;
+    let mut modes = Vec::new();
+    let mut incremental_tps = 0.0f64;
+    let mut adaptive_tps = 0.0f64;
+    let mut best_static_tps = 0.0f64;
+    let mut adaptive_match_fixed = false;
+    let mut incremental_ref: Vec<Vec<TokenId>> = Vec::new();
+    let mut controller = ControllerTelemetry {
+        rung_decisions: Vec::new(),
+        ssm_routes: Vec::new(),
+        probes: 0,
+    };
+    for (name, mode) in sweep_modes() {
+        let mcfg = mode_config(mode);
+        let _ = run_mode(&llm, &ssms, &mcfg, &verifier, mode_batch);
+        let reps = 3;
+        let mut best_s = f64::INFINITY;
+        let (mut out, mut rows, mut iters, mut telem) = (
+            Vec::new(),
+            BatchRowStats::default(),
+            0usize,
+            ControllerSnapshot::default(),
+        );
+        for _ in 0..reps {
+            let t = Instant::now();
+            let (o, r, i, c) = run_mode(&llm, &ssms, &mcfg, &verifier, mode_batch);
+            best_s = best_s.min(t.elapsed().as_secs_f64());
+            (out, rows, iters, telem) = (o, r, i, c);
+        }
+        let tokens: usize = out.iter().map(Vec::len).sum();
+        let tps = tokens as f64 / best_s;
+        let outputs_match = if name == "incremental" {
+            incremental_ref = out;
+            true
+        } else {
+            out == incremental_ref
+        };
+        assert!(
+            outputs_match,
+            "{name}: greedy outputs diverged from incremental"
+        );
+        match name {
+            "incremental" => incremental_tps = tps,
+            "adaptive" => {
+                adaptive_tps = tps;
+                adaptive_match_fixed = outputs_match;
+                controller = ControllerTelemetry {
+                    rung_decisions: telem.rung_decisions.clone(),
+                    ssm_routes: telem.ssm_routes.clone(),
+                    probes: telem.probes,
+                };
+            }
+            // The static *expansions* adaptive must beat: everything
+            // that actually speculates.
+            _ => best_static_tps = best_static_tps.max(tps),
+        }
+        modes.push(ModeResult {
+            mode: name.to_string(),
+            batch: mode_batch,
+            tokens,
+            iterations: iters,
+            verify_rows_single_pass: rows.single_pass_rows,
+            verify_rows_forwarded: rows.forwarded_rows(),
+            tokens_per_s: tps,
+            speedup_vs_incremental: if incremental_tps > 0.0 {
+                tps / incremental_tps
+            } else {
+                1.0
+            },
+            outputs_match,
+        });
+    }
+    let adaptive_speedup_vs_best_static = if best_static_tps > 0.0 {
+        adaptive_tps / best_static_tps
+    } else {
+        0.0
+    };
+
+    // Phase 3: the same sweep through ragged continuous batching.
+    let mut ragged_modes = Vec::new();
+    let mut adaptive_match_ragged = false;
+    {
+        let cap = 32usize;
+        let jobs = ragged_jobs(cap * 3);
+        let mut inc_ref: Vec<Vec<TokenId>> = Vec::new();
+        let mut inc_tps = 0.0f64;
+        for (name, mode) in sweep_modes() {
+            let mcfg = mode_config(mode);
+            let _ = run_ragged(&llm, &ssms, &jobs, cap, &mcfg);
+            let reps = 3;
+            let mut best_s = f64::INFINITY;
+            let mut best: Option<RaggedRun> = None;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let run = run_ragged(&llm, &ssms, &jobs, cap, &mcfg);
+                best_s = best_s.min(t.elapsed().as_secs_f64());
+                best = Some(run);
+            }
+            let Some(run) = best else {
+                unreachable!("reps > 0 always produces a run")
+            };
+            let tokens: usize = run.outs.iter().map(Vec::len).sum();
+            let tps = tokens as f64 / best_s;
+            let outputs_match = if name == "incremental" {
+                inc_ref = run.outs;
+                inc_tps = tps;
+                true
+            } else {
+                run.outs == inc_ref
+            };
+            assert!(
+                outputs_match,
+                "ragged {name}: greedy outputs diverged from incremental"
+            );
+            if name == "adaptive" {
+                adaptive_match_ragged = outputs_match;
+            }
+            ragged_modes.push(RaggedModeResult {
+                mode: name.to_string(),
+                batch: cap,
+                requests: jobs.len(),
+                tokens,
+                tokens_per_s: tps,
+                speedup_vs_incremental: if inc_tps > 0.0 { tps / inc_tps } else { 1.0 },
+                outputs_match,
+            });
+        }
+    }
+
+    // Phase 4: hierarchical vs single-pass verification at the paper's
+    // ⟨1,1,3,1,1,1,1,1⟩ schedule — equal outputs, fewer forwarded rows.
+    let hierarchical = {
+        let mcfg = mode_config(InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::paper_default(),
+        });
+        let single = BatchedVerifier::single_pass();
+        let hier = BatchedVerifier::new();
+        let batch = 8usize;
+        let _ = run_mode(&llm, &ssms, &mcfg, &single, batch);
+        let _ = run_mode(&llm, &ssms, &mcfg, &hier, batch);
+        let reps = 3;
+        let (mut single_s, mut hier_s) = (f64::INFINITY, f64::INFINITY);
+        let (mut single_out, mut single_rows) = (Vec::new(), BatchRowStats::default());
+        let (mut hier_out, mut hier_rows) = (Vec::new(), BatchRowStats::default());
+        for _ in 0..reps {
+            let t = Instant::now();
+            let (o, r, _, _) = run_mode(&llm, &ssms, &mcfg, &single, batch);
+            single_s = single_s.min(t.elapsed().as_secs_f64());
+            (single_out, single_rows) = (o, r);
+
+            let t = Instant::now();
+            let (o, r, _, _) = run_mode(&llm, &ssms, &mcfg, &hier, batch);
+            hier_s = hier_s.min(t.elapsed().as_secs_f64());
+            (hier_out, hier_rows) = (o, r);
+        }
+        let outputs_match = single_out == hier_out;
+        assert!(
+            outputs_match,
+            "hierarchical outputs diverged from single-pass"
+        );
+        let fewer = hier_rows.forwarded_rows() < single_rows.forwarded_rows();
+        assert!(
+            fewer,
+            "hierarchical verification must forward fewer rows at paper_default \
+             ({} vs {})",
+            hier_rows.forwarded_rows(),
+            single_rows.forwarded_rows()
+        );
+        let tokens: usize = single_out.iter().map(Vec::len).sum();
+        HierarchicalResult {
+            expansion: vec![1, 1, 3, 1, 1, 1, 1, 1],
+            batch,
+            single_pass_rows: single_rows.forwarded_rows(),
+            hierarchical_rows: hier_rows.forwarded_rows(),
+            rows_pruned: hier_rows.pruned_rows(),
+            fewer_rows_than_single_pass: fewer,
+            single_pass_tokens_per_s: tokens as f64 / single_s,
+            hierarchical_tokens_per_s: tokens as f64 / hier_s,
+            speedup: single_s / hier_s,
+            outputs_match,
+        }
+    };
+
+    let adaptive_outputs_match = adaptive_match_fixed && adaptive_match_ragged;
+
     let report = Report {
         effective_threads: specinfer_tensor::effective_threads(),
         max_new_tokens: cfg.max_new_tokens,
         expansion: vec![1],
         results,
         ragged,
+        modes,
+        ragged_modes,
+        adaptive_speedup_vs_best_static,
+        adaptive_outputs_match,
+        controller,
+        hierarchical,
     };
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,

@@ -7,8 +7,8 @@ use specinfer_model::train::{distill_step, train_step};
 use specinfer_model::{checkpoint, DecodeMode, ModelConfig, Transformer};
 use specinfer_serving::{QueuePolicy, ServerConfig, ServerDaemon, TimingConfig};
 use specinfer_spec::{
-    boost_tune_pool, BoostConfig, DegradationPolicy, DynamicExpansionConfig, EngineConfig,
-    InferenceMode, SpecEngine, StochasticVerifier,
+    boost_tune_pool, AdaptiveConfig, BoostConfig, DegradationPolicy, DynamicExpansionConfig,
+    EngineConfig, InferenceMode, SpecEngine, StochasticVerifier,
 };
 use specinfer_tensor::optim::Adam;
 use specinfer_tensor::rng::SeededRng;
@@ -182,6 +182,9 @@ fn inference_mode(args: &Parsed) -> Result<InferenceMode, String> {
         "dynamic" => InferenceMode::DynamicTree {
             config: DynamicExpansionConfig::default(),
         },
+        "adaptive" => InferenceMode::Adaptive {
+            config: AdaptiveConfig::default(),
+        },
         other => return Err(format!("unknown --mode {other:?}")),
     })
 }
@@ -203,6 +206,7 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
             | InferenceMode::DynamicTree { .. }
     ) && ssms.is_empty()
     {
+        // Adaptive is exempt: with an empty pool it serves incrementally.
         return Err("speculative modes need at least one --ssm".into());
     }
     let tokens: usize = args.num("tokens", 48)?;
@@ -273,6 +277,13 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
     let batch: usize = args.num("batch", 4)?;
     let tokens: usize = args.num("tokens", 32)?;
     let seed: u64 = args.num("seed", 0)?;
+    let mode = if args.get("mode").is_some() {
+        inference_mode(args)?
+    } else {
+        InferenceMode::TreeSpeculative {
+            expansion: ExpansionConfig::paper_default(),
+        }
+    };
 
     let g = grammar();
     let vocab = llm.config().vocab_size;
@@ -283,9 +294,7 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
             engine: EngineConfig {
                 decode: DecodeMode::Greedy,
                 verifier: StochasticVerifier::MultiStep,
-                mode: InferenceMode::TreeSpeculative {
-                    expansion: ExpansionConfig::paper_default(),
-                },
+                mode,
                 max_new_tokens: tokens,
                 eos_token: Some(EOS_TOKEN),
             },
@@ -329,6 +338,22 @@ pub fn serve(args: &Parsed) -> Result<(), String> {
         report.mean_per_token_latency_s() * 1e3,
         report.throughput_tokens_per_s()
     );
+    if report.controller.rung_decisions.iter().any(|&d| d > 0) {
+        println!(
+            "controller: rung decisions {:?}, ssm routes {:?}, {} probes",
+            report.controller.rung_decisions,
+            report.controller.ssm_routes,
+            report.controller.probes
+        );
+    }
+    if report.verify_rows.single_pass_rows > 0 {
+        println!(
+            "verify rows: {} forwarded of {} single-pass ({} pruned)",
+            report.verify_rows.forwarded_rows(),
+            report.verify_rows.single_pass_rows,
+            report.verify_rows.pruned_rows()
+        );
+    }
     Ok(())
 }
 

@@ -27,7 +27,10 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use specinfer_model::Transformer;
-use specinfer_spec::{BatchItem, BatchedVerifier, Session, StepStats};
+use specinfer_spec::{
+    BatchItem, BatchRowStats, BatchedVerifier, ControllerSnapshot, InferenceMode, Session,
+    StepStats,
+};
 use specinfer_tokentree::TokenId;
 
 use crate::metrics::{FaultCounters, IterationRecord, OccupancyStats, ServeReport};
@@ -216,11 +219,20 @@ struct LiveRequest {
 }
 
 impl LiveRequest {
-    fn retire(self, clock: f64, outcome: RequestOutcome, faults: &mut FaultCounters) -> Response {
+    fn retire(
+        self,
+        clock: f64,
+        outcome: RequestOutcome,
+        faults: &mut FaultCounters,
+        controller: &mut ControllerSnapshot,
+    ) -> Response {
         let d = self.session.degradation();
         faults.fallbacks_taken += d.fallbacks_taken;
         faults.fallback_steps += d.fallback_steps;
         faults.reprobes += d.reprobes;
+        if let Some(snap) = self.session.controller_snapshot() {
+            controller.absorb(&snap);
+        }
         let result = self.session.into_result();
         let response = Response {
             id: self.id,
@@ -290,9 +302,23 @@ fn daemon_loop(
     let mut scheduler =
         IterationScheduler::with_policy(config.max_batch_size, config.queue.clone());
     let mut waiting: HashMap<u64, Waiting> = HashMap::new();
+    // Slab sizing stays worst-case (under adaptive, the top of the
+    // controller's ladder) so a session can climb to any rung without
+    // overflowing its right-sized KV slab…
     let spec_rows = config.engine.speculation_rows();
     let max_ctx = llm.config().max_seq_len;
     let session_rows = move |r: &Request| (r.kv_rows() + spec_rows).min(max_ctx);
+    // …but admission *charges* what the request will actually append per
+    // iteration: a fresh adaptive request starts on the initial rung, so
+    // charging the worst case would leave paid-for batch slots empty.
+    let adaptive = matches!(config.engine.mode, InferenceMode::Adaptive { .. });
+    let admit_spec_rows = match &config.engine.mode {
+        InferenceMode::Adaptive { config: acfg } => {
+            acfg.admission_rows(config.engine.decode.is_greedy())
+        }
+        _ => spec_rows,
+    };
+    let admit_rows = move |r: &Request| (r.kv_rows() + admit_spec_rows).min(max_ctx);
     let mut clock = 0.0f64;
     let mut next_id = 0u64;
     let mut active: Vec<LiveRequest> = Vec::new();
@@ -303,6 +329,8 @@ fn daemon_loop(
     let mut slab_fill_sum = 0.0f64;
     let mut peak_batch = 0usize;
     let mut faults = FaultCounters::default();
+    let mut controller_snap = ControllerSnapshot::default();
+    let mut verify_rows = BatchRowStats::default();
     let mut draining = false;
 
     loop {
@@ -330,6 +358,8 @@ fn daemon_loop(
                             occupancy(batch_fill_sum, slab_fill_sum, peak_batch, iterations),
                             faults,
                             wall.elapsed_s(),
+                            controller_snap,
+                            verify_rows,
                         );
                     }
                 }
@@ -390,12 +420,26 @@ fn daemon_loop(
         }
         let admitted = match config.slab_rows {
             Some(budget) => {
-                let used: usize = active.iter().map(|a| a.session.kv_capacity()).sum();
+                // Live adaptive requests are charged their controller's
+                // *current* shape (committed rows + this iteration's
+                // speculation rows) rather than their whole worst-case
+                // slab: parked/low-rung requests free real admission
+                // headroom. Non-adaptive requests always append their
+                // configured shape, so their full slab stays charged.
+                let used: usize = active
+                    .iter()
+                    .map(|a| match adaptive {
+                        true => (a.session.kv_rows()
+                            + a.session.current_speculation_rows(&a.config))
+                        .min(a.session.kv_capacity()),
+                        false => a.session.kv_capacity(),
+                    })
+                    .sum();
                 scheduler.admit_budgeted(
                     clock,
                     active.len(),
                     budget.saturating_sub(used),
-                    session_rows,
+                    admit_rows,
                 )
             }
             None => scheduler.admit(clock, active.len()),
@@ -479,7 +523,12 @@ fn daemon_loop(
             if r.client_cancelled {
                 faults.cancellations += 1;
                 let done = active.swap_remove(i);
-                responses.push(done.retire(clock, RequestOutcome::Cancelled, &mut faults));
+                responses.push(done.retire(
+                    clock,
+                    RequestOutcome::Cancelled,
+                    &mut faults,
+                    &mut controller_snap,
+                ));
             } else {
                 i += 1;
             }
@@ -507,6 +556,8 @@ fn daemon_loop(
                     occupancy(batch_fill_sum, slab_fill_sum, peak_batch, iterations),
                     faults,
                     wall.elapsed_s(),
+                    controller_snap,
+                    verify_rows,
                 );
             }
             continue;
@@ -535,7 +586,8 @@ fn daemon_loop(
                 fault,
             });
         }
-        let stats = verifier.step_batch(llm, &ssm_refs, &mut items);
+        let (stats, rows) = verifier.step_batch_counted(llm, &ssm_refs, &mut items);
+        verify_rows.absorb(&rows);
         drop(items);
         for (r, last) in active.iter_mut().zip(stats) {
             r.last = last;
@@ -602,7 +654,7 @@ fn daemon_loop(
             match outcome {
                 Some(outcome) => {
                     let done = active.swap_remove(i);
-                    responses.push(done.retire(clock, outcome, &mut faults));
+                    responses.push(done.retire(clock, outcome, &mut faults, &mut controller_snap));
                 }
                 None => i += 1,
             }
@@ -624,6 +676,7 @@ fn occupancy(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     mut responses: Vec<Response>,
     clock: f64,
@@ -632,6 +685,8 @@ fn finish(
     occupancy: OccupancyStats,
     faults: FaultCounters,
     wall_s: f64,
+    controller: ControllerSnapshot,
+    verify_rows: BatchRowStats,
 ) -> ServeReport {
     responses.sort_by_key(|r| r.id);
     ServeReport {
@@ -642,6 +697,8 @@ fn finish(
         occupancy,
         faults,
         wall_s,
+        controller,
+        verify_rows,
     }
 }
 
@@ -770,17 +827,23 @@ mod tests {
         let t = d.submit(vec![1, 2], 10_000).expect("daemon accepts");
         d.cancel(t.id);
         let r = t.wait().expect("ticket resolves");
+        let report = d.shutdown().expect("clean shutdown");
+        assert_eq!(report.responses.len(), 1);
         match r.outcome {
             RequestOutcome::Cancelled => {
                 assert!(r.generated.len() < 10_000, "cut mid-stream");
+                assert_eq!(report.faults.cancellations, 1);
             }
-            RequestOutcome::Completed => panic!("10k tokens cannot finish first"),
+            RequestOutcome::Completed => {
+                // The decode loop can win the race outright: generation
+                // caps at the model's max_seq_len long before 10k
+                // tokens, and the late cancel becomes a no-op.
+                assert!(r.generated.len() < 10_000, "capacity-capped");
+                assert_eq!(report.faults.cancellations, 0);
+            }
             RequestOutcome::DeadlineMissed => panic!("no deadline was set"),
             RequestOutcome::Rejected => panic!("the prompt was valid"),
         }
-        let report = d.shutdown().expect("clean shutdown");
-        assert_eq!(report.faults.cancellations, 1);
-        assert_eq!(report.responses.len(), 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Aggregate metrics over a server run.
 
+use specinfer_spec::{BatchRowStats, ControllerSnapshot};
+
 use crate::request::{RequestOutcome, Response};
 
 /// Counters of injected faults and the runtime's degradation responses —
@@ -91,6 +93,14 @@ pub struct ServeReport {
     /// (`makespan_s`) drives every latency metric and scheduling
     /// decision; this field exists so operators can see actual runtime.
     pub wall_s: f64,
+    /// Aggregated adaptive-controller telemetry over all retired
+    /// sessions: rung-decision and SSM-routing histograms, probe counts.
+    /// All-zero when the run's mode was not adaptive.
+    pub controller: ControllerSnapshot,
+    /// LLM verify-row accounting summed over all batched iterations —
+    /// the hierarchical verifier's savings relative to single-pass.
+    /// All-zero when the run never stepped a batch.
+    pub verify_rows: BatchRowStats,
 }
 
 impl ServeReport {
@@ -166,6 +176,25 @@ impl ServeReport {
             .collect()
     }
 
+    /// Histogram of accepted speculated tokens per iteration, summed
+    /// over every response's steps: slot `k` counts the iterations that
+    /// accepted exactly `k` draft tokens. Surfaces how often speculation
+    /// actually paid, which is the signal the adaptive controller steers
+    /// on.
+    pub fn accepted_length_histogram(&self) -> Vec<usize> {
+        let mut hist: Vec<usize> = Vec::new();
+        for r in &self.responses {
+            let h = r.accepted_histogram();
+            if hist.len() < h.len() {
+                hist.resize(h.len(), 0);
+            }
+            for (acc, v) in hist.iter_mut().zip(&h) {
+                *acc += v;
+            }
+        }
+        hist
+    }
+
     /// The `q`-quantile (0..=1) of end-to-end latency over completed
     /// requests — e.g. `latency_quantile_s(0.99)` for the p99 SLO view.
     pub fn latency_quantile_s(&self, q: f64) -> f64 {
@@ -214,6 +243,8 @@ mod tests {
             occupancy: OccupancyStats::default(),
             faults: FaultCounters::default(),
             wall_s: 0.0,
+            controller: ControllerSnapshot::default(),
+            verify_rows: BatchRowStats::default(),
         }
     }
 
@@ -247,11 +278,22 @@ mod tests {
             occupancy: OccupancyStats::default(),
             faults: FaultCounters::default(),
             wall_s: 0.0,
+            controller: ControllerSnapshot::default(),
+            verify_rows: BatchRowStats::default(),
         };
         assert_eq!(r.mean_per_token_latency_s(), 0.0);
         assert_eq!(r.throughput_tokens_per_s(), 0.0);
         assert_eq!(r.mean_tokens_per_step(), 0.0);
         assert_eq!(r.latency_quantile_s(0.99), 0.0);
+        assert!(r.accepted_length_histogram().is_empty());
+    }
+
+    #[test]
+    fn accepted_length_histogram_sums_responses() {
+        let r = report();
+        // Each of the two responses has n/2 steps all accepting 1:
+        // request 0 contributes 2 iterations, request 1 contributes 4.
+        assert_eq!(r.accepted_length_histogram(), vec![0, 6]);
     }
 
     #[test]

@@ -270,6 +270,12 @@ impl IterationScheduler {
     ///   larger than the whole slab must still run eventually (its
     ///   session clamps the slab to the model's context window), and an
     ///   idle engine with a non-empty queue must never livelock.
+    ///
+    /// `cost` is a closure, not a constant-per-request tariff, precisely
+    /// so callers can charge *per-request* speculation shapes: under the
+    /// adaptive controller, two queued requests with equal prompts can
+    /// cost different row counts (their sessions sit on different ladder
+    /// rungs), and the scan prices each candidate individually.
     pub fn admit_budgeted(
         &mut self,
         now: f64,
@@ -533,6 +539,33 @@ mod tests {
         // the (saturated) budget and waits.
         assert_eq!(ids, vec![0]);
         assert_eq!(s.pending_len(), 1);
+    }
+
+    /// The cost closure is evaluated per candidate, so adaptive
+    /// controllers can charge each request its own current speculation
+    /// shape: with a variable tariff, the same queue admits a different
+    /// prefix than any flat per-request cost would.
+    #[test]
+    fn budgeted_admit_prices_each_request_through_the_closure() {
+        let mut s = IterationScheduler::new(4);
+        s.submit(sized_request(0, 0.0, 5, 15)); // 20 kv rows
+        s.submit(sized_request(1, 0.0, 5, 15)); // 20 kv rows
+        s.submit(sized_request(2, 0.0, 5, 15)); // 20 kv rows
+                                                // Variable tariff: request 1 is on a high ladder rung (+21 rows
+                                                // of speculation), the others are parked (+1 row).
+        let spec = |r: &Request| if r.id.0 == 1 { 21 } else { 1 };
+        let admitted = s.admit_budgeted(0.0, 1, 45, |r| r.kv_rows() + spec(r));
+        let ids: Vec<u64> = admitted.iter().map(|r| r.id.0).collect();
+        // 21+41 > 45 after admitting 0, so the expensive request is
+        // skipped and the cheap request 2 fills the remaining budget.
+        assert_eq!(ids, vec![0, 2]);
+        // A flat worst-case tariff would have admitted only request 0.
+        let mut flat = IterationScheduler::new(4);
+        for i in 0..3 {
+            flat.submit(sized_request(i, 0.0, 5, 15));
+        }
+        let admitted = flat.admit_budgeted(0.0, 1, 45, |r| r.kv_rows() + 21);
+        assert_eq!(admitted.len(), 1);
     }
 
     /// Bounded-queue defer/retry semantics are unchanged by the budget

@@ -21,8 +21,10 @@ use specinfer_sim::{
     ClusterSpec, LlmProfile, OffloadSpec, ParallelismPlan, StepWorkload, SystemProfile,
 };
 use specinfer_spec::{
-    DegradationPolicy, EngineConfig, InferenceMode, Session, StepFault, StepStats,
+    BatchRowStats, ControllerSnapshot, DegradationPolicy, EngineConfig, InferenceMode, Session,
+    StepFault, StepStats,
 };
+use specinfer_tokentree::ExpansionConfig;
 use specinfer_workloads::trace::Trace;
 
 use crate::fault::FaultPlan;
@@ -85,6 +87,14 @@ impl TimingConfig {
                 // Best-first expansion runs one SSM pass per materialized
                 // node; its critical path is bounded by the node budget.
                 (config.max_nodes, 1 + mean_tree_size.round() as usize)
+            }
+            InferenceMode::Adaptive { .. } => {
+                // The controller's ladder is depth-bounded by the paper's
+                // default schedule; the measured mean tree size already
+                // reflects whatever shapes it actually chose.
+                let depth = ExpansionConfig::paper_default().depth();
+                let spec_depth = if mean_tree_size > 0.0 { depth } else { 0 };
+                (spec_depth, 1 + mean_tree_size.round() as usize)
             }
         };
         let verify_workload = StepWorkload {
@@ -328,6 +338,18 @@ impl<'m> Server<'m> {
         let spec_rows = self.config.engine.speculation_rows();
         let max_ctx = self.llm.config().max_seq_len;
         let session_rows = move |r: &Request| (r.kv_rows() + spec_rows).min(max_ctx);
+        // Admission charges a fresh adaptive request its initial rung's
+        // shape, not the worst case the slab is sized for; live adaptive
+        // requests are charged their controller's current shape below.
+        let adaptive = matches!(self.config.engine.mode, InferenceMode::Adaptive { .. });
+        let admit_spec_rows = match &self.config.engine.mode {
+            InferenceMode::Adaptive { config: acfg } => {
+                acfg.admission_rows(self.config.engine.decode.is_greedy())
+            }
+            _ => spec_rows,
+        };
+        let admit_rows = move |r: &Request| (r.kv_rows() + admit_spec_rows).min(max_ctx);
+        let mut controller_snap = ControllerSnapshot::default();
         let mut batch_fill_sum = 0.0f64;
         let mut slab_fill_sum = 0.0f64;
         let mut peak_batch = 0usize;
@@ -352,12 +374,20 @@ impl<'m> Server<'m> {
                 }
                 let admitted = match self.config.slab_rows {
                     Some(budget) => {
-                        let used: usize = active.iter().map(|a| a.session.kv_capacity()).sum();
+                        let used: usize = active
+                            .iter()
+                            .map(|a| match adaptive {
+                                true => (a.session.kv_rows()
+                                    + a.session.current_speculation_rows(&a.config))
+                                .min(a.session.kv_capacity()),
+                                false => a.session.kv_capacity(),
+                            })
+                            .sum();
                         sched.admit_budgeted(
                             clock,
                             active.len(),
                             budget.saturating_sub(used),
-                            session_rows,
+                            admit_rows,
                         )
                     }
                     None => sched.admit(clock, active.len()),
@@ -502,6 +532,9 @@ impl<'m> Server<'m> {
                         faults.fallbacks_taken += d.fallbacks_taken;
                         faults.fallback_steps += d.fallback_steps;
                         faults.reprobes += d.reprobes;
+                        if let Some(snap) = done.session.controller_snapshot() {
+                            controller_snap.absorb(&snap);
+                        }
                         let result = done.session.into_result();
                         responses.push(Response {
                             id: done.request.id,
@@ -537,6 +570,11 @@ impl<'m> Server<'m> {
             },
             faults,
             wall_s: wall.elapsed_s(),
+            controller: controller_snap,
+            // The trace-driven server steps sessions serially (one
+            // forward per session), so there is no fused-pass row
+            // accounting to report; the daemon path measures it.
+            verify_rows: BatchRowStats::default(),
         }
     }
 

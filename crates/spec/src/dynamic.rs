@@ -81,7 +81,9 @@ impl Ord for Candidate {
 ///
 /// `cache` must hold the verified prefix (everything but the root token)
 /// and is restored before returning, mirroring
-/// [`crate::speculator::expand_into`].
+/// [`crate::speculator::expand_into`]. `ssm_id` tags every node and
+/// distribution with the drafting SSM's pool index, so the adaptive
+/// controller can route dynamic drafts to any pool member.
 ///
 /// # Panics
 ///
@@ -92,6 +94,7 @@ pub fn speculate_dynamic(
     cache: &mut KvCache,
     root_token: TokenId,
     config: &DynamicExpansionConfig,
+    ssm_id: usize,
 ) -> Speculation {
     assert!(config.max_nodes > 0, "node budget must be positive");
     assert!(config.max_children > 0, "max_children must be positive");
@@ -153,7 +156,7 @@ pub fn speculate_dynamic(
                 }
             }
         }
-        dists.insert(u, 0, q);
+        dists.insert(u, ssm_id, q);
     };
 
     path_prob.insert(TokenTree::ROOT.index(), 1.0);
@@ -170,7 +173,7 @@ pub fn speculate_dynamic(
     while tree.speculated_len() < config.max_nodes {
         let Some(c) = heap.pop() else { break };
         debug_assert!(c.depth <= config.max_depth);
-        let node = tree.add_child(c.parent, c.token, 0, c.prob);
+        let node = tree.add_child(c.parent, c.token, ssm_id, c.prob);
         path_prob.insert(node.index(), c.score);
         process(
             node,
@@ -200,7 +203,7 @@ mod tests {
         let m = ssm();
         let mut cache = m.new_cache();
         let _ = m.prefill(&[1, 2, 3], &mut cache);
-        let out = speculate_dynamic(&m, &mut cache, 5, config);
+        let out = speculate_dynamic(&m, &mut cache, 5, config, 0);
         assert_eq!(cache.len(), 3, "cache must be restored");
         out
     }

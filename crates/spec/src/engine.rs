@@ -13,11 +13,17 @@ use specinfer_tensor::rng::SeededRng;
 use specinfer_tensor::Tensor;
 use specinfer_tokentree::{ExpansionConfig, LinearizedTree, TokenId, TokenTree};
 
+use crate::controller::{
+    draft_flop_weight, AdaptiveConfig, AdaptiveDecision, ControllerSnapshot, DraftShape,
+    SpecController,
+};
 use crate::speculator::{
     expand_into, speculate_garbage, speculate_pool_parallel, ExpansionMode, Speculation,
     SsmDistTable,
 };
-use crate::verifier::{verify_greedy, verify_naive, verify_stochastic, StochasticVerifier};
+use crate::verifier::{
+    verify_greedy, verify_naive, verify_stochastic, StochasticVerifier, VerifyOutcome,
+};
 
 /// Which inference algorithm drives a generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +50,18 @@ pub enum InferenceMode {
     DynamicTree {
         /// Budget and pruning knobs.
         config: crate::dynamic::DynamicExpansionConfig,
+    },
+    /// Online per-request adaptive speculation (ROADMAP item 3): a
+    /// [`SpecController`] inside each session tracks acceptance EWMAs and
+    /// picks every iteration's draft shape from a ladder spanning
+    /// incremental ⇄ sequence ⇄ dynamic ⇄ `paper_default`, plus the SSM
+    /// to draft with (SPIN-style accepted-per-draft-FLOP routing). Greedy
+    /// decoding stays exactly lossless for every shape on the ladder; the
+    /// stochastic ladder uses sampled drafts only, preserving MSS
+    /// exactness (Theorem 4.2).
+    Adaptive {
+        /// Controller tuning (EWMA factors, hysteresis, probe period).
+        config: AdaptiveConfig,
     },
 }
 
@@ -93,6 +111,14 @@ impl EngineConfig {
             }
             InferenceMode::TreeSpeculative { expansion } => expansion.node_count() + 1,
             InferenceMode::DynamicTree { config } => config.max_nodes + 1,
+            // The adaptive ladder tops out at paper_default, so the
+            // worst case over every rung the controller can pick is the
+            // paper tree plus the root. Reserving this keeps budgeted
+            // adaptive sessions bitwise-identical to full-capacity ones
+            // no matter how the controller moves; the per-iteration cost
+            // of the rung actually chosen is
+            // [`Session::current_speculation_rows`].
+            InferenceMode::Adaptive { .. } => ExpansionConfig::paper_default().node_count() + 1,
         }
     }
 }
@@ -291,6 +317,9 @@ pub(crate) struct Proposal {
     speculative_mode: bool,
     forced_incremental: bool,
     in_fallback: bool,
+    /// The controller decision behind this proposal (adaptive mode only);
+    /// fed back to the controller at commit.
+    decision: Option<AdaptiveDecision>,
 }
 
 #[derive(Debug)]
@@ -325,6 +354,16 @@ impl Proposal {
         }
     }
 
+    /// The speculation and its linearization, or `None` for an
+    /// incremental row. The hierarchical batched verifier drives the
+    /// verification walk itself and needs the draft distributions.
+    pub(crate) fn speculation(&self) -> Option<(&Speculation, &LinearizedTree)> {
+        match &self.kind {
+            ProposalKind::Tree(t) => Some((&t.spec, &t.lin)),
+            ProposalKind::Incremental => None,
+        }
+    }
+
     /// Whether a fault (stall/OOM) forced this proposal incremental.
     /// The batched verifier routes such proposals through the serial
     /// path so a faulted request never poisons its batch-mates.
@@ -354,6 +393,10 @@ pub struct Session {
     degradation: DegradationStats,
     accept_window: VecDeque<f64>,
     fallback_until: Option<usize>,
+    /// Adaptive speculation state, installed lazily on the first
+    /// [`InferenceMode::Adaptive`] proposal (it needs the SSM pool's FLOP
+    /// weights, which only arrive with the first step).
+    controller: Option<SpecController>,
 }
 
 impl Session {
@@ -448,6 +491,7 @@ impl Session {
             degradation: DegradationStats::default(),
             accept_window: VecDeque::new(),
             fallback_until: None,
+            controller: None,
         })
     }
 
@@ -482,6 +526,32 @@ impl Session {
     /// The LLM KV cache, for the batched verifier's stacked forward.
     pub(crate) fn llm_cache_mut(&mut self) -> &mut KvCache {
         &mut self.llm_cache
+    }
+
+    /// The session's RNG stream, for the hierarchical batched verifier's
+    /// out-of-session stochastic walks. Consumed node-by-node exactly as
+    /// the serial verifier would.
+    pub(crate) fn rng_mut(&mut self) -> &mut SeededRng {
+        &mut self.rng
+    }
+
+    /// Speculation rows the session's *next* iteration will actually
+    /// append: the controller's current rung under
+    /// [`InferenceMode::Adaptive`], the static worst case otherwise.
+    /// This is the per-request occupancy cost `admit_budgeted` charges —
+    /// the width-vs-batch-depth tradeoff: a request parked at incremental
+    /// frees ~20 rows of budget for admitting more batch-mates.
+    pub fn current_speculation_rows(&self, config: &EngineConfig) -> usize {
+        match (&config.mode, &self.controller) {
+            (InferenceMode::Adaptive { .. }, Some(c)) => c.current_rows(),
+            _ => config.speculation_rows(),
+        }
+    }
+
+    /// Telemetry snapshot of the adaptive controller, if this session has
+    /// one (i.e. it stepped under [`InferenceMode::Adaptive`]).
+    pub fn controller_snapshot(&self) -> Option<ControllerSnapshot> {
+        self.controller.as_ref().map(|c| c.snapshot())
     }
 
     /// Enables (or replaces) the acceptance-collapse degradation ladder.
@@ -594,6 +664,7 @@ impl Session {
         let forced_incremental = speculative_mode && (fault.ssm_stall || fault.kv_oom);
         let in_fallback = speculative_mode && self.fallback_until.is_some();
 
+        let mut decision = None;
         let kind = if forced_incremental {
             self.degradation.forced_incremental += 1;
             ProposalKind::Incremental
@@ -622,9 +693,36 @@ impl Session {
                 }
                 InferenceMode::DynamicTree { config: dyn_cfg } => {
                     if self.speculation_fits(ssms, dyn_cfg.max_nodes) {
-                        self.propose_dynamic(llm, ssms, dyn_cfg, fault.ssm_garbage)
+                        self.propose_dynamic(llm, ssms, dyn_cfg, 0, fault.ssm_garbage)
                     } else {
                         ProposalKind::Incremental
+                    }
+                }
+                InferenceMode::Adaptive { config: acfg } => {
+                    if ssms.is_empty() {
+                        // No drafters: adaptive degenerates to incremental.
+                        ProposalKind::Incremental
+                    } else {
+                        self.ensure_controller(acfg, config, ssms);
+                        let d = match self.controller.as_mut() {
+                            Some(c) => c.decide(),
+                            None => unreachable!("ensure_controller installs one"),
+                        };
+                        if matches!(d.shape, DraftShape::Incremental) {
+                            decision = Some(d);
+                            ProposalKind::Incremental
+                        } else if self.speculation_fits(ssms, d.shape.node_count()) {
+                            let kind =
+                                self.propose_adaptive(llm, ssms, &d, config, fault.ssm_garbage);
+                            decision = Some(d);
+                            kind
+                        } else {
+                            // Near the context limit the chosen shape no
+                            // longer fits: decode incrementally and drop
+                            // the decision so the controller is not
+                            // penalized for a draft that never ran.
+                            ProposalKind::Incremental
+                        }
                     }
                 }
             }
@@ -634,7 +732,27 @@ impl Session {
             speculative_mode,
             forced_incremental,
             in_fallback,
+            decision,
         })
+    }
+
+    /// Installs the adaptive controller on first use: it needs the SSM
+    /// pool's relative draft-FLOP weights, which only arrive with the
+    /// first proposal.
+    fn ensure_controller(
+        &mut self,
+        acfg: &AdaptiveConfig,
+        config: &EngineConfig,
+        ssms: &[&Transformer],
+    ) {
+        if self.controller.is_none() {
+            let flops: Vec<f32> = ssms.iter().map(|s| draft_flop_weight(s.config())).collect();
+            self.controller = Some(SpecController::new(
+                acfg.clone(),
+                config.decode.is_greedy(),
+                flops,
+            ));
+        }
     }
 
     /// Phase 2: the single LLM forward pass verifying `proposal` —
@@ -662,19 +780,87 @@ impl Session {
         proposal: Proposal,
         logits: &Tensor,
     ) -> StepStats {
-        let idx = self.steps.len();
-        let stats = match proposal.kind {
+        let Proposal {
+            kind,
+            speculative_mode,
+            forced_incremental,
+            in_fallback,
+            decision,
+        } = proposal;
+        let stats = match kind {
             ProposalKind::Incremental => self.commit_incremental(config, logits),
             ProposalKind::Tree(t) => {
                 let TreeProposal { spec, lin } = *t;
                 self.commit_tree(ssms, config, spec, lin, logits)
             }
         };
+        self.finish_step(
+            speculative_mode,
+            forced_incremental,
+            in_fallback,
+            decision,
+            stats,
+        )
+    }
+
+    /// Commits a tree proposal whose verification already ran *outside*
+    /// the session — the hierarchical batched verifier runs the walk
+    /// itself across two forward passes. `outcome` is the finished walk's
+    /// result, `prefix` the LLM-cache length from before any verify rows
+    /// were appended, and `keep` the strictly-increasing positions
+    /// (relative to `prefix`) of the root + accepted rows within the
+    /// cache's current appended tail, whatever two-pass layout it has.
+    pub(crate) fn commit_verified(
+        &mut self,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+        proposal: Proposal,
+        outcome: VerifyOutcome,
+        prefix: usize,
+        keep: Vec<usize>,
+    ) -> StepStats {
+        let Proposal {
+            kind,
+            speculative_mode,
+            forced_incremental,
+            in_fallback,
+            decision,
+        } = proposal;
+        let spec = match kind {
+            ProposalKind::Tree(t) => t.spec,
+            ProposalKind::Incremental => {
+                unreachable!("commit_verified requires a tree proposal")
+            }
+        };
+        let stats = self.apply_tree_outcome(ssms, config, &spec, outcome, prefix, keep);
+        self.finish_step(
+            speculative_mode,
+            forced_incremental,
+            in_fallback,
+            decision,
+            stats,
+        )
+    }
+
+    /// Shared tail of every commit path: feed the adaptive controller and
+    /// the degradation ladder, record the step.
+    fn finish_step(
+        &mut self,
+        speculative_mode: bool,
+        forced_incremental: bool,
+        in_fallback: bool,
+        decision: Option<AdaptiveDecision>,
+        stats: StepStats,
+    ) -> StepStats {
+        let idx = self.steps.len();
+        if let (Some(c), Some(d)) = (self.controller.as_mut(), decision.as_ref()) {
+            c.observe(d, stats.accepted);
+        }
         // Feed the ladder with the acceptance of speculative iterations.
         if self.policy.is_enabled()
-            && proposal.speculative_mode
-            && !proposal.forced_incremental
-            && !proposal.in_fallback
+            && speculative_mode
+            && !forced_incremental
+            && !in_fallback
             && stats.tree_size > 0
         {
             self.accept_window
@@ -789,6 +975,7 @@ impl Session {
         llm: &Transformer,
         ssms: &[&Transformer],
         dyn_cfg: &crate::dynamic::DynamicExpansionConfig,
+        ssm_id: usize,
         garbage: Option<u64>,
     ) -> ProposalKind {
         assert!(
@@ -809,11 +996,11 @@ impl Session {
             let spec = speculate_garbage(root, &expansion, llm.config().vocab_size, seed);
             return ProposalKind::tree(spec);
         }
-        let (ssm0, cache0) = match (ssms.first(), self.ssm_caches.first_mut()) {
+        let (ssm, cache) = match (ssms.get(ssm_id), self.ssm_caches.get_mut(ssm_id)) {
             (Some(&s), Some(c)) => (s, c),
-            _ => unreachable!("non-empty SSM pool asserted above"),
+            _ => unreachable!("dynamic speculation routed outside the SSM pool"),
         };
-        let spec = crate::dynamic::speculate_dynamic(ssm0, cache0, root, dyn_cfg);
+        let spec = crate::dynamic::speculate_dynamic(ssm, cache, root, dyn_cfg, ssm_id);
         ProposalKind::tree(spec)
     }
 
@@ -829,7 +1016,6 @@ impl Session {
         lin: LinearizedTree,
         llm_logits: &Tensor,
     ) -> StepStats {
-        let root = self.last_token();
         // The forward appended one cache row per tree node; everything
         // before those rows is the verified prefix to compact onto.
         let prefix = self.llm_cache.len() - lin.len();
@@ -849,10 +1035,27 @@ impl Session {
                 }
             },
         };
-
-        // Keep the accepted path (root + verified nodes) in the LLM cache.
+        // Keep the accepted path (root + verified nodes): in single-pass
+        // layout the appended tail is the whole linearization.
         let mut keep: Vec<usize> = vec![0];
         keep.extend(outcome.nodes.iter().map(|&u| lin.index_of(u)));
+        self.apply_tree_outcome(ssms, config, &spec, outcome, prefix, keep)
+    }
+
+    /// Applies a finished tree verification: compacts the LLM cache onto
+    /// `keep` (positions relative to `prefix` in the cache's current
+    /// appended-tail layout), replays the accepted path into every SSM
+    /// cache, extends the token sequence and checks termination.
+    fn apply_tree_outcome(
+        &mut self,
+        ssms: &[&Transformer],
+        config: &EngineConfig,
+        spec: &Speculation,
+        outcome: VerifyOutcome,
+        prefix: usize,
+        keep: Vec<usize>,
+    ) -> StepStats {
+        let root = self.last_token();
         self.llm_cache.retain_rows(prefix, &keep);
 
         // SSM caches saw only the verified prefix; append the root and the
@@ -875,6 +1078,97 @@ impl Session {
             accepted,
             emitted: outcome.tokens.len(),
         }
+    }
+
+    /// Drafts one adaptive-mode iteration: the controller-chosen shape,
+    /// expanded by the controller-chosen SSM alone on the session's RNG
+    /// stream.
+    fn propose_adaptive(
+        &mut self,
+        llm: &Transformer,
+        ssms: &[&Transformer],
+        decision: &AdaptiveDecision,
+        config: &EngineConfig,
+        garbage: Option<u64>,
+    ) -> ProposalKind {
+        assert!(
+            !ssms.is_empty(),
+            "adaptive speculation needs at least one SSM"
+        );
+        assert_eq!(
+            ssms.len(),
+            self.ssm_caches.len(),
+            "the session was created for a different SSM pool"
+        );
+        let root = self.last_token();
+        let exp_mode = ExpansionMode::for_decode_mode(&config.decode);
+
+        if let Some(seed) = garbage {
+            // Garbage faults replace the draft with uniform draws in an
+            // equivalent static shape; the controller still observes the
+            // (collapsed) acceptance and parks itself.
+            let expansion = match &decision.shape {
+                DraftShape::Incremental => {
+                    unreachable!("incremental decisions never reach propose_adaptive")
+                }
+                DraftShape::Sequence(m) => ExpansionConfig::sequence(*m),
+                DraftShape::Dynamic(c) => {
+                    let depth = c.max_depth.clamp(1, c.max_nodes.max(1));
+                    ExpansionConfig::sequence(depth)
+                }
+                DraftShape::Tree(e) => e.clone(),
+            };
+            let spec = speculate_garbage(root, &expansion, llm.config().vocab_size, seed);
+            return ProposalKind::tree(spec);
+        }
+
+        let (ssm, cache) = match (
+            ssms.get(decision.ssm),
+            self.ssm_caches.get_mut(decision.ssm),
+        ) {
+            (Some(&s), Some(c)) => (s, c),
+            _ => unreachable!("controller routes within the SSM pool"),
+        };
+        let spec = match &decision.shape {
+            DraftShape::Incremental => {
+                unreachable!("incremental decisions never reach propose_adaptive")
+            }
+            DraftShape::Sequence(m) => {
+                let expansion = ExpansionConfig::sequence(*m);
+                let mut tree = TokenTree::new(root);
+                let mut dists = SsmDistTable::new();
+                expand_into(
+                    &mut tree,
+                    &mut dists,
+                    ssm,
+                    decision.ssm,
+                    cache,
+                    &expansion,
+                    exp_mode,
+                    &mut self.rng,
+                );
+                Speculation { tree, dists }
+            }
+            DraftShape::Tree(expansion) => {
+                let mut tree = TokenTree::new(root);
+                let mut dists = SsmDistTable::new();
+                expand_into(
+                    &mut tree,
+                    &mut dists,
+                    ssm,
+                    decision.ssm,
+                    cache,
+                    expansion,
+                    exp_mode,
+                    &mut self.rng,
+                );
+                Speculation { tree, dists }
+            }
+            DraftShape::Dynamic(dyn_cfg) => {
+                crate::dynamic::speculate_dynamic(ssm, cache, root, dyn_cfg, decision.ssm)
+            }
+        };
+        ProposalKind::tree(spec)
     }
 
     fn check_termination(&mut self, config: &EngineConfig, new_tokens: &[TokenId]) {

@@ -49,14 +49,19 @@
 pub mod audit;
 mod batch;
 pub mod boost;
+pub mod controller;
 pub mod dynamic;
 mod engine;
 mod speculator;
 mod verifier;
 
 pub use audit::{audit_greedy, AuditReport};
-pub use batch::{BatchItem, BatchedVerifier};
+pub use batch::{BatchItem, BatchRowStats, BatchedVerifier};
 pub use boost::{boost_tune_pool, BoostConfig, BoostResult};
+pub use controller::{
+    draft_flop_weight, AdaptiveConfig, AdaptiveDecision, ControllerSnapshot, DraftShape,
+    SpecController,
+};
 pub use dynamic::{speculate_dynamic, DynamicExpansionConfig};
 pub use engine::{
     DegradationPolicy, DegradationStats, EngineConfig, EngineError, GenerationResult,
@@ -67,5 +72,6 @@ pub use speculator::{
     ExpansionMode, Speculation, SsmDistTable, DRAFT_FLATTEN_TEMPERATURE,
 };
 pub use verifier::{
-    verify_greedy, verify_naive, verify_stochastic, StochasticVerifier, VerifyOutcome,
+    advance_greedy, advance_naive, advance_stochastic, verify_greedy, verify_naive,
+    verify_stochastic, LogitRows, StochasticVerifier, TensorRows, VerifyOutcome, VerifyWalk,
 };

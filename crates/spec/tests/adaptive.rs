@@ -1,0 +1,232 @@
+//! Losslessness and equivalence battery for the adaptive speculation
+//! controller ([`InferenceMode::Adaptive`]).
+//!
+//! Greedy speculative decoding is exactly lossless for *any* draft tree
+//! (§4.1), so whatever shapes the controller picks — and however its
+//! EWMAs, hysteresis and probes make it switch shapes mid-stream — the
+//! emitted tokens must be bitwise-identical to plain incremental
+//! decoding. The proptest sweeps controller constants to drive arbitrary
+//! decision sequences through the same gate, and the batched cases pin
+//! adaptive sessions to the hierarchical verifier's two-pass schedule.
+
+use proptest::prelude::*;
+use specinfer_model::{DecodeMode, ModelConfig, Transformer};
+use specinfer_spec::{
+    AdaptiveConfig, BatchItem, BatchedVerifier, EngineConfig, InferenceMode, Session, StepFault,
+    StepStats, StochasticVerifier,
+};
+use specinfer_tokentree::TokenId;
+
+fn llm() -> Transformer {
+    Transformer::from_seed(ModelConfig::smoke(), 100)
+}
+
+fn ssm_cfg(d_model: usize, d_ff: usize) -> ModelConfig {
+    ModelConfig {
+        d_model,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff,
+        ..ModelConfig::smoke()
+    }
+}
+
+/// A heterogeneous two-SSM pool: different sizes, so the controller's
+/// FLOP-normalized routing has a real choice to make.
+fn pool() -> Vec<Transformer> {
+    vec![
+        Transformer::from_seed(ssm_cfg(8, 16), 101),
+        Transformer::from_seed(ssm_cfg(16, 32), 102),
+    ]
+}
+
+fn engine_config(mode: InferenceMode, decode: DecodeMode, max_new: usize) -> EngineConfig {
+    EngineConfig {
+        decode,
+        verifier: StochasticVerifier::MultiStep,
+        mode,
+        max_new_tokens: max_new,
+        eos_token: None,
+    }
+}
+
+fn prompt(slot: usize) -> Vec<TokenId> {
+    vec![1 + slot as TokenId, 2, 3 + (slot % 5) as TokenId]
+}
+
+/// Serial run of one session to completion.
+fn run_serial(
+    llm: &Transformer,
+    ssms: &[&Transformer],
+    cfg: &EngineConfig,
+    slot: usize,
+    seed: u64,
+) -> (Vec<TokenId>, Vec<StepStats>) {
+    let mut s = Session::new(llm, ssms, &prompt(slot), seed);
+    while !s.is_finished() {
+        let _ = s.step_faulted(llm, ssms, cfg, StepFault::default());
+    }
+    let steps = s.steps().to_vec();
+    (s.into_result().tokens, steps)
+}
+
+/// Batched (hierarchical) run of `batch` sessions to completion.
+fn run_batched(
+    llm: &Transformer,
+    ssms: &[&Transformer],
+    cfg: &EngineConfig,
+    seed: u64,
+    batch: usize,
+) -> Vec<(Vec<TokenId>, Vec<StepStats>)> {
+    let verifier = BatchedVerifier::new();
+    let mut sessions: Vec<Session> = (0..batch)
+        .map(|b| Session::new(llm, ssms, &prompt(b), seed.wrapping_add(b as u64)))
+        .collect();
+    while sessions.iter().any(|s| !s.is_finished()) {
+        let mut items: Vec<BatchItem<'_>> = sessions
+            .iter_mut()
+            .map(|s| BatchItem {
+                session: s,
+                config: cfg,
+                fault: StepFault::default(),
+            })
+            .collect();
+        let _ = verifier.step_batch(llm, ssms, &mut items);
+    }
+    sessions
+        .into_iter()
+        .map(|s| {
+            let steps = s.steps().to_vec();
+            (s.into_result().tokens, steps)
+        })
+        .collect()
+}
+
+fn adaptive(config: AdaptiveConfig) -> InferenceMode {
+    InferenceMode::Adaptive { config }
+}
+
+#[test]
+fn adaptive_greedy_matches_incremental_token_for_token() {
+    let llm = llm();
+    let pool = pool();
+    let ssms: Vec<&Transformer> = pool.iter().collect();
+    for seed in [0u64, 7, 42, 99] {
+        let inc = engine_config(InferenceMode::Incremental, DecodeMode::Greedy, 24);
+        let ada = engine_config(adaptive(AdaptiveConfig::default()), DecodeMode::Greedy, 24);
+        let (inc_tokens, _) = run_serial(&llm, &ssms, &inc, 0, seed);
+        let (ada_tokens, ada_steps) = run_serial(&llm, &ssms, &ada, 0, seed);
+        assert_eq!(inc_tokens, ada_tokens, "seed {seed}");
+        assert!(!ada_steps.is_empty());
+    }
+}
+
+#[test]
+fn adaptive_sessions_expose_controller_telemetry() {
+    let llm = llm();
+    let pool = pool();
+    let ssms: Vec<&Transformer> = pool.iter().collect();
+    let ada = engine_config(adaptive(AdaptiveConfig::default()), DecodeMode::Greedy, 16);
+    let mut s = Session::new(&llm, &ssms, &prompt(0), 3);
+    while !s.is_finished() {
+        let _ = s.step_faulted(&llm, &ssms, &ada, StepFault::default());
+    }
+    let snap = s.controller_snapshot().expect("adaptive session has one");
+    let decisions: usize = snap.rung_decisions.iter().sum();
+    assert!(decisions > 0, "controller must have decided every step");
+    assert_eq!(snap.ssm_routes.len(), 2, "one routing slot per pool SSM");
+    // A non-adaptive session must not fabricate telemetry.
+    let inc = engine_config(InferenceMode::Incremental, DecodeMode::Greedy, 4);
+    let mut s = Session::new(&llm, &ssms, &prompt(0), 3);
+    let _ = s.step_faulted(&llm, &ssms, &inc, StepFault::default());
+    assert!(s.controller_snapshot().is_none());
+}
+
+#[test]
+fn adaptive_batched_matches_adaptive_serial_greedy_and_mss() {
+    let llm = llm();
+    let pool = pool();
+    let ssms: Vec<&Transformer> = pool.iter().collect();
+    for decode in [DecodeMode::Greedy, DecodeMode::stochastic()] {
+        let ada = engine_config(adaptive(AdaptiveConfig::default()), decode.clone(), 12);
+        for batch in [1usize, 2, 4, 8] {
+            let serial: Vec<_> = (0..batch)
+                .map(|b| run_serial(&llm, &ssms, &ada, b, 5u64.wrapping_add(b as u64)))
+                .collect();
+            let batched = run_batched(&llm, &ssms, &ada, 5, batch);
+            assert_eq!(serial, batched, "batch {batch}, {decode:?}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_without_ssms_degrades_to_incremental() {
+    let llm = llm();
+    let ada = engine_config(adaptive(AdaptiveConfig::default()), DecodeMode::Greedy, 8);
+    let inc = engine_config(InferenceMode::Incremental, DecodeMode::Greedy, 8);
+    let (a, _) = run_serial(&llm, &[], &ada, 0, 11);
+    let (i, _) = run_serial(&llm, &[], &inc, 0, 11);
+    assert_eq!(a, i, "an empty pool must serve incrementally");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary controller constants produce arbitrary decision
+    /// sequences (shapes switching mid-stream, probes, parking); greedy
+    /// outputs must stay bitwise-identical to serial incremental
+    /// decoding through every one of them.
+    #[test]
+    fn arbitrary_controller_decisions_stay_lossless_under_greedy(
+        ewma_alpha in 0.05f32..0.95,
+        up in 0.5f32..0.9,
+        down in 0.02f32..0.45,
+        hysteresis in 1usize..4,
+        probe_period in 2usize..16,
+        initial_rung in 0usize..8,
+        seed in 0u64..1_000,
+        max_new in 4usize..20,
+    ) {
+        let llm = llm();
+        let pool = pool();
+        let ssms: Vec<&Transformer> = pool.iter().collect();
+        let cfg = AdaptiveConfig {
+            ewma_alpha,
+            up_threshold: up,
+            down_threshold: down,
+            hysteresis,
+            probe_period,
+            initial_rung,
+        };
+        let inc = engine_config(InferenceMode::Incremental, DecodeMode::Greedy, max_new);
+        let ada = engine_config(adaptive(cfg), DecodeMode::Greedy, max_new);
+        let (inc_tokens, _) = run_serial(&llm, &ssms, &inc, 0, seed);
+        let (ada_tokens, _) = run_serial(&llm, &ssms, &ada, 0, seed);
+        prop_assert_eq!(inc_tokens, ada_tokens);
+    }
+
+    /// The hierarchical batched verifier replays adaptive sessions
+    /// (controller state and all) bitwise-identically to serial
+    /// stepping, whatever the controller constants.
+    #[test]
+    fn arbitrary_controller_decisions_batch_bitwise_identically(
+        probe_period in 2usize..12,
+        initial_rung in 0usize..8,
+        seed in 0u64..500,
+    ) {
+        let llm = llm();
+        let pool = pool();
+        let ssms: Vec<&Transformer> = pool.iter().collect();
+        let cfg = AdaptiveConfig {
+            probe_period,
+            initial_rung,
+            ..AdaptiveConfig::default()
+        };
+        let ada = engine_config(adaptive(cfg), DecodeMode::Greedy, 10);
+        let serial: Vec<_> = (0..3usize)
+            .map(|b| run_serial(&llm, &ssms, &ada, b, seed.wrapping_add(b as u64)))
+            .collect();
+        let batched = run_batched(&llm, &ssms, &ada, seed, 3);
+        prop_assert_eq!(serial, batched);
+    }
+}

@@ -241,6 +241,113 @@ fn already_finished_sessions_yield_none_in_the_batch() {
 }
 
 // ---------------------------------------------------------------------
+// Hierarchical vs single-pass battery: the two-phase verifier must emit
+// bitwise-identical outputs to the legacy single-pass schedule while
+// forwarding no more (and, on deep trees, strictly fewer) verify rows.
+// ---------------------------------------------------------------------
+
+use specinfer_spec::BatchRowStats;
+
+/// Runs `batch` sessions through the given verifier and returns outputs
+/// plus run-total verify-row accounting.
+fn run_with_verifier(
+    llm: &Transformer,
+    ssm: &Transformer,
+    verifier: &BatchedVerifier,
+    cfg: &EngineConfig,
+    seed: u64,
+    batch: usize,
+) -> (Vec<(Vec<TokenId>, Vec<StepStats>)>, BatchRowStats) {
+    let ssms = [ssm];
+    let mut rows = BatchRowStats::default();
+    let mut sessions: Vec<Session> = (0..batch)
+        .map(|b| Session::new(llm, &ssms, &prompt(b), seed.wrapping_add(b as u64)))
+        .collect();
+    while sessions.iter().any(|s| !s.is_finished()) {
+        let mut items: Vec<BatchItem<'_>> = sessions
+            .iter_mut()
+            .map(|s| BatchItem {
+                session: s,
+                config: cfg,
+                fault: StepFault::default(),
+            })
+            .collect();
+        let (_, r) = verifier.step_batch_counted(llm, &ssms, &mut items);
+        rows.absorb(&r);
+    }
+    let out = sessions
+        .into_iter()
+        .map(|s| {
+            let steps = s.steps().to_vec();
+            (s.into_result().tokens, steps)
+        })
+        .collect();
+    (out, rows)
+}
+
+#[test]
+fn hierarchical_equals_single_pass_across_seeds_batches_and_modes() {
+    let (llm, ssm) = models();
+    for decode in [DecodeMode::Greedy, DecodeMode::stochastic()] {
+        for expansion in [
+            ExpansionConfig::new(vec![2, 1, 1]),
+            ExpansionConfig::paper_default(),
+        ] {
+            let mut cfg = config(decode.clone());
+            cfg.mode = InferenceMode::TreeSpeculative {
+                expansion: expansion.clone(),
+            };
+            for seed in [0u64, 7, 42] {
+                for batch in [1usize, 2, 4, 8] {
+                    let (two_pass, hier_rows) =
+                        run_with_verifier(&llm, &ssm, &BatchedVerifier::new(), &cfg, seed, batch);
+                    let (one_pass, single_rows) = run_with_verifier(
+                        &llm,
+                        &ssm,
+                        &BatchedVerifier::single_pass(),
+                        &cfg,
+                        seed,
+                        batch,
+                    );
+                    assert_eq!(
+                        two_pass, one_pass,
+                        "seed {seed}, batch {batch}, {decode:?}, {expansion:?}"
+                    );
+                    // Both schedules agree on what single-pass would cost…
+                    assert_eq!(hier_rows.single_pass_rows, single_rows.single_pass_rows);
+                    assert_eq!(single_rows.forwarded_rows(), single_rows.single_pass_rows);
+                    // …and the hierarchical pass never forwards more:
+                    // pass A (frontier) and pass B (one surviving
+                    // subtree) are disjoint subsets of the tree.
+                    assert!(
+                        hier_rows.forwarded_rows() <= hier_rows.single_pass_rows,
+                        "seed {seed}, batch {batch}: {hier_rows:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_prunes_rows_at_paper_default() {
+    // The paper's ⟨1,1,3,1,1,1,1,1⟩ schedule drafts 20 nodes, almost
+    // all below depth 1; random smoke models reject most drafts, so
+    // early-died walks must prune deep subtrees in bulk.
+    let (llm, ssm) = models();
+    let mut cfg = config(DecodeMode::Greedy);
+    cfg.mode = InferenceMode::TreeSpeculative {
+        expansion: ExpansionConfig::paper_default(),
+    };
+    let (_, rows) = run_with_verifier(&llm, &ssm, &BatchedVerifier::new(), &cfg, 42, 4);
+    assert!(
+        rows.pruned_rows() > 0,
+        "deep trees with early rejection must prune: {rows:?}"
+    );
+    assert!(rows.pass_b_rows <= rows.single_pass_rows - rows.pass_a_rows);
+}
+
+// ---------------------------------------------------------------------
 // Ragged battery: requests join and retire mid-flight. Every request's
 // output must still be bitwise-identical to its own serial run — the
 // equivalence gate behind the continuous-batching daemon.

@@ -400,6 +400,76 @@ fn theorem_4_2_chi_square_battery() {
     }
 }
 
+/// Theorem 4.2 under the adaptive controller's regime: the draft width
+/// switches *mid-stream* as a function of acceptance history — exactly
+/// the data-dependent shape selection [`SpecController`] performs, here
+/// modelled as a hysteresis ladder over widths 1..=4 that climbs on
+/// acceptance and descends on rejection. Because the width chosen for
+/// step `t` is measurable with respect to the history before step `t`,
+/// every step's output marginal must still be exactly the target `p`;
+/// we χ²-test the *last* step of each chain, whose width is maximally
+/// history-dependent. A sampler that leaked the shape decision into the
+/// residual distribution would overshoot the critical value by orders
+/// of magnitude.
+///
+/// [`SpecController`]: specinfer_spec::SpecController
+#[test]
+fn theorem_4_2_chi_square_with_midstream_shape_switching() {
+    #[allow(clippy::type_complexity)]
+    let cases: Vec<(&str, Vec<f32>, Vec<Vec<f32>>, usize)> = vec![
+        (
+            "skewed proposal, switching widths",
+            vec![0.25; 4],
+            vec![vec![0.4, 0.3, 0.2, 0.1]],
+            30_000,
+        ),
+        (
+            "three disagreeing SSMs, switching widths",
+            vec![0.1, 0.3, 0.05, 0.25, 0.2, 0.1],
+            vec![
+                vec![0.5, 0.2, 0.1, 0.1, 0.05, 0.05],
+                vec![0.05, 0.05, 0.6, 0.1, 0.1, 0.1],
+                vec![1.0 / 6.0; 6],
+            ],
+            30_000,
+        ),
+    ];
+    const STEPS: usize = 6;
+    for (ci, (name, p, qs, trials)) in cases.iter().enumerate() {
+        let mut rng = SeededRng::new(700 + ci as u64);
+        let mut counts = vec![0u64; p.len()];
+        let mut widths_seen = [false; 4];
+        for _ in 0..*trials {
+            let mut width = 2usize;
+            let mut last = 0u32;
+            for _ in 0..STEPS {
+                let (tok, rejected) = mss_trial(p, qs, width, &mut rng);
+                // Controller-style ladder move, conditioned on this
+                // step's outcome: descend on rejection, climb on accept.
+                width = if rejected {
+                    (width - 1).max(1)
+                } else {
+                    (width + 1).min(4)
+                };
+                widths_seen[width - 1] = true;
+                last = tok;
+            }
+            counts[last as usize] += 1;
+        }
+        assert!(
+            widths_seen.iter().all(|&w| w),
+            "{name}: the ladder never visited every width — the schedule \
+             is not actually switching"
+        );
+        let (chi2, df) = chi_square(&counts, p);
+        assert!(
+            chi2 < CHI2_CRIT_1E4[df - 1],
+            "{name}: χ² = {chi2:.2} > {:.2} at df = {df} (counts {counts:?})",
+            CHI2_CRIT_1E4[df - 1]
+        );
+    }
+}
+
 /// MSS accepts strictly more than NS in expectation when the SSM aligns
 /// with the LLM — the effect behind Table 3.
 #[test]

@@ -23,6 +23,18 @@ pub struct TopologyMask {
 }
 
 impl TopologyMask {
+    /// Builds a mask over `n` positions from an arbitrary visibility
+    /// predicate. Used by the hierarchical verifier to restrict an
+    /// existing tree mask to a sub-range of linear positions (the depth-1
+    /// frontier, or one surviving subtree) without re-linearizing.
+    pub fn from_fn(n: usize, mut allowed: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut bits = vec![false; n * n];
+        for (idx, bit) in bits.iter_mut().enumerate() {
+            *bit = allowed(idx / n.max(1), idx % n.max(1));
+        }
+        TopologyMask { n, bits }
+    }
+
     /// Number of linearized positions covered by the mask.
     pub fn len(&self) -> usize {
         self.n
@@ -186,6 +198,23 @@ impl LinearizedTree {
     pub fn mask(&self) -> &TopologyMask {
         &self.mask
     }
+
+    /// One-past-the-end linear index of the subtree rooted at linear
+    /// position `s0`. DFS order places a node's whole subtree in the
+    /// contiguous range `s0..subtree_end(s0)`, which is what lets the
+    /// hierarchical verifier forward one surviving branch as a block.
+    pub fn subtree_end(&self, s0: usize) -> usize {
+        let base = match self.depths.get(s0) {
+            Some(&d) => d,
+            None => unreachable!("subtree root {s0} outside linearization of {}", self.len()),
+        };
+        for (i, &d) in self.depths.iter().enumerate().skip(s0 + 1) {
+            if d <= base {
+                return i;
+            }
+        }
+        self.len()
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +310,46 @@ mod tests {
         for (i, &u) in lin.nodes().iter().enumerate() {
             assert_eq!(lin.index_of(u), i);
             assert_eq!(lin.try_index_of(u), Some(i));
+        }
+    }
+
+    #[test]
+    fn from_fn_restriction_agrees_with_full_mask() {
+        let tree = figure_4_tree();
+        let lin = LinearizedTree::new(&tree);
+        let full = lin.mask();
+        // Restrict to the depth-1 frontier {root, first depth-1 node}.
+        let keep = [0usize, 1usize];
+        let sub = TopologyMask::from_fn(keep.len(), |i, j| full.allowed(keep[i], keep[j]));
+        for i in 0..keep.len() {
+            for j in 0..keep.len() {
+                assert_eq!(sub.allowed(i, j), full.allowed(keep[i], keep[j]));
+            }
+        }
+        assert!(TopologyMask::from_fn(0, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn subtree_end_covers_contiguous_dfs_ranges() {
+        let tree = figure_4_tree();
+        let lin = LinearizedTree::new(&tree);
+        // tokens: [2, 3, 4, 5, 6, 7, 8, 9], depths [0,1,2,3,3,4,2,3].
+        assert_eq!(lin.subtree_end(0), lin.len(), "root spans everything");
+        assert_eq!(
+            lin.subtree_end(1),
+            lin.len(),
+            "t3 spans everything after root"
+        );
+        assert_eq!(lin.subtree_end(2), 6, "t4's subtree is {{4,5,6,7}}");
+        assert_eq!(lin.subtree_end(3), 4, "t5 is a leaf");
+        assert_eq!(lin.subtree_end(6), 8, "t8's subtree is {{8,9}}");
+        // Every subtree range holds exactly the descendants-or-self.
+        for (s0, &u) in lin.nodes().iter().enumerate() {
+            let end = lin.subtree_end(s0);
+            for (j, &v) in lin.nodes().iter().enumerate() {
+                let inside = j >= s0 && j < end;
+                assert_eq!(inside, tree.is_ancestor(u, v), "range({s0}) vs ancestry");
+            }
         }
     }
 

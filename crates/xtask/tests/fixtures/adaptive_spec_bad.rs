@@ -1,0 +1,30 @@
+// Known-bad fixture: an adaptive speculation controller that keys its
+// rung and probe decisions off wall-clock time and unseeded randomness.
+// Replays of the same request stream would pick different draft shapes,
+// so batched-vs-serial equivalence (and every bitwise gate built on it)
+// would flake. Must trigger exactly the `determinism` rule — three
+// findings (Instant::now, SystemTime, thread_rng).
+
+pub struct BadController {
+    rung: usize,
+    last_probe_ms: u128,
+}
+
+impl BadController {
+    /// Picks the next draft shape. Deterministic controllers decide from
+    /// acceptance EWMAs alone; this one consults the host's clocks.
+    pub fn decide(&mut self) -> usize {
+        let started = std::time::Instant::now();
+        let now_ms = match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            Ok(d) => d.as_millis(),
+            Err(_) => 0,
+        };
+        if now_ms.saturating_sub(self.last_probe_ms) > 250 {
+            self.last_probe_ms = now_ms;
+            // Probe a random rung: un-replayable shape switching.
+            self.rung = rand::thread_rng().gen_range(0..6);
+        }
+        let _budget_spent = started.elapsed();
+        self.rung
+    }
+}

@@ -59,6 +59,15 @@ fn wall_clock_fixture_triggers_only_determinism() {
 }
 
 #[test]
+fn adaptive_spec_fixture_triggers_only_determinism() {
+    // A speculation controller deciding rungs off the host's clocks and
+    // unseeded RNG: one finding each for `Instant::now`, `SystemTime`,
+    // `thread_rng`. Shape decisions must replay bit-identically or the
+    // batched-vs-serial equivalence gates flake.
+    assert_only_rule("adaptive_spec_bad.rs", "determinism", 3);
+}
+
+#[test]
 fn rogue_thread_fixture_triggers_only_thread_confinement() {
     // One finding each for `thread::spawn` and `thread::scope`.
     assert_only_rule("rogue_thread.rs", "thread_confinement", 2);
