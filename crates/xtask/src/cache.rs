@@ -1,0 +1,517 @@
+//! Parsed-file fact cache: memoizes [`crate::parse::parse_file`] output
+//! in `target/xtask-cache/`, keyed by the FNV-1a 64-bit hash of
+//! `path + NUL + content`.
+//!
+//! `WorkspaceFacts` used to re-parse the whole workspace on every
+//! `xtask lint` invocation; parsing is the per-file O(workspace) part
+//! (the scanner still runs — the lexical rules need it — and the call
+//! graph and CFGs are rebuilt from the cached facts, which is cheap by
+//! comparison). A warm cache turns the parse pass into one small file
+//! read per source file.
+//!
+//! The serialization is a hand-rolled, line-oriented text format (the
+//! lint runs on the bare toolchain — no serde): a version header, then
+//! one record per line with `\x1f`-separated fields. Any mismatch —
+//! missing file, stale version, truncated record, unknown tag — makes
+//! [`load`] return `None` and the caller re-parses and re-stores; a
+//! corrupt cache can cost time, never correctness. `raw_lines` are not
+//! serialized: the caller rebuilds them from the `ScannedFile` it
+//! already has in hand. Strict/fixture lints bypass the cache entirely.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::parse::{Fact, FnDef, ParseError, ParsedFile, StaticDef, Tok, TokKind, UseDecl};
+use crate::scan::ScannedFile;
+
+/// Format version: bump whenever the serialized shape changes so stale
+/// caches miss instead of mis-parse.
+const HEADER: &str = "xtask-cache v1";
+
+/// FNV-1a 64-bit over raw bytes (same constants as
+/// [`crate::allowlist::snippet_hash`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache file for a (path, content) pair.
+pub fn cache_path(dir: &Path, rel: &str, src: &str) -> PathBuf {
+    let mut keyed = Vec::with_capacity(rel.len() + 1 + src.len());
+    keyed.extend_from_slice(rel.as_bytes());
+    keyed.push(0);
+    keyed.extend_from_slice(src.as_bytes());
+    dir.join(format!("{:016x}.facts", fnv1a64(&keyed)))
+}
+
+/// Loads the cached parse of `file` if present and intact. `src` must
+/// be the exact content the `ScannedFile` was scanned from (it keys the
+/// hash); `raw_lines` are rebuilt from the scan.
+pub fn load(dir: &Path, file: &ScannedFile, src: &str) -> Option<ParsedFile> {
+    let text = std::fs::read_to_string(cache_path(dir, &file.path, src)).ok()?;
+    let raw_lines: Vec<String> = file.lines.iter().map(|l| l.raw.clone()).collect();
+    deserialize(&text, &file.path, raw_lines)
+}
+
+/// Serializes and writes the parse result. Failures are silently
+/// dropped — the cache is an optimization, not a requirement (e.g. a
+/// read-only checkout still lints).
+pub fn store(dir: &Path, src: &str, parsed: &ParsedFile) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = cache_path(dir, &parsed.path, src);
+    let _ = std::fs::write(path, serialize(parsed));
+}
+
+// ---------------------------------------------------------------------
+// Field escaping: \x1f separates fields, newlines separate records.
+// ---------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\x1f' => out.push_str("\\u"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('u') => out.push('\x1f'),
+            Some(c) => out.push(c),
+            None => break,
+        }
+    }
+    out
+}
+
+fn kind_char(k: TokKind) -> char {
+    match k {
+        TokKind::Ident => 'i',
+        TokKind::Number => 'n',
+        TokKind::Str => 's',
+        TokKind::Tick => 't',
+        TokKind::Punct => 'p',
+    }
+}
+
+fn kind_of(c: char) -> Option<TokKind> {
+    Some(match c {
+        'i' => TokKind::Ident,
+        'n' => TokKind::Number,
+        's' => TokKind::Str,
+        't' => TokKind::Tick,
+        'p' => TokKind::Punct,
+        _ => return None,
+    })
+}
+
+/// `<kind><in_test01>:<line>:<escaped text>`
+fn tok_field(t: &Tok) -> String {
+    format!(
+        "{}{}:{}:{}",
+        kind_char(t.kind),
+        if t.in_test { '1' } else { '0' },
+        t.line,
+        esc(&t.text)
+    )
+}
+
+fn parse_tok(field: &str) -> Option<Tok> {
+    let mut chars = field.chars();
+    let kind = kind_of(chars.next()?)?;
+    let in_test = match chars.next()? {
+        '0' => false,
+        '1' => true,
+        _ => return None,
+    };
+    let rest = chars.as_str().strip_prefix(':')?;
+    let (line, text) = rest.split_once(':')?;
+    Some(Tok {
+        kind,
+        text: unesc(text),
+        line: line.parse().ok()?,
+        in_test,
+    })
+}
+
+fn toks_fields(toks: &[Tok], out: &mut String) {
+    for t in toks {
+        out.push('\x1f');
+        out.push_str(&tok_field(t));
+    }
+}
+
+fn bool_field(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+fn serialize(p: &ParsedFile) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for u in &p.uses {
+        out.push_str(&format!("u\x1f{}", esc(&u.alias)));
+        for s in &u.segments {
+            out.push_str(&format!("\x1f{}", esc(s)));
+        }
+        out.push('\n');
+    }
+    for s in &p.statics {
+        out.push_str(&format!(
+            "s\x1f{}\x1f{}\x1f{}\x1f{}\n",
+            esc(&s.name),
+            s.line,
+            bool_field(s.in_test),
+            esc(&s.ty)
+        ));
+    }
+    for e in &p.errors {
+        out.push_str(&format!("e\x1f{}\x1f{}\n", e.line, esc(&e.message)));
+    }
+    for f in &p.fns {
+        out.push_str(&format!(
+            "f\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\n",
+            esc(&f.name),
+            f.owner.as_deref().map(esc).unwrap_or_default(),
+            f.line,
+            bool_field(f.in_test),
+            esc(&f.sig),
+            f.modules.join(","),
+            f.params.join(",")
+        ));
+        for fact in &f.facts {
+            serialize_fact(fact, &mut out);
+        }
+        out.push('b');
+        toks_fields(&f.body, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn serialize_fact(fact: &Fact, out: &mut String) {
+    match fact {
+        Fact::Call {
+            path,
+            line,
+            in_loop,
+        } => {
+            out.push_str(&format!(
+                "C\x1f{}\x1f{}\x1f{}\n",
+                line,
+                bool_field(*in_loop),
+                path.join("::")
+            ));
+        }
+        Fact::Method {
+            name,
+            recv,
+            zero_args,
+            line,
+            in_loop,
+        } => {
+            out.push_str(&format!(
+                "M\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\n",
+                line,
+                bool_field(*in_loop),
+                bool_field(*zero_args),
+                esc(name),
+                recv.join(".")
+            ));
+        }
+        Fact::Macro {
+            name,
+            line,
+            in_loop,
+        } => {
+            out.push_str(&format!(
+                "X\x1f{}\x1f{}\x1f{}\n",
+                line,
+                bool_field(*in_loop),
+                esc(name)
+            ));
+        }
+        Fact::Index { line, in_loop } => {
+            out.push_str(&format!("I\x1f{}\x1f{}\n", line, bool_field(*in_loop)));
+        }
+        Fact::NonAscendingAccum { line } => {
+            out.push_str(&format!("N\x1f{line}\n"));
+        }
+        Fact::Closure {
+            line,
+            end_line,
+            in_loop,
+            by_move,
+            params,
+            captures,
+            enclosing_call,
+            enclosing_recv,
+            body,
+        } => {
+            out.push_str(&format!(
+                "L\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}",
+                line,
+                end_line,
+                bool_field(*in_loop),
+                bool_field(*by_move),
+                params.join(","),
+                captures.join(","),
+                enclosing_call.as_deref().map(esc).unwrap_or_default(),
+                esc(enclosing_recv)
+            ));
+            toks_fields(body, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn split_names(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(str::to_string).collect()
+    }
+}
+
+fn deserialize(text: &str, path: &str, raw_lines: Vec<String>) -> Option<ParsedFile> {
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return None;
+    }
+    let mut p = ParsedFile {
+        path: path.to_string(),
+        uses: Vec::new(),
+        fns: Vec::new(),
+        statics: Vec::new(),
+        errors: Vec::new(),
+        raw_lines,
+    };
+    for line in lines {
+        let fields: Vec<&str> = line.split('\x1f').collect();
+        match fields[0] {
+            "u" => {
+                if fields.len() < 2 {
+                    return None;
+                }
+                p.uses.push(UseDecl {
+                    alias: unesc(fields[1]),
+                    segments: fields[2..].iter().map(|s| unesc(s)).collect(),
+                });
+            }
+            "s" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                p.statics.push(StaticDef {
+                    name: unesc(fields[1]),
+                    line: fields[2].parse().ok()?,
+                    in_test: parse_bool(fields[3])?,
+                    ty: unesc(fields[4]),
+                });
+            }
+            "e" => {
+                if fields.len() != 3 {
+                    return None;
+                }
+                p.errors.push(ParseError {
+                    line: fields[1].parse().ok()?,
+                    message: unesc(fields[2]),
+                });
+            }
+            "f" => {
+                if fields.len() != 8 {
+                    return None;
+                }
+                let owner = fields[2];
+                p.fns.push(FnDef {
+                    name: unesc(fields[1]),
+                    owner: (!owner.is_empty()).then(|| unesc(owner)),
+                    line: fields[3].parse().ok()?,
+                    in_test: parse_bool(fields[4])?,
+                    sig: unesc(fields[5]),
+                    modules: split_names(fields[6]),
+                    params: split_names(fields[7]),
+                    facts: Vec::new(),
+                    body: Vec::new(),
+                });
+            }
+            "b" => {
+                let f = p.fns.last_mut()?;
+                f.body = fields[1..]
+                    .iter()
+                    .map(|t| parse_tok(t))
+                    .collect::<Option<Vec<_>>>()?;
+            }
+            tag @ ("C" | "M" | "X" | "I" | "N" | "L") => {
+                let fact = deserialize_fact(tag, &fields)?;
+                p.fns.last_mut()?.facts.push(fact);
+            }
+            _ => return None,
+        }
+    }
+    Some(p)
+}
+
+fn deserialize_fact(tag: &str, fields: &[&str]) -> Option<Fact> {
+    Some(match tag {
+        "C" => Fact::Call {
+            line: fields.get(1)?.parse().ok()?,
+            in_loop: parse_bool(fields.get(2)?)?,
+            path: fields.get(3)?.split("::").map(str::to_string).collect(),
+        },
+        "M" => Fact::Method {
+            line: fields.get(1)?.parse().ok()?,
+            in_loop: parse_bool(fields.get(2)?)?,
+            zero_args: parse_bool(fields.get(3)?)?,
+            name: unesc(fields.get(4)?),
+            recv: {
+                let r = fields.get(5)?;
+                if r.is_empty() {
+                    Vec::new()
+                } else {
+                    r.split('.').map(str::to_string).collect()
+                }
+            },
+        },
+        "X" => Fact::Macro {
+            line: fields.get(1)?.parse().ok()?,
+            in_loop: parse_bool(fields.get(2)?)?,
+            name: unesc(fields.get(3)?),
+        },
+        "I" => Fact::Index {
+            line: fields.get(1)?.parse().ok()?,
+            in_loop: parse_bool(fields.get(2)?)?,
+        },
+        "N" => Fact::NonAscendingAccum {
+            line: fields.get(1)?.parse().ok()?,
+        },
+        "L" => {
+            if fields.len() < 9 {
+                return None;
+            }
+            let call = fields[7];
+            Fact::Closure {
+                line: fields[1].parse().ok()?,
+                end_line: fields[2].parse().ok()?,
+                in_loop: parse_bool(fields[3])?,
+                by_move: parse_bool(fields[4])?,
+                params: split_names(fields[5]),
+                captures: split_names(fields[6]),
+                enclosing_call: (!call.is_empty()).then(|| unesc(call)),
+                enclosing_recv: unesc(fields[8]),
+                body: fields[9..]
+                    .iter()
+                    .map(|t| parse_tok(t))
+                    .collect::<Option<Vec<_>>>()?,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Removes cache entries for content hashes not in `live` — keeps the
+/// directory from accreting one file per historical edit.
+pub fn prune(dir: &Path, live: &BTreeMap<PathBuf, ()>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "facts") && !live.contains_key(&path) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scan::scan_source;
+
+    const SRC: &str = "use std::sync::Arc;\nstatic LIMIT: AtomicUsize = AtomicUsize::new(8);\npub struct W;\nimpl W {\n    pub fn go(&self, xs: &[u32]) -> u32 {\n        let mut acc = 0;\n        for x in xs.iter() {\n            acc += helper(*x);\n        }\n        std::thread::scope(|scope| {\n            scope.spawn(move || consume(acc));\n        });\n        acc\n    }\n}\nfn helper(v: u32) -> u32 {\n    v.saturating_add(1)\n}\n";
+
+    #[test]
+    fn round_trip_preserves_the_parse_exactly() {
+        let file = scan_source("crates/x/src/a.rs", SRC, true);
+        let parsed = parse_file(&file);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let text = serialize(&parsed);
+        let raw: Vec<String> = file.lines.iter().map(|l| l.raw.clone()).collect();
+        let loaded = deserialize(&text, &parsed.path, raw).expect("deserializes");
+        assert_eq!(format!("{parsed:?}"), format!("{loaded:?}"));
+    }
+
+    #[test]
+    fn version_or_shape_mismatch_misses() {
+        let file = scan_source("crates/x/src/a.rs", SRC, true);
+        let parsed = parse_file(&file);
+        let good = serialize(&parsed);
+        assert!(deserialize(&good.replace(HEADER, "xtask-cache v0"), "p", Vec::new()).is_none());
+        let truncated = &good[..good.len() / 2];
+        // Truncation may cut mid-record; a half record must not load.
+        let maybe = deserialize(truncated, "p", Vec::new());
+        if let Some(p) = maybe {
+            // If it happened to cut at a record boundary the prefix is
+            // self-consistent, but it must not equal the full parse.
+            assert_ne!(format!("{p:?}"), format!("{parsed:?}"));
+        }
+    }
+
+    #[test]
+    fn store_then_load_through_the_fs() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-cache-test-{}-{}",
+            std::process::id(),
+            fnv1a64(SRC.as_bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = scan_source("crates/x/src/a.rs", SRC, true);
+        let parsed = parse_file(&file);
+        assert!(load(&dir, &file, SRC).is_none(), "cold cache misses");
+        store(&dir, SRC, &parsed);
+        let warm = load(&dir, &file, SRC).expect("warm cache hits");
+        assert_eq!(format!("{parsed:?}"), format!("{warm:?}"));
+        // Different content, same path: distinct key.
+        assert!(load(&dir, &file, "fn other() {}\n").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_survives_separator_and_newline_bytes() {
+        for s in ["plain", "a\\b", "nl\nhere", "sep\x1fhere", "\\n literal"] {
+            assert_eq!(unesc(&esc(s)), s, "{s:?}");
+        }
+    }
+}

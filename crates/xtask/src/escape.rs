@@ -1,0 +1,457 @@
+//! Escape/sharing analysis: classifies values as thread-local or
+//! potentially shared across threads.
+//!
+//! The lattice is three-point and flows one way only:
+//!
+//! ```text
+//!   ThreadLocal  ⊑  Exclusive  ⊑  Shared
+//! ```
+//!
+//! - **ThreadLocal** — the value never crosses a thread boundary: it is
+//!   not captured by a spawn closure, or it is `move`-captured by
+//!   exactly one spawn and never touched again by the owner.
+//! - **Exclusive** — the value crosses a thread boundary but through a
+//!   partitioning API (`chunks_mut`, `split_at_mut`, `iter_mut`, …)
+//!   that hands each thread a disjoint region; writes cannot collide by
+//!   construction.
+//! - **Shared** — the same storage is reachable from two threads at
+//!   once: by-ref captures, bindings captured by several spawn
+//!   closures, captures of a spawn inside a loop, `Arc` alias classes,
+//!   and non-`Sync`-typed `static` items. Shared values are what
+//!   [`crate::race`] pairs accesses over.
+//!
+//! Sharing **roots** (per the tentpole spec): `static` items,
+//! `Arc::new`/`Arc::clone` alias chains, channel `send` payloads
+//! (ownership transfer — a happens-before edge, not a race), and
+//! closure captures recorded by [`crate::parse`] with their
+//! by-ref/by-move mode. The analysis is per-function: captures are
+//! bindings of the enclosing `fn`, so the sharing question is always
+//! local to one body plus its spawn closures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::Cfg;
+use crate::parse::{Fact, FnDef, StaticDef, Tok};
+
+/// How a value may be reached from other threads. See the module doc
+/// for the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sharing {
+    ThreadLocal,
+    Exclusive,
+    Shared,
+}
+
+/// A borrowed view of one [`Fact::Closure`], with the fields the
+/// concurrency rules care about.
+#[derive(Debug, Clone, Copy)]
+pub struct Closure<'a> {
+    pub line: usize,
+    pub end_line: usize,
+    pub in_loop: bool,
+    pub by_move: bool,
+    pub params: &'a [String],
+    pub captures: &'a [String],
+    pub enclosing_call: Option<&'a str>,
+    pub enclosing_recv: &'a str,
+    pub body: &'a [Tok],
+}
+
+impl Closure<'_> {
+    /// Whether `line` falls inside this closure's body span.
+    pub fn contains_line(&self, line: usize) -> bool {
+        self.line <= line && line <= self.end_line
+    }
+}
+
+/// All closure facts of a function, in source order.
+pub fn closures(f: &FnDef) -> Vec<Closure<'_>> {
+    f.facts
+        .iter()
+        .filter_map(|fact| match fact {
+            Fact::Closure {
+                line,
+                end_line,
+                in_loop,
+                by_move,
+                params,
+                captures,
+                enclosing_call,
+                enclosing_recv,
+                body,
+            } => Some(Closure {
+                line: *line,
+                end_line: *end_line,
+                in_loop: *in_loop,
+                by_move: *by_move,
+                params,
+                captures,
+                enclosing_call: enclosing_call.as_deref(),
+                enclosing_recv,
+                body,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A closure handed to a `spawn` entry point — it runs on another
+/// thread. Covers `scope.spawn`, `std::thread::spawn`, pool `.spawn`
+/// and `thread::Builder … .spawn` forms alike.
+pub fn is_spawn(c: &Closure<'_>) -> bool {
+    c.enclosing_call == Some("spawn")
+}
+
+/// The `|scope| …` closure of `std::thread::scope(…)`: it runs on the
+/// *calling* thread and joins every spawn it issued before returning
+/// (the scope-join happens-before edge).
+pub fn is_scope_runner(c: &Closure<'_>) -> bool {
+    c.enclosing_call == Some("scope") && c.enclosing_recv.contains("thread")
+}
+
+/// Methods that hand out disjoint sub-regions (or immutable views) of a
+/// collection: a binding produced by one of these is `Exclusive` — each
+/// thread sees a region no other thread can write.
+pub const EXCLUSIVE_DERIVERS: &[&str] = &[
+    "chunks_mut",
+    "chunks_exact_mut",
+    "split_at_mut",
+    "iter_mut",
+    "chunks",
+    "chunks_exact",
+    "split_at",
+    "windows",
+    "iter",
+];
+
+/// Synchronization entry points: an access that goes *through* one of
+/// these is mediated by the primitive itself and is not a raw shared
+/// access. (`lock`/`read`/`write` accesses get re-examined by the
+/// lockset analysis via their guard binding instead.)
+pub const SYNC_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "notify_one",
+    "notify_all",
+    "join",
+    "is_finished",
+    "get_or_init",
+    "get_or_try_init",
+];
+
+/// Collection methods that mutate their receiver in place: a call on a
+/// shared receiver is a *write* access.
+pub const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "extend",
+    "truncate",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "retain",
+    "drain",
+    "resize",
+    "reserve",
+    "append",
+    "fill",
+    "copy_from_slice",
+    "clone_from_slice",
+];
+
+/// Whether a `static` item's type makes it safely shareable: interior
+/// synchronization (locks, atomics, once-cells) or channel endpoints.
+/// Anything else that gets *written* cross-thread is a race candidate.
+pub fn sync_static_ty(ty: &str) -> bool {
+    [
+        "Atomic", "OnceLock", "OnceCell", "LazyLock", "Once", "Mutex", "RwLock", "Condvar",
+        "Sender", "Receiver",
+    ]
+    .iter()
+    .any(|t| ty.contains(t))
+}
+
+/// Non-`Sync` module-level statics of a file — the race rule's
+/// static-rooted shared set.
+pub fn racy_statics(statics: &[StaticDef]) -> Vec<&StaticDef> {
+    statics
+        .iter()
+        .filter(|s| !s.in_test && !sync_static_ty(&s.ty))
+        .collect()
+}
+
+/// Per-function escape facts gathered from a CFG walk (the enclosing
+/// body *and* each closure body — closures are absorbed into single
+/// parent statements, so partitioning loops inside a scope runner are
+/// only visible in the closure's own CFG).
+#[derive(Debug, Default)]
+pub struct FnEscape {
+    /// Bindings derived through an [`EXCLUSIVE_DERIVERS`] call.
+    pub exclusive: BTreeSet<String>,
+    /// `Arc` alias classes: binding → class representative. Two
+    /// bindings in the same class name the same allocation.
+    pub arc_class: BTreeMap<String, String>,
+    /// Bindings whose ownership was transferred through a channel
+    /// `send(x)` — the send→recv pairing is a happens-before edge, so
+    /// post-send accesses on the receiving side never race the sender.
+    pub sent: BTreeSet<String>,
+}
+
+impl FnEscape {
+    /// Folds the facts visible in one CFG into the summary.
+    pub fn absorb(&mut self, cfg: &Cfg) {
+        for block in &cfg.blocks {
+            for stmt in &block.stmts {
+                // Exclusive derivations, `let`-bound form:
+                //   let (a, b) = buf.split_at_mut(k);
+                if !stmt.defs.is_empty()
+                    && stmt
+                        .calls
+                        .iter()
+                        .any(|c| EXCLUSIVE_DERIVERS.contains(&c.name()))
+                {
+                    self.exclusive.extend(stmt.defs.iter().cloned());
+                }
+                // Exclusive derivations, loop-header form (loop headers
+                // produce no defs, so match on the joined text):
+                //   for (ci, chunk) in out.chunks_mut(n).enumerate() { … }
+                if let Some((lhs, rhs)) = stmt.text.split_once(" in ") {
+                    if EXCLUSIVE_DERIVERS
+                        .iter()
+                        .any(|d| rhs.contains(&format!(". {d} (")))
+                    {
+                        for tok in lhs.split_whitespace() {
+                            if tok.chars().next().is_some_and(|c| c.is_lowercase())
+                                && tok.chars().all(|c| c.is_alphanumeric() || c == '_')
+                                && tok != "for"
+                                && tok != "mut"
+                                && tok != "in"
+                            {
+                                self.exclusive.insert(tok.to_string());
+                            }
+                        }
+                    }
+                }
+                for call in &stmt.calls {
+                    // Arc alias chains: `Arc::new` roots a class,
+                    // `Arc::clone(&x)` (or `.clone()` on a known-Arc
+                    // receiver) joins the clone to the source's class.
+                    let is_arc_new = call.path.len() >= 2
+                        && call.path[call.path.len() - 2] == "Arc"
+                        && call.name() == "new";
+                    let is_arc_clone = call.path.len() >= 2
+                        && call.path[call.path.len() - 2] == "Arc"
+                        && call.name() == "clone";
+                    let first_def = stmt.defs.first();
+                    if is_arc_new {
+                        if let Some(d) = first_def {
+                            self.arc_class.entry(d.clone()).or_insert_with(|| d.clone());
+                        }
+                    } else if is_arc_clone {
+                        if let (Some(d), Some(src)) =
+                            (first_def, call.args.first().and_then(|a| a.idents.first()))
+                        {
+                            let rep = self.rep(src);
+                            self.arc_class.insert(src.clone(), rep.clone());
+                            self.arc_class.insert(d.clone(), rep);
+                        }
+                    } else if call.is_method && call.name() == "clone" {
+                        if let (Some(d), Some(base)) = (first_def, call.recv.first()) {
+                            if let Some(rep) = self.arc_class.get(base).cloned() {
+                                self.arc_class.insert(d.clone(), rep);
+                            }
+                        }
+                    } else if call.name() == "send" {
+                        if let Some(payload) = call.args.first().and_then(|a| a.idents.first()) {
+                            self.sent.insert(payload.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The alias-class representative of a binding (itself if unknown).
+    pub fn rep(&self, name: &str) -> String {
+        self.arc_class
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.to_string())
+    }
+
+    /// Whether the binding is (an alias of) an `Arc`.
+    pub fn is_arc(&self, name: &str) -> bool {
+        self.arc_class.contains_key(name)
+    }
+}
+
+/// Classifies one capture of a spawn closure. `spawn_captures` counts
+/// how many *spawn* closures of the fn capture the binding;
+/// `owner_touches_after` is true when the owner thread reads or writes
+/// the binding at a line past the spawn while it may still be running.
+pub fn classify_capture(
+    name: &str,
+    closure: &Closure<'_>,
+    esc: &FnEscape,
+    spawn_captures: usize,
+    owner_touches_after: bool,
+) -> Sharing {
+    if esc.exclusive.contains(name) {
+        return Sharing::Exclusive;
+    }
+    // An Arc capture shares the allocation by design — reads are fine,
+    // unsynchronized writes through interior mutability are what the
+    // access pairing will catch.
+    if esc.is_arc(name) {
+        return Sharing::Shared;
+    }
+    if closure.by_move && spawn_captures <= 1 && !closure.in_loop && !owner_touches_after {
+        // Moved into exactly one thread, never touched again here:
+        // ownership transferred, thread-local on the other side.
+        return Sharing::ThreadLocal;
+    }
+    Sharing::Shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::parse::{parse_file, ParsedFile};
+    use crate::scan::scan_source;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&scan_source("crates/x/src/a.rs", src, true))
+    }
+
+    fn escape_of(src: &str) -> FnEscape {
+        let p = parse(src);
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let mut esc = FnEscape::default();
+        for f in &p.fns {
+            esc.absorb(&cfg::build(&f.body, f.line));
+            for c in closures(f) {
+                esc.absorb(&cfg::build(c.body, c.line));
+            }
+        }
+        esc
+    }
+
+    #[test]
+    fn chunks_mut_loop_bindings_are_exclusive() {
+        let esc = escape_of(
+            "fn f(out: &mut [f32]) {\n    for (ci, chunk) in out.chunks_mut(8).enumerate() {\n        work(ci, chunk);\n    }\n}\n",
+        );
+        assert!(esc.exclusive.contains("ci"), "{esc:?}");
+        assert!(esc.exclusive.contains("chunk"));
+    }
+
+    #[test]
+    fn split_at_mut_let_bindings_are_exclusive() {
+        let esc = escape_of(
+            "fn f(buf: &mut [f32], k: usize) {\n    let (lo, hi) = buf.split_at_mut(k);\n    work(lo, hi);\n}\n",
+        );
+        assert!(esc.exclusive.contains("lo"), "{esc:?}");
+        assert!(esc.exclusive.contains("hi"));
+    }
+
+    #[test]
+    fn arc_clone_chains_form_one_alias_class() {
+        let esc = escape_of(
+            "fn f() {\n    let a = Arc::new(0usize);\n    let b = Arc::clone(&a);\n    let c = b.clone();\n    use_all(a, b, c);\n}\n",
+        );
+        assert_eq!(esc.rep("b"), esc.rep("a"), "{esc:?}");
+        assert_eq!(esc.rep("c"), esc.rep("a"));
+        assert!(esc.is_arc("c"));
+    }
+
+    #[test]
+    fn send_payloads_are_recorded() {
+        let esc =
+            escape_of("fn f(tx: &Sender<u32>) {\n    let msg = build();\n    tx.send(msg);\n}\n");
+        assert!(esc.sent.contains("msg"), "{esc:?}");
+    }
+
+    #[test]
+    fn exclusive_partition_inside_scope_runner_is_seen() {
+        // The partitioning loop lives inside the scope closure; the
+        // parent CFG absorbs it, so only the closure CFG exposes it.
+        let p = parse(
+            "fn f(out: &mut [f32]) {\n    std::thread::scope(|scope| {\n        for chunk in out.chunks_mut(8) {\n            scope.spawn(move || fill(chunk));\n        }\n    });\n}\n",
+        );
+        let f = &p.fns[0];
+        let cls = closures(f);
+        assert_eq!(cls.len(), 2, "{cls:?}");
+        let runner = cls.iter().find(|c| is_scope_runner(c)).expect("runner");
+        let spawn = cls.iter().find(|c| is_spawn(c)).expect("spawn");
+        assert!(spawn.in_loop);
+        assert!(runner.contains_line(spawn.line));
+        let mut esc = FnEscape::default();
+        esc.absorb(&cfg::build(runner.body, runner.line));
+        assert!(esc.exclusive.contains("chunk"), "{esc:?}");
+        assert_eq!(
+            classify_capture("chunk", spawn, &esc, 1, false),
+            Sharing::Exclusive
+        );
+    }
+
+    #[test]
+    fn loop_captured_binding_is_shared() {
+        let p = parse(
+            "fn f(pool: &Pool, stats: &mut Stats) {\n    for _i in 0..4 {\n        pool.spawn(move || { stats.hits += 1; });\n    }\n}\n",
+        );
+        let f = &p.fns[0];
+        let cls = closures(f);
+        let spawn = cls.iter().find(|c| is_spawn(c)).expect("spawn");
+        let esc = FnEscape::default();
+        assert_eq!(
+            classify_capture("stats", spawn, &esc, 1, false),
+            Sharing::Shared
+        );
+    }
+
+    #[test]
+    fn moved_single_capture_is_thread_local() {
+        let p = parse("fn f(job: Job) {\n    thread::spawn(move || { run(job); });\n}\n");
+        let cls = closures(&p.fns[0]);
+        let spawn = cls.iter().find(|c| is_spawn(c)).expect("spawn");
+        let esc = FnEscape::default();
+        assert_eq!(
+            classify_capture("job", spawn, &esc, 1, false),
+            Sharing::ThreadLocal
+        );
+    }
+
+    #[test]
+    fn sync_typed_statics_are_exempt() {
+        let p = parse(
+            "static HITS: AtomicUsize = AtomicUsize::new(0);\nstatic TABLE: Vec<u32> = Vec::new();\n",
+        );
+        let racy = racy_statics(&p.statics);
+        assert_eq!(racy.len(), 1, "{racy:?}");
+        assert_eq!(racy[0].name, "TABLE");
+    }
+}

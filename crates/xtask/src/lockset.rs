@@ -1,0 +1,425 @@
+//! Lockset dataflow: which locks are certainly held at each statement.
+//!
+//! A **must**-analysis over the PR 8 CFGs (Eraser-style). The abstract
+//! state maps guard bindings to the lock they hold:
+//!
+//! ```text
+//!   state ∈ Option<BTreeMap<guard, lock>>    (None = unreachable ⊤)
+//! ```
+//!
+//! Transfer function, in order:
+//! 1. **Condvar re-acquisition** — `q = cv.wait(q)` consumes guard `q`
+//!    and re-binds the same lock to the result (also `wait_timeout`,
+//!    `wait_while`).
+//! 2. **Release** — `drop(g)` kills `g`.
+//! 3. **Acquire** — `let g = m.lock()` (or `.read()`/`.write()`, with
+//!    any `.unwrap()` chaining) binds `g → lock_name(m)`.
+//! 4. **Strong rebind** — any other non-weak def of a guard kills it.
+//!
+//! Join is key-value intersection: a lock counts as held only when
+//! every path holds it through the same guard. Guards that live to the
+//! end of scope are held to the end of the CFG — scope-end drops are
+//! not modeled, which over-approximates *held* and therefore
+//! under-reports races (the safe direction for a must-lockset).
+//!
+//! Lock names are receiver-based: `self.inner.lock()` inside
+//! `impl Daemon` names `Daemon.inner`, a local `m.lock()` names `m`.
+//! Interprocedurally, [`entry_locks`] runs a meet-over-call-sites
+//! fixpoint along `Edge::certain` call edges (like
+//! `untrusted_size_flow`): a helper only ever invoked with `Daemon.inner`
+//! held analyzes its own accesses under that lock. Call sites inside
+//! spawn closures contribute the *closure* CFG's lockset, not the
+//! enclosing function's — the spawned thread starts with no locks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{self, Cfg, Stmt};
+use crate::dataflow;
+use crate::escape;
+use crate::WorkspaceFacts;
+
+/// Guard binding → lock name.
+pub type LockEnv = BTreeMap<String, String>;
+
+/// `None` is the unreachable top element (everything held), so the
+/// intersection join degrades gracefully from the solver's `bottom`.
+pub type LockState = Option<LockEnv>;
+
+/// Zero-arg guard-returning acquisition methods.
+pub const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Condvar blocking methods that consume and re-acquire a guard.
+pub const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// The canonical name of the lock behind an acquisition call site.
+/// `self.`-rooted receivers are qualified by the impl owner so the name
+/// survives across methods of the same type.
+pub fn lock_name(recv: &[String], owner: Option<&str>) -> String {
+    if recv.first().map(String::as_str) == Some("self") {
+        let rest = recv[1..].join(".");
+        let owner = owner.unwrap_or("Self");
+        if rest.is_empty() {
+            owner.to_string()
+        } else {
+            format!("{owner}.{rest}")
+        }
+    } else {
+        recv.join(".")
+    }
+}
+
+/// Key-value intersection join (`None` = ⊤ absorbs).
+pub fn join(a: &LockState, b: &LockState) -> LockState {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(a), Some(b)) => Some(
+            a.iter()
+                .filter(|(k, v)| b.get(*k) == Some(*v))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        ),
+    }
+}
+
+/// Applies one statement to the environment (see the module doc for
+/// the rule order).
+pub fn transfer_stmt(stmt: &Stmt, env: &mut LockEnv, owner: Option<&str>) {
+    // 1. Condvar re-acquisition: the guard argument's lock transfers to
+    //    the defined binding.
+    let wait_transfer = stmt.calls.iter().find_map(|c| {
+        if !WAIT_METHODS.contains(&c.name()) {
+            return None;
+        }
+        let guard = c
+            .args
+            .first()?
+            .idents
+            .iter()
+            .find(|g| env.contains_key(*g))?;
+        Some((guard.clone(), env.get(guard).cloned()?))
+    });
+    if let Some((guard, lock)) = wait_transfer {
+        env.remove(&guard);
+        if let Some(d) = stmt.defs.first() {
+            env.insert(d.clone(), lock);
+        }
+        return;
+    }
+
+    // 2. `drop(g)` releases.
+    for c in &stmt.calls {
+        if !c.is_method && c.name() == "drop" {
+            if let Some(g) = c.args.first().and_then(|a| a.idents.first()) {
+                env.remove(g);
+            }
+        }
+    }
+
+    // 3. Acquisition: a def whose statement calls `lock`/`read`/`write`
+    //    on a named receiver (argument-free: `m.lock()`, possibly
+    //    `.unwrap()`-chained).
+    if !stmt.weak_def {
+        if let Some(d) = stmt.defs.first() {
+            let acquired = stmt.calls.iter().find(|c| {
+                c.is_method
+                    && LOCK_METHODS.contains(&c.name())
+                    && !c.recv.is_empty()
+                    && c.args.iter().all(|a| a.idents.is_empty())
+            });
+            if let Some(call) = acquired {
+                let name = lock_name(&call.recv, owner);
+                env.insert(d.clone(), name);
+                // Later defs of the same statement are chained temps.
+                return;
+            }
+        }
+        // 4. Strong rebind to a non-guard kills the old binding.
+        for d in &stmt.defs {
+            env.remove(d);
+        }
+    }
+}
+
+/// Solves the lockset dataflow for one CFG. Returns, per block, the
+/// environment *before* each statement (aligned with `blocks[b].stmts`).
+pub fn solve(cfg: &Cfg, entry: &LockEnv, owner: Option<&str>) -> Vec<Vec<LockEnv>> {
+    let states = dataflow::solve_forward(
+        cfg,
+        /* bottom = */ None,
+        /* init = */ Some(entry.clone()),
+        join,
+        |b, s: &LockState| {
+            let Some(env) = s else { return None };
+            let mut env = env.clone();
+            for stmt in &cfg.blocks[b].stmts {
+                transfer_stmt(stmt, &mut env, owner);
+            }
+            Some(env)
+        },
+    );
+    let mut per_stmt = Vec::with_capacity(cfg.blocks.len());
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut env = states[b].clone().unwrap_or_default();
+        let mut rows = Vec::with_capacity(block.stmts.len());
+        for stmt in &block.stmts {
+            rows.push(env.clone());
+            transfer_stmt(stmt, &mut env, owner);
+        }
+        per_stmt.push(rows);
+    }
+    per_stmt
+}
+
+/// The set of lock names held in an environment.
+pub fn held(env: &LockEnv) -> BTreeSet<String> {
+    env.values().cloned().collect()
+}
+
+/// Every `guard → lock` binding a CFG ever establishes, flow-insensitive
+/// (used to name the lock of a guard-mediated access even after joins
+/// lose the binding on some path).
+pub fn ever_bound(cfg: &Cfg, owner: Option<&str>) -> LockEnv {
+    let mut out = LockEnv::new();
+    for block in &cfg.blocks {
+        for stmt in &block.stmts {
+            if stmt.weak_def {
+                continue;
+            }
+            if let Some(d) = stmt.defs.first() {
+                for c in &stmt.calls {
+                    if c.is_method && LOCK_METHODS.contains(&c.name()) && !c.recv.is_empty() {
+                        out.insert(d.clone(), lock_name(&c.recv, owner));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A per-line view of the held-lock sets of a solved CFG: meet across
+/// statements sharing a line. Lookups for lines inside absorbed
+/// multi-line statements fall back to the nearest preceding statement.
+pub struct LineLocks {
+    by_line: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl LineLocks {
+    pub fn new(cfg: &Cfg, solved: &[Vec<LockEnv>]) -> LineLocks {
+        let mut by_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for (s, stmt) in block.stmts.iter().enumerate() {
+                let locks = held(&solved[b][s]);
+                by_line
+                    .entry(stmt.line)
+                    .and_modify(|cur| *cur = cur.intersection(&locks).cloned().collect())
+                    .or_insert(locks);
+            }
+        }
+        LineLocks { by_line }
+    }
+
+    /// Locks held at `line` (nearest preceding statement on a miss).
+    pub fn at(&self, line: usize) -> BTreeSet<String> {
+        self.by_line
+            .range(..=line)
+            .next_back()
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Interprocedural entry locks: for every call-graph node, the set of
+/// locks held at *every* `certain` call site of it (meet over call
+/// sites; `None` = never called, treated as no locks by consumers).
+/// Spawn-closure call sites contribute the closure CFG's lockset with
+/// an empty entry — the spawned thread holds nothing at birth.
+pub fn entry_locks(facts: &WorkspaceFacts) -> Vec<Option<BTreeSet<String>>> {
+    let n = facts.graph.fns.len();
+    let mut entry: Vec<Option<BTreeSet<String>>> = vec![None; n];
+
+    // Per-fn closure spans (line ranges + body CFG locksets), built
+    // lazily once: call sites inside a spawn closure must not inherit
+    // the parent's locks.
+    struct SpawnCtx {
+        line: usize,
+        end_line: usize,
+        locks: LineLocks,
+    }
+    let mut spawn_ctxs: Vec<Vec<SpawnCtx>> = Vec::with_capacity(n);
+    for (i, node) in facts.graph.fns.iter().enumerate() {
+        let mut ctxs = Vec::new();
+        let def = facts
+            .files
+            .iter()
+            .filter(|f| f.path == node.path)
+            .flat_map(|f| &f.fns)
+            .find(|d| d.line == node.line && d.name == node.name);
+        if let Some(def) = def {
+            for c in escape::closures(def) {
+                if !escape::is_spawn(&c) {
+                    continue;
+                }
+                let ccfg = cfg::build(c.body, c.line);
+                let solved = solve(&ccfg, &LockEnv::new(), node.owner.as_deref());
+                ctxs.push(SpawnCtx {
+                    line: c.line,
+                    end_line: c.end_line,
+                    locks: LineLocks::new(&ccfg, &solved),
+                });
+            }
+        }
+        let _ = i;
+        spawn_ctxs.push(ctxs);
+    }
+
+    // Meet-only fixpoint: entries shrink monotonically, so it
+    // terminates; cap passes defensively anyway.
+    for _pass in 0..32 {
+        let mut changed = false;
+        for (i, node) in facts.graph.fns.iter().enumerate() {
+            let owner = node.owner.as_deref();
+            // Seed the caller's CFG with pseudo-guards for its own
+            // entry locks so they flow through to call sites.
+            let mut seed = LockEnv::new();
+            for (k, l) in entry[i].clone().unwrap_or_default().iter().enumerate() {
+                seed.insert(format!("<entry:{k}>"), l.clone());
+            }
+            let cfg = &facts.cfgs[i];
+            let solved = solve(cfg, &seed, owner);
+            let lines = LineLocks::new(cfg, &solved);
+            for e in &facts.graph.edges[i] {
+                if !e.certain {
+                    continue;
+                }
+                let site_locks = match spawn_ctxs[i]
+                    .iter()
+                    .find(|c| c.line <= e.line && e.line <= c.end_line)
+                {
+                    Some(ctx) => ctx.locks.at(e.line),
+                    None => lines.at(e.line),
+                };
+                let merged = match &entry[e.callee] {
+                    None => Some(site_locks),
+                    Some(cur) => Some(cur.intersection(&site_locks).cloned().collect()),
+                };
+                if merged != entry[e.callee] {
+                    entry[e.callee] = merged;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_file, ParsedFile};
+    use crate::scan::scan_source;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&scan_source("crates/x/src/a.rs", src, true))
+    }
+
+    fn locks_at_call(src: &str, callee: &str) -> BTreeSet<String> {
+        let p = parse(src);
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let f = &p.fns[0];
+        let cfg = cfg::build(&f.body, f.line);
+        let solved = solve(&cfg, &LockEnv::new(), f.owner.as_deref());
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for (s, stmt) in block.stmts.iter().enumerate() {
+                if stmt.calls.iter().any(|c| c.name() == callee) {
+                    return held(&solved[b][s]);
+                }
+            }
+        }
+        panic!("no call to {callee} found");
+    }
+
+    #[test]
+    fn guard_holds_lock_until_drop() {
+        let held = locks_at_call(
+            "fn f(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    touch(g);\n}\n",
+            "touch",
+        );
+        assert_eq!(held.len(), 1, "{held:?}");
+        assert!(held.contains("m"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let held = locks_at_call(
+            "fn f(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    drop(g);\n    touch();\n}\n",
+            "touch",
+        );
+        assert!(held.is_empty(), "{held:?}");
+    }
+
+    #[test]
+    fn self_receivers_qualify_by_owner() {
+        let held = locks_at_call(
+            "impl Daemon {\n    fn f(&self) {\n        let g = self.inner.lock().unwrap();\n        touch(g);\n    }\n}\n",
+            "touch",
+        );
+        assert!(held.contains("Daemon.inner"), "{held:?}");
+    }
+
+    #[test]
+    fn join_is_must_intersection() {
+        // Lock taken on one branch only: not held after the join.
+        let held = locks_at_call(
+            "fn f(m: &Mutex<u32>, c: bool) {\n    let mut g = None;\n    if c {\n        g = Some(m.lock().unwrap());\n    }\n    touch(g);\n}\n",
+            "touch",
+        );
+        assert!(held.is_empty(), "{held:?}");
+    }
+
+    #[test]
+    fn condvar_wait_reacquires_the_same_lock() {
+        // The crossbeam shim's receive loop shape.
+        let held = locks_at_call(
+            "impl Chan {\n    fn recv(&self) -> u32 {\n        let mut q = self.slots.lock().unwrap();\n        while q.is_empty() {\n            q = self.ready.wait(q).unwrap();\n        }\n        take(q)\n    }\n}\n",
+            "take",
+        );
+        assert!(held.contains("Chan.slots"), "{held:?}");
+    }
+
+    #[test]
+    fn strong_rebind_kills_the_guard() {
+        let held = locks_at_call(
+            "fn f(m: &Mutex<u32>) {\n    let mut g = m.lock().unwrap();\n    g = fresh();\n    touch(g);\n}\n",
+            "touch",
+        );
+        assert!(held.is_empty(), "{held:?}");
+    }
+
+    #[test]
+    fn entry_locks_meet_over_certain_call_sites() {
+        let files = vec![parse(
+            "fn locked(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    helper();\n    drop(g);\n}\nfn unlocked() {\n    helper();\n}\nfn helper() {\n    body();\n}\nfn only_locked(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    leaf();\n    drop(g);\n}\nfn leaf() {\n    body();\n}\n",
+        )];
+        let facts = crate::WorkspaceFacts::build(files);
+        let entry = entry_locks(&facts);
+        let idx = |name: &str| {
+            facts
+                .graph
+                .fns
+                .iter()
+                .position(|f| f.name == name)
+                .expect(name)
+        };
+        // `helper` has a locked and an unlocked caller: meet is empty.
+        assert_eq!(entry[idx("helper")], Some(BTreeSet::new()), "{entry:?}");
+        // `leaf` is only ever called under `m`.
+        let leaf = entry[idx("leaf")].clone().expect("leaf called");
+        assert!(leaf.contains("m"), "{leaf:?}");
+        // Entry functions were never called: still ⊤.
+        assert_eq!(entry[idx("locked")], None);
+    }
+}

@@ -36,9 +36,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("gen-witnesses") => {
+            // Regenerates shims/loom/tests/race_witness.rs:
+            //   cargo run -p specinfer-xtask -- gen-witnesses \
+            //     > shims/loom/tests/race_witness.rs
+            // `race::tests::checked_in_witnesses_match_generator` pins
+            // the checked-in file byte-for-byte to this output.
+            print!("{}", specinfer_xtask::race::checked_in_witnesses());
+            ExitCode::SUCCESS
+        }
         _ => {
             eprintln!(
-                "usage: specinfer-xtask lint [--json|--github] [--rule NAME]... [--root DIR]\n       specinfer-xtask lint [--json|--github] [--rule NAME]... --strict FILE..."
+                "usage: specinfer-xtask lint [--json|--github] [--rule NAME]... [--root DIR]\n       specinfer-xtask lint [--json|--github] [--rule NAME]... --strict FILE...\n       specinfer-xtask gen-witnesses  # emit the loom witness test file"
             );
             ExitCode::from(2)
         }

@@ -1,0 +1,921 @@
+//! `shared_state_race`: escape-aware static race detection.
+//!
+//! For every value classified **Shared** by [`crate::escape`] (spawn
+//! captures, `Arc` aliases, non-`Sync` statics, lock-guarded data), the
+//! rule collects cross-thread access pairs and intersects their
+//! [`crate::lockset`] locksets. A write paired with a concurrent access
+//! under an **empty** lock intersection — with no happens-before edge
+//! ordering the two — is a finding carrying both access sites, their
+//! spawn origins, and the computed locksets.
+//!
+//! **Execution contexts.** Closures are absorbed into single parent
+//! statements by [`crate::cfg`], so each thread boundary gets its own
+//! CFG built from the closure's recorded body tokens:
+//! - *owner* — the function body outside every thread closure, entered
+//!   with the interprocedural [`crate::lockset::entry_locks`] of the
+//!   function;
+//! - *scope runner* — the `|scope| …` of `thread::scope` (runs on the
+//!   owner thread, joins all its spawns before returning);
+//! - *spawn* — each closure handed to a `spawn` entry point, entered
+//!   with an empty lockset.
+//!
+//! **Happens-before edges recognized:**
+//! - *scope-join dominance* — owner accesses after `thread::scope`
+//!   returns are ordered after every scoped spawn; owner accesses
+//!   before the spawn statement are ordered before it.
+//! - *free-spawn join* — `let h = thread::spawn(…); … h.join()` bounds
+//!   the concurrency window to `(spawn line, join line)`.
+//! - *channel transfer* — a binding passed through `send(…)` moved
+//!   ownership; the send→recv pairing orders the handoff, so sent
+//!   payloads never pair.
+//!
+//! The analysis is deliberately asymmetric in its errors: lock
+//! over-approximation and capture classification may *miss* races
+//! (any static tool must), but every reported pair names two concrete
+//! statements with disjoint must-locksets — which is why each
+//! workspace finding must be fixed or backed by a generated
+//! [`witness_harness`] loom test proving the interleaving exists.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{self, Cfg, Stmt};
+use crate::escape::{self, FnEscape, Sharing, MUTATING_METHODS, SYNC_METHODS};
+use crate::lockset::{self, LockEnv};
+use crate::parse::{FnDef, ParsedFile};
+use crate::rules::{Finding, Severity};
+use crate::WorkspaceFacts;
+
+/// Crate sources the rule audits (shim files are handed in separately —
+/// they model the external sync primitives the serving stack leans on).
+pub const RACE_SCOPE: &[&str] = &[
+    "crates/serving/src/",
+    "crates/spec/src/",
+    "crates/model/src/",
+];
+
+fn in_scope(path: &str) -> bool {
+    RACE_SCOPE.iter().any(|p| path.starts_with(p)) || path.starts_with("shims/")
+}
+
+/// Where an access executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxKind {
+    Owner,
+    Runner,
+    Spawn,
+}
+
+/// One execution context of a function.
+struct Ctx {
+    kind: CtxKind,
+    /// Spawn/scope statement line (0 for the owner context).
+    start: usize,
+    /// Spawn issued inside a loop: the context races itself.
+    in_loop: bool,
+    /// Line after which the owner has joined this spawn (scope end for
+    /// scoped spawns, `h.join()` line for free spawns).
+    joined_at: Option<usize>,
+}
+
+impl Ctx {
+    fn label(&self) -> String {
+        match self.kind {
+            CtxKind::Owner => "owner thread".to_string(),
+            CtxKind::Runner => format!("scope body (line {})", self.start),
+            CtxKind::Spawn => format!("thread spawned at line {}", self.start),
+        }
+    }
+}
+
+/// One read or write of a shared location.
+#[derive(Debug, Clone)]
+struct Access {
+    ctx: usize,
+    line: usize,
+    location: String,
+    write: bool,
+    locks: BTreeSet<String>,
+}
+
+/// A static access escaping its function, for the cross-function pass.
+struct StaticAccess {
+    path: String,
+    fn_label: String,
+    spawn_ctx: bool,
+    line: usize,
+    name: String,
+    write: bool,
+    locks: BTreeSet<String>,
+}
+
+/// Runs the race rule over the workspace facts plus the shim files
+/// (shims stay outside the call graph but inside the audit).
+pub fn race_findings(
+    facts: &WorkspaceFacts,
+    shims: &[ParsedFile],
+    strict: bool,
+    out: &mut Vec<Finding>,
+) {
+    let entry = lockset::entry_locks(facts);
+    let mut node_idx: BTreeMap<(&str, usize), usize> = BTreeMap::new();
+    for (i, n) in facts.graph.fns.iter().enumerate() {
+        node_idx.insert((n.path.as_str(), n.line), i);
+    }
+
+    let files: Vec<&ParsedFile> = facts
+        .files
+        .iter()
+        .chain(shims.iter())
+        .filter(|f| strict || in_scope(&f.path))
+        .collect();
+
+    // Non-`Sync` statics across the audited set (name → defining file).
+    let mut statics: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for file in &files {
+        for s in escape::racy_statics(&file.statics) {
+            statics.insert(s.name.clone(), (file.path.clone(), s.line));
+        }
+    }
+    let static_names: BTreeSet<String> = statics.keys().cloned().collect();
+
+    let mut static_accesses: Vec<StaticAccess> = Vec::new();
+    for file in &files {
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            analyze_fn(
+                file,
+                f,
+                facts,
+                &entry,
+                &node_idx,
+                &static_names,
+                &mut static_accesses,
+                out,
+            );
+        }
+    }
+
+    // Cross-function static pairing: a write to a non-`Sync` static
+    // plus any other access with at least one side on a spawned thread.
+    for (i, a) in static_accesses.iter().enumerate() {
+        for b in static_accesses.iter().skip(i + 1) {
+            if a.name != b.name || !(a.write || b.write) {
+                continue;
+            }
+            if !(a.spawn_ctx || b.spawn_ctx) {
+                continue;
+            }
+            let same_site = a.path == b.path && a.line == b.line;
+            if same_site && !(a.spawn_ctx && b.spawn_ctx) {
+                continue;
+            }
+            if a.locks.intersection(&b.locks).next().is_some() {
+                continue;
+            }
+            let (w, o) = if a.write { (a, b) } else { (b, a) };
+            out.push(Finding {
+                rule: "shared_state_race",
+                severity: Severity::Error,
+                path: w.path.clone(),
+                line: w.line,
+                message: format!(
+                    "non-Sync static `{}` written in {} at line {} (locks: {}) while {} in \
+                     {} at line {} (locks: {}) can run concurrently; guard it with a lock or \
+                     make it atomic",
+                    w.name,
+                    w.fn_label,
+                    w.line,
+                    fmt_locks(&w.locks),
+                    if o.write { "written" } else { "read" },
+                    o.fn_label,
+                    o.line,
+                    fmt_locks(&o.locks),
+                ),
+                snippet: String::new(),
+                call_path: vec![w.fn_label.clone(), o.fn_label.clone()],
+            });
+        }
+    }
+}
+
+fn fmt_locks(locks: &BTreeSet<String>) -> String {
+    if locks.is_empty() {
+        "{}".to_string()
+    } else {
+        format!(
+            "{{{}}}",
+            locks.iter().cloned().collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_fn(
+    file: &ParsedFile,
+    f: &FnDef,
+    facts: &WorkspaceFacts,
+    entry_locks: &[Option<BTreeSet<String>>],
+    node_idx: &BTreeMap<(&str, usize), usize>,
+    static_names: &BTreeSet<String>,
+    static_accesses: &mut Vec<StaticAccess>,
+    out: &mut Vec<Finding>,
+) {
+    let cls = escape::closures(f);
+    let spawn_idx: Vec<usize> = (0..cls.len())
+        .filter(|&i| escape::is_spawn(&cls[i]))
+        .collect();
+    let runner_idx: Vec<usize> = (0..cls.len())
+        .filter(|&i| escape::is_scope_runner(&cls[i]))
+        .collect();
+    if spawn_idx.is_empty() && static_names.is_empty() {
+        return;
+    }
+
+    let owner = f.owner.as_deref();
+    let main_cfg: Cfg = match node_idx.get(&(file.path.as_str(), f.line)) {
+        Some(&i) => facts.cfgs[i].clone(),
+        None => cfg::build(&f.body, f.line),
+    };
+    let closure_cfgs: Vec<Cfg> = cls.iter().map(|c| cfg::build(c.body, c.line)).collect();
+
+    let mut esc = FnEscape::default();
+    esc.absorb(&main_cfg);
+    for ccfg in &closure_cfgs {
+        esc.absorb(ccfg);
+    }
+
+    // Thread-closure line spans: statements overlapping one belong to
+    // that context, not to the enclosing body's.
+    let thread_spans: Vec<(usize, usize)> = spawn_idx
+        .iter()
+        .chain(runner_idx.iter())
+        .map(|&i| (cls[i].line, cls[i].end_line))
+        .collect();
+    let outside_threads = |line: usize| !thread_spans.iter().any(|&(a, b)| a <= line && line <= b);
+
+    // ---- contexts ----------------------------------------------------
+    let owner_entry: LockEnv = match node_idx
+        .get(&(file.path.as_str(), f.line))
+        .and_then(|&i| entry_locks[i].clone())
+    {
+        Some(locks) => locks
+            .into_iter()
+            .enumerate()
+            .map(|(k, l)| (format!("<entry:{k}>"), l))
+            .collect(),
+        None => LockEnv::new(),
+    };
+    let main_solved = lockset::solve(&main_cfg, &owner_entry, owner);
+    let main_lines = lockset::LineLocks::new(&main_cfg, &main_solved);
+
+    let mut ctxs: Vec<Ctx> = vec![Ctx {
+        kind: CtxKind::Owner,
+        start: 0,
+        in_loop: false,
+        joined_at: None,
+    }];
+    // closure index → ctx index
+    let mut ctx_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for &r in &runner_idx {
+        ctx_of.insert(r, ctxs.len());
+        ctxs.push(Ctx {
+            kind: CtxKind::Runner,
+            start: cls[r].line,
+            in_loop: false,
+            joined_at: None,
+        });
+    }
+    for &s in &spawn_idx {
+        let c = &cls[s];
+        // Scoped spawn: joined when its innermost enclosing scope
+        // runner returns. Free spawn: joined at `h.join()` if the
+        // handle binding is visible.
+        let scope = runner_idx
+            .iter()
+            .filter(|&&r| cls[r].contains_line(c.line) && r != s)
+            .max_by_key(|&&r| cls[r].line)
+            .copied();
+        let joined_at = match scope {
+            Some(r) => Some(cls[r].end_line),
+            None => free_spawn_join_line(&main_cfg, c.line),
+        };
+        ctx_of.insert(s, ctxs.len());
+        ctxs.push(Ctx {
+            kind: CtxKind::Spawn,
+            start: c.line,
+            in_loop: c.in_loop,
+            joined_at,
+        });
+    }
+
+    // ---- capture classification -------------------------------------
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    for &s in &spawn_idx {
+        let c = &cls[s];
+        let sctx = &ctxs[ctx_of[&s]];
+        for cap in c.captures {
+            let n_spawns = spawn_idx
+                .iter()
+                .filter(|&&j| cls[j].captures.contains(cap))
+                .count();
+            let owner_touches_after = mentions(&main_cfg, &outside_threads, cap)
+                .iter()
+                .any(|&l| sctx.start < l && l < sctx.joined_at.unwrap_or(usize::MAX));
+            if escape::classify_capture(cap, c, &esc, n_spawns, owner_touches_after)
+                == Sharing::Shared
+                && !esc.sent.contains(cap)
+            {
+                tracked.insert(cap.clone());
+            }
+        }
+    }
+
+    // ---- access extraction ------------------------------------------
+    let mut accesses: Vec<Access> = Vec::new();
+    // owner context
+    collect_accesses(
+        0,
+        &main_cfg,
+        &main_solved,
+        &outside_threads,
+        &tracked,
+        static_names,
+        &esc,
+        &mut accesses,
+    );
+    for (&ci, &ctx_i) in &ctx_of {
+        let c = &cls[ci];
+        let ccfg = &closure_cfgs[ci];
+        // Runners enter with the owner's locks at the scope statement;
+        // spawned threads enter with nothing.
+        let entry_env: LockEnv = if ctxs[ctx_i].kind == CtxKind::Runner {
+            main_lines
+                .at(c.line)
+                .into_iter()
+                .enumerate()
+                .map(|(k, l)| (format!("<entry:{k}>"), l))
+                .collect()
+        } else {
+            LockEnv::new()
+        };
+        let solved = lockset::solve(ccfg, &entry_env, owner);
+        // Exclude statements of thread closures nested inside this one.
+        let nested: Vec<(usize, usize)> = thread_spans
+            .iter()
+            .filter(|&&(a, b)| c.line <= a && b <= c.end_line && (a, b) != (c.line, c.end_line))
+            .copied()
+            .collect();
+        let keep = |line: usize| !nested.iter().any(|&(a, b)| a <= line && line <= b);
+        collect_accesses(
+            ctx_i,
+            ccfg,
+            &solved,
+            &keep,
+            &tracked,
+            static_names,
+            &esc,
+            &mut accesses,
+        );
+    }
+
+    // ---- pairing -----------------------------------------------------
+    let fn_label = match owner {
+        Some(o) => format!("{}::{}", o, f.name),
+        None => f.name.clone(),
+    };
+    // Statics pair globally across functions: stash and take them out
+    // of the local pairing.
+    let (static_accs, accesses): (Vec<Access>, Vec<Access>) = accesses
+        .into_iter()
+        .partition(|a| a.location.starts_with("static:"));
+    for a in static_accs {
+        let name = a.location.strip_prefix("static:").unwrap_or(&a.location);
+        static_accesses.push(StaticAccess {
+            path: file.path.clone(),
+            fn_label: format!("{} ({})", fn_label, ctxs[a.ctx].label()),
+            spawn_ctx: ctxs[a.ctx].kind == CtxKind::Spawn,
+            line: a.line,
+            name: name.to_string(),
+            write: a.write,
+            locks: a.locks.clone(),
+        });
+    }
+    let mut reported: BTreeSet<(String, usize, usize)> = BTreeSet::new();
+    for (i, a) in accesses.iter().enumerate() {
+        // A looped spawn races its own next iteration: pair the access
+        // with itself.
+        let tail = accesses.iter().skip(i + 1);
+        let self_pair = std::iter::once(a)
+            .filter(|_| ctxs[a.ctx].kind == CtxKind::Spawn && ctxs[a.ctx].in_loop);
+        for b in self_pair.chain(tail) {
+            if a.location != b.location || !(a.write || b.write) {
+                continue;
+            }
+            if !concurrent(&ctxs, a, b) {
+                continue;
+            }
+            if a.locks.intersection(&b.locks).next().is_some() {
+                continue;
+            }
+            let key = (a.location.clone(), a.ctx.min(b.ctx), a.ctx.max(b.ctx));
+            if !reported.insert(key) {
+                continue;
+            }
+            let (w, o) = if a.write { (a, b) } else { (b, a) };
+            out.push(Finding {
+                rule: "shared_state_race",
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: w.line,
+                message: format!(
+                    "`{}` in `{}` is written at line {} on {} (locks: {}) while {} at line \
+                     {} on {} (locks: {}); the locksets share no lock and no happens-before \
+                     edge orders the accesses — protect both sides with one lock, hand the \
+                     value off through a channel, or partition it (`chunks_mut`/`split_at_mut`)",
+                    w.location,
+                    fn_label,
+                    w.line,
+                    ctxs[w.ctx].label(),
+                    fmt_locks(&w.locks),
+                    if o.write { "written" } else { "read" },
+                    o.line,
+                    ctxs[o.ctx].label(),
+                    fmt_locks(&o.locks),
+                ),
+                snippet: file.raw_line(w.line),
+                call_path: vec![
+                    format!("{} @ {}:{}", ctxs[w.ctx].label(), file.path, w.line),
+                    format!("{} @ {}:{}", ctxs[o.ctx].label(), file.path, o.line),
+                ],
+            });
+        }
+    }
+}
+
+/// Whether two accesses can execute at the same time on different
+/// threads (or on overlapping instances of one looped spawn).
+fn concurrent(ctxs: &[Ctx], a: &Access, b: &Access) -> bool {
+    let (ca, cb) = (&ctxs[a.ctx], &ctxs[b.ctx]);
+    if a.ctx == b.ctx {
+        return ca.kind == CtxKind::Spawn && ca.in_loop;
+    }
+    let window = |s: &Ctx, line: usize| {
+        // Owner-side line vs a spawn's live window (spawn → join).
+        s.start < line && line < s.joined_at.unwrap_or(usize::MAX)
+    };
+    match (ca.kind, cb.kind) {
+        (CtxKind::Spawn, CtxKind::Spawn) => {
+            // Overlap of the two live windows: a spawn joined before
+            // the other starts is ordered by the join edge.
+            !(ca.joined_at.unwrap_or(usize::MAX) <= cb.start
+                || cb.joined_at.unwrap_or(usize::MAX) <= ca.start)
+        }
+        (CtxKind::Spawn, _) => window(ca, b.line),
+        (_, CtxKind::Spawn) => window(cb, a.line),
+        // Owner and scope runners all execute on the owner thread.
+        _ => false,
+    }
+}
+
+/// The line of `h.join()` for the free spawn at `spawn_line`, if its
+/// handle is bound and joined in this body.
+fn free_spawn_join_line(main_cfg: &Cfg, spawn_line: usize) -> Option<usize> {
+    let mut handle: Option<&String> = None;
+    for block in &main_cfg.blocks {
+        for stmt in &block.stmts {
+            if stmt
+                .calls
+                .iter()
+                .any(|c| c.name() == "spawn" && c.line == spawn_line)
+            {
+                handle = stmt.defs.first();
+            }
+        }
+    }
+    let handle = handle?;
+    for block in &main_cfg.blocks {
+        for stmt in &block.stmts {
+            for c in &stmt.calls {
+                if c.is_method && c.name() == "join" && c.recv.first() == Some(handle) {
+                    return Some(c.line);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Lines where `name` is mentioned in kept statements of a CFG.
+fn mentions(cfg: &Cfg, keep: &dyn Fn(usize) -> bool, name: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for block in &cfg.blocks {
+        for stmt in &block.stmts {
+            if !keep(stmt.line) {
+                continue;
+            }
+            let hit = stmt.uses.iter().any(|u| u == name)
+                || stmt.defs.iter().any(|d| d == name)
+                || stmt.calls.iter().any(|c| {
+                    c.recv.first().map(String::as_str) == Some(name)
+                        || c.args.iter().any(|a| a.idents.iter().any(|i| i == name))
+                });
+            if hit {
+                out.push(stmt.line);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts shared-location accesses from the kept statements of one
+/// context's CFG.
+#[allow(clippy::too_many_arguments)]
+fn collect_accesses(
+    ctx: usize,
+    cfg: &Cfg,
+    solved: &[Vec<LockEnv>],
+    keep: &dyn Fn(usize) -> bool,
+    tracked: &BTreeSet<String>,
+    static_names: &BTreeSet<String>,
+    esc: &FnEscape,
+    out: &mut Vec<Access>,
+) {
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for (s, stmt) in block.stmts.iter().enumerate() {
+            if !keep(stmt.line) {
+                continue;
+            }
+            let env = &solved[b][s];
+            let locks = lockset::held(env);
+
+            // Guard-mediated data: accesses through a live guard map to
+            // the lock's data location, under the current lockset.
+            for (g, lock) in env {
+                if g.starts_with("<entry:") {
+                    continue;
+                }
+                if let Some(write) = mention_kind(stmt, g, esc) {
+                    out.push(Access {
+                        ctx,
+                        line: stmt.line,
+                        location: format!("lock:{lock}"),
+                        write,
+                        locks: locks.clone(),
+                    });
+                }
+            }
+
+            for t in tracked {
+                if let Some(write) = mention_kind(stmt, t, esc) {
+                    out.push(Access {
+                        ctx,
+                        line: stmt.line,
+                        location: t.clone(),
+                        write,
+                        locks: locks.clone(),
+                    });
+                }
+            }
+
+            // Statics are uppercase and invisible to `uses`; scan the
+            // joined token text.
+            for name in static_names {
+                if let Some(write) = static_mention_kind(&stmt.text, name) {
+                    out.push(Access {
+                        ctx,
+                        line: stmt.line,
+                        location: format!("static:{name}"),
+                        write,
+                        locks: locks.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+const ASSIGN_OPS: &[&str] = &["=", "+=", "-=", "*=", "/=", "%="];
+
+/// How a statement touches binding `t`: `Some(true)` = write,
+/// `Some(false)` = read, `None` = no raw access (untouched, or mediated
+/// by a sync primitive / handed off as a sync-call payload).
+fn mention_kind(stmt: &Stmt, t: &str, esc: &FnEscape) -> Option<bool> {
+    let t_eq = |s: &String| s == t;
+
+    let weak_write = stmt.weak_def && stmt.defs.first().map(String::as_str) == Some(t);
+    let shadowing = stmt.text.starts_with("let ");
+    let strong_write = !stmt.weak_def && !shadowing && stmt.defs.iter().any(t_eq);
+    let deref_write = {
+        let toks: Vec<&str> = stmt.text.split(' ').collect();
+        toks.windows(3)
+            .any(|w| w[0] == "*" && w[1] == t && ASSIGN_OPS.contains(&w[2]))
+    };
+    let mut_method = stmt.calls.iter().any(|c| {
+        c.is_method
+            && c.recv.first().map(String::as_str) == Some(t)
+            && MUTATING_METHODS.contains(&c.name())
+    });
+    if weak_write || strong_write || deref_write || mut_method {
+        return Some(true);
+    }
+
+    let sync_recv = stmt.calls.iter().any(|c| {
+        c.is_method
+            && c.recv.first().map(String::as_str) == Some(t)
+            && SYNC_METHODS.contains(&c.name())
+    });
+    let sync_payload = stmt.calls.iter().any(|c| {
+        SYNC_METHODS.contains(&c.name()) && c.args.iter().any(|a| a.idents.iter().any(t_eq))
+    });
+    let arc_clone = stmt
+        .calls
+        .iter()
+        .any(|c| c.name() == "clone" && esc.is_arc(t));
+    if sync_recv || sync_payload || arc_clone {
+        return None;
+    }
+
+    let read = stmt.uses.iter().any(t_eq)
+        || stmt.calls.iter().any(|c| {
+            c.recv.first().map(String::as_str) == Some(t)
+                || c.args.iter().any(|a| a.idents.iter().any(t_eq))
+        });
+    read.then_some(false)
+}
+
+/// Classifies a mention of static `name` in a statement's joined token
+/// text: write (assigned, compound-assigned, or mutated through a
+/// method), read, or none. Sync-mediated chains (`.load(`, `.lock(`)
+/// return `None` — but non-`Sync` statics rarely have those.
+fn static_mention_kind(text: &str, name: &str) -> Option<bool> {
+    let toks: Vec<&str> = text.split(' ').collect();
+    let mut saw_read = false;
+    for i in 0..toks.len() {
+        if toks[i] != name {
+            continue;
+        }
+        if i > 0 && toks[i - 1] == "." {
+            continue; // field named like the static
+        }
+        // Walk the field chain: `NAME . field . sub`.
+        let mut j = i + 1;
+        let mut last_seg = name;
+        while j + 1 < toks.len() && toks[j] == "." {
+            last_seg = toks[j + 1];
+            j += 2;
+        }
+        match toks.get(j).copied() {
+            Some(op) if ASSIGN_OPS.contains(&op) => return Some(true),
+            Some("(") => {
+                // `NAME.method(…)` — the chain walker consumed the
+                // method name as `last_seg`.
+                if MUTATING_METHODS.contains(&last_seg) {
+                    return Some(true);
+                }
+                if !SYNC_METHODS.contains(&last_seg) {
+                    saw_read = true;
+                }
+            }
+            _ => saw_read = true,
+        }
+    }
+    saw_read.then_some(false)
+}
+
+// ---------------------------------------------------------------------
+// Loom witness generation
+// ---------------------------------------------------------------------
+
+/// One witness: a test name, the shared location it models, and whether
+/// one side of the race holds a lock (the dropped-guard shape).
+pub struct Witness<'a> {
+    pub test_name: &'a str,
+    pub location: &'a str,
+    pub one_side_locked: bool,
+}
+
+/// Renders a complete `shims/loom/tests/` file of witness harnesses.
+///
+/// Each harness models the *reported interleaving* — two threads
+/// performing an unsynchronized read-modify-write on the shared
+/// location (one side optionally under a lock the other side does not
+/// take) — and asserts that the explorer **finds** a lost update:
+/// `explore(...).failure.is_some()`. A passing test is therefore an
+/// executable proof that the racy interleaving exists, which is what a
+/// sanctioned `shared_state_race` allowlist entry must cite by name.
+pub fn witness_file(witnesses: &[Witness<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "//! Generated loom witnesses for `shared_state_race` findings.\n\
+         //!\n\
+         //! DO NOT EDIT BY HAND: produced by `specinfer_xtask::race::witness_file`\n\
+         //! and pinned byte-for-byte by `race::tests::checked_in_witnesses_match_generator`.\n\
+         //! Each test models a reported racy interleaving and asserts the loom\n\
+         //! explorer exhibits the lost update — a passing test is an executable\n\
+         //! proof the race is real, cited by the corresponding lint-allow entry\n\
+         //! or fixture.\n\n\
+         use loom::sync::atomic::{AtomicUsize, Ordering};\n\
+         use loom::sync::{Arc, Mutex};\n\n",
+    );
+    for w in witnesses {
+        out.push_str(&witness_harness(w));
+        out.push('\n');
+    }
+    // rustfmt-stable: exactly one trailing newline, so `cargo fmt`
+    // leaves the generated file byte-identical to this output.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+/// Renders one witness test (see [`witness_file`]).
+pub fn witness_harness(w: &Witness<'_>) -> String {
+    let lock_setup = if w.one_side_locked {
+        "        let lock = Arc::new(Mutex::new(()));\n\
+         \x20       let lock2 = Arc::clone(&lock);\n"
+    } else {
+        ""
+    };
+    let lock_hold = if w.one_side_locked {
+        "            let _g = lock2.lock().unwrap();\n"
+    } else {
+        ""
+    };
+    let lock_note = if w.one_side_locked {
+        " (one side locked, the other not — the lock protects nothing)"
+    } else {
+        ""
+    };
+    format!(
+        "/// Witness for a race on `{loc}`{note}: two threads race a\n\
+         /// load→store increment; some schedule must lose an update.\n\
+         #[test]\n\
+         fn {name}() {{\n\
+         \x20   let report = loom::Builder::new().explore(|| {{\n\
+         \x20       let cell = Arc::new(AtomicUsize::new(0));\n\
+         \x20       let cell2 = Arc::clone(&cell);\n\
+         {lock_setup}\
+         \x20       let t = loom::thread::spawn(move || {{\n\
+         {lock_hold}\
+         \x20           let v = cell2.load(Ordering::SeqCst);\n\
+         \x20           cell2.store(v + 1, Ordering::SeqCst);\n\
+         \x20       }});\n\
+         \x20       let v = cell.load(Ordering::SeqCst);\n\
+         \x20       cell.store(v + 1, Ordering::SeqCst);\n\
+         \x20       t.join().unwrap();\n\
+         \x20       assert_eq!(cell.load(Ordering::SeqCst), 2, \"lost update on {loc}\");\n\
+         \x20   }});\n\
+         \x20   assert!(\n\
+         \x20       report.failure.is_some(),\n\
+         \x20       \"explorer must exhibit the lost-update interleaving on {loc}\"\n\
+         \x20   );\n\
+         \x20   assert!(report.schedules >= 2, \"more than one schedule explored\");\n\
+         }}\n",
+        loc = w.location,
+        note = lock_note,
+        name = w.test_name,
+    )
+}
+
+/// The witnesses checked into `shims/loom/tests/race_witness.rs`: one
+/// per known-bad race fixture shape.
+pub fn checked_in_witnesses() -> String {
+    witness_file(&[
+        Witness {
+            test_name: "race_unlocked_write_witness",
+            location: "stats.total",
+            one_side_locked: false,
+        },
+        Witness {
+            test_name: "race_guard_dropped_early_witness",
+            location: "shared.hits",
+            one_side_locked: true,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scan::scan_source;
+
+    fn findings_of(src: &str) -> Vec<Finding> {
+        let p = parse_file(&scan_source("crates/serving/src/a.rs", src, true));
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let facts = crate::WorkspaceFacts::build(vec![p]);
+        let mut out = Vec::new();
+        race_findings(&facts, &[], true, &mut out);
+        out.retain(|f| f.rule == "shared_state_race");
+        out
+    }
+
+    #[test]
+    fn unlocked_cross_thread_write_is_a_race() {
+        let out = findings_of(
+            "fn f(pool: &Pool, stats: &mut Stats) {\n    pool.spawn(|| {\n        stats.total += 1;\n    });\n    pool.spawn(|| {\n        read_it(stats.total);\n    });\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("stats"), "{}", out[0].message);
+        assert!(!out[0].call_path.is_empty());
+    }
+
+    #[test]
+    fn common_lock_on_both_sides_is_clean() {
+        let out = findings_of(
+            "fn f(pool: &Pool, m: &Mutex<u32>, stats: &mut Stats) {\n    pool.spawn(|| {\n        let g = m.lock().unwrap();\n        stats.total += 1;\n        drop(g);\n    });\n    pool.spawn(|| {\n        let g = m.lock().unwrap();\n        read_it(stats.total);\n        drop(g);\n    });\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn guard_dropped_before_the_write_races() {
+        let out = findings_of(
+            "fn f(pool: &Pool, m: &Mutex<u32>, shared: &mut Stats) {\n    pool.spawn(|| {\n        let g = m.lock().unwrap();\n        drop(g);\n        shared.hits += 1;\n    });\n    pool.spawn(|| {\n        let g = m.lock().unwrap();\n        shared.hits += 1;\n        drop(g);\n    });\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("shared"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn channel_handoff_is_a_happens_before_edge() {
+        let out = findings_of(
+            "fn f(tx: Sender<Job>, rx: Receiver<Job>) {\n    let mut job = Job::new();\n    job.steps += 1;\n    thread::spawn(move || {\n        let got = rx.recv().unwrap();\n        run(got);\n    });\n    tx.send(job).unwrap();\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn scope_join_orders_owner_accesses_after_spawns() {
+        let out = findings_of(
+            "fn f(acc: &mut Vec<u32>) {\n    std::thread::scope(|scope| {\n        for chunk in acc.chunks_mut(4) {\n            scope.spawn(move || fill(chunk));\n        }\n    });\n    consume(acc);\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn free_spawn_join_bounds_the_window() {
+        let out = findings_of(
+            "fn f(stats: &mut Stats) {\n    let h = thread::spawn(|| {\n        stats.total += 1;\n    });\n    h.join().unwrap();\n    read_it(stats.total);\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn owner_read_while_free_spawn_runs_races() {
+        let out = findings_of(
+            "fn f(stats: &mut Stats) {\n    let h = thread::spawn(|| {\n        stats.total += 1;\n    });\n    read_it(stats.total);\n    h.join().unwrap();\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn looped_spawn_races_itself() {
+        let out = findings_of(
+            "fn f(pool: &Pool, stats: &mut Stats) {\n    for _i in 0..4 {\n        pool.spawn(|| {\n            stats.total += 1;\n        });\n    }\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn exclusive_partitions_do_not_race() {
+        let out = findings_of(
+            "fn f(out_rows: &mut [f32]) {\n    std::thread::scope(|scope| {\n        for (ci, chunk) in out_rows.chunks_mut(8).enumerate() {\n            scope.spawn(move || fill(chunk, ci));\n        }\n    });\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn atomic_counters_are_sync_mediated() {
+        let out = findings_of(
+            "fn f(pool: &Pool, hits: &AtomicUsize) {\n    pool.spawn(|| {\n        hits.fetch_add(1, Ordering::SeqCst);\n    });\n    pool.spawn(|| {\n        read_it(hits.load(Ordering::SeqCst));\n    });\n}\n",
+        );
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn non_sync_static_written_from_a_spawn_races() {
+        let out = findings_of(
+            "static TABLE: Vec<u32> = Vec::new();\nfn writer(pool: &Pool) {\n    pool.spawn(|| {\n        TABLE.push(1);\n    });\n}\nfn reader() {\n    read_it(TABLE.len());\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("TABLE"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn checked_in_witnesses_match_generator() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../shims/loom/tests/race_witness.rs"
+        );
+        let on_disk = std::fs::read_to_string(path).expect("witness file checked in");
+        assert_eq!(
+            on_disk,
+            checked_in_witnesses(),
+            "regenerate shims/loom/tests/race_witness.rs via race::checked_in_witnesses()"
+        );
+    }
+}

@@ -459,7 +459,11 @@ fn dfs_cycles(
             call_path.push(canon[0].clone());
             out.push(Finding {
                 rule: "lock_order",
-                severity: Severity::Error,
+                // Advisory: the static cycle is over may-alias lock
+                // names, so it deserves an eye rather than a red build —
+                // and the `--github` reporter maps it to `::warning`
+                // instead of `::error` accordingly.
+                severity: Severity::Warn,
                 path: node.path.clone(),
                 line,
                 message: format!(

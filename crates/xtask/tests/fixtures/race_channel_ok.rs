@@ -1,0 +1,16 @@
+// Clean-by-design fixture for `shared_state_race`: the owner mutates
+// `job` and then moves it through the channel; the receiving task only
+// touches it after `recv()` returns. The send→recv pairing is a
+// happens-before edge, so the mutation and the consumption never
+// overlap — the rule must stay silent here.
+
+pub fn handoff(pool: &Pool, tx: Sender<Job>, rx: Receiver<Job>) {
+    let mut job = Job::default();
+    job.steps += 1;
+    pool.spawn(move || {
+        if let Ok(got) = rx.recv() {
+            run(got);
+        }
+    });
+    let _ = tx.send(job);
+}

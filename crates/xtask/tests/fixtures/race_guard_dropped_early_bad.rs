@@ -1,0 +1,20 @@
+// Known-bad fixture: both tasks take the same mutex, but the first
+// drops its guard *before* writing `shared.hits`, so the write happens
+// with an empty lockset — the lock protects nothing. Must trigger
+// `shared_state_race` (exactly one finding, the write/write pair) and
+// nothing else. The racy interleaving is proved executable by
+// `race_guard_dropped_early_witness` in
+// shims/loom/tests/race_witness.rs.
+
+pub fn merge(pool: &Pool, m: &Mutex<Counters>, shared: &mut Counters) {
+    pool.spawn(|| {
+        let g = m.lock();
+        drop(g);
+        shared.hits += 1;
+    });
+    pool.spawn(|| {
+        let g = m.lock();
+        shared.hits += 1;
+        drop(g);
+    });
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture: two pool tasks share `stats` with no lock on
+// either side — the increment and the read interleave freely. Must
+// trigger `shared_state_race` (exactly one finding, the write/read
+// pair on `stats`) and nothing else. The racy interleaving is proved
+// executable by `race_unlocked_write_witness` in
+// shims/loom/tests/race_witness.rs.
+
+pub fn accumulate(pool: &Pool, stats: &mut Stats) {
+    pool.spawn(|| {
+        stats.total += 1;
+    });
+    pool.spawn(|| {
+        observe(stats.total);
+    });
+}

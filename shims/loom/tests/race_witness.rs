@@ -1,0 +1,60 @@
+//! Generated loom witnesses for `shared_state_race` findings.
+//!
+//! DO NOT EDIT BY HAND: produced by `specinfer_xtask::race::witness_file`
+//! and pinned byte-for-byte by `race::tests::checked_in_witnesses_match_generator`.
+//! Each test models a reported racy interleaving and asserts the loom
+//! explorer exhibits the lost update — a passing test is an executable
+//! proof the race is real, cited by the corresponding lint-allow entry
+//! or fixture.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// Witness for a race on `stats.total`: two threads race a
+/// load→store increment; some schedule must lose an update.
+#[test]
+fn race_unlocked_write_witness() {
+    let report = loom::Builder::new().explore(|| {
+        let cell = Arc::new(AtomicUsize::new(0));
+        let cell2 = Arc::clone(&cell);
+        let t = loom::thread::spawn(move || {
+            let v = cell2.load(Ordering::SeqCst);
+            cell2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = cell.load(Ordering::SeqCst);
+        cell.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(cell.load(Ordering::SeqCst), 2, "lost update on stats.total");
+    });
+    assert!(
+        report.failure.is_some(),
+        "explorer must exhibit the lost-update interleaving on stats.total"
+    );
+    assert!(report.schedules >= 2, "more than one schedule explored");
+}
+
+/// Witness for a race on `shared.hits` (one side locked, the other not — the lock protects nothing): two threads race a
+/// load→store increment; some schedule must lose an update.
+#[test]
+fn race_guard_dropped_early_witness() {
+    let report = loom::Builder::new().explore(|| {
+        let cell = Arc::new(AtomicUsize::new(0));
+        let cell2 = Arc::clone(&cell);
+        let lock = Arc::new(Mutex::new(()));
+        let lock2 = Arc::clone(&lock);
+        let t = loom::thread::spawn(move || {
+            let _g = lock2.lock().unwrap();
+            let v = cell2.load(Ordering::SeqCst);
+            cell2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = cell.load(Ordering::SeqCst);
+        cell.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(cell.load(Ordering::SeqCst), 2, "lost update on shared.hits");
+    });
+    assert!(
+        report.failure.is_some(),
+        "explorer must exhibit the lost-update interleaving on shared.hits"
+    );
+    assert!(report.schedules >= 2, "more than one schedule explored");
+}
